@@ -1,0 +1,149 @@
+// COLLAB — paper §VII: security of collaborative perception (ghost
+// injection by credentialed insiders vs redundancy-based detection, with
+// the trust-decay ablation of DESIGN.md §6.5) and the "optimization
+// battle" at a shared intersection.
+#include <cstdio>
+
+#include "avsec/collab/intersection.hpp"
+#include "avsec/collab/perception.hpp"
+#include "avsec/collab/v2x.hpp"
+#include "avsec/core/table.hpp"
+
+namespace {
+
+using namespace avsec;
+using core::Table;
+
+void ghost_injection() {
+  Table t({"Attackers / 8", "Defense", "Ghost acceptance", "Object recall",
+           "Attacker det. recall", "Attacker det. precision"});
+  for (int attackers : {0, 1, 2, 3}) {
+    for (bool defense : {false, true}) {
+      collab::CollabConfig cfg;
+      cfg.n_attackers = attackers;
+      cfg.defense_enabled = defense;
+      collab::CollabSim sim(cfg);
+      const auto m = sim.run(100);
+      t.add_row({std::to_string(attackers), defense ? "trust" : "none",
+                 Table::pct(m.ghost_acceptance_rate),
+                 Table::pct(m.object_recall),
+                 Table::pct(m.attacker_detection_recall),
+                 Table::pct(m.attacker_detection_precision)});
+    }
+  }
+  t.print("COLLABa: ghost-object injection vs consistency/trust defense "
+          "(100 rounds, 8 vehicles)");
+}
+
+void hiding_attack() {
+  Table t({"Attackers hide objects", "Defense", "Object recall"});
+  for (int attackers : {0, 2, 4}) {
+    collab::CollabConfig cfg;
+    cfg.n_attackers = attackers;
+    cfg.attackers_hide_objects = true;
+    cfg.ghosts_per_attacker = 0;
+    collab::CollabSim sim(cfg);
+    const auto m = sim.run(100);
+    t.add_row({std::to_string(attackers) + "/8", "redundant sensing",
+               Table::pct(m.object_recall)});
+  }
+  t.print("COLLABb: object-hiding insiders vs sensing redundancy");
+}
+
+void trust_decay_ablation() {
+  Table t({"Trust alpha", "Ghost acceptance", "Attacker det. recall",
+           "Object recall"});
+  for (double alpha : {0.05, 0.1, 0.2, 0.4}) {
+    collab::CollabConfig cfg;
+    cfg.n_attackers = 2;
+    cfg.defense_enabled = true;
+    cfg.trust_alpha = alpha;
+    collab::CollabSim sim(cfg);
+    const auto m = sim.run(100);
+    t.add_row({Table::num(alpha, 2), Table::pct(m.ghost_acceptance_rate),
+               Table::pct(m.attacker_detection_recall),
+               Table::pct(m.object_recall)});
+  }
+  t.print("COLLABc (ablation): trust decay rate vs detection latency");
+}
+
+void optimization_battle() {
+  Table t({"Aggressive fraction", "Regulation", "Throughput",
+           "Honest mean wait", "Aggr. mean wait", "Wasted slots",
+           "Jain fairness"});
+  for (double frac : {0.0, 0.2, 0.5, 0.9}) {
+    for (bool regulated : {false, true}) {
+      if (frac == 0.0 && regulated) continue;
+      collab::IntersectionConfig cfg;
+      cfg.aggressive_fraction = frac;
+      cfg.arrival_rate = 0.2;  // 0.8 vehicles/slot total: stable if honest
+      cfg.urgency_cap = 25.0;  // protocol ceiling: exaggerators hit it fast
+      cfg.regulation_enforced = regulated;
+      const auto m = collab::run_intersection(cfg);
+      t.add_row({Table::pct(frac, 0), regulated ? "enforced" : "none",
+                 Table::num(m.throughput, 3),
+                 Table::num(m.honest_mean_wait, 1),
+                 Table::num(m.aggressive_mean_wait, 1),
+                 Table::pct(m.wasted_slots_fraction, 1),
+                 Table::num(m.fairness_jain, 3)});
+    }
+  }
+  t.print("COLLABd: competing collaborative systems at an intersection "
+          "(the optimization battle, Sec. VII-A)");
+}
+
+void position_bias_sweep() {
+  Table t({"Position bias (m)", "Fused error (m)", "Attacker det. recall",
+           "Regime"});
+  for (double bias : {0.0, 1.0, 2.0, 4.0, 8.0, 15.0}) {
+    collab::CollabConfig cfg;
+    cfg.n_attackers = 2;
+    cfg.ghosts_per_attacker = 0;
+    cfg.attacker_position_bias_m = bias;
+    cfg.defense_enabled = true;
+    const auto m = collab::CollabSim(cfg).run(100);
+    const char* regime = bias == 0.0              ? "baseline"
+                         : bias < cfg.cluster_radius_m ? "undetectable, bounded"
+                                                       : "splits clusters, caught";
+    t.add_row({Table::num(bias, 1), Table::num(m.mean_fused_error_m, 2),
+               Table::pct(m.attacker_detection_recall), regime});
+  }
+  t.print("COLLABe: subtle falsification — detectability vs bias magnitude");
+}
+
+void pseudonym_privacy() {
+  // V2X message security vs location privacy: pseudonym change rate.
+  collab::PseudonymAuthority authority(core::Bytes(32, 0xCA));
+  Table t({"Pseudonym lifetime (rounds)", "Certs / 200 rounds",
+           "Longest trackable fraction", "Authentication"});
+  for (std::uint64_t lifetime : {200u, 50u, 10u, 2u}) {
+    collab::V2xStack stack(1, core::Bytes(32, 5), authority, lifetime);
+    collab::PseudonymTracker tracker;
+    int valid = 0;
+    for (std::uint64_t r = 0; r < 200; ++r) {
+      const auto cpm = stack.sign({1.0, 2.0}, {0.0, 0.0}, r);
+      valid += collab::verify_cpm(cpm, authority.public_key(), r) ==
+               collab::CpmVerdict::kValid;
+      tracker.observe(cpm);
+    }
+    t.add_row({std::to_string(lifetime),
+               std::to_string(stack.pseudonyms_used()),
+               Table::pct(tracker.longest_track_fraction()),
+               valid == 200 ? "all valid" : "FAILURES"});
+  }
+  t.print("COLLABf: V2X pseudonym rotation — privacy vs certificate cost");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== COLLAB: collaborative perception & competition "
+              "(paper Sec. VII) ==\n");
+  ghost_injection();
+  hiding_attack();
+  trust_decay_ablation();
+  position_bias_sweep();
+  pseudonym_privacy();
+  optimization_battle();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// CRYPTO — google-benchmark throughput of every from-scratch primitive the
+// framework's protocols are built on (the substrate's cost model).
+#include <benchmark/benchmark.h>
+
+#include "avsec/crypto/drbg.hpp"
+#include "avsec/crypto/ed25519.hpp"
+#include "avsec/crypto/hmac.hpp"
+#include "avsec/crypto/modes.hpp"
+#include "avsec/crypto/sha2.hpp"
+#include "avsec/crypto/x25519.hpp"
+
+namespace {
+
+using namespace avsec;
+
+void BM_Sha256(benchmark::State& state) {
+  const core::Bytes data(std::size_t(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Sha512(benchmark::State& state) {
+  const core::Bytes data(std::size_t(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha512::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(1024);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const core::Bytes key(32, 1), data(256, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_AesEncryptBlock(benchmark::State& state) {
+  const crypto::Aes aes(core::Bytes(16, 3));
+  crypto::Aes::Block block{};
+  for (auto _ : state) {
+    block = aes.encrypt(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void BM_AesGcmSeal(benchmark::State& state) {
+  const crypto::AesGcm gcm(core::Bytes(16, 4));
+  const core::Bytes iv(12, 5);
+  const core::Bytes pt(std::size_t(state.range(0)), 6);
+  core::Bytes tag;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm.seal(iv, {}, pt, tag));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesGcmSeal)->Arg(64)->Arg(1500);
+
+void BM_AesCmac(benchmark::State& state) {
+  const crypto::AesCmac cmac(core::Bytes(16, 7));
+  const core::Bytes msg(std::size_t(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cmac.mac(msg));
+  }
+}
+BENCHMARK(BM_AesCmac)->Arg(16)->Arg(64);
+
+void BM_X25519(benchmark::State& state) {
+  crypto::X25519Key scalar{};
+  scalar[0] = 9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::x25519_base(scalar));
+  }
+}
+BENCHMARK(BM_X25519);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  const auto kp = crypto::ed25519_keypair(core::Bytes(32, 9));
+  const core::Bytes msg(64, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::ed25519_sign(kp, msg));
+  }
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  const auto kp = crypto::ed25519_keypair(core::Bytes(32, 9));
+  const core::Bytes msg(64, 10);
+  const auto sig = crypto::ed25519_sign(kp, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::ed25519_verify(
+        core::BytesView(kp.public_key.data(), 32), msg,
+        core::BytesView(sig.data(), 64)));
+  }
+}
+BENCHMARK(BM_Ed25519Verify);
+
+void BM_CtrDrbg(benchmark::State& state) {
+  crypto::CtrDrbg drbg(std::uint64_t{11});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drbg.generate(256));
+  }
+  state.SetBytesProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_CtrDrbg);
+
+}  // namespace
+
+BENCHMARK_MAIN();

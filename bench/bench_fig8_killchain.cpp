@@ -1,0 +1,214 @@
+// FIG8 — replays the CARIAD-style telemetry breach (paper §V, Fig. 8)
+// across the full 2^6 defense ablation: which single control breaks which
+// link of the kill chain, how much data leaves in each configuration, and
+// how attack-surface score correlates with breach outcome.
+#include <cstdio>
+
+#include <chrono>
+
+#include "avsec/core/stats.hpp"
+#include "avsec/core/table.hpp"
+#include "avsec/datalayer/access_control.hpp"
+#include "avsec/datalayer/incidents.hpp"
+#include "avsec/datalayer/killchain.hpp"
+#include "avsec/datalayer/privacy.hpp"
+
+namespace {
+
+using namespace avsec;
+using core::Table;
+
+constexpr std::size_t kRecords = 2000;
+
+datalayer::DefenseConfig config_from_bits(int bits) {
+  datalayer::DefenseConfig d;
+  d.debug_endpoints_removed = bits & 1;
+  d.waf_rate_limiting = bits & 2;
+  d.secret_hygiene = bits & 4;
+  d.least_privilege_iam = bits & 8;
+  d.pii_encryption = bits & 16;
+  d.egress_monitoring = bits & 32;
+  return d;
+}
+
+void stage_table() {
+  Table t({"Defense enabled", "Chain breaks at", "Records exfiltrated",
+           "Plaintext PII", "Detected"});
+  struct Case {
+    const char* label;
+    int bits;
+  };
+  const Case cases[] = {
+      {"(none — the real incident)", 0},
+      {"remove debug endpoints", 1},
+      {"WAF rate limiting", 2},
+      {"secret hygiene", 4},
+      {"least-privilege IAM", 8},
+      {"PII encryption", 16},
+      {"egress monitoring", 32},
+      {"all six", 63},
+  };
+  for (const auto& c : cases) {
+    datalayer::CloudService svc(config_from_bits(c.bits), kRecords, 1);
+    if (c.bits & 2) {
+      for (int i = 0; i < 60; ++i) svc.get("/");  // scanner pressure
+    }
+    const auto out = datalayer::run_kill_chain(svc);
+    t.add_row({c.label, datalayer::stage_name(out.broke_at()),
+               std::to_string(out.records_exfiltrated),
+               std::to_string(out.plaintext_pii_records),
+               out.attacker_detected ? "yes" : "no"});
+  }
+  t.print("FIG8a: kill chain vs single defenses (2000-record store)");
+}
+
+void full_ablation() {
+  // All 64 combinations: how many configurations still allow a plaintext
+  // breach, and the records-at-risk distribution by defense count.
+  core::Samples leaked_by_count[7];
+  int breached_by_count[7] = {};
+  int configs_by_count[7] = {};
+  for (int bits = 0; bits < 64; ++bits) {
+    const auto d = config_from_bits(bits);
+    datalayer::CloudService svc(d, kRecords, 1);
+    const auto out = datalayer::run_kill_chain(svc);
+    const int n = d.enabled_count();
+    ++configs_by_count[n];
+    breached_by_count[n] += out.full_breach();
+    leaked_by_count[n].add(double(out.plaintext_pii_records));
+  }
+  Table t({"# defenses", "Configs", "Plaintext breaches",
+           "Mean PII records leaked"});
+  for (int n = 0; n <= 6; ++n) {
+    t.add_row({std::to_string(n), std::to_string(configs_by_count[n]),
+               std::to_string(breached_by_count[n]),
+               Table::num(leaked_by_count[n].mean(), 0)});
+  }
+  t.print("FIG8b: full 2^6 defense ablation");
+}
+
+void surface_correlation() {
+  // The paper's closing argument (Sec. V-C): smaller attack surface,
+  // smaller breach. Correlate the surface score with leaked records.
+  Table t({"Config", "Surface score", "Plaintext PII leaked"});
+  for (int bits : {0, 1, 9, 21, 63}) {
+    const auto d = config_from_bits(bits);
+    datalayer::CloudService svc(d, kRecords, 1);
+    const double score = datalayer::attack_surface_score(svc, d);
+    const auto out = datalayer::run_kill_chain(svc);
+    t.add_row({d.summary(), Table::num(score, 1),
+               std::to_string(out.plaintext_pii_records)});
+  }
+  t.print("FIG8c: attack-surface score vs breach outcome "
+          "(D=debug off, W=WAF, S=secrets, I=IAM, P=PII enc, E=egress)");
+}
+
+void incident_iceberg() {
+  // §V-B1: "lack of incidents is not an indication of security" — the
+  // latent-vs-public compromise gap over a 4-year horizon, 500 fleets.
+  Table t({"Internal detection", "Stealthy attackers", "Total compromises",
+           "Publicly known", "Still hidden at t=48mo", "Iceberg ratio"});
+  struct Case {
+    double detect;
+    double stealth;
+  };
+  for (const Case& c : {Case{0.02, 0.3}, Case{0.05, 0.3}, Case{0.2, 0.3},
+                        Case{0.05, 0.0}, Case{0.05, 0.8}}) {
+    datalayer::IncidentModelConfig cfg;
+    cfg.p_internal_detect = c.detect;
+    cfg.stealth_fraction = c.stealth;
+    const auto s = datalayer::summarize(cfg);
+    t.add_row({Table::pct(c.detect, 0) + "/mo", Table::pct(c.stealth, 0),
+               std::to_string(s.total_compromises),
+               std::to_string(s.total_disclosed),
+               std::to_string(s.never_discovered),
+               Table::num(s.iceberg_ratio, 1) + "x"});
+  }
+  t.print("FIG8d: latent vs publicly-known compromises (Sec. V-B1)");
+}
+
+void owner_controlled_access() {
+  // §VIII's structural alternative to the breached design: had records
+  // been sealed per-owner with threshold key escrow, a stolen cloud key
+  // would have opened nothing. Measure outcome + cost.
+  datalayer::DataOwner owner(core::Bytes(32, 0xA1), 5, 3);
+  std::vector<datalayer::SealedRecord> records;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 200; ++i) {
+    records.push_back(owner.seal("rec-" + std::to_string(i),
+                                 core::to_bytes("lat=48.1;lon=11.5;vin=X")));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seal_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count() / 200;
+
+  // Authorized consumer reads; a breach actor with full broker access but
+  // no grants reads nothing.
+  int authorized_reads = 0, breach_reads = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto id = "rec-" + std::to_string(i);
+    const auto grant = owner.grant(id, "service");
+    if (consume_record(records[std::size_t(i)], grant, "service",
+                       owner.servers(), owner.threshold())) {
+      ++authorized_reads;
+    }
+    datalayer::AccessGrant forged;
+    forged.record_id = id;
+    forged.consumer = "attacker";
+    if (consume_record(records[std::size_t(i)], forged, "attacker",
+                       owner.servers(), owner.threshold())) {
+      ++breach_reads;
+    }
+  }
+
+  Table t({"Reader", "Records opened / 200", "Notes"});
+  t.add_row({"owner-granted service", std::to_string(authorized_reads),
+             Table::num(seal_us, 0) + " us seal cost/record"});
+  t.add_row({"breach actor (full broker copy)", std::to_string(breach_reads),
+             "no owner grant -> 3-of-5 servers refuse"});
+  t.print("FIG8e: owner-controlled access (threshold key escrow, Sec. VIII)");
+}
+
+void geodata_minimization() {
+  // §V: the breach leaked months of precise geolocation. Data-minimization
+  // policies versus a trajectory re-identification adversary, 200 vehicles.
+  const auto fleet = datalayer::make_fleet_trails(200, 120, 3);
+  Table t({"Storage policy", "Fixes stored / vehicle",
+           "Re-identification rate"});
+  struct Case {
+    const char* label;
+    datalayer::PrivacyPolicy policy;
+  };
+  const Case cases[] = {
+      {"exact, unlimited history (as breached)", {}},
+      {"retention: last 10 fixes", {10, 0.0}},
+      {"coarsen to ~1 km grid", {0, 0.01}},
+      {"coarsen to ~5 km grid", {0, 0.05}},
+      {"retention 10 + ~5 km grid", {10, 0.05}},
+  };
+  for (const auto& c : cases) {
+    std::vector<std::vector<std::pair<double, double>>> stored;
+    std::size_t fixes = 0;
+    for (const auto& trail : fleet.trails) {
+      stored.push_back(datalayer::apply_policy(trail, c.policy));
+      fixes += stored.back().size();
+    }
+    const auto result = datalayer::reidentify(stored, fleet.homes);
+    t.add_row({c.label, Table::num(double(fixes) / fleet.trails.size(), 0),
+               Table::pct(result.rate())});
+  }
+  t.print("FIG8f: geodata minimization vs re-identification (Sec. V)");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== FIG8: telemetry-breach kill chain (paper Fig. 8) ==\n");
+  stage_table();
+  full_ablation();
+  surface_correlation();
+  incident_iceberg();
+  owner_controlled_access();
+  geodata_minimization();
+  return 0;
+}

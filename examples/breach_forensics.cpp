@@ -1,0 +1,64 @@
+// Replays the Fig. 8 telemetry-breach kill chain step by step, narrated
+// like an incident report, then re-runs the same attack against a
+// hardened deployment.
+#include <cstdio>
+
+#include "avsec/datalayer/killchain.hpp"
+
+using namespace avsec;
+
+namespace {
+
+void replay(const char* title, const datalayer::DefenseConfig& defenses) {
+  std::printf("\n%s\n", title);
+  for (std::size_t i = 0; title[i]; ++i) std::printf("-");
+  std::printf("\n");
+
+  datalayer::CloudService service(defenses, 2000, 1);
+  const auto outcome = datalayer::run_kill_chain(service);
+
+  for (int s = 0; s < static_cast<int>(datalayer::KillChainStage::kStageCount);
+       ++s) {
+    const auto stage = static_cast<datalayer::KillChainStage>(s);
+    const bool ok = outcome.stage_ok[std::size_t(s)];
+    std::printf("  %d. %-26s %s\n", s + 1, datalayer::stage_name(stage),
+                ok ? "succeeded" : "BLOCKED");
+    if (!ok) break;
+  }
+  std::printf("  => records exfiltrated: %zu (plaintext PII: %zu)%s\n",
+              outcome.records_exfiltrated, outcome.plaintext_pii_records,
+              outcome.attacker_detected ? ", attacker detected" : "");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Telemetry-backend breach forensics (paper Sec. V, Fig. 8)\n");
+  std::printf("==========================================================\n");
+  std::printf(
+      "\nThe production deployment: a Spring telemetry app on cloud\n"
+      "infrastructure, debug actuators live, credentials in the JVM heap,\n"
+      "an all-powerful service key, plaintext PII.\n");
+
+  replay("Replay 1: the deployment as found (the incident)", {});
+
+  datalayer::DefenseConfig hygiene;
+  hygiene.secret_hygiene = true;
+  replay("Replay 2: with secret hygiene (no keys in process memory)",
+         hygiene);
+
+  datalayer::DefenseConfig hardened;
+  hardened.debug_endpoints_removed = true;
+  hardened.least_privilege_iam = true;
+  hardened.pii_encryption = true;
+  hardened.egress_monitoring = true;
+  replay("Replay 3: defense in depth (debug off, least privilege, PII\n"
+         "encryption, egress monitoring)",
+         hardened);
+
+  std::printf(
+      "\nLessons (paper Sec. V-B): absence of incidents proves nothing; any\n"
+      "single missing control can be the one that matters; and every removed\n"
+      "endpoint or privilege shrinks the surface an attacker can even probe.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// The holistic loop of paper Sec. VI+VIII on one MaaS fleet: a masquerade
+// attack inside one vehicle is detected by the CAN IDS, the response
+// engine contains it, and the system-of-systems model quantifies what the
+// same foothold would have meant fleet-wide without containment.
+#include <cstdio>
+
+#include "avsec/ids/response.hpp"
+#include "avsec/sos/graph.hpp"
+#include "avsec/sos/realtime.hpp"
+
+using namespace avsec;
+
+int main() {
+  std::printf("Fleet attack detection and response\n");
+  std::printf("===================================\n");
+
+  // 1. In-vehicle: masquerade on the zone CAN bus of vehicle 0.
+  std::printf("\n[vehicle0] compromised comfort ECU impersonates the brake "
+              "data ID...\n");
+  ids::MasqueradeExperimentConfig mcfg;
+  mcfg.criticality = ids::Criticality::kDriving;
+  const auto mr = ids::run_masquerade_experiment(mcfg);
+  std::printf("[vehicle0] IDS: %s after %llu malicious frame(s), "
+              "latency %.0f us\n",
+              mr.detected ? "detected" : "missed",
+              static_cast<unsigned long long>(
+                  mr.malicious_frames_before_detection),
+              core::to_microseconds(mr.detection_latency));
+  std::printf("[vehicle0] response engine: %s (%s)\n",
+              ids::response_action_name(mr.response.action),
+              mr.response.rationale.c_str());
+  std::printf("[vehicle0] frames accepted after response: %llu\n",
+              static_cast<unsigned long long>(
+                  mr.malicious_frames_accepted_after_response));
+
+  // 2. Fleet level: what does one compromised in-vehicle subsystem mean
+  // for the system of systems?
+  const auto fleet = sos::build_maas_reference(3);
+  const int entry = fleet.node_id("vehicle0/vehicle-os");
+  const auto cascade = sos::propagate(fleet, entry, 40000, 11);
+  std::printf("\n[fleet] had the foothold persisted (no response):\n");
+  std::printf("[fleet]   mean subsystems compromised per incident: %.2f\n",
+              cascade.mean_compromised_nodes);
+  std::printf("[fleet]   P(safety-critical function reached): %.2f%%\n",
+              100.0 * cascade.safety_critical_reached);
+
+  // 3. Safety level: the same attacker DoS-ing the perception channel.
+  std::printf("\n[safety] attacker turns to flooding the perception link:\n");
+  for (bool watchdog : {false, true}) {
+    int collisions = 0;
+    for (std::uint64_t s = 0; s < 50; ++s) {
+      sos::BrakingScenarioConfig bcfg;
+      bcfg.drop_probability = 0.99;
+      bcfg.staleness_watchdog = watchdog;
+      bcfg.seed = s;
+      collisions += sos::run_braking_scenario(bcfg).collided;
+    }
+    std::printf("[safety]   watchdog %-3s -> %d/50 runs end in collision\n",
+                watchdog ? "on" : "off", collisions);
+  }
+
+  std::printf(
+      "\nThe paper's Sec. VIII argument in numbers: detection, response and\n"
+      "degradation modes must work *together* across layers — each alone\n"
+      "leaves one of the failure paths above open.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// The PKES story of paper Sec. II-A, end to end: a relay attack steals the
+// legacy car, fails against UWB time-of-flight; a distance-reduction
+// attack then breaks the naive UWB receiver and is finally stopped by the
+// physical-layer integrity checks.
+#include <cstdio>
+
+#include "avsec/phy/pkes.hpp"
+
+using namespace avsec;
+
+namespace {
+
+void narrate(const char* label, const phy::PkesAttempt& a) {
+  std::printf("  %-34s -> %s (measured %.1f m%s)\n", label,
+              a.unlocked ? "UNLOCKED" : "locked", a.measured_distance_m,
+              a.attack_detected ? ", attack detected" : "");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Passive Keyless Entry and Start: four generations\n");
+  std::printf("=================================================\n");
+  const core::Bytes key(16, 0x77);
+
+  for (auto tech : {phy::PkesTech::kLfRssi, phy::PkesTech::kUwbHrpNaive,
+                    phy::PkesTech::kUwbHrpChecked,
+                    phy::PkesTech::kUwbLrpBounded}) {
+    phy::PkesSystem car(tech, key);
+    std::printf("\n[%s]\n", phy::pkes_tech_name(tech));
+    narrate("owner at the door (1.2 m)", car.legitimate_unlock(1.2));
+    narrate("owner inside the house (25 m)", car.legitimate_unlock(25.0));
+    narrate("two-thief relay attack (fob 25 m)", car.relay_attack(25.0, 40.0));
+    // Reduction attacks are stochastic: a thief retries. Ten attempts.
+    int thefts = 0;
+    bool any_detected = false;
+    for (int i = 0; i < 10; ++i) {
+      const auto a = car.reduction_attack(20.0);
+      thefts += a.unlocked;
+      any_detected |= a.attack_detected;
+    }
+    std::printf("  %-34s -> %d/10 unlocked%s\n",
+                "early-commit reduction (10 tries)", thefts,
+                any_detected ? " (attacks detected)" : "");
+  }
+
+  std::printf(
+      "\nTakeaway (paper Sec. II): ToF defeats relays; only physical-layer\n"
+      "integrity checks (STS consistency / distance commitment + bounding)\n"
+      "also defeat distance-reduction attacks.\n");
+  return 0;
+}

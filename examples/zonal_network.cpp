@@ -1,0 +1,44 @@
+// Builds the paper's Fig. 3 zonal in-vehicle network and runs all three
+// security-deployment scenarios (Figs. 4-6) over it, printing the
+// trade-off table a vehicle architect would look at.
+#include <cstdio>
+
+#include "avsec/core/table.hpp"
+#include "avsec/secproto/scenarios.hpp"
+
+using namespace avsec;
+
+int main() {
+  std::printf("Zonal IVN with three security-protocol deployments\n");
+  std::printf("==================================================\n\n");
+  std::printf(
+      "Topology (Fig. 3): CC --1000BASE-T1-- switch --1000BASE-T1-- ZC1/ZC2\n"
+      "  zone 1: CAN FD bus with 3 endpoint ECUs\n"
+      "  zone 2: 10BASE-T1S multidrop with 3 endpoint ECUs\n\n");
+
+  secproto::ScenarioConfig cfg;
+  cfg.pdu_count = 200;
+
+  core::Table t({"Scenario", "Latency mean (us)", "Overhead (B/PDU)",
+                 "Gateway keys", "Confidentiality"});
+  for (const auto& r :
+       {secproto::run_scenario_s1(cfg), secproto::run_scenario_s2(cfg, true),
+        secproto::run_scenario_s2(cfg, false),
+        secproto::run_scenario_s3(cfg, netsim::CanProtocol::kXl)}) {
+    t.add_row({r.name, core::Table::num(r.latency_mean_us, 1),
+               std::to_string(r.overhead_bytes_per_pdu),
+               std::to_string(r.gateway_session_keys),
+               r.confidentiality ? "yes" : "no"});
+  }
+  t.print("Scenario comparison");
+
+  std::printf(
+      "\nReading the table like the paper does:\n"
+      " - S1 pays the 'heavy' AUTOSAR SECOC software stack and parks keys in\n"
+      "   the gateway; it is authentication-only.\n"
+      " - S2 end-to-end avoids gateway keys entirely but freezes the frame\n"
+      "   header; per-hop restores flexibility at 2x gateway crypto.\n"
+      " - S3 (CANAL) brings MACsec end-to-end all the way to CAN endpoints —\n"
+      "   the Fig. 6 architecture — at the cost of segmentation overhead.\n");
+  return 0;
+}

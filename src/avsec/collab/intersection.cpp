@@ -1,0 +1,93 @@
+#include "avsec/collab/intersection.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace avsec::collab {
+
+namespace {
+
+struct Vehicle {
+  std::size_t arrived_at = 0;
+  bool aggressive = false;
+};
+
+}  // namespace
+
+IntersectionMetrics run_intersection(const IntersectionConfig& config) {
+  core::Rng rng(config.seed);
+  std::vector<std::deque<Vehicle>> lanes(std::size_t(config.lanes));
+
+  core::Samples honest_waits, aggressive_waits;
+  std::size_t crossings = 0, wasted = 0;
+
+  for (std::size_t slot = 0; slot < config.slots; ++slot) {
+    // Arrivals.
+    for (auto& lane : lanes) {
+      const auto n = rng.poisson(config.arrival_rate);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        lane.push_back(Vehicle{slot, rng.chance(config.aggressive_fraction)});
+      }
+    }
+
+    // Negotiation among lane heads: highest claimed urgency crosses.
+    double best_claim = -1.0;
+    int winner = -1;
+    int claimants_at_cap = 0;
+    for (int l = 0; l < config.lanes; ++l) {
+      auto& lane = lanes[std::size_t(l)];
+      if (lane.empty()) continue;
+      const Vehicle& head = lane.front();
+      const double wait = static_cast<double>(slot - head.arrived_at) + 1.0;
+      double claim = wait;
+      if (head.aggressive && !config.regulation_enforced) {
+        claim = std::min(config.urgency_cap, wait * config.exaggeration);
+        if (claim >= config.urgency_cap) ++claimants_at_cap;
+      }
+      if (claim > best_claim) {
+        best_claim = claim;
+        winner = l;
+      }
+    }
+    if (winner < 0) continue;  // empty intersection
+
+    // Two or more capped claims are indistinguishable: the slot is burned
+    // on re-negotiation (each refuses to yield).
+    if (claimants_at_cap >= 2) {
+      ++wasted;
+      continue;
+    }
+
+    auto& lane = lanes[std::size_t(winner)];
+    const Vehicle v = lane.front();
+    lane.pop_front();
+    ++crossings;
+    const double wait = static_cast<double>(slot - v.arrived_at);
+    if (v.aggressive) {
+      aggressive_waits.add(wait);
+    } else {
+      honest_waits.add(wait);
+    }
+  }
+
+  IntersectionMetrics m;
+  m.crossings = crossings;
+  m.throughput = static_cast<double>(crossings) /
+                 static_cast<double>(config.slots);
+  m.honest_mean_wait = honest_waits.mean();
+  m.honest_p95_wait = honest_waits.quantile(0.95);
+  m.aggressive_mean_wait = aggressive_waits.mean();
+  m.wasted_slots_fraction =
+      static_cast<double>(wasted) / static_cast<double>(config.slots);
+
+  // Jain fairness across the two classes' mean waits (inverted: lower
+  // wait = more service). Only meaningful when both classes exist.
+  if (honest_waits.count() > 0 && aggressive_waits.count() > 0) {
+    const double a = 1.0 / (1.0 + m.honest_mean_wait);
+    const double b = 1.0 / (1.0 + m.aggressive_mean_wait);
+    m.fairness_jain = (a + b) * (a + b) / (2.0 * (a * a + b * b));
+  }
+  return m;
+}
+
+}  // namespace avsec::collab

@@ -1,0 +1,44 @@
+// Competing collaborative systems at a shared resource (paper §VII-A):
+// an unsignalized intersection where autonomous vehicles negotiate
+// crossing order by announcing an urgency value.
+//
+// Honest agents announce their true waiting time. Aggressive agents
+// exaggerate ("optimization battle"), which is legal-but-unfair; when
+// several aggressive agents tie at the cap, the slot is wasted on
+// re-negotiation — the deadlock the paper warns about. A regulation
+// ("urgency must equal waiting time, enforced") restores fairness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "avsec/core/rng.hpp"
+#include "avsec/core/stats.hpp"
+
+namespace avsec::collab {
+
+struct IntersectionConfig {
+  int lanes = 4;
+  double arrival_rate = 0.2;      // vehicles per lane per slot (Poisson)
+  double aggressive_fraction = 0.0;
+  double exaggeration = 5.0;      // claimed = wait * exaggeration
+  double urgency_cap = 100.0;     // protocol ceiling on claims
+  bool regulation_enforced = false;  // audited claims = true wait
+  std::size_t slots = 2000;
+  std::uint64_t seed = 1;
+};
+
+struct IntersectionMetrics {
+  double throughput = 0.0;            // crossings per slot
+  double honest_mean_wait = 0.0;      // slots
+  double honest_p95_wait = 0.0;
+  double aggressive_mean_wait = 0.0;
+  double wasted_slots_fraction = 0.0; // deadlocked negotiation rounds
+  double fairness_jain = 1.0;         // Jain index across per-class waits
+  std::size_t crossings = 0;
+};
+
+/// Runs the slotted intersection simulation.
+IntersectionMetrics run_intersection(const IntersectionConfig& config);
+
+}  // namespace avsec::collab

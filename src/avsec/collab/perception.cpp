@@ -1,0 +1,261 @@
+#include "avsec/collab/perception.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace avsec::collab {
+
+double dist(const Vec2& a, const Vec2& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+namespace {
+
+std::vector<SharedObject>& list_for(
+    std::vector<std::vector<SharedObject>>& reports, int vehicle) {
+  return reports[static_cast<std::size_t>(vehicle)];
+}
+
+}  // namespace
+
+CollabSim::CollabSim(CollabConfig config)
+    : config_(config), rng_(config.seed) {
+  vehicles_.resize(std::size_t(config_.n_vehicles));
+  for (auto& v : vehicles_) {
+    v = {rng_.uniform(0.0, config_.world_size),
+         rng_.uniform(0.0, config_.world_size)};
+  }
+  objects_.resize(std::size_t(config_.n_objects));
+  for (auto& o : objects_) {
+    o = {rng_.uniform(0.0, config_.world_size),
+         rng_.uniform(0.0, config_.world_size)};
+  }
+  trust_.assign(std::size_t(config_.n_vehicles), config_.trust_initial);
+}
+
+CollabSim::RoundResult CollabSim::run_round() {
+  RoundResult result;
+
+  // 1. Every vehicle builds its local object list.
+  std::vector<std::vector<SharedObject>> reports(vehicles_.size());
+  std::vector<Vec2> ghosts;
+  for (int v = 0; v < config_.n_vehicles; ++v) {
+    auto& list = reports[std::size_t(v)];
+    for (const auto& obj : objects_) {
+      if (dist(vehicles_[std::size_t(v)], obj) > config_.sensing_range) {
+        continue;
+      }
+      const bool hidden =
+          is_attacker(v) && config_.attackers_hide_objects;
+      if (hidden) continue;
+      if (!rng_.chance(config_.detection_prob)) continue;
+      SharedObject so;
+      so.position = {obj.x + rng_.normal(0.0, config_.noise_sigma_m),
+                     obj.y + rng_.normal(0.0, config_.noise_sigma_m)};
+      if (is_attacker(v) && config_.attacker_position_bias_m > 0.0) {
+        // Consistent directional bias (e.g. always "10 m further east").
+        so.position.x += config_.attacker_position_bias_m;
+      }
+      so.sender = v;
+      list.push_back(so);
+    }
+    if (rng_.chance(config_.false_positive_rate)) {
+      list.push_back(SharedObject{
+          {rng_.uniform(0.0, config_.world_size),
+           rng_.uniform(0.0, config_.world_size)},
+          v});
+    }
+  }
+
+  // Colluding insiders agree on ghost positions (near the ego, where they
+  // are maximally disruptive) and all report them — that is what defeats
+  // naive vote-based fusion.
+  if (config_.n_attackers > 0) {
+    for (int g = 0; g < config_.ghosts_per_attacker; ++g) {
+      Vec2 ghost{vehicles_[0].x + rng_.uniform(-30.0, 30.0),
+                 vehicles_[0].y + rng_.uniform(-30.0, 30.0)};
+      ghosts.push_back(ghost);
+      ++result.ghosts_injected;
+      for (int v = 0; v < config_.n_vehicles; ++v) {
+        if (!is_attacker(v)) continue;
+        list_for(reports, v).push_back(SharedObject{ghost, v});
+      }
+    }
+  }
+
+  // 2. Ego (vehicle 0) clusters everything it can hear. Quarantine is
+  // applied at the *voting* step, not here: consistency bookkeeping must
+  // keep seeing quarantined senders' reports, or honest clusters would
+  // appear unsupported once anyone is quarantined (feedback collapse).
+  std::vector<SharedObject> pool;
+  for (const auto& report : reports) {
+    for (const auto& so : report) pool.push_back(so);
+  }
+
+  // Greedy clustering; the fused position is the member centroid.
+  std::vector<bool> used(pool.size(), false);
+  struct Cluster {
+    Vec2 center;
+    std::vector<int> senders;
+  };
+  std::vector<Cluster> clusters;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (used[i]) continue;
+    Cluster c;
+    c.center = pool[i].position;
+    c.senders.push_back(pool[i].sender);
+    used[i] = true;
+    double sum_x = pool[i].position.x, sum_y = pool[i].position.y;
+    int members = 1;
+    for (std::size_t j = i + 1; j < pool.size(); ++j) {
+      if (used[j]) continue;
+      if (dist(c.center, pool[j].position) <= config_.cluster_radius_m) {
+        used[j] = true;
+        sum_x += pool[j].position.x;
+        sum_y += pool[j].position.y;
+        ++members;
+        // Only count distinct senders as corroboration.
+        if (std::find(c.senders.begin(), c.senders.end(), pool[j].sender) ==
+            c.senders.end()) {
+          c.senders.push_back(pool[j].sender);
+        }
+      }
+    }
+    c.center = {sum_x / members, sum_y / members};
+    clusters.push_back(std::move(c));
+  }
+
+  // 3. Confirm clusters with enough distinct *trusted* supporters.
+  std::vector<Vec2> fused;
+  for (const auto& c : clusters) {
+    int votes = 0;
+    for (int sender : c.senders) {
+      const bool trusted = sender == 0 || !config_.defense_enabled ||
+                           trust_[std::size_t(sender)] >=
+                               config_.trust_threshold;
+      if (trusted) ++votes;
+    }
+    if (votes >= config_.confirm_votes) fused.push_back(c.center);
+  }
+
+  // 4. Trust update (defense). Redundancy-based consistency: for each
+  // cluster, count how many vehicles *could* see that position (potential
+  // witnesses) versus how many actually reported it. A position that
+  // several in-range vehicles deny is suspicious — its supporters lose
+  // trust sharply. Corroborated reports earn trust slowly (asymmetric
+  // rates: a few ghost reports outweigh many honest ones, and colluding
+  // attackers cannot out-vote the honest deniers).
+  if (config_.defense_enabled) {
+    for (const auto& c : clusters) {
+      int reporters_in_range = 0;
+      int deniers = 0;
+      for (int w = 0; w < config_.n_vehicles; ++w) {
+        if (dist(vehicles_[std::size_t(w)], c.center) >
+            config_.sensing_range) {
+          continue;
+        }
+        const bool reported =
+            std::find(c.senders.begin(), c.senders.end(), w) !=
+            c.senders.end();
+        if (reported) {
+          ++reporters_in_range;
+        } else {
+          ++deniers;
+        }
+      }
+      const int support = static_cast<int>(c.senders.size());
+      const bool suspicious = deniers >= 2 && deniers > reporters_in_range;
+      for (int sender : c.senders) {
+        if (sender == 0) continue;  // ego trusts its own sensors
+        double& t = trust_[std::size_t(sender)];
+        if (suspicious) {
+          t *= (1.0 - 1.5 * config_.trust_alpha);  // sharp penalty
+        } else if (reporters_in_range + deniers >= 2 && support >= 2) {
+          t += 0.25 * config_.trust_alpha * (1.0 - t);  // slow reward
+        }
+      }
+    }
+  }
+
+  // 5. Metrics for this round.
+  for (const auto& g : ghosts) {
+    for (const auto& f : fused) {
+      if (dist(g, f) <= config_.cluster_radius_m) {
+        ++result.ghosts_accepted;
+        break;
+      }
+    }
+  }
+  for (const auto& obj : objects_) {
+    // Count objects at least two honest vehicles could see (fair recall
+    // baseline for a confirm_votes=2 fusion).
+    int can_see = 0;
+    for (int v = 0; v < config_.n_vehicles; ++v) {
+      if (dist(vehicles_[std::size_t(v)], obj) <= config_.sensing_range) {
+        ++can_see;
+      }
+    }
+    if (can_see < config_.confirm_votes) continue;
+    ++result.visible_objects;
+    for (const auto& f : fused) {
+      if (dist(obj, f) <= config_.cluster_radius_m) {
+        ++result.objects_fused;
+        result.fused_error_sum += dist(obj, f);
+        ++result.fused_error_count;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+CollabMetrics CollabSim::run(std::size_t rounds) {
+  std::size_t ghosts_injected = 0, ghosts_accepted = 0;
+  std::size_t visible = 0, fused = 0;
+  double error_sum = 0.0;
+  std::size_t error_count = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto rr = run_round();
+    ghosts_injected += rr.ghosts_injected;
+    ghosts_accepted += rr.ghosts_accepted;
+    visible += rr.visible_objects;
+    fused += rr.objects_fused;
+    error_sum += rr.fused_error_sum;
+    error_count += rr.fused_error_count;
+  }
+
+  CollabMetrics m;
+  m.rounds = rounds;
+  m.ghost_acceptance_rate =
+      ghosts_injected == 0
+          ? 0.0
+          : static_cast<double>(ghosts_accepted) /
+                static_cast<double>(ghosts_injected);
+  m.object_recall = visible == 0 ? 0.0
+                                 : static_cast<double>(fused) /
+                                       static_cast<double>(visible);
+  m.mean_fused_error_m =
+      error_count == 0 ? 0.0 : error_sum / static_cast<double>(error_count);
+  // Attacker identification from final trust scores.
+  int flagged = 0, flagged_attackers = 0, attackers = config_.n_attackers;
+  for (int v = 1; v < config_.n_vehicles; ++v) {
+    if (trust_[std::size_t(v)] < config_.trust_threshold) {
+      ++flagged;
+      if (is_attacker(v)) ++flagged_attackers;
+    }
+  }
+  m.attacker_detection_recall =
+      attackers == 0 ? 0.0
+                     : static_cast<double>(flagged_attackers) /
+                           static_cast<double>(attackers);
+  m.attacker_detection_precision =
+      flagged == 0 ? 1.0
+                   : static_cast<double>(flagged_attackers) /
+                         static_cast<double>(flagged);
+  m.final_trust = trust_;
+  return m;
+}
+
+}  // namespace avsec::collab

@@ -1,0 +1,97 @@
+// Collaborative perception with internal attackers (paper §VII-B).
+//
+// Vehicles on a 2D plane sense ground-truth objects within range (noisy,
+// with misses and false positives) and share CPM-style object lists.
+// Malicious *insiders* — holding valid credentials, so channel security
+// does not help — inject ghost objects or hide real ones. The defense is
+// redundancy-based consistency checking with per-sender trust scores.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "avsec/core/rng.hpp"
+#include "avsec/core/stats.hpp"
+
+namespace avsec::collab {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double dist(const Vec2& a, const Vec2& b);
+
+struct SharedObject {
+  Vec2 position;
+  int sender = -1;
+};
+
+struct CollabConfig {
+  int n_vehicles = 8;
+  int n_attackers = 0;
+  int n_objects = 10;
+  double world_size = 120.0;       // square side, metres (dense traffic)
+  double sensing_range = 60.0;
+  double detection_prob = 0.9;     // per object in range, per round
+  double noise_sigma_m = 0.5;
+  double false_positive_rate = 0.02;  // per vehicle per round
+  int ghosts_per_attacker = 2;
+  bool attackers_hide_objects = false;
+  /// Subtle falsification: attackers shift their *genuine* detections by
+  /// this many metres (0 = off). Below the cluster radius this corrupts
+  /// fused positions without creating detectable inconsistencies.
+  double attacker_position_bias_m = 0.0;
+  // Fusion / defense.
+  double cluster_radius_m = 3.0;
+  int confirm_votes = 2;       // reports needed to confirm an object
+  bool defense_enabled = false;
+  double trust_initial = 0.5;
+  double trust_alpha = 0.2;    // EWMA step
+  double trust_threshold = 0.3;  // below: sender's reports are ignored
+  std::uint64_t seed = 1;
+};
+
+struct CollabMetrics {
+  std::size_t rounds = 0;
+  double ghost_acceptance_rate = 0.0;   // fused ghosts / injected ghosts
+  double object_recall = 0.0;           // fused real objects / visible real
+  double mean_fused_error_m = 0.0;      // fused-position error vs ground truth
+  double attacker_detection_recall = 0.0;    // attackers flagged low-trust
+  double attacker_detection_precision = 0.0; // flagged that are attackers
+  std::vector<double> final_trust;      // per vehicle
+};
+
+/// Multi-round collaborative-perception simulation from vehicle 0's
+/// (the ego's) perspective.
+class CollabSim {
+ public:
+  explicit CollabSim(CollabConfig config);
+
+  /// Runs `rounds` perception/fusion rounds and aggregates metrics.
+  CollabMetrics run(std::size_t rounds);
+
+ private:
+  struct RoundResult {
+    std::size_t ghosts_injected = 0;
+    std::size_t ghosts_accepted = 0;
+    std::size_t visible_objects = 0;
+    std::size_t objects_fused = 0;
+    double fused_error_sum = 0.0;
+    std::size_t fused_error_count = 0;
+  };
+
+  RoundResult run_round();
+  bool is_attacker(int vehicle) const {
+    return vehicle >= config_.n_vehicles - config_.n_attackers;
+  }
+
+  CollabConfig config_;
+  core::Rng rng_;
+  std::vector<Vec2> vehicles_;
+  std::vector<Vec2> objects_;
+  std::vector<double> trust_;
+};
+
+}  // namespace avsec::collab

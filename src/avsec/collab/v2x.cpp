@@ -1,0 +1,135 @@
+#include "avsec/collab/v2x.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace avsec::collab {
+
+namespace {
+
+void append_coord(Bytes& out, double v) {
+  // Centimetre fixed point keeps the signed payload deterministic.
+  const auto fixed = static_cast<std::int64_t>(std::llround(v * 100.0));
+  core::append_be(out, static_cast<std::uint64_t>(fixed), 8);
+}
+
+}  // namespace
+
+Bytes PseudonymCert::to_be_signed() const {
+  Bytes out;
+  core::append(out, BytesView(public_key.data(), 32));
+  core::append_be(out, pseudonym_id, 8);
+  core::append_be(out, valid_from, 8);
+  core::append_be(out, valid_until, 8);
+  return out;
+}
+
+PseudonymAuthority::PseudonymAuthority(BytesView seed32)
+    : kp_(crypto::ed25519_keypair(seed32)) {}
+
+PseudonymCert PseudonymAuthority::issue(
+    int vehicle_id, const std::array<std::uint8_t, 32>& key,
+    std::uint64_t from, std::uint64_t until) {
+  PseudonymCert cert;
+  cert.public_key = key;
+  cert.pseudonym_id = next_id_++;
+  cert.valid_from = from;
+  cert.valid_until = until;
+  cert.authority_signature = crypto::ed25519_sign(kp_, cert.to_be_signed());
+  registry_[cert.pseudonym_id] = vehicle_id;
+  return cert;
+}
+
+bool PseudonymAuthority::check(const PseudonymCert& cert,
+                               const std::array<std::uint8_t, 32>& authority_key,
+                               std::uint64_t now) {
+  if (now < cert.valid_from || now > cert.valid_until) return false;
+  return crypto::ed25519_verify(BytesView(authority_key.data(), 32),
+                                cert.to_be_signed(),
+                                BytesView(cert.authority_signature.data(), 64));
+}
+
+std::optional<int> PseudonymAuthority::resolve(
+    std::uint64_t pseudonym_id) const {
+  const auto it = registry_.find(pseudonym_id);
+  if (it == registry_.end()) return std::nullopt;
+  return it->second;
+}
+
+Bytes SignedCpm::to_be_signed() const {
+  Bytes out;
+  append_coord(out, position.x);
+  append_coord(out, position.y);
+  append_coord(out, sender_position.x);
+  append_coord(out, sender_position.y);
+  core::append_be(out, round, 8);
+  core::append(out, cert.to_be_signed());
+  return out;
+}
+
+V2xStack::V2xStack(int vehicle_id, BytesView seed32,
+                   PseudonymAuthority& authority,
+                   std::uint64_t change_interval)
+    : vehicle_id_(vehicle_id), drbg_(seed32), authority_(&authority),
+      change_interval_(change_interval == 0 ? 1 : change_interval) {}
+
+void V2xStack::rotate(std::uint64_t round) {
+  const Bytes seed = drbg_.generate(32);
+  current_key_ = crypto::ed25519_keypair(seed);
+  current_cert_ = authority_->issue(vehicle_id_, current_key_.public_key,
+                                    round, round + change_interval_);
+  cert_round_ = round;
+  has_cert_ = true;
+  ++pseudonyms_used_;
+}
+
+SignedCpm V2xStack::sign(const Vec2& object_position,
+                         const Vec2& own_position, std::uint64_t round) {
+  if (!has_cert_ || round >= cert_round_ + change_interval_) rotate(round);
+  SignedCpm cpm;
+  cpm.position = object_position;
+  cpm.sender_position = own_position;
+  cpm.round = round;
+  cpm.cert = current_cert_;
+  cpm.signature = crypto::ed25519_sign(current_key_, cpm.to_be_signed());
+  return cpm;
+}
+
+CpmVerdict verify_cpm(const SignedCpm& cpm,
+                      const std::array<std::uint8_t, 32>& authority_key,
+                      std::uint64_t now) {
+  if (now < cpm.cert.valid_from || now > cpm.cert.valid_until) {
+    return CpmVerdict::kExpiredCert;
+  }
+  if (!crypto::ed25519_verify(
+          BytesView(authority_key.data(), 32), cpm.cert.to_be_signed(),
+          BytesView(cpm.cert.authority_signature.data(), 64))) {
+    return CpmVerdict::kBadCert;
+  }
+  if (!crypto::ed25519_verify(BytesView(cpm.cert.public_key.data(), 32),
+                              cpm.to_be_signed(),
+                              BytesView(cpm.signature.data(), 64))) {
+    return CpmVerdict::kBadSignature;
+  }
+  return CpmVerdict::kValid;
+}
+
+bool cpm_plausible(const SignedCpm& cpm, double sensing_range_m) {
+  return dist(cpm.position, cpm.sender_position) <= sensing_range_m;
+}
+
+void PseudonymTracker::observe(const SignedCpm& cpm) {
+  ++by_pseudonym_[cpm.cert.pseudonym_id];
+  ++total_;
+}
+
+double PseudonymTracker::longest_track_fraction() const {
+  if (total_ == 0) return 0.0;
+  std::size_t longest = 0;
+  for (const auto& [id, count] : by_pseudonym_) {
+    longest = std::max(longest, count);
+  }
+  return static_cast<double>(longest) / static_cast<double>(total_);
+}
+
+}  // namespace avsec::collab

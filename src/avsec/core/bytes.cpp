@@ -1,0 +1,86 @@
+#include "avsec/core/bytes.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace avsec::core {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw std::invalid_argument("from_hex: non-hex character");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+void append_be(Bytes& dst, std::uint64_t value, std::size_t width) {
+  assert(width <= 8);
+  for (std::size_t i = 0; i < width; ++i) {
+    dst.push_back(
+        static_cast<std::uint8_t>(value >> (8 * (width - 1 - i))));
+  }
+}
+
+std::uint64_t read_be(BytesView data, std::size_t offset, std::size_t width) {
+  assert(width <= 8);
+  if (offset + width > data.size()) {
+    throw std::out_of_range("read_be: range exceeds buffer");
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    v = (v << 8) | data[offset + i];
+  }
+  return v;
+}
+
+void xor_into(Bytes& a, BytesView b) {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] ^= b[i];
+}
+
+bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace avsec::core

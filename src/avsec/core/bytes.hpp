@@ -1,0 +1,41 @@
+// Byte-buffer utilities shared by protocol codecs and crypto.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace avsec::core {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Lowercase hex encoding of a byte range.
+std::string to_hex(BytesView data);
+
+/// Parses lowercase/uppercase hex; throws std::invalid_argument on odd
+/// length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Bytes of a string (no terminator).
+Bytes to_bytes(std::string_view s);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Appends a big-endian integer of `width` bytes (width <= 8).
+void append_be(Bytes& dst, std::uint64_t value, std::size_t width);
+
+/// Reads a big-endian integer of `width` bytes at `offset`; throws
+/// std::out_of_range if the range does not fit.
+std::uint64_t read_be(BytesView data, std::size_t offset, std::size_t width);
+
+/// XORs `b` into `a` elementwise; sizes must match.
+void xor_into(Bytes& a, BytesView b);
+
+/// true if ranges are equal in constant time (length leak only).
+bool ct_equal(BytesView a, BytesView b);
+
+}  // namespace avsec::core

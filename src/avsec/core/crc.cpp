@@ -1,0 +1,58 @@
+#include "avsec/core/crc.hpp"
+
+namespace avsec::core {
+
+namespace {
+
+/// Generic MSB-first CRC over `width` bits with given polynomial.
+/// Processes whole bytes; CAN's bit-level CRC over stuffed streams is
+/// approximated at byte granularity, which preserves error-detection
+/// behaviour for the simulation's purposes.
+std::uint32_t crc_msb(BytesView data, int width, std::uint32_t poly,
+                      std::uint32_t init) {
+  const std::uint32_t top = 1u << (width - 1);
+  const std::uint32_t mask = (width == 32) ? 0xFFFFFFFFu : ((1u << width) - 1);
+  std::uint32_t crc = init & mask;
+  for (std::uint8_t byte : data) {
+    for (int bit = 7; bit >= 0; --bit) {
+      const bool in = (byte >> bit) & 1;
+      const bool msb = (crc & top) != 0;
+      crc = (crc << 1) & mask;
+      if (in ^ msb) crc ^= poly;
+    }
+  }
+  return crc & mask;
+}
+
+}  // namespace
+
+std::uint8_t crc8_sae_j1850(BytesView data) {
+  // SAE J1850: poly 0x1D, init 0xFF, final XOR 0xFF.
+  return static_cast<std::uint8_t>(crc_msb(data, 8, 0x1D, 0xFF) ^ 0xFF);
+}
+
+std::uint16_t crc15_can(BytesView data) {
+  return static_cast<std::uint16_t>(crc_msb(data, 15, 0x4599, 0));
+}
+
+std::uint32_t crc17_canfd(BytesView data) {
+  return crc_msb(data, 17, 0x1685B, 1u << 16);
+}
+
+std::uint32_t crc21_canfd(BytesView data) {
+  return crc_msb(data, 21, 0x102899, 1u << 20);
+}
+
+std::uint32_t crc32_ieee(BytesView data) {
+  // Reflected CRC-32 (zlib/Ethernet convention).
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace avsec::core

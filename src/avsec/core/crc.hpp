@@ -1,0 +1,22 @@
+// CRC implementations used by the frame codecs.
+//
+// - crc8_sae_j1850  : CAN-world 8-bit CRC (poly 0x1D), used by SECOC profiles
+// - crc15_can       : Classic CAN frame CRC (poly 0x4599)
+// - crc17_canfd     : CAN FD CRC-17 (poly 0x1685B)
+// - crc21_canfd     : CAN FD CRC-21 (poly 0x102899)
+// - crc32_ieee      : Ethernet / AAL5-style CRC-32 (reflected, 0xEDB88320)
+#pragma once
+
+#include <cstdint>
+
+#include "avsec/core/bytes.hpp"
+
+namespace avsec::core {
+
+std::uint8_t crc8_sae_j1850(BytesView data);
+std::uint16_t crc15_can(BytesView data);
+std::uint32_t crc17_canfd(BytesView data);
+std::uint32_t crc21_canfd(BytesView data);
+std::uint32_t crc32_ieee(BytesView data);
+
+}  // namespace avsec::core

@@ -1,0 +1,126 @@
+#include "avsec/core/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace avsec::core {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& w : s_) w = splitmix64(x);
+  // All-zero state is the one invalid state for xoshiro; splitmix64 cannot
+  // produce four zero outputs in a row, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 top bits -> [0,1) with full double precision.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % span);
+  std::uint64_t v;
+  do {
+    v = next();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  while (u1 == 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double lambda) {
+  assert(lambda > 0.0);
+  double u = 0.0;
+  while (u == 0.0) u = uniform();
+  return -std::log(u) / lambda;
+}
+
+std::uint32_t Rng::poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    const double v = normal(mean, std::sqrt(mean));
+    return v <= 0.0 ? 0u : static_cast<std::uint32_t>(v + 0.5);
+  }
+  // Knuth inversion.
+  const double limit = std::exp(-mean);
+  double p = 1.0;
+  std::uint32_t k = 0;
+  do {
+    ++k;
+    p *= uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+void Rng::fill_bytes(std::vector<std::uint8_t>& out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::uint64_t v = next();
+    for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+  }
+}
+
+Rng Rng::split() { return Rng(next() ^ 0xA3C59AC2F1EAE29BULL); }
+
+}  // namespace avsec::core

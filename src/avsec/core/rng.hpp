@@ -1,0 +1,67 @@
+// Deterministic random number generation for simulations.
+//
+// xoshiro256++ seeded via splitmix64: fast, high quality, and — unlike
+// std::mt19937 + std::*_distribution — produces identical streams on every
+// platform, which the reproduction benches rely on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace avsec::core {
+
+/// xoshiro256++ pseudo-random generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Raw 64-bit draw.
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface (usable with std::shuffle).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw: true with probability p.
+  bool chance(double p);
+
+  /// Standard normal via Box-Muller (cached pair).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with given rate lambda (> 0).
+  double exponential(double lambda);
+
+  /// Poisson-distributed count with given mean (inversion for small means,
+  /// normal approximation above 64).
+  std::uint32_t poisson(double mean);
+
+  /// Fills `out` with random bytes.
+  void fill_bytes(std::vector<std::uint8_t>& out);
+
+  /// Spawns an independent child stream (hash-derived seed); used to give
+  /// each simulated entity its own stream so entity order doesn't matter.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace avsec::core

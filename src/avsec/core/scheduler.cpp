@@ -1,0 +1,71 @@
+#include "avsec/core/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace avsec::core {
+
+EventHandle Scheduler::schedule_at(SimTime at, Callback cb) {
+  assert(at >= now_ && "cannot schedule into the past");
+  Event ev;
+  ev.time = std::max(at, now_);
+  ev.seq = next_seq_++;
+  ev.id = next_id_++;
+  ev.cb = std::move(cb);
+  EventHandle h(ev.id);
+  live_ids_.push_back(ev.id);
+  queue_.push(std::move(ev));
+  return h;
+}
+
+bool Scheduler::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  // Only genuinely pending events can be cancelled: a handle whose event
+  // already ran (or was already cancelled) is a no-op.
+  const auto live = std::find(live_ids_.begin(), live_ids_.end(), h.id_);
+  if (live == live_ids_.end()) return false;
+  live_ids_.erase(live);
+  // Ids are unique and never reused, so recording the id suffices; the
+  // event body is dropped when it reaches the front of the queue.
+  cancelled_.push_back(h.id_);
+  ++cancelled_live_;
+  return true;
+}
+
+bool Scheduler::pop_one() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_live_;
+      continue;
+    }
+    const auto live = std::find(live_ids_.begin(), live_ids_.end(), ev.id);
+    if (live != live_ids_.end()) live_ids_.erase(live);
+    now_ = ev.time;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run() {
+  std::size_t n = 0;
+  while (pop_one()) ++n;
+  return n;
+}
+
+std::size_t Scheduler::run_until(SimTime until) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    if (pop_one()) ++n;
+  }
+  now_ = std::max(now_, until);
+  return n;
+}
+
+bool Scheduler::step() { return pop_one(); }
+
+}  // namespace avsec::core

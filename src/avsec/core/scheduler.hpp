@@ -1,0 +1,92 @@
+// Discrete-event simulation kernel.
+//
+// A Scheduler owns a priority queue of (time, sequence, callback) events.
+// Events scheduled for the same instant fire in scheduling order, which
+// keeps runs bit-reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "avsec/core/time.hpp"
+
+namespace avsec::core {
+
+/// Handle to a scheduled event, usable for cancellation.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// Single-threaded discrete-event scheduler.
+///
+/// Usage:
+///   Scheduler sim;
+///   sim.schedule_in(nanoseconds(10), [&]{ ... });
+///   sim.run();
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time. Starts at 0.
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `at` (must be >= now()).
+  EventHandle schedule_at(SimTime at, Callback cb);
+
+  /// Schedules `cb` to run `delay` after the current time.
+  EventHandle schedule_in(SimTime delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event. Returns false if it already ran or was
+  /// cancelled. The callback is dropped lazily when popped.
+  bool cancel(EventHandle h);
+
+  /// Runs events until the queue is empty. Returns the number executed.
+  std::size_t run();
+
+  /// Runs events with time <= `until`; afterwards now() == until.
+  std::size_t run_until(SimTime until);
+
+  /// Executes exactly one event if any is pending. Returns true if one ran.
+  bool step();
+
+  /// Number of events still pending (including cancelled-but-unpopped).
+  std::size_t pending() const { return queue_.size() - cancelled_live_; }
+
+ private:
+  struct Event {
+    SimTime time = 0;
+    std::uint64_t seq = 0;  // tie-breaker: FIFO among equal times
+    std::uint64_t id = 0;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_one();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::uint64_t> live_ids_;   // ids of genuinely pending events
+  std::vector<std::uint64_t> cancelled_;  // ids awaiting lazy removal
+  std::size_t cancelled_live_ = 0;
+};
+
+}  // namespace avsec::core

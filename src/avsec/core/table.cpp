@@ -1,0 +1,69 @@
+#include "avsec/core/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace avsec::core {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](std::ostringstream& os,
+                      const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  };
+
+  std::ostringstream os;
+  std::string rule = "+";
+  for (auto w : widths) rule += std::string(w + 2, '-') + "+";
+  os << rule << "\n";
+  emit_row(os, headers_);
+  os << rule << "\n";
+  for (const auto& row : rows_) emit_row(os, row);
+  os << rule << "\n";
+  return os.str();
+}
+
+void Table::print(const std::string& title) const {
+  if (!title.empty()) {
+    std::printf("\n=== %s ===\n", title.c_str());
+  }
+  std::fputs(str().c_str(), stdout);
+}
+
+}  // namespace avsec::core

@@ -1,0 +1,34 @@
+// ASCII table printer: every bench prints its figure/table through this so
+// output stays uniform and diff-able.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace avsec::core {
+
+/// Collects rows of strings and prints an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Renders the table.
+  std::string str() const;
+
+  /// Prints to stdout with an optional title banner.
+  void print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace avsec::core

@@ -1,0 +1,40 @@
+// AES-128 / AES-256 block cipher (FIPS 197), table-free byte implementation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "avsec/core/bytes.hpp"
+
+namespace avsec::crypto {
+
+using core::Bytes;
+using core::BytesView;
+
+/// AES block cipher with 128- or 256-bit keys.
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  using Block = std::array<std::uint8_t, kBlockSize>;
+
+  /// Constructs from a 16- or 32-byte key; throws std::invalid_argument
+  /// otherwise.
+  explicit Aes(BytesView key);
+
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+  void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+  Block encrypt(const Block& in) const;
+  Block decrypt(const Block& in) const;
+
+  int rounds() const { return rounds_; }
+
+ private:
+  void expand_key(BytesView key);
+
+  int rounds_ = 0;
+  // Round keys as bytes: (rounds+1) * 16.
+  std::array<std::uint8_t, 15 * 16> rk_{};
+};
+
+}  // namespace avsec::crypto

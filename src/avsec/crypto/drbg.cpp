@@ -1,0 +1,38 @@
+#include "avsec/crypto/drbg.hpp"
+
+#include "avsec/crypto/sha2.hpp"
+
+namespace avsec::crypto {
+
+CtrDrbg::CtrDrbg(BytesView seed) { rekey(seed); }
+
+CtrDrbg::CtrDrbg(std::uint64_t seed) {
+  Bytes s;
+  core::append_be(s, seed, 8);
+  rekey(s);
+}
+
+void CtrDrbg::rekey(BytesView material) {
+  const Bytes digest = Sha256::hash(material);
+  const BytesView key(digest.data(), 16);
+  Aes::Block iv{};
+  for (int i = 0; i < 16; ++i) iv[i] = digest[16 + i];
+  ctr_ = std::make_unique<AesCtr>(key, iv);
+}
+
+Bytes CtrDrbg::generate(std::size_t n) { return ctr_->keystream(n); }
+
+Aes::Block CtrDrbg::block() {
+  const Bytes b = generate(16);
+  Aes::Block out{};
+  std::copy(b.begin(), b.end(), out.begin());
+  return out;
+}
+
+void CtrDrbg::reseed(BytesView extra) {
+  Bytes material = generate(32);
+  core::append(material, extra);
+  rekey(material);
+}
+
+}  // namespace avsec::crypto

@@ -1,0 +1,34 @@
+// Deterministic random byte generator built on AES-128-CTR.
+//
+// Used wherever a protocol needs "random" nonces/keys inside the
+// simulation: deterministic seeding keeps whole runs reproducible.
+#pragma once
+
+#include <memory>
+
+#include "avsec/crypto/modes.hpp"
+
+namespace avsec::crypto {
+
+class CtrDrbg {
+ public:
+  /// Seeds from arbitrary bytes (hashed down to a key).
+  explicit CtrDrbg(BytesView seed);
+
+  /// Convenience: seed from a 64-bit value.
+  explicit CtrDrbg(std::uint64_t seed);
+
+  Bytes generate(std::size_t n);
+
+  /// Generates a fresh 16-byte value (key/IV-sized).
+  Aes::Block block();
+
+  /// Mixes additional entropy into the stream.
+  void reseed(BytesView extra);
+
+ private:
+  void rekey(BytesView material);
+  std::unique_ptr<AesCtr> ctr_;
+};
+
+}  // namespace avsec::crypto

@@ -1,0 +1,31 @@
+// Ed25519 signatures (RFC 8032).
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "avsec/core/bytes.hpp"
+
+namespace avsec::crypto {
+
+using core::Bytes;
+using core::BytesView;
+
+struct Ed25519KeyPair {
+  std::array<std::uint8_t, 32> seed{};        // private seed
+  std::array<std::uint8_t, 32> public_key{};  // compressed point A
+};
+
+using Ed25519Signature = std::array<std::uint8_t, 64>;
+
+/// Derives the key pair for a 32-byte seed.
+Ed25519KeyPair ed25519_keypair(BytesView seed32);
+
+/// Signs `message` with the seed's derived key.
+Ed25519Signature ed25519_sign(const Ed25519KeyPair& kp, BytesView message);
+
+/// Verifies; false on malformed points/scalars or bad signature.
+bool ed25519_verify(BytesView public_key32, BytesView message,
+                    BytesView signature64);
+
+}  // namespace avsec::crypto

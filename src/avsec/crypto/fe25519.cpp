@@ -1,0 +1,247 @@
+#include "avsec/crypto/fe25519.hpp"
+
+#include <cassert>
+
+namespace avsec::crypto {
+
+const U256 kFieldPrime = {0xFFFFFFED, 0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFF,
+                          0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFF, 0x7FFFFFFF};
+
+// L = 2^252 + 27742317777372353535851937790883648493
+const U256 kGroupOrder = {0x5CF5D3ED, 0x5812631A, 0xA2F79CD6, 0x14DEF9DE,
+                          0x00000000, 0x00000000, 0x00000000, 0x10000000};
+
+bool u256_less(const U256& a, const U256& b) {
+  for (int i = 7; i >= 0; --i) {
+    if (a[i] != b[i]) return a[i] < b[i];
+  }
+  return false;
+}
+
+std::uint32_t u256_add(U256& a, const U256& b) {
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t cur = std::uint64_t(a[i]) + b[i] + carry;
+    a[i] = static_cast<std::uint32_t>(cur);
+    carry = cur >> 32;
+  }
+  return static_cast<std::uint32_t>(carry);
+}
+
+std::uint32_t u256_sub(U256& a, const U256& b) {
+  std::uint64_t borrow = 0;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t cur = std::uint64_t(a[i]) - b[i] - borrow;
+    a[i] = static_cast<std::uint32_t>(cur);
+    borrow = (cur >> 32) & 1;
+  }
+  return static_cast<std::uint32_t>(borrow);
+}
+
+U512 u256_mul(const U256& a, const U256& b) {
+  U512 r{};
+  for (int i = 0; i < 8; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; j < 8; ++j) {
+      const std::uint64_t cur =
+          std::uint64_t(a[i]) * b[j] + r[i + j] + carry;
+      r[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    r[i + 8] = static_cast<std::uint32_t>(carry);
+  }
+  return r;
+}
+
+U256 u256_from_le(core::BytesView bytes) {
+  assert(bytes.size() <= 32);
+  U256 v{};
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    v[i / 4] |= std::uint32_t(bytes[i]) << (8 * (i % 4));
+  }
+  return v;
+}
+
+core::Bytes u256_to_le(const U256& v) {
+  core::Bytes out(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    out[i] = static_cast<std::uint8_t>(v[i / 4] >> (8 * (i % 4)));
+  }
+  return out;
+}
+
+namespace {
+
+/// Subtract p while >= p (value < 2p on entry suffices; loop handles more).
+void canonicalize(U256& v) {
+  while (!u256_less(v, kFieldPrime)) {
+    u256_sub(v, kFieldPrime);
+  }
+}
+
+}  // namespace
+
+U256 fe_from_u32(std::uint32_t v) {
+  U256 r{};
+  r[0] = v;
+  return r;
+}
+
+U256 fe_add(const U256& a, const U256& b) {
+  U256 r = a;
+  const std::uint32_t carry = u256_add(r, b);
+  if (carry) {
+    // r + 2^256 ≡ r + 38 (mod p)
+    U256 c38 = fe_from_u32(38);
+    u256_add(r, c38);
+  }
+  canonicalize(r);
+  return r;
+}
+
+U256 fe_sub(const U256& a, const U256& b) {
+  // a, b < p, so a + p - b < 2p.
+  U256 r = a;
+  u256_add(r, kFieldPrime);
+  u256_sub(r, b);
+  canonicalize(r);
+  return r;
+}
+
+U256 fe_reduce(const U512& wide) {
+  // 2^256 ≡ 38 (mod p): fold high half down with multiplier 38.
+  U256 out{};
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t cur =
+        std::uint64_t(wide[i]) + 38ULL * wide[i + 8] + carry;
+    out[i] = static_cast<std::uint32_t>(cur);
+    carry = cur >> 32;
+  }
+  // carry < 2^7; fold again: carry * 2^256 ≡ carry * 38.
+  while (carry != 0) {
+    std::uint64_t add = carry * 38ULL;
+    carry = 0;
+    for (int i = 0; i < 8 && add != 0; ++i) {
+      const std::uint64_t cur = std::uint64_t(out[i]) + (add & 0xFFFFFFFFULL);
+      out[i] = static_cast<std::uint32_t>(cur);
+      add = (add >> 32) + (cur >> 32);
+    }
+    carry = add;
+  }
+  canonicalize(out);
+  return out;
+}
+
+U256 fe_mul(const U256& a, const U256& b) { return fe_reduce(u256_mul(a, b)); }
+
+U256 fe_sq(const U256& a) { return fe_mul(a, a); }
+
+U256 fe_neg(const U256& a) { return fe_sub(U256{}, a); }
+
+U256 fe_pow(const U256& a, const U256& e) {
+  U256 result = fe_from_u32(1);
+  bool started = false;
+  for (int limb = 7; limb >= 0; --limb) {
+    for (int bit = 31; bit >= 0; --bit) {
+      if (started) result = fe_sq(result);
+      if ((e[limb] >> bit) & 1) {
+        result = fe_mul(result, a);
+        started = true;
+      }
+    }
+  }
+  return result;
+}
+
+U256 fe_inv(const U256& a) {
+  // a^(p-2)
+  U256 e = kFieldPrime;
+  U256 two = fe_from_u32(2);
+  u256_sub(e, two);
+  return fe_pow(a, e);
+}
+
+bool fe_is_zero(const U256& a) {
+  for (auto w : a) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool fe_is_negative(const U256& a) { return (a[0] & 1) != 0; }
+
+const U256& fe_sqrt_m1() {
+  // 2^((p-1)/4) is a square root of -1 mod p.
+  static const U256 value = [] {
+    U256 e = kFieldPrime;
+    U256 one = fe_from_u32(1);
+    u256_sub(e, one);
+    // shift right by 2
+    for (int i = 0; i < 8; ++i) {
+      e[i] >>= 2;
+      if (i < 7) e[i] |= e[i + 1] << 30;
+    }
+    return fe_pow(fe_from_u32(2), e);
+  }();
+  return value;
+}
+
+U256 fe_from_bytes(core::BytesView b32) {
+  assert(b32.size() == 32);
+  U256 v = u256_from_le(b32);
+  v[7] &= 0x7FFFFFFF;
+  canonicalize(v);
+  return v;
+}
+
+U256 sc_reduce(const U512& wide) {
+  // Binary long division remainder: process bits MSB-first.
+  U256 r{};
+  for (int limb = 15; limb >= 0; --limb) {
+    for (int bit = 31; bit >= 0; --bit) {
+      // r = (r << 1) | bit
+      std::uint32_t carry = (wide[limb] >> bit) & 1;
+      for (int i = 0; i < 8; ++i) {
+        const std::uint32_t next = r[i] >> 31;
+        r[i] = (r[i] << 1) | carry;
+        carry = next;
+      }
+      // r < 2L < 2^253 so no 256-bit overflow is possible here.
+      if (!u256_less(r, kGroupOrder)) {
+        u256_sub(r, kGroupOrder);
+      }
+    }
+  }
+  return r;
+}
+
+U256 sc_reduce256(const U256& v) {
+  U512 w{};
+  for (int i = 0; i < 8; ++i) w[i] = v[i];
+  return sc_reduce(w);
+}
+
+U256 sc_muladd(const U256& a, const U256& b, const U256& c) {
+  U512 prod = u256_mul(a, b);
+  // prod += c
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t cur =
+        std::uint64_t(prod[i]) + (i < 8 ? c[i] : 0) + carry;
+    prod[i] = static_cast<std::uint32_t>(cur);
+    carry = cur >> 32;
+  }
+  return sc_reduce(prod);
+}
+
+U256 sc_from_bytes(core::BytesView bytes) {
+  assert(bytes.size() <= 64);
+  U512 w{};
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    w[i / 4] |= std::uint32_t(bytes[i]) << (8 * (i % 4));
+  }
+  return sc_reduce(w);
+}
+
+}  // namespace avsec::crypto

@@ -1,0 +1,69 @@
+// Arithmetic over GF(2^255 - 19) and over the ed25519 group order L.
+//
+// Representation: 8 x 32-bit little-endian limbs, kept fully reduced after
+// every operation. Simplicity over speed — the simulation's crypto budget
+// is dominated elsewhere, and full reduction keeps every value canonical.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "avsec/core/bytes.hpp"
+
+namespace avsec::crypto {
+
+/// 256-bit little-endian integer.
+using U256 = std::array<std::uint32_t, 8>;
+/// 512-bit little-endian integer (multiplication result).
+using U512 = std::array<std::uint32_t, 16>;
+
+// ---- raw 256-bit helpers (no modulus) ----
+
+/// a < b
+bool u256_less(const U256& a, const U256& b);
+/// a + b, returns carry-out
+std::uint32_t u256_add(U256& a, const U256& b);
+/// a - b, returns borrow-out (a, b unsigned)
+std::uint32_t u256_sub(U256& a, const U256& b);
+/// 8x8 -> 16 limb schoolbook multiply
+U512 u256_mul(const U256& a, const U256& b);
+/// bytes (little-endian, up to 32) -> U256
+U256 u256_from_le(core::BytesView bytes);
+/// U256 -> 32 little-endian bytes
+core::Bytes u256_to_le(const U256& v);
+
+// ---- field GF(p), p = 2^255 - 19 ----
+
+extern const U256 kFieldPrime;
+
+U256 fe_from_u32(std::uint32_t v);
+U256 fe_add(const U256& a, const U256& b);
+U256 fe_sub(const U256& a, const U256& b);
+U256 fe_mul(const U256& a, const U256& b);
+U256 fe_sq(const U256& a);
+U256 fe_neg(const U256& a);
+/// a^e mod p, e as 256-bit big-endian-processed exponent
+U256 fe_pow(const U256& a, const U256& e);
+/// Multiplicative inverse (a != 0)
+U256 fe_inv(const U256& a);
+bool fe_is_zero(const U256& a);
+bool fe_is_negative(const U256& a);  // lsb of canonical encoding
+/// sqrt(-1) mod p (computed once)
+const U256& fe_sqrt_m1();
+/// Reduce a 512-bit product mod p.
+U256 fe_reduce(const U512& wide);
+/// Decode 32 little-endian bytes, masking bit 255 (per RFC 7748/8032).
+U256 fe_from_bytes(core::BytesView b32);
+
+// ---- scalars mod L, L = 2^252 + 27742317777372353535851937790883648493 ----
+
+extern const U256 kGroupOrder;
+
+/// value mod L for a 512-bit input (used on SHA-512 outputs).
+U256 sc_reduce(const U512& wide);
+U256 sc_reduce256(const U256& v);
+/// (a*b + c) mod L
+U256 sc_muladd(const U256& a, const U256& b, const U256& c);
+U256 sc_from_bytes(core::BytesView bytes);  // up to 64 LE bytes, reduced
+
+}  // namespace avsec::crypto

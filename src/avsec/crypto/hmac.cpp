@@ -1,0 +1,59 @@
+#include "avsec/crypto/hmac.hpp"
+
+#include <stdexcept>
+
+namespace avsec::crypto {
+
+Bytes hmac_sha256(BytesView key, BytesView message) {
+  Bytes k(key.begin(), key.end());
+  if (k.size() > Sha256::kBlockSize) k = Sha256::hash(k);
+  k.resize(Sha256::kBlockSize, 0);
+
+  Bytes ipad(Sha256::kBlockSize), opad(Sha256::kBlockSize);
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  const auto d = outer.finish();
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes hkdf_extract(BytesView salt, BytesView ikm) {
+  if (salt.empty()) {
+    const Bytes zero(Sha256::kDigestSize, 0);
+    return hmac_sha256(zero, ikm);
+  }
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length) {
+  if (length > 255 * Sha256::kDigestSize) {
+    throw std::invalid_argument("hkdf_expand: length too large");
+  }
+  Bytes okm;
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes input = t;
+    core::append(input, info);
+    input.push_back(counter++);
+    t = hmac_sha256(prk, input);
+    core::append(okm, t);
+  }
+  okm.resize(length);
+  return okm;
+}
+
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+}  // namespace avsec::crypto

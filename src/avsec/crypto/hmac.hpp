@@ -1,0 +1,20 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+#pragma once
+
+#include "avsec/crypto/sha2.hpp"
+
+namespace avsec::crypto {
+
+/// HMAC-SHA256 one-shot.
+Bytes hmac_sha256(BytesView key, BytesView message);
+
+/// HKDF-Extract with SHA-256.
+Bytes hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand with SHA-256; length <= 255*32.
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length);
+
+}  // namespace avsec::crypto

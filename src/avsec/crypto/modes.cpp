@@ -1,0 +1,182 @@
+#include "avsec/crypto/modes.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace avsec::crypto {
+
+AesCtr::AesCtr(BytesView key, const Aes::Block& iv) : aes_(key), counter_(iv) {}
+
+void AesCtr::next_block() {
+  block_ = aes_.encrypt(counter_);
+  // Increment the full 128-bit counter, big-endian.
+  for (int i = 15; i >= 0; --i) {
+    if (++counter_[i] != 0) break;
+  }
+  used_ = 0;
+}
+
+Bytes AesCtr::keystream(std::size_t n) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (used_ == Aes::kBlockSize) next_block();
+    out[i] = block_[used_++];
+  }
+  return out;
+}
+
+void AesCtr::crypt(Bytes& data) {
+  const Bytes ks = keystream(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] ^= ks[i];
+}
+
+AesGcm::AesGcm(BytesView key) : aes_(key) {
+  const Aes::Block zero{};
+  h_ = aes_.encrypt(zero);
+}
+
+AesGcm::Block AesGcm::gf_mul(const Block& x, const Block& y) {
+  // GF(2^128) multiplication, bit-serial with the GCM reduction polynomial
+  // R = 0xE1 || 0^120.
+  Block z{};
+  Block v = y;
+  for (int i = 0; i < 128; ++i) {
+    const bool xi = (x[i / 8] >> (7 - i % 8)) & 1;
+    if (xi) {
+      for (int j = 0; j < 16; ++j) z[j] ^= v[j];
+    }
+    const bool lsb = v[15] & 1;
+    // v >>= 1 (big-endian bit order).
+    for (int j = 15; j > 0; --j) {
+      v[j] = static_cast<std::uint8_t>((v[j] >> 1) | (v[j - 1] << 7));
+    }
+    v[0] >>= 1;
+    if (lsb) v[0] ^= 0xE1;
+  }
+  return z;
+}
+
+AesGcm::Block AesGcm::ghash(BytesView aad, BytesView ct) const {
+  Block y{};
+  auto absorb = [&](BytesView data) {
+    for (std::size_t off = 0; off < data.size(); off += 16) {
+      Block b{};
+      const std::size_t n = std::min<std::size_t>(16, data.size() - off);
+      std::memcpy(b.data(), data.data() + off, n);
+      for (int i = 0; i < 16; ++i) y[i] ^= b[i];
+      y = gf_mul(y, h_);
+    }
+  };
+  absorb(aad);
+  absorb(ct);
+  Block lens{};
+  const std::uint64_t abits = aad.size() * 8, cbits = ct.size() * 8;
+  for (int i = 0; i < 8; ++i) {
+    lens[i] = static_cast<std::uint8_t>(abits >> (56 - 8 * i));
+    lens[8 + i] = static_cast<std::uint8_t>(cbits >> (56 - 8 * i));
+  }
+  for (int i = 0; i < 16; ++i) y[i] ^= lens[i];
+  return gf_mul(y, h_);
+}
+
+Bytes AesGcm::ctr_crypt(const Block& j0, BytesView data) const {
+  Block ctr = j0;
+  // GCM increments only the low 32 bits; start from J0 + 1.
+  auto inc32 = [](Block& b) {
+    for (int i = 15; i >= 12; --i) {
+      if (++b[i] != 0) break;
+    }
+  };
+  inc32(ctr);
+  Bytes out(data.begin(), data.end());
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const Block ks = aes_.encrypt(ctr);
+    const std::size_t n = std::min<std::size_t>(16, out.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] ^= ks[i];
+    inc32(ctr);
+    off += n;
+  }
+  return out;
+}
+
+Bytes AesGcm::seal(BytesView iv, BytesView aad, BytesView plaintext,
+                   Bytes& tag, std::size_t tag_len) const {
+  if (iv.size() != 12) throw std::invalid_argument("AesGcm: IV must be 12B");
+  if (tag_len < 4 || tag_len > 16) {
+    throw std::invalid_argument("AesGcm: tag_len out of range");
+  }
+  Block j0{};
+  std::memcpy(j0.data(), iv.data(), 12);
+  j0[15] = 1;
+  Bytes ct = ctr_crypt(j0, plaintext);
+  Block s = ghash(aad, ct);
+  const Block ek_j0 = aes_.encrypt(j0);
+  tag.assign(tag_len, 0);
+  for (std::size_t i = 0; i < tag_len; ++i) tag[i] = s[i] ^ ek_j0[i];
+  return ct;
+}
+
+std::optional<Bytes> AesGcm::open(BytesView iv, BytesView aad,
+                                  BytesView ciphertext, BytesView tag) const {
+  if (iv.size() != 12) throw std::invalid_argument("AesGcm: IV must be 12B");
+  Block j0{};
+  std::memcpy(j0.data(), iv.data(), 12);
+  j0[15] = 1;
+  Block s = ghash(aad, ciphertext);
+  const Block ek_j0 = aes_.encrypt(j0);
+  Bytes expect(tag.size());
+  for (std::size_t i = 0; i < tag.size(); ++i) expect[i] = s[i] ^ ek_j0[i];
+  if (!core::ct_equal(expect, tag)) return std::nullopt;
+  return ctr_crypt(j0, ciphertext);
+}
+
+AesCmac::AesCmac(BytesView key) : aes_(key) {
+  const Aes::Block zero{};
+  const Aes::Block l = aes_.encrypt(zero);
+  bool carry = false;
+  k1_ = left_shift(l, carry);
+  if (carry) k1_[15] ^= 0x87;
+  k2_ = left_shift(k1_, carry);
+  if (carry) k2_[15] ^= 0x87;
+}
+
+Aes::Block AesCmac::left_shift(const Aes::Block& in, bool& carry) {
+  Aes::Block out{};
+  carry = (in[0] & 0x80) != 0;
+  for (int i = 0; i < 15; ++i) {
+    out[i] = static_cast<std::uint8_t>((in[i] << 1) | (in[i + 1] >> 7));
+  }
+  out[15] = static_cast<std::uint8_t>(in[15] << 1);
+  return out;
+}
+
+Bytes AesCmac::mac(BytesView message) const {
+  const std::size_t n = message.size();
+  const std::size_t blocks = n == 0 ? 1 : (n + 15) / 16;
+  const bool complete = n > 0 && n % 16 == 0;
+
+  Aes::Block x{};
+  for (std::size_t b = 0; b + 1 < blocks; ++b) {
+    for (int i = 0; i < 16; ++i) x[i] ^= message[16 * b + i];
+    x = aes_.encrypt(x);
+  }
+  // Last block, padded and keyed.
+  Aes::Block last{};
+  const std::size_t off = 16 * (blocks - 1);
+  const std::size_t rem = n - off;
+  for (std::size_t i = 0; i < rem; ++i) last[i] = message[off + i];
+  if (!complete) last[rem] = 0x80;
+  const Aes::Block& k = complete ? k1_ : k2_;
+  for (int i = 0; i < 16; ++i) x[i] ^= last[i] ^ k[i];
+  const Aes::Block t = aes_.encrypt(x);
+  return Bytes(t.begin(), t.end());
+}
+
+Bytes AesCmac::mac_truncated(BytesView message, std::size_t len) const {
+  Bytes full = mac(message);
+  full.resize(std::min(len, full.size()));
+  return full;
+}
+
+}  // namespace avsec::crypto

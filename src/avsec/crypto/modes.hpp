@@ -1,0 +1,79 @@
+// AES modes of operation: CTR keystream, GCM AEAD (SP 800-38D), and
+// CMAC (RFC 4493 / SP 800-38B).
+#pragma once
+
+#include <optional>
+
+#include "avsec/crypto/aes.hpp"
+
+namespace avsec::crypto {
+
+/// AES-CTR keystream generator / stream cipher.
+class AesCtr {
+ public:
+  /// `iv` is the initial 16-byte counter block.
+  AesCtr(BytesView key, const Aes::Block& iv);
+
+  /// Produces `n` keystream bytes.
+  Bytes keystream(std::size_t n);
+
+  /// XORs keystream into data (encrypt == decrypt).
+  void crypt(Bytes& data);
+
+ private:
+  void next_block();
+
+  Aes aes_;
+  Aes::Block counter_;
+  Aes::Block block_{};
+  std::size_t used_ = Aes::kBlockSize;
+};
+
+/// AES-GCM authenticated encryption.
+///
+/// The IV must be 12 bytes (the common fast path of SP 800-38D). Tags may be
+/// truncated to >= 4 bytes for constrained protocols (CANsec uses shorter
+/// tags than MACsec).
+class AesGcm {
+ public:
+  explicit AesGcm(BytesView key);
+
+  /// Encrypts `plaintext` and returns ciphertext; writes the tag (of
+  /// `tag_len` bytes) to `tag`.
+  Bytes seal(BytesView iv, BytesView aad, BytesView plaintext, Bytes& tag,
+             std::size_t tag_len = 16) const;
+
+  /// Verifies and decrypts; returns nullopt on authentication failure.
+  std::optional<Bytes> open(BytesView iv, BytesView aad, BytesView ciphertext,
+                            BytesView tag) const;
+
+ private:
+  using Block = Aes::Block;
+
+  Block ghash(BytesView aad, BytesView ct) const;
+  static Block gf_mul(const Block& x, const Block& y);
+  Bytes ctr_crypt(const Block& j0, BytesView data) const;
+
+  Aes aes_;
+  Block h_{};  // GHASH subkey
+};
+
+/// AES-CMAC (RFC 4493). Produces a 16-byte tag; callers may truncate.
+class AesCmac {
+ public:
+  explicit AesCmac(BytesView key);
+
+  Bytes mac(BytesView message) const;
+
+  /// Truncated tag of `len` bytes (most-significant-first per RFC).
+  Bytes mac_truncated(BytesView message, std::size_t len) const;
+
+ private:
+  static Aes::Block left_shift(const Aes::Block& in, bool& carry);
+
+  Aes aes_;
+  Aes::Block k1_{};
+  Aes::Block k2_{};
+};
+
+}  // namespace avsec::crypto

@@ -1,0 +1,57 @@
+// SHA-256 and SHA-512 (FIPS 180-4), implemented from scratch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "avsec/core/bytes.hpp"
+
+namespace avsec::crypto {
+
+using core::Bytes;
+using core::BytesView;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+  void update(BytesView data);
+  std::array<std::uint8_t, kDigestSize> finish();
+
+  /// One-shot convenience.
+  static Bytes hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> h_{};
+  std::array<std::uint8_t, kBlockSize> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Incremental SHA-512.
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  static constexpr std::size_t kBlockSize = 128;
+
+  Sha512();
+  void update(BytesView data);
+  std::array<std::uint8_t, kDigestSize> finish();
+
+  static Bytes hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> h_{};
+  std::array<std::uint8_t, kBlockSize> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;  // bytes; < 2^61 is plenty here
+};
+
+}  // namespace avsec::crypto

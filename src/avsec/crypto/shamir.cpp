@@ -1,0 +1,104 @@
+#include "avsec/crypto/shamir.hpp"
+
+#include <stdexcept>
+
+#include "avsec/crypto/drbg.hpp"
+
+namespace avsec::crypto {
+
+std::uint8_t gf256_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  while (b) {
+    if (b & 1) p ^= a;
+    const bool hi = a & 0x80;
+    a <<= 1;
+    if (hi) a ^= 0x1B;  // AES reduction polynomial
+    b >>= 1;
+  }
+  return p;
+}
+
+std::uint8_t gf256_inv(std::uint8_t a) {
+  if (a == 0) throw std::invalid_argument("gf256_inv: zero has no inverse");
+  // a^254 by square-and-multiply (group order 255).
+  std::uint8_t result = 1;
+  std::uint8_t base = a;
+  int e = 254;
+  while (e) {
+    if (e & 1) result = gf256_mul(result, base);
+    base = gf256_mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+std::vector<ShamirShare> shamir_split(BytesView secret, int n, int k,
+                                      std::uint64_t seed) {
+  if (k < 1 || n < k || n > 255) {
+    throw std::invalid_argument("shamir_split: need 1 <= k <= n <= 255");
+  }
+  CtrDrbg drbg(seed);
+  // Per-byte polynomial: coeffs[0] = secret byte, coeffs[1..k-1] random.
+  std::vector<Bytes> coeffs(static_cast<std::size_t>(k));
+  coeffs[0].assign(secret.begin(), secret.end());
+  for (int c = 1; c < k; ++c) {
+    coeffs[std::size_t(c)] = drbg.generate(secret.size());
+  }
+
+  std::vector<ShamirShare> shares;
+  shares.reserve(static_cast<std::size_t>(n));
+  for (int i = 1; i <= n; ++i) {
+    ShamirShare share;
+    share.index = static_cast<std::uint8_t>(i);
+    share.data.resize(secret.size());
+    for (std::size_t b = 0; b < secret.size(); ++b) {
+      // Horner evaluation at x = i.
+      std::uint8_t y = 0;
+      for (int c = k - 1; c >= 0; --c) {
+        y = static_cast<std::uint8_t>(
+            gf256_mul(y, static_cast<std::uint8_t>(i)) ^
+            coeffs[std::size_t(c)][b]);
+      }
+      share.data[b] = y;
+    }
+    shares.push_back(std::move(share));
+  }
+  return shares;
+}
+
+Bytes shamir_combine(const std::vector<ShamirShare>& shares) {
+  if (shares.empty()) {
+    throw std::invalid_argument("shamir_combine: no shares");
+  }
+  const std::size_t len = shares.front().data.size();
+  for (const auto& s : shares) {
+    if (s.data.size() != len) {
+      throw std::invalid_argument("shamir_combine: share length mismatch");
+    }
+    if (s.index == 0) {
+      throw std::invalid_argument("shamir_combine: index 0 invalid");
+    }
+  }
+
+  Bytes secret(len, 0);
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    // Lagrange basis at x = 0: prod_{j != i} x_j / (x_j ^ x_i).
+    std::uint8_t basis = 1;
+    for (std::size_t j = 0; j < shares.size(); ++j) {
+      if (i == j) continue;
+      const std::uint8_t num = shares[j].index;
+      const std::uint8_t den =
+          static_cast<std::uint8_t>(shares[j].index ^ shares[i].index);
+      if (den == 0) {
+        throw std::invalid_argument("shamir_combine: duplicate share index");
+      }
+      basis = gf256_mul(basis, gf256_mul(num, gf256_inv(den)));
+    }
+    for (std::size_t b = 0; b < len; ++b) {
+      secret[b] ^= gf256_mul(basis, shares[i].data[b]);
+    }
+  }
+  return secret;
+}
+
+}  // namespace avsec::crypto

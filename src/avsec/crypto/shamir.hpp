@@ -1,0 +1,41 @@
+// Shamir secret sharing over GF(256) (AES field, x^8+x^4+x^3+x+1).
+//
+// Used by the controlled-access layer (paper §VIII: data owners "retain
+// the rights to grant or restrict access"; cf. SeeMQTT's secret sharing
+// and trust delegation): a data key is split across k-of-n key servers so
+// no single party can read the data or block an authorized release.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "avsec/core/bytes.hpp"
+
+namespace avsec::crypto {
+
+using core::Bytes;
+using core::BytesView;
+
+struct ShamirShare {
+  std::uint8_t index = 0;  // x-coordinate, 1..255 (0 is the secret itself)
+  Bytes data;              // one y-byte per secret byte
+};
+
+/// Splits `secret` into `n` shares with threshold `k` (any k reconstruct,
+/// k-1 reveal nothing). Randomness is drawn deterministically from `seed`
+/// for reproducible simulations. Throws std::invalid_argument on k < 1,
+/// n < k, or n > 255.
+std::vector<ShamirShare> shamir_split(BytesView secret, int n, int k,
+                                      std::uint64_t seed);
+
+/// Reconstructs the secret from >= k distinct shares (Lagrange at x=0).
+/// Throws std::invalid_argument on empty/mismatched shares. With fewer
+/// than k (but >= 1) shares this *returns garbage*, not an error — secrecy,
+/// not integrity, is the property (pair with an AEAD for integrity).
+Bytes shamir_combine(const std::vector<ShamirShare>& shares);
+
+// GF(256) helpers (exposed for tests).
+std::uint8_t gf256_mul(std::uint8_t a, std::uint8_t b);
+std::uint8_t gf256_inv(std::uint8_t a);  // a != 0
+
+}  // namespace avsec::crypto

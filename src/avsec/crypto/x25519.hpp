@@ -1,0 +1,21 @@
+// X25519 Diffie-Hellman (RFC 7748).
+#pragma once
+
+#include <array>
+
+#include "avsec/core/bytes.hpp"
+
+namespace avsec::crypto {
+
+using X25519Key = std::array<std::uint8_t, 32>;
+
+/// scalar * u-coordinate point multiplication (Montgomery ladder).
+X25519Key x25519(const X25519Key& scalar, const X25519Key& u);
+
+/// Public key for a private scalar (scalar * base point 9).
+X25519Key x25519_base(const X25519Key& scalar);
+
+/// Clamps raw bytes into a valid X25519 private scalar.
+X25519Key x25519_clamp(const X25519Key& raw);
+
+}  // namespace avsec::crypto

@@ -1,0 +1,191 @@
+#include "avsec/datalayer/cloud.hpp"
+
+#include <algorithm>
+
+namespace avsec::datalayer {
+
+int DefenseConfig::enabled_count() const {
+  return int(debug_endpoints_removed) + int(waf_rate_limiting) +
+         int(secret_hygiene) + int(least_privilege_iam) +
+         int(pii_encryption) + int(egress_monitoring);
+}
+
+std::string DefenseConfig::summary() const {
+  std::string s;
+  s += debug_endpoints_removed ? 'D' : '-';
+  s += waf_rate_limiting ? 'W' : '-';
+  s += secret_hygiene ? 'S' : '-';
+  s += least_privilege_iam ? 'I' : '-';
+  s += pii_encryption ? 'P' : '-';
+  s += egress_monitoring ? 'E' : '-';
+  return s;
+}
+
+namespace {
+
+std::string make_key_id(core::Rng& rng) {
+  std::string id = "AKIA";
+  for (int i = 0; i < 16; ++i) {
+    id += static_cast<char>('A' + rng.uniform_int(0, 25));
+  }
+  return id;
+}
+
+std::string make_secret(core::Rng& rng) {
+  std::string s;
+  for (int i = 0; i < 40; ++i) {
+    s += static_cast<char>('a' + rng.uniform_int(0, 25));
+  }
+  return s;
+}
+
+}  // namespace
+
+CloudService::CloudService(const DefenseConfig& defenses,
+                           std::size_t n_records, std::uint64_t seed)
+    : defenses_(defenses), rng_(seed) {
+  // Public API surface of the telemetry application.
+  endpoints_ = {"/",          "/login",        "/api/v1",
+                "/api/v1/telemetry", "/api/v1/vehicles",
+                "/static/app.js",    "/health"};
+  if (!defenses_.debug_endpoints_removed) {
+    endpoints_.insert(kHeapDumpPath);
+    endpoints_.insert("/actuator/env");
+    endpoints_.insert("/actuator/mappings");
+  }
+
+  service_master_.key_id = make_key_id(rng_);
+  service_master_.secret = make_secret(rng_);
+  // Least privilege scopes the ingestion service's in-memory key to what
+  // ingestion needs: writing. Without it, the key is an all-powerful
+  // service master — exactly the real incident's enabler.
+  service_master_.role = defenses_.least_privilege_iam
+                             ? IamRole::kIngestOnly
+                             : IamRole::kServiceMaster;
+
+  records_.reserve(n_records);
+  for (std::size_t i = 0; i < n_records; ++i) {
+    TelemetryRecord r;
+    r.vin = "WVWZZZ" + std::to_string(100000 + i);
+    r.owner_name = "owner-" + std::to_string(i);
+    r.email = "user" + std::to_string(i) + "@example.com";
+    const int fixes = static_cast<int>(rng_.uniform_int(3, 12));
+    for (int f = 0; f < fixes; ++f) {
+      r.geo.emplace_back(rng_.uniform(47.0, 55.0), rng_.uniform(6.0, 15.0));
+    }
+    r.pii_encrypted = defenses_.pii_encryption;
+    records_.push_back(std::move(r));
+  }
+}
+
+bool CloudService::rate_limited() {
+  ++requests_;
+  ++recent_requests_;
+  if (!defenses_.waf_rate_limiting) return false;
+  // A simple budget: bursts beyond 50 requests are throttled (directory
+  // enumeration fires thousands).
+  return recent_requests_ > 50;
+}
+
+Bytes CloudService::build_heap_dump() {
+  // JVM heap dump: megabytes of application state. The model keeps a few
+  // kilobytes of filler plus — when secret hygiene is off — the live AWS
+  // credentials exactly as the real dump contained them.
+  Bytes dump;
+  core::Bytes filler(4096);
+  rng_.fill_bytes(filler);
+  // Keep the filler printable-ish so scanners behave like on real dumps.
+  for (auto& b : filler) b = static_cast<std::uint8_t>('a' + (b % 26));
+  core::append(dump, filler);
+  if (!defenses_.secret_hygiene) {
+    core::append(dump, core::to_bytes("aws.accessKeyId="));
+    core::append(dump, core::to_bytes(service_master_.key_id));
+    core::append(dump, core::to_bytes(";aws.secretKey="));
+    core::append(dump, core::to_bytes(service_master_.secret));
+    core::append(dump, core::to_bytes(";"));
+  }
+  core::Bytes tail(1024);
+  rng_.fill_bytes(tail);
+  for (auto& b : tail) b = static_cast<std::uint8_t>('a' + (b % 26));
+  core::append(dump, tail);
+  return dump;
+}
+
+HttpResponse CloudService::get(const std::string& path) {
+  HttpResponse resp;
+  if (rate_limited()) {
+    resp.status = 429;
+    return resp;
+  }
+  if (!endpoints_.count(path)) {
+    resp.status = 404;
+    return resp;
+  }
+  resp.status = 200;
+  if (path == kHeapDumpPath) {
+    resp.body = build_heap_dump();
+  } else if (path == "/actuator/mappings") {
+    resp.body = core::to_bytes("org.springframework.web.servlet");
+  } else {
+    resp.body = core::to_bytes("ok");
+  }
+  return resp;
+}
+
+std::optional<TelemetryRecord> CloudService::fetch_record(
+    const AccessKey& key, std::size_t index) {
+  if (index >= records_.size()) return std::nullopt;
+  // Authentication and authorization: the key must be one the service
+  // issued, with a role that allows reads.
+  if (key.key_id == service_master_.key_id) {
+    if (key.secret != service_master_.secret) return std::nullopt;
+    if (service_master_.role == IamRole::kIngestOnly) return std::nullopt;
+  } else if (key.key_id.rfind("AKIAMINT", 0) != 0 || key.secret.empty()) {
+    return std::nullopt;
+  }
+
+  ++records_served_;
+  if (defenses_.egress_monitoring &&
+      records_served_ > egress_alarm_threshold()) {
+    egress_alarm_ = true;
+    return std::nullopt;  // incident response cut the access
+  }
+  return records_[index];
+}
+
+std::optional<AccessKey> CloudService::mint_key(const AccessKey& with) {
+  if (with.key_id != service_master_.key_id ||
+      with.secret != service_master_.secret) {
+    return std::nullopt;
+  }
+  if (service_master_.role != IamRole::kServiceMaster) {
+    return std::nullopt;  // least privilege: no key-minting permission
+  }
+  AccessKey k;
+  k.key_id = "AKIAMINT" + std::to_string(++minted_counter_);
+  k.secret = make_secret(rng_);
+  k.role = IamRole::kTelemetryRead;
+  return k;
+}
+
+double attack_surface_score(const CloudService& service,
+                            const DefenseConfig& defenses) {
+  double score = 0.0;
+  for (const auto& ep : service.endpoints()) {
+    if (ep.rfind("/actuator", 0) == 0) {
+      score += 10.0;  // debug/management endpoints dominate exposure
+    } else if (ep.rfind("/api", 0) == 0) {
+      score += 3.0;
+    } else {
+      score += 1.0;
+    }
+  }
+  if (!defenses.secret_hygiene) score += 8.0;     // credentials in memory
+  if (!defenses.least_privilege_iam) score += 6.0;  // over-powered key
+  if (!defenses.waf_rate_limiting) score += 2.0;
+  if (!defenses.egress_monitoring) score += 2.0;
+  if (!defenses.pii_encryption) score += 4.0;
+  return score;
+}
+
+}  // namespace avsec::datalayer

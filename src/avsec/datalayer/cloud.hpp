@@ -1,0 +1,117 @@
+// Cloud-service model for the data-layer incident study (paper §V, Fig. 8):
+// a telemetry backend in the style of the CARIAD/AWS deployment, with the
+// misconfigurations the kill chain exploited and the defenses that would
+// have broken it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "avsec/core/bytes.hpp"
+#include "avsec/core/rng.hpp"
+
+namespace avsec::datalayer {
+
+using core::Bytes;
+
+/// One vehicle-telemetry record; `geo` is a trail of (lat, lon) fixes.
+struct TelemetryRecord {
+  std::string vin;
+  std::string owner_name;
+  std::string email;
+  std::vector<std::pair<double, double>> geo;
+  bool pii_encrypted = false;  // name/email/geo stored ciphered
+};
+
+/// Defense toggles ablated by the FIG8 bench (2^6 configurations).
+struct DefenseConfig {
+  bool debug_endpoints_removed = false;  // no Spring heap-dump actuator
+  bool waf_rate_limiting = false;        // throttles directory enumeration
+  bool secret_hygiene = false;           // no long-lived keys in process memory
+  bool least_privilege_iam = false;      // telemetry key cannot mint keys
+  bool pii_encryption = false;           // PII sealed under a KMS key
+  bool egress_monitoring = false;        // bulk-download anomaly detection
+
+  int enabled_count() const;
+  std::string summary() const;  // e.g. "D-W-S---" style flag string
+};
+
+/// IAM permissions attached to an access key.
+enum class IamRole : std::uint8_t {
+  kIngestOnly,      // write/ingest telemetry; cannot read records
+  kTelemetryRead,   // read telemetry records only
+  kServiceMaster,   // can read AND mint access keys (the breach enabler)
+};
+
+struct AccessKey {
+  std::string key_id;     // "AKIA...."-style
+  std::string secret;
+  IamRole role = IamRole::kTelemetryRead;
+};
+
+/// HTTP-ish response from the simulated service.
+struct HttpResponse {
+  int status = 404;
+  Bytes body;
+};
+
+/// The telemetry backend.
+class CloudService {
+ public:
+  CloudService(const DefenseConfig& defenses, std::size_t n_records,
+               std::uint64_t seed);
+
+  /// Unauthenticated GET. Paths that exist return 200; the WAF may return
+  /// 429 when rate limiting kicks in.
+  HttpResponse get(const std::string& path);
+
+  /// Authenticated record fetch by index; enforces IAM role & encryption.
+  std::optional<TelemetryRecord> fetch_record(const AccessKey& key,
+                                              std::size_t index);
+
+  /// Uses a master key to mint a fresh access key for any user (the API
+  /// the analysts found). Fails under least-privilege IAM unless the key
+  /// really is a master key.
+  std::optional<AccessKey> mint_key(const AccessKey& with);
+
+  std::size_t record_count() const { return records_.size(); }
+
+  /// Egress alarm state (bulk download detection).
+  bool egress_alarm() const { return egress_alarm_; }
+  std::size_t egress_alarm_threshold() const { return 500; }
+
+  /// Endpoint inventory for the attack-surface analyzer.
+  const std::set<std::string>& endpoints() const { return endpoints_; }
+
+  /// The path of the debug heap-dump endpoint when present.
+  static constexpr const char* kHeapDumpPath = "/actuator/heapdump";
+
+  std::uint64_t requests_served() const { return requests_; }
+
+ private:
+  Bytes build_heap_dump();
+  bool rate_limited();
+
+  DefenseConfig defenses_;
+  core::Rng rng_;
+  std::set<std::string> endpoints_;
+  std::vector<TelemetryRecord> records_;
+  AccessKey service_master_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t recent_requests_ = 0;
+  std::size_t records_served_ = 0;
+  bool egress_alarm_ = false;
+  std::uint64_t minted_counter_ = 0;
+};
+
+/// Attack-surface score per the paper's "reduce attack surfaces" argument:
+/// weighted count of reachable endpoints (debug endpoints weigh heaviest)
+/// plus exposure from powerful credentials in memory.
+double attack_surface_score(const CloudService& service,
+                            const DefenseConfig& defenses);
+
+}  // namespace avsec::datalayer

@@ -1,0 +1,84 @@
+#include "avsec/datalayer/incidents.hpp"
+
+namespace avsec::datalayer {
+
+namespace {
+
+enum class SystemState : std::uint8_t {
+  kClean,
+  kCompromisedLoud,     // attacker may eventually disclose/extort
+  kCompromisedStealth,  // attacker never self-discloses
+  kDisclosed,
+  kRemediated,          // internally detected and fixed
+};
+
+}  // namespace
+
+IncidentTimeline simulate_incidents(const IncidentModelConfig& config) {
+  core::Rng rng(config.seed);
+  std::vector<SystemState> state(std::size_t(config.systems),
+                                 SystemState::kClean);
+  IncidentTimeline timeline;
+  int disclosed = 0, detected = 0;
+
+  for (int month = 0; month < config.months; ++month) {
+    int active = 0;
+    for (auto& s : state) {
+      switch (s) {
+        case SystemState::kClean:
+          if (rng.chance(config.p_compromise)) {
+            s = rng.chance(config.stealth_fraction)
+                    ? SystemState::kCompromisedStealth
+                    : SystemState::kCompromisedLoud;
+          }
+          break;
+        case SystemState::kCompromisedLoud:
+          if (rng.chance(config.p_internal_detect)) {
+            s = SystemState::kRemediated;
+            ++detected;
+          } else if (rng.chance(config.p_disclosure)) {
+            s = SystemState::kDisclosed;
+            ++disclosed;
+          }
+          break;
+        case SystemState::kCompromisedStealth:
+          if (rng.chance(config.p_internal_detect)) {
+            s = SystemState::kRemediated;
+            ++detected;
+          }
+          break;
+        case SystemState::kDisclosed:
+        case SystemState::kRemediated:
+          break;
+      }
+      if (s == SystemState::kCompromisedLoud ||
+          s == SystemState::kCompromisedStealth) {
+        ++active;
+      }
+    }
+    timeline.actually_compromised.push_back(active);
+    timeline.publicly_known.push_back(disclosed);
+    timeline.internally_detected.push_back(detected);
+  }
+  return timeline;
+}
+
+IncidentSummary summarize(const IncidentModelConfig& config) {
+  const auto timeline = simulate_incidents(config);
+  IncidentSummary s;
+  const int last = config.months - 1;
+  s.total_disclosed = timeline.publicly_known[std::size_t(last)];
+  s.total_detected_internally =
+      timeline.internally_detected[std::size_t(last)];
+  s.never_discovered = timeline.actually_compromised[std::size_t(last)];
+  s.total_compromises =
+      s.total_disclosed + s.total_detected_internally + s.never_discovered;
+  s.iceberg_ratio =
+      s.total_disclosed == 0
+          ? static_cast<double>(s.total_compromises)
+          : static_cast<double>(s.total_compromises) /
+                static_cast<double>(s.total_disclosed);
+  return s;
+}
+
+}  // namespace avsec::datalayer

@@ -1,0 +1,48 @@
+// The "iceberg" model behind paper §V-B1: *lack of incidents is not an
+// indication of security*. A fleet of deployed systems is silently
+// compromised over time; only a fraction of compromises ever becomes
+// publicly known (internal detection, extortion, whistleblowers). The
+// observable incident count therefore badly underestimates the latent
+// compromise rate — exactly the paper's argument for assuming unknown
+// compromised systems exist.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "avsec/core/rng.hpp"
+
+namespace avsec::datalayer {
+
+struct IncidentModelConfig {
+  int systems = 500;              // deployed backends/fleets
+  int months = 48;
+  double p_compromise = 0.01;     // per system-month
+  double p_internal_detect = 0.05;  // per compromised system-month
+  double p_disclosure = 0.02;     // per compromised system-month (public)
+  /// Attackers that deliberately stay dormant never disclose themselves;
+  /// fraction of compromises of this kind.
+  double stealth_fraction = 0.3;
+  std::uint64_t seed = 1;
+};
+
+struct IncidentTimeline {
+  /// Per month (size == months):
+  std::vector<int> actually_compromised;  // latent, cumulative active
+  std::vector<int> publicly_known;        // cumulative disclosed
+  std::vector<int> internally_detected;   // cumulative (fixed + silent)
+};
+
+struct IncidentSummary {
+  int total_compromises = 0;
+  int total_disclosed = 0;
+  int total_detected_internally = 0;
+  int never_discovered = 0;  // still hidden at the end
+  /// Latent-to-known ratio at the end of the horizon.
+  double iceberg_ratio = 0.0;
+};
+
+IncidentTimeline simulate_incidents(const IncidentModelConfig& config);
+IncidentSummary summarize(const IncidentModelConfig& config);
+
+}  // namespace avsec::datalayer

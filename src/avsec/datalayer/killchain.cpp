@@ -1,0 +1,125 @@
+#include "avsec/datalayer/killchain.hpp"
+
+#include <algorithm>
+
+namespace avsec::datalayer {
+
+const char* stage_name(KillChainStage s) {
+  switch (s) {
+    case KillChainStage::kTrafficAnalysis: return "traffic analysis";
+    case KillChainStage::kDirectoryEnumeration: return "directory enumeration";
+    case KillChainStage::kFrameworkIdentification: return "framework identification";
+    case KillChainStage::kHeapDump: return "heap dump";
+    case KillChainStage::kKeyExtraction: return "key extraction";
+    case KillChainStage::kDataExtraction: return "data extraction";
+    case KillChainStage::kStageCount: return "(complete)";
+  }
+  return "?";
+}
+
+KillChainStage KillChainOutcome::broke_at() const {
+  for (int i = 0; i < static_cast<int>(KillChainStage::kStageCount); ++i) {
+    if (!stage_ok[static_cast<std::size_t>(i)]) {
+      return static_cast<KillChainStage>(i);
+    }
+  }
+  return KillChainStage::kStageCount;
+}
+
+std::vector<AccessKey> scan_for_keys(const Bytes& dump) {
+  std::vector<AccessKey> found;
+  const std::string text(dump.begin(), dump.end());
+  std::size_t pos = 0;
+  while ((pos = text.find("AKIA", pos)) != std::string::npos) {
+    // Key id: "AKIA" + 16 uppercase letters.
+    if (pos + 20 > text.size()) break;
+    const std::string key_id = text.substr(pos, 20);
+    const bool id_ok = std::all_of(key_id.begin() + 4, key_id.end(),
+                                   [](char c) { return c >= 'A' && c <= 'Z'; });
+    if (!id_ok) {
+      ++pos;
+      continue;
+    }
+    // Secret: find the following "secretKey=" marker.
+    const auto marker = text.find("secretKey=", pos);
+    if (marker != std::string::npos && marker + 10 + 40 <= text.size()) {
+      AccessKey key;
+      key.key_id = key_id;
+      key.secret = text.substr(marker + 10, 40);
+      found.push_back(std::move(key));
+    }
+    pos += 20;
+  }
+  return found;
+}
+
+KillChainOutcome run_kill_chain(CloudService& service,
+                                const AttackerConfig& config) {
+  KillChainOutcome out;
+  auto mark = [&](KillChainStage s, bool ok) {
+    out.stage_ok[static_cast<std::size_t>(s)] = ok;
+    return ok;
+  };
+
+  // Stage 1 — traffic analysis: the telemetry endpoint is visible in the
+  // vehicle app's traffic; nothing in the service can hide it.
+  if (!mark(KillChainStage::kTrafficAnalysis, true)) return out;
+
+  // Stage 2 — directory enumeration (gobuster): brute-force the wordlist;
+  // WAF throttling (429s) starves the scan.
+  std::vector<std::string> discovered;
+  for (const auto& path : config.wordlist) {
+    const auto resp = service.get(path);
+    if (resp.status == 200) discovered.push_back(path);
+  }
+  if (!mark(KillChainStage::kDirectoryEnumeration, !discovered.empty())) {
+    out.requests_used = service.requests_served();
+    return out;
+  }
+
+  // Stage 3 — framework identification: Spring actuator paths betray the
+  // framework (supply-chain knowledge: actuators expose heap dumps).
+  const bool spring = std::any_of(
+      discovered.begin(), discovered.end(), [](const std::string& p) {
+        return p.rfind("/actuator", 0) == 0;
+      });
+  if (!mark(KillChainStage::kFrameworkIdentification, spring)) {
+    out.requests_used = service.requests_served();
+    return out;
+  }
+
+  // Stage 4 — heap dump download.
+  const auto dump_resp = service.get(CloudService::kHeapDumpPath);
+  if (!mark(KillChainStage::kHeapDump, dump_resp.status == 200)) {
+    out.requests_used = service.requests_served();
+    return out;
+  }
+
+  // Stage 5 — key extraction from the dump.
+  const auto keys = scan_for_keys(dump_resp.body);
+  if (!mark(KillChainStage::kKeyExtraction, !keys.empty())) {
+    out.requests_used = service.requests_served();
+    return out;
+  }
+
+  // Stage 6 — data extraction: mint a telemetry key with the master key
+  // (as the analysts could), then bulk-download records.
+  AccessKey data_key = keys.front();
+  if (const auto minted = service.mint_key(keys.front())) {
+    data_key = *minted;
+  }
+  const std::size_t target =
+      std::min(config.exfil_target, service.record_count());
+  for (std::size_t i = 0; i < target; ++i) {
+    const auto rec = service.fetch_record(data_key, i);
+    if (!rec) break;  // denied (bad key under least privilege) or cut off
+    ++out.records_exfiltrated;
+    if (!rec->pii_encrypted) ++out.plaintext_pii_records;
+  }
+  out.attacker_detected = service.egress_alarm();
+  mark(KillChainStage::kDataExtraction, out.records_exfiltrated > 0);
+  out.requests_used = service.requests_served();
+  return out;
+}
+
+}  // namespace avsec::datalayer

@@ -1,0 +1,63 @@
+// The six-stage kill chain of Fig. 8, executed against the CloudService
+// model:
+//   traffic analysis -> directory enumeration -> supply-chain (framework)
+//   identification -> heap dump -> key extraction -> data extraction.
+//
+// Each stage only runs if its predecessor succeeded, so the FIG8 bench can
+// show exactly which defense breaks which link.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "avsec/datalayer/cloud.hpp"
+
+namespace avsec::datalayer {
+
+enum class KillChainStage : int {
+  kTrafficAnalysis = 0,
+  kDirectoryEnumeration,
+  kFrameworkIdentification,
+  kHeapDump,
+  kKeyExtraction,
+  kDataExtraction,
+  kStageCount,
+};
+
+const char* stage_name(KillChainStage s);
+
+struct KillChainOutcome {
+  std::array<bool, static_cast<int>(KillChainStage::kStageCount)> stage_ok{};
+  std::size_t records_exfiltrated = 0;
+  std::size_t plaintext_pii_records = 0;  // records with readable PII
+  bool attacker_detected = false;         // egress alarm fired
+  std::uint64_t requests_used = 0;
+
+  bool full_breach() const {
+    return plaintext_pii_records > 0;
+  }
+  /// First stage that failed, or kStageCount if the chain completed.
+  KillChainStage broke_at() const;
+};
+
+struct AttackerConfig {
+  /// Paths the enumeration wordlist covers (gobuster-style).
+  std::vector<std::string> wordlist = {
+      "/admin",         "/backup",          "/actuator",
+      "/actuator/env",  "/actuator/mappings", "/actuator/heapdump",
+      "/api",           "/api/v1",          "/console",
+      "/debug",         "/status",          "/metrics"};
+  /// How many records the attacker tries to pull.
+  std::size_t exfil_target = 1000;
+};
+
+/// Runs the whole kill chain against `service`.
+KillChainOutcome run_kill_chain(CloudService& service,
+                                const AttackerConfig& config = {});
+
+/// Scans a memory dump for AWS-style credentials ("AKIA" key ids followed
+/// by a secret) — the key-extraction stage's tooling.
+std::vector<AccessKey> scan_for_keys(const Bytes& dump);
+
+}  // namespace avsec::datalayer

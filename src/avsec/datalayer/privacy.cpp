@@ -1,0 +1,124 @@
+#include "avsec/datalayer/privacy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "avsec/core/rng.hpp"
+
+namespace avsec::datalayer {
+
+std::vector<std::pair<double, double>> apply_policy(
+    const std::vector<std::pair<double, double>>& geo,
+    const PrivacyPolicy& policy) {
+  std::vector<std::pair<double, double>> out = geo;
+  if (policy.retention_fixes > 0 && out.size() > policy.retention_fixes) {
+    out.erase(out.begin(),
+              out.end() - static_cast<std::ptrdiff_t>(policy.retention_fixes));
+  }
+  if (policy.grid_degrees > 0.0) {
+    for (auto& [lat, lon] : out) {
+      lat = std::round(lat / policy.grid_degrees) * policy.grid_degrees;
+      lon = std::round(lon / policy.grid_degrees) * policy.grid_degrees;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::pair<double, double> most_frequent_fix(
+    const std::vector<std::pair<double, double>>& trail, double bin_deg) {
+  // Bin fixes; return the centroid of the heaviest bin.
+  std::map<std::pair<long, long>, std::pair<std::size_t, std::pair<double, double>>>
+      bins;
+  for (const auto& [lat, lon] : trail) {
+    const std::pair<long, long> key{
+        static_cast<long>(std::floor(lat / bin_deg)),
+        static_cast<long>(std::floor(lon / bin_deg))};
+    auto& [count, sum] = bins[key];
+    ++count;
+    sum.first += lat;
+    sum.second += lon;
+  }
+  std::size_t best = 0;
+  std::pair<double, double> result{0.0, 0.0};
+  for (const auto& [key, value] : bins) {
+    const auto& [count, sum] = value;
+    if (count > best) {
+      best = count;
+      result = {sum.first / count, sum.second / count};
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ReidentificationResult reidentify(
+    const std::vector<std::vector<std::pair<double, double>>>& stored_trails,
+    const std::vector<std::pair<double, double>>& true_homes,
+    double match_radius_deg) {
+  ReidentificationResult result;
+  for (const auto& trail : stored_trails) {
+    ++result.trajectories;
+    if (trail.empty()) continue;
+    const auto anchor = most_frequent_fix(trail, match_radius_deg);
+    // How many candidate homes match the anchor?
+    int matches = 0;
+    std::size_t matched_vehicle = 0;
+    for (std::size_t v = 0; v < true_homes.size(); ++v) {
+      const double dlat = true_homes[v].first - anchor.first;
+      const double dlon = true_homes[v].second - anchor.second;
+      if (std::sqrt(dlat * dlat + dlon * dlon) <= match_radius_deg) {
+        ++matches;
+        matched_vehicle = v;
+      }
+    }
+    // Unique match = re-identification. (The adversary also needs it to be
+    // the *right* vehicle; with distinct homes a unique match always is,
+    // and the trail index equals the vehicle index here.)
+    if (matches == 1 &&
+        matched_vehicle == static_cast<std::size_t>(result.trajectories - 1)) {
+      ++result.reidentified;
+    }
+  }
+  return result;
+}
+
+FleetTrails make_fleet_trails(std::size_t vehicles, std::size_t fixes_each,
+                              std::uint64_t seed) {
+  core::Rng rng(seed);
+  FleetTrails fleet;
+  // Shared destinations (work sites, shops) and per-vehicle unique homes.
+  std::vector<std::pair<double, double>> destinations;
+  for (int i = 0; i < 8; ++i) {
+    destinations.emplace_back(rng.uniform(48.0, 48.4), rng.uniform(11.3, 11.8));
+  }
+  for (std::size_t v = 0; v < vehicles; ++v) {
+    // Homes on a loose grid so they are distinct at ~0.01 deg scale.
+    const double home_lat = 48.0 + 0.03 * static_cast<double>(v % 16) +
+                            rng.uniform(0.0, 0.005);
+    const double home_lon = 11.3 + 0.03 * static_cast<double>(v / 16) +
+                            rng.uniform(0.0, 0.005);
+    fleet.homes.emplace_back(home_lat, home_lon);
+
+    std::vector<std::pair<double, double>> trail;
+    for (std::size_t f = 0; f < fixes_each; ++f) {
+      if (rng.chance(0.5)) {
+        // At or near home (overnight parking dominates long horizons).
+        trail.emplace_back(home_lat + rng.normal(0.0, 0.0015),
+                           home_lon + rng.normal(0.0, 0.0015));
+      } else {
+        const auto& d = destinations[std::size_t(
+            rng.uniform_int(0, static_cast<int>(destinations.size()) - 1))];
+        trail.emplace_back(d.first + rng.normal(0.0, 0.002),
+                           d.second + rng.normal(0.0, 0.002));
+      }
+    }
+    fleet.trails.push_back(std::move(trail));
+  }
+  return fleet;
+}
+
+}  // namespace avsec::datalayer

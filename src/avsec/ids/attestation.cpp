@@ -1,0 +1,75 @@
+#include "avsec/ids/attestation.hpp"
+
+namespace avsec::ids {
+
+MeasurementRegister::MeasurementRegister() : value_(32, 0) {}
+
+void MeasurementRegister::extend(BytesView image) {
+  Bytes material = value_;
+  core::append(material, crypto::Sha256::hash(image));
+  value_ = crypto::Sha256::hash(material);
+}
+
+Bytes composite_measurement(const std::vector<BootComponent>& chain) {
+  MeasurementRegister reg;
+  for (const auto& component : chain) {
+    reg.extend(component.image);
+  }
+  return reg.value();
+}
+
+Attester::Attester(BytesView device_seed32)
+    : kp_(crypto::ed25519_keypair(device_seed32)) {}
+
+AttestationQuote Attester::quote(const std::vector<BootComponent>& boot_chain,
+                                 BytesView nonce) const {
+  AttestationQuote q;
+  q.measurement = composite_measurement(boot_chain);
+  q.nonce.assign(nonce.begin(), nonce.end());
+  Bytes signed_body = core::to_bytes("attest-quote");
+  core::append(signed_body, q.measurement);
+  core::append(signed_body, q.nonce);
+  q.signature = crypto::ed25519_sign(kp_, signed_body);
+  return q;
+}
+
+const char* attest_verdict_name(AttestVerdict v) {
+  switch (v) {
+    case AttestVerdict::kTrusted: return "trusted";
+    case AttestVerdict::kBadSignature: return "bad signature";
+    case AttestVerdict::kWrongNonce: return "wrong nonce";
+    case AttestVerdict::kMeasurementMismatch: return "measurement mismatch";
+  }
+  return "?";
+}
+
+void AttestationVerifier::enroll(
+    const std::array<std::uint8_t, 32>& device_key,
+    const Bytes& reference_measurement) {
+  references_.emplace_back(device_key, reference_measurement);
+}
+
+AttestVerdict AttestationVerifier::verify(
+    const std::array<std::uint8_t, 32>& device_key,
+    const AttestationQuote& quote, BytesView expected_nonce) const {
+  if (!core::ct_equal(quote.nonce, expected_nonce)) {
+    return AttestVerdict::kWrongNonce;
+  }
+  Bytes signed_body = core::to_bytes("attest-quote");
+  core::append(signed_body, quote.measurement);
+  core::append(signed_body, quote.nonce);
+  if (!crypto::ed25519_verify(BytesView(device_key.data(), 32), signed_body,
+                              BytesView(quote.signature.data(), 64))) {
+    return AttestVerdict::kBadSignature;
+  }
+  for (const auto& [key, reference] : references_) {
+    if (key == device_key) {
+      return core::ct_equal(reference, quote.measurement)
+                 ? AttestVerdict::kTrusted
+                 : AttestVerdict::kMeasurementMismatch;
+    }
+  }
+  return AttestVerdict::kMeasurementMismatch;  // unknown device
+}
+
+}  // namespace avsec::ids

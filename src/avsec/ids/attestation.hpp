@@ -1,0 +1,96 @@
+// Platform integrity attestation (paper §VIII: defenses must "ensure the
+// integrity of components across different platforms" [51]). Measured-boot
+// essentials:
+//
+// - Each boot stage extends a PCR-style measurement register with the hash
+//   of the next component (hash chaining: order and content both bind).
+// - A device key (anchored at manufacturing) signs a quote over the final
+//   register plus a verifier nonce.
+// - The verifier holds reference measurements and rejects quotes whose
+//   register does not match the expected composite — catching tampered,
+//   reordered, or extra boot components.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "avsec/crypto/ed25519.hpp"
+#include "avsec/crypto/sha2.hpp"
+
+namespace avsec::ids {
+
+using core::Bytes;
+using core::BytesView;
+
+/// One boot component: name + image bytes (hashed into the register).
+struct BootComponent {
+  std::string name;
+  Bytes image;
+};
+
+/// PCR-style measurement register.
+class MeasurementRegister {
+ public:
+  MeasurementRegister();
+
+  /// extend: value = SHA-256(value || SHA-256(image)).
+  void extend(BytesView image);
+
+  const Bytes& value() const { return value_; }
+
+ private:
+  Bytes value_;
+};
+
+/// Computes the composite measurement of an ordered boot chain.
+Bytes composite_measurement(const std::vector<BootComponent>& chain);
+
+struct AttestationQuote {
+  Bytes measurement;   // final register value
+  Bytes nonce;         // verifier challenge
+  crypto::Ed25519Signature signature{};
+};
+
+/// Device-side attester with a manufacturing-anchored key.
+class Attester {
+ public:
+  explicit Attester(BytesView device_seed32);
+
+  /// Boots the given chain (measuring every stage) and answers a challenge.
+  AttestationQuote quote(const std::vector<BootComponent>& boot_chain,
+                         BytesView nonce) const;
+
+  const std::array<std::uint8_t, 32>& device_key() const {
+    return kp_.public_key;
+  }
+
+ private:
+  crypto::Ed25519KeyPair kp_;
+};
+
+enum class AttestVerdict : std::uint8_t {
+  kTrusted,
+  kBadSignature,
+  kWrongNonce,
+  kMeasurementMismatch,
+};
+
+const char* attest_verdict_name(AttestVerdict v);
+
+/// Verifier with golden reference measurements per device.
+class AttestationVerifier {
+ public:
+  /// Registers the expected composite for a device key.
+  void enroll(const std::array<std::uint8_t, 32>& device_key,
+              const Bytes& reference_measurement);
+
+  AttestVerdict verify(const std::array<std::uint8_t, 32>& device_key,
+                       const AttestationQuote& quote,
+                       BytesView expected_nonce) const;
+
+ private:
+  std::vector<std::pair<std::array<std::uint8_t, 32>, Bytes>> references_;
+};
+
+}  // namespace avsec::ids

@@ -1,0 +1,53 @@
+#include "avsec/ids/correlation.hpp"
+
+#include <algorithm>
+
+namespace avsec::ids {
+
+AlertCorrelator::AlertCorrelator(CorrelatorConfig config) : config_(config) {}
+
+std::size_t AlertCorrelator::ingest(const Alert& alert) {
+  ++alerts_seen_;
+  // Join the most recent open incident for this ID within the window.
+  for (std::size_t i = incidents_.size(); i-- > 0;) {
+    Incident& inc = incidents_[i];
+    if (inc.can_id != alert.can_id) continue;
+    if (alert.time - inc.last_alert > config_.window) break;
+    inc.last_alert = std::max(inc.last_alert, alert.time);
+    const bool new_type = inc.detector_types.insert(alert.type).second;
+    ++inc.alert_count;
+    inc.confidence = std::max(inc.confidence, alert.confidence);
+    if (new_type) {
+      inc.confidence = std::min(
+          1.0, inc.confidence +
+                   config_.agreement_boost *
+                       static_cast<double>(inc.detector_types.size() - 1));
+    }
+    return i;
+  }
+  Incident inc;
+  inc.can_id = alert.can_id;
+  inc.first_alert = alert.time;
+  inc.last_alert = alert.time;
+  inc.detector_types.insert(alert.type);
+  inc.alert_count = 1;
+  inc.confidence = alert.confidence;
+  incidents_.push_back(std::move(inc));
+  return incidents_.size() - 1;
+}
+
+std::vector<Incident> AlertCorrelator::actionable(double floor) const {
+  std::vector<Incident> out;
+  for (const auto& inc : incidents_) {
+    if (inc.confidence >= floor) out.push_back(inc);
+  }
+  return out;
+}
+
+double AlertCorrelator::compression_ratio() const {
+  if (incidents_.empty()) return 1.0;
+  return static_cast<double>(alerts_seen_) /
+         static_cast<double>(incidents_.size());
+}
+
+}  // namespace avsec::ids

@@ -1,0 +1,57 @@
+// Alert correlation (paper §VIII: security measures "will not be effective
+// unless they are designed to work in synergy"): individual detector
+// alerts are noisy; agreement across *different* detectors on the same
+// CAN ID within a time window is much stronger evidence. The correlator
+// groups alerts into incidents, boosts confidence for multi-detector
+// agreement, and suppresses repeated identical alerts (alert fatigue).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "avsec/ids/can_ids.hpp"
+
+namespace avsec::ids {
+
+struct Incident {
+  std::uint32_t can_id = 0;
+  SimTime first_alert = 0;
+  SimTime last_alert = 0;
+  std::set<AlertType> detector_types;
+  std::size_t alert_count = 0;
+  double confidence = 0.0;  // max single confidence, boosted per extra type
+
+  bool multi_detector() const { return detector_types.size() >= 2; }
+};
+
+struct CorrelatorConfig {
+  /// Alerts on the same ID within this window join one incident.
+  SimTime window = core::milliseconds(100);
+  /// Confidence boost per additional distinct detector type.
+  double agreement_boost = 0.15;
+};
+
+class AlertCorrelator {
+ public:
+  explicit AlertCorrelator(CorrelatorConfig config = {});
+
+  /// Feeds one alert; returns the index of the incident it joined.
+  std::size_t ingest(const Alert& alert);
+
+  const std::vector<Incident>& incidents() const { return incidents_; }
+
+  /// Incidents whose (boosted) confidence crosses `floor`, for handing to
+  /// the response engine.
+  std::vector<Incident> actionable(double floor = 0.7) const;
+
+  /// Raw alerts absorbed vs incidents produced (the de-noising ratio).
+  double compression_ratio() const;
+
+ private:
+  CorrelatorConfig config_;
+  std::vector<Incident> incidents_;
+  std::size_t alerts_seen_ = 0;
+};
+
+}  // namespace avsec::ids

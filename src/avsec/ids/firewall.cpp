@@ -1,0 +1,52 @@
+#include "avsec/ids/firewall.hpp"
+
+namespace avsec::ids {
+
+void GatewayFirewall::add_rule(std::uint32_t can_id, FirewallRule rule) {
+  rules_[can_id] = RuleState{rule, 0, 0};
+}
+
+bool GatewayFirewall::allow_to_backbone(std::uint32_t can_id,
+                                        core::SimTime now) {
+  const auto it = rules_.find(can_id);
+  if (it == rules_.end()) {
+    ++stats_.dropped_unknown_id;
+    return false;
+  }
+  RuleState& state = it->second;
+  if (!state.rule.allow_to_backbone) {
+    ++stats_.dropped_wrong_direction;
+    return false;
+  }
+  if (state.rule.rate_limit_hz > 0.0) {
+    // Fixed one-second windows.
+    if (now - state.window_start >= core::kSecond) {
+      state.window_start = now;
+      state.window_count = 0;
+    }
+    if (state.window_count >=
+        static_cast<int>(state.rule.rate_limit_hz)) {
+      ++stats_.dropped_rate;
+      return false;
+    }
+    ++state.window_count;
+  }
+  ++stats_.forwarded;
+  return true;
+}
+
+bool GatewayFirewall::allow_from_backbone(std::uint32_t can_id) {
+  const auto it = rules_.find(can_id);
+  if (it == rules_.end()) {
+    ++stats_.dropped_unknown_id;
+    return false;
+  }
+  if (!it->second.rule.allow_from_backbone) {
+    ++stats_.dropped_wrong_direction;
+    return false;
+  }
+  ++stats_.forwarded;
+  return true;
+}
+
+}  // namespace avsec::ids

@@ -1,0 +1,56 @@
+// Zonal gateway firewall: enforcement of the static communication matrix
+// (paper §III: the zonal controller is the policy point between zones; a
+// compromised endpoint must not be able to reach arbitrary targets).
+//
+// IVN traffic is designed against a fixed matrix: (source zone, CAN ID)
+// tuples are known at build time. The gateway drops anything else — a
+// complementary, *preventive* control next to the detective IDS.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "avsec/netsim/can.hpp"
+
+namespace avsec::ids {
+
+struct FirewallStats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropped_unknown_id = 0;
+  std::uint64_t dropped_wrong_direction = 0;
+  std::uint64_t dropped_rate = 0;
+};
+
+/// Per-ID forwarding policy at a zonal gateway.
+struct FirewallRule {
+  bool allow_to_backbone = false;   // zone -> central computing
+  bool allow_from_backbone = false; // central computing -> zone
+  /// 0 = unlimited; otherwise max frames per second toward the backbone.
+  double rate_limit_hz = 0.0;
+};
+
+class GatewayFirewall {
+ public:
+  void add_rule(std::uint32_t can_id, FirewallRule rule);
+
+  /// Decides one zone->backbone frame at time `now`.
+  bool allow_to_backbone(std::uint32_t can_id, core::SimTime now);
+
+  /// Decides one backbone->zone frame.
+  bool allow_from_backbone(std::uint32_t can_id);
+
+  const FirewallStats& stats() const { return stats_; }
+
+ private:
+  struct RuleState {
+    FirewallRule rule;
+    core::SimTime window_start = 0;
+    int window_count = 0;
+  };
+  std::map<std::uint32_t, RuleState> rules_;
+  FirewallStats stats_;
+};
+
+}  // namespace avsec::ids

@@ -1,0 +1,313 @@
+#include "avsec/ids/response.hpp"
+
+#include <memory>
+
+#include "avsec/core/scheduler.hpp"
+#include "avsec/netsim/traffic.hpp"
+
+namespace avsec::ids {
+
+const char* response_action_name(ResponseAction a) {
+  switch (a) {
+    case ResponseAction::kLogOnly: return "log only";
+    case ResponseAction::kRateLimitId: return "rate-limit ID";
+    case ResponseAction::kRekeySession: return "rekey session";
+    case ResponseAction::kIsolateEcu: return "isolate ECU";
+    case ResponseAction::kLimpHomeMode: return "limp-home mode";
+  }
+  return "?";
+}
+
+ResponseEngine::ResponseEngine(ResponseEngineConfig config)
+    : config_(config) {}
+
+double ResponseEngine::effectiveness(ResponseAction action, AlertType type) {
+  // How well each response neutralizes each attack class.
+  // A silenced sender (bus-off attack) cannot be helped by throttling or
+  // isolating anything — only degraded operation preserves safety.
+  if (type == AlertType::kUnexpectedSilence) {
+    switch (action) {
+      case ResponseAction::kLimpHomeMode: return 0.9;
+      case ResponseAction::kIsolateEcu: return 0.2;
+      case ResponseAction::kRekeySession: return 0.05;
+      default: return 0.0;
+    }
+  }
+  switch (action) {
+    case ResponseAction::kLogOnly:
+      return 0.0;
+    case ResponseAction::kRateLimitId:
+      return type == AlertType::kRateAnomaly ? 0.7 : 0.2;
+    case ResponseAction::kRekeySession:
+      // Helps against replay/key-compromise; masquerade via raw CAN ID
+      // spoofing is unaffected (no authentication to rekey).
+      return type == AlertType::kPayloadAnomaly ? 0.5 : 0.3;
+    case ResponseAction::kIsolateEcu:
+      return type == AlertType::kWrongSource ? 0.95 : 0.6;
+    case ResponseAction::kLimpHomeMode:
+      return 0.9;  // blunt but nearly always effective
+  }
+  return 0.0;
+}
+
+double ResponseEngine::cost(ResponseAction action, Criticality criticality) {
+  const double crit = criticality == Criticality::kSafety     ? 1.0
+                      : criticality == Criticality::kDriving  ? 0.6
+                                                              : 0.3;
+  switch (action) {
+    case ResponseAction::kLogOnly:
+      return 0.0;
+    case ResponseAction::kRateLimitId:
+      return 0.05 + 0.05 * crit;
+    case ResponseAction::kRekeySession:
+      return 0.1;
+    case ResponseAction::kIsolateEcu:
+      // Isolating a safety ECU is itself dangerous.
+      return 0.15 + 0.5 * crit;
+    case ResponseAction::kLimpHomeMode:
+      // Flat cost: limp-home *is* the safe degradation path, so its cost
+      // does not grow with the asset's criticality the way isolation does.
+      return 0.5;
+  }
+  return 0.0;
+}
+
+ResponseDecision ResponseEngine::decide(const Alert& alert,
+                                        Criticality criticality) const {
+  ResponseDecision best;
+  best.action = ResponseAction::kLogOnly;
+  best.rationale = "confidence below action floor";
+
+  if (alert.confidence < config_.action_confidence_floor) return best;
+
+  // Risk at stake grows with asset criticality.
+  const double risk = criticality == Criticality::kSafety     ? 1.0
+                      : criticality == Criticality::kDriving  ? 0.7
+                                                              : 0.3;
+  best.utility = 0.0;
+  for (ResponseAction a :
+       {ResponseAction::kLogOnly, ResponseAction::kRateLimitId,
+        ResponseAction::kRekeySession, ResponseAction::kIsolateEcu,
+        ResponseAction::kLimpHomeMode}) {
+    const double reduction =
+        effectiveness(a, alert.type) * risk * alert.confidence;
+    const double c = cost(a, criticality);
+    const double utility = reduction - c;
+    if (utility > best.utility) {
+      best.action = a;
+      best.expected_risk_reduction = reduction;
+      best.availability_cost = c;
+      best.utility = utility;
+      best.rationale = std::string(response_action_name(a)) +
+                       ": reduction " + std::to_string(reduction) +
+                       " vs cost " + std::to_string(c);
+    }
+  }
+  return best;
+}
+
+MasqueradeExperimentResult run_masquerade_experiment(
+    const MasqueradeExperimentConfig& config) {
+  core::Scheduler sim;
+  netsim::CanBusConfig bus_cfg;
+  netsim::CanBus bus(sim, bus_cfg);
+
+  MasqueradeExperimentResult result;
+  CanIds ids;
+  ResponseEngine engine;
+
+  // Nodes: ECU 0 legitimately owns victim_id; the last node is the
+  // compromised one that will masquerade.
+  std::vector<int> nodes;
+  for (int i = 0; i < config.n_ecus; ++i) {
+    nodes.push_back(bus.attach("ecu-" + std::to_string(i), nullptr));
+  }
+  const int attacker = nodes.back();
+  const int monitor = bus.attach("ids-tap", nullptr);
+  (void)monitor;
+
+  core::SimTime first_attack_frame = -1;
+  core::SimTime detected_at = -1;
+  bool response_applied = false;
+  std::uint64_t clean_frames = 0, clean_alerts = 0;
+
+  // IDS tap: the gateway sees every frame with its source.
+  bus.set_rx(nodes[1], [&](int src, const netsim::CanFrame& f,
+                           core::SimTime now) {
+    CanObservation obs{f.id, src, now, f.payload};
+    if (!ids.frozen()) {
+      ids.learn(obs);
+      return;
+    }
+    // Response simulation: an isolated attacker's frames are discarded
+    // before application delivery (here: not counted as accepted).
+    const bool malicious = src == attacker && f.id == config.victim_id;
+    if (response_applied && malicious &&
+        (result.response.action == ResponseAction::kIsolateEcu ||
+         result.response.action == ResponseAction::kLimpHomeMode)) {
+      return;  // blocked
+    }
+    const auto alerts = ids.monitor(obs);
+    if (!malicious) {
+      ++clean_frames;
+      clean_alerts += alerts.size();
+    }
+    if (malicious) {
+      if (detected_at < 0) ++result.malicious_frames_before_detection;
+      if (response_applied) ++result.malicious_frames_accepted_after_response;
+    }
+    if (!alerts.empty() && detected_at < 0 && malicious) {
+      detected_at = now;
+      result.detected = true;
+      result.first_alert_type = alerts.front().type;
+      result.detection_latency =
+          first_attack_frame >= 0 ? now - first_attack_frame : 0;
+      result.response = engine.decide(alerts.front(), config.criticality);
+      response_applied = true;
+    }
+  });
+
+  // Legitimate periodic senders: ECU i sends ID 0x100 + i.
+  std::vector<std::unique_ptr<netsim::PeriodicSource>> sources;
+  for (int i = 0; i + 1 < config.n_ecus; ++i) {
+    const std::uint32_t id = 0x100 + static_cast<std::uint32_t>(i);
+    const int node = nodes[std::size_t(i)];
+    sources.push_back(std::make_unique<netsim::PeriodicSource>(
+        sim, config.victim_period,
+        [&, id, node](std::uint64_t seq) {
+          netsim::CanFrame f;
+          f.id = id;
+          f.payload = {static_cast<std::uint8_t>(seq & 0x1F), 0xA5, 0x01};
+          bus.send(node, std::move(f));
+        },
+        0, core::microseconds(50), config.seed + std::uint64_t(i)));
+    sources.back()->start(core::microseconds(100 * (i + 1)));
+  }
+
+  // Train, then freeze and start the masquerade.
+  sim.schedule_at(config.train_duration, [&] { ids.freeze(); });
+  sources.push_back(std::make_unique<netsim::PeriodicSource>(
+      sim, config.attack_period,
+      [&](std::uint64_t) {
+        if (first_attack_frame < 0) first_attack_frame = sim.now();
+        netsim::CanFrame f;
+        f.id = config.victim_id;       // impersonate the victim ID
+        f.payload = {0xFF, 0xFF, 0xFF};  // hostile command payload
+        bus.send(attacker, std::move(f));
+      },
+      0, core::microseconds(50), config.seed + 100));
+  sources.back()->start(config.train_duration + core::milliseconds(1));
+
+  sim.run_until(config.train_duration + config.attack_duration);
+
+  result.clean_false_positive_rate =
+      clean_frames == 0 ? 0.0
+                        : static_cast<double>(clean_alerts) /
+                              static_cast<double>(clean_frames);
+  return result;
+}
+
+FloodExperimentResult run_flood_experiment(const FloodExperimentConfig& config) {
+  core::Scheduler sim;
+  netsim::CanBus bus(sim, {});
+  FloodExperimentResult result;
+
+  const int victim = bus.attach("victim", nullptr);
+  const int attacker = bus.attach("attacker", nullptr);
+  const int gateway = bus.attach("gateway", nullptr);
+
+  CanIds ids;
+  ResponseEngine engine;
+  bool rate_limited = false;
+
+  // Phase boundaries.
+  const core::SimTime t_train_end = config.phase;
+  const core::SimTime t_attack_start = 2 * config.phase;
+  const core::SimTime t_end = 3 * config.phase;
+
+  core::Samples before, during, after;
+  netsim::LatencyProbe probe(sim);
+
+  bus.set_rx(gateway, [&](int src, const netsim::CanFrame& f,
+                          core::SimTime now) {
+    // Gateway-enforced rate limiting: flood frames are dropped post-bus in
+    // this model (a real gateway would throttle at the ingress port; the
+    // observable effect — restored victim service — is modeled below by
+    // silencing the attacker queue).
+    const CanObservation obs{f.id, src, now, f.payload};
+    if (!ids.frozen()) {
+      ids.learn(obs);
+    } else {
+      const auto alerts = ids.monitor(obs);
+      if (!alerts.empty() && src == attacker && !rate_limited) {
+        // Early low-confidence alerts (first unknown-ID sightings) only
+        // log; the engine re-evaluates as the flood evidence hardens.
+        result.detected = true;
+        const auto decision =
+            engine.decide(alerts.front(), Criticality::kDriving);
+        if (!result.detected || decision.utility > result.response.utility ||
+            result.response.rationale.empty()) {
+          result.response = decision;
+        }
+        if (config.respond &&
+            (decision.action == ResponseAction::kRateLimitId ||
+             decision.action == ResponseAction::kIsolateEcu)) {
+          result.response = decision;
+          rate_limited = true;
+        }
+      }
+    }
+    if (f.id == config.victim_id) {
+      const double us = probe.mark_received(core::read_be(f.payload, 0, 8));
+      if (us < 0) return;
+      if (now < t_attack_start) {
+        before.add(us);
+      } else if (!rate_limited) {
+        during.add(us);
+      } else {
+        after.add(us);
+      }
+    }
+  });
+
+  // Victim: periodic low-priority application PDUs.
+  std::uint64_t seq = 0;
+  netsim::PeriodicSource victim_src(
+      sim, config.victim_period,
+      [&](std::uint64_t) {
+        netsim::CanFrame f;
+        f.id = config.victim_id;
+        core::append_be(f.payload, seq, 8);
+        probe.mark_sent(seq++);
+        bus.send(victim, std::move(f));
+      },
+      0);
+  victim_src.start(core::microseconds(500));
+
+  sim.schedule_at(t_train_end, [&] { ids.freeze(); });
+
+  // Attacker: saturating flood of top-priority frames. Modeled as a
+  // self-rescheduling sender that keeps two frames in its queue unless the
+  // gateway has rate-limited it.
+  std::function<void()> flood = [&] {
+    if (sim.now() >= t_end) return;
+    if (!rate_limited && bus.queue_depth(attacker) < 2) {
+      netsim::CanFrame f;
+      f.id = config.flood_id;
+      f.payload = core::Bytes(8, 0xEE);
+      bus.send(attacker, std::move(f));
+    }
+    sim.schedule_in(core::microseconds(50), flood);
+  };
+  sim.schedule_at(t_attack_start, flood);
+
+  sim.run_until(t_end);
+
+  result.victim_p99_before_us = before.quantile(0.99);
+  result.victim_p99_during_us = during.quantile(0.99);
+  result.victim_p99_after_us = after.quantile(0.99);
+  result.victim_lost_during = probe.in_flight();
+  return result;
+}
+
+}  // namespace avsec::ids

@@ -1,0 +1,217 @@
+#include "avsec/netsim/can.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace avsec::netsim {
+
+std::size_t can_max_payload(CanProtocol p) {
+  switch (p) {
+    case CanProtocol::kClassic:
+      return 8;
+    case CanProtocol::kFd:
+      return 64;
+    case CanProtocol::kXl:
+      return 2048;
+  }
+  return 0;
+}
+
+bool can_frame_valid(const CanFrame& f) {
+  if (f.id > 0x7FF) return false;
+  if (f.payload.size() > can_max_payload(f.protocol)) return false;
+  if (f.protocol == CanProtocol::kFd) {
+    // FD DLC encodes only certain sizes; callers may send any size <= 64,
+    // the codec pads to the next DLC step.
+    return true;
+  }
+  if (f.protocol == CanProtocol::kXl && f.payload.empty()) return false;
+  return true;
+}
+
+namespace {
+
+/// Next valid CAN FD payload length for a requested size.
+std::size_t fd_padded_size(std::size_t n) {
+  static constexpr std::size_t kSteps[] = {0, 1, 2,  3,  4,  5,  6,  7,
+                                           8, 12, 16, 20, 24, 32, 48, 64};
+  for (std::size_t s : kSteps) {
+    if (n <= s) return s;
+  }
+  return 64;
+}
+
+}  // namespace
+
+CanFrame::BitBudget CanFrame::bit_budget() const {
+  BitBudget b;
+  switch (protocol) {
+    case CanProtocol::kClassic: {
+      // SOF(1)+ID(11)+RTR(1)+IDE(1)+r0(1)+DLC(4)+DATA+CRC(15)+CRCdel(1)
+      // +ACK(2)+EOF(7)+IFS(3); stuffing applies to the first 34+8n bits,
+      // worst case one stuff bit per 4 payload bits after the first.
+      const std::int64_t n = static_cast<std::int64_t>(payload.size());
+      const std::int64_t stuffable = 34 + 8 * n;
+      const std::int64_t stuff = (stuffable - 1) / 4;
+      b.nominal_bits = 47 + 8 * n + stuff;
+      break;
+    }
+    case CanProtocol::kFd: {
+      // Arbitration phase (nominal rate): SOF+ID+bits up to BRS ~ 30 bits
+      // incl. stuffing; data phase: DLC..CRC at data rate; tail (ACK..IFS)
+      // back at nominal rate.
+      const std::int64_t n =
+          static_cast<std::int64_t>(fd_padded_size(payload.size()));
+      const std::int64_t crc = n <= 16 ? 17 : 21;
+      const std::int64_t data_stuffable = 8 * n + crc + 10;
+      const std::int64_t stuff = data_stuffable / 4;  // worst case
+      b.nominal_bits = 30 + 12;
+      b.data_bits = 10 + 8 * n + crc + stuff + 4;  // DLC+ESI/BRS, fixed stuff
+      break;
+    }
+    case CanProtocol::kXl: {
+      // CAN XL: short arbitration at nominal rate, then an XL data phase:
+      // 13-byte header (SDT, SEC, VCID, AF, DLC, PCRC...) + payload +
+      // 32-bit frame CRC; XL uses fixed stuffing at a much lower density.
+      const std::int64_t n = static_cast<std::int64_t>(payload.size());
+      b.nominal_bits = 30 + 12;
+      const std::int64_t body = 8 * (13 + n) + 32;
+      b.data_bits = body + body / 10;  // fixed stuff bit every 10 bits
+      break;
+    }
+  }
+  return b;
+}
+
+CanBus::CanBus(core::Scheduler& sim, CanBusConfig config)
+    : sim_(sim), config_(std::move(config)), error_rng_(config_.error_seed) {}
+
+int CanBus::attach(std::string name, RxCallback on_rx) {
+  nodes_.push_back(Node{std::move(name), std::move(on_rx), {}});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void CanBus::set_rx(int node, RxCallback on_rx) {
+  nodes_.at(static_cast<std::size_t>(node)).on_rx = std::move(on_rx);
+}
+
+SimTime CanBus::frame_duration(const CanFrame& f) const {
+  const auto b = f.bit_budget();
+  return core::transmission_time(b.nominal_bits, config_.nominal_bitrate) +
+         core::transmission_time(b.data_bits, config_.data_bitrate);
+}
+
+void CanBus::send(int node, CanFrame frame) {
+  assert(node >= 0 && node < static_cast<int>(nodes_.size()));
+  if (!can_frame_valid(frame)) {
+    throw std::invalid_argument("CanBus::send: invalid frame for protocol");
+  }
+  nodes_[static_cast<std::size_t>(node)].queue.push_back(
+      Pending{std::move(frame), sim_.now(), 0});
+  if (!busy_) try_start_transmission();
+}
+
+std::size_t CanBus::queue_depth(int node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).queue.size();
+}
+
+void CanBus::inject_errors_on(int node, int count) {
+  nodes_.at(static_cast<std::size_t>(node)).forced_errors += count;
+}
+
+int CanBus::tec(int node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).tec;
+}
+
+bool CanBus::is_bus_off(int node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).bus_off;
+}
+
+void CanBus::try_start_transmission() {
+  if (busy_) return;
+  // Ideal arbitration: lowest ID among heads of all node queues wins.
+  int winner = -1;
+  std::uint32_t best_id = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].queue.empty() || nodes_[i].bus_off) continue;
+    const std::uint32_t id = nodes_[i].queue.front().frame.id;
+    if (winner < 0 || id < best_id) {
+      winner = static_cast<int>(i);
+      best_id = id;
+    }
+  }
+  if (winner < 0) return;
+
+  busy_ = true;
+  Node& node = nodes_[static_cast<std::size_t>(winner)];
+  Pending& p = node.queue.front();
+  ++p.attempts;
+  const SimTime duration = frame_duration(p.frame);
+  busy_time_ += duration;
+  arbitration_wait_.add(core::to_microseconds(sim_.now() - p.enqueued_at));
+  sim_.schedule_in(duration, [this, winner] { finish_transmission(winner); });
+}
+
+void CanBus::finish_transmission(int node) {
+  Node& sender = nodes_[static_cast<std::size_t>(node)];
+  assert(!sender.queue.empty());
+
+  // Bus-error model: with probability proportional to frame size — or
+  // deterministically under targeted injection — all receivers reject
+  // (CRC/bit error) and the transmitter retries.
+  const Pending& p = sender.queue.front();
+  const auto bits = p.frame.bit_budget();
+  const double frame_error_prob =
+      1.0 - std::pow(1.0 - config_.bit_error_rate,
+                     static_cast<double>(bits.nominal_bits + bits.data_bits));
+  bool errored = false;
+  if (sender.forced_errors > 0) {
+    --sender.forced_errors;
+    errored = true;
+  } else if (config_.bit_error_rate > 0.0 &&
+             error_rng_.chance(frame_error_prob)) {
+    errored = true;
+  }
+  if (errored) {
+    if (config_.fault_confinement) {
+      sender.tec += 8;  // ISO 11898 transmit-error increment
+      if (sender.tec > 255) {
+        // Bus-off: the controller disconnects; pending traffic is dropped.
+        sender.bus_off = true;
+        sender.queue.clear();
+        busy_ = false;
+        try_start_transmission();
+        return;
+      }
+    }
+    if (p.attempts < 8 || config_.fault_confinement) {
+      ++frames_retransmitted_;
+      busy_ = false;
+      try_start_transmission();  // retransmission re-arbitrates immediately
+      return;
+    }
+  }
+  if (config_.fault_confinement && sender.tec > 0) --sender.tec;
+
+  const CanFrame frame = p.frame;  // copy before pop
+  sender.queue.erase(sender.queue.begin());
+  ++frames_delivered_;
+
+  const SimTime now = sim_.now();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (static_cast<int>(i) == node) continue;
+    if (nodes_[i].on_rx) nodes_[i].on_rx(node, frame, now);
+  }
+  busy_ = false;
+  try_start_transmission();
+}
+
+double CanBus::bus_load() const {
+  const SimTime elapsed = sim_.now();
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(busy_time_) / static_cast<double>(elapsed);
+}
+
+}  // namespace avsec::netsim

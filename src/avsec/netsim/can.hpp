@@ -1,0 +1,141 @@
+// CAN 2.0B / CAN FD / CAN XL frames and a bitwise-arbitration bus model.
+//
+// Timing model: frames occupy the bus for a duration computed from the
+// frame's bit layout (including a worst-case stuff-bit estimate for the
+// phases that use bit stuffing). Arbitration is ideal CSMA/CR: when the bus
+// goes idle, the pending frame with the lowest arbitration ID wins; ties
+// between nodes are broken by node index (deterministic).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "avsec/core/bytes.hpp"
+#include "avsec/core/rng.hpp"
+#include "avsec/core/scheduler.hpp"
+#include "avsec/core/stats.hpp"
+
+namespace avsec::netsim {
+
+using core::Bytes;
+using core::SimTime;
+
+/// Which CAN generation a frame is encoded as.
+enum class CanProtocol : std::uint8_t { kClassic, kFd, kXl };
+
+/// Maximum payload per protocol generation.
+std::size_t can_max_payload(CanProtocol p);
+
+/// A CAN frame (any generation). For CAN XL, `sdu_type` and `vcid` carry the
+/// XL header fields used by CANsec and the CAN Adaptation Layer.
+struct CanFrame {
+  std::uint32_t id = 0;  // 11-bit arbitration / priority ID
+  CanProtocol protocol = CanProtocol::kClassic;
+  Bytes payload;
+  // CAN XL header fields (ignored for classic/FD):
+  std::uint8_t sdu_type = 0x01;  // CiA 611-1 SDU type
+  std::uint8_t vcid = 0;         // virtual CAN network id
+  std::uint32_t acceptance = 0;  // acceptance field (32-bit)
+
+  /// Total on-wire bit count including overhead and a worst-case stuffing
+  /// estimate; split into (arbitration-rate bits, data-rate bits).
+  struct BitBudget {
+    std::int64_t nominal_bits = 0;
+    std::int64_t data_bits = 0;  // transmitted at the data-phase bitrate
+  };
+  BitBudget bit_budget() const;
+};
+
+/// Validates payload size against the protocol's limit.
+bool can_frame_valid(const CanFrame& f);
+
+struct CanBusConfig {
+  std::string name = "can0";
+  std::int64_t nominal_bitrate = 500'000;  // arbitration phase
+  std::int64_t data_bitrate = 2'000'000;   // FD/XL data phase
+  /// Probability that a delivered frame is hit by a bus error (CRC failure
+  /// detected by all receivers; transmitter re-arbitrates and retransmits).
+  double bit_error_rate = 0.0;
+  std::uint64_t error_seed = 1;
+  /// Enable ISO 11898 fault confinement: transmit error counters (+8 per
+  /// transmit error, -1 per success); a node whose TEC exceeds 255 goes
+  /// bus-off and stops transmitting. This is the state a *bus-off attack*
+  /// weaponizes against a victim ECU.
+  bool fault_confinement = false;
+};
+
+/// Shared CAN bus. Nodes attach with a receive callback; send() enqueues.
+class CanBus {
+ public:
+  using RxCallback =
+      std::function<void(int src_node, const CanFrame&, SimTime now)>;
+
+  CanBus(core::Scheduler& sim, CanBusConfig config);
+
+  /// Attaches a node; returns its node index.
+  int attach(std::string name, RxCallback on_rx);
+
+  /// Installs/replaces the receive callback of an attached node.
+  void set_rx(int node, RxCallback on_rx);
+
+  /// Queues a frame for transmission from `node`. Throws on invalid frame.
+  void send(int node, CanFrame frame);
+
+  /// Frame transmission duration on the wire.
+  SimTime frame_duration(const CanFrame& f) const;
+
+  /// Targeted error injection: the next `count` frames transmitted by
+  /// `node` are corrupted on the wire (the mechanism of a bus-off attack:
+  /// an attacker overwrites a victim's recessive bits with dominant ones,
+  /// forcing transmit errors that drive the victim's TEC to bus-off).
+  void inject_errors_on(int node, int count);
+
+  /// Transmit error counter of a node (fault confinement).
+  int tec(int node) const;
+  /// True once the node has gone bus-off (never transmits again).
+  bool is_bus_off(int node) const;
+
+  // --- statistics ---
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+  std::uint64_t frames_retransmitted() const { return frames_retransmitted_; }
+  SimTime busy_time() const { return busy_time_; }
+  /// Bus load in [0,1] measured against elapsed sim time.
+  double bus_load() const;
+  const core::Samples& arbitration_wait() const { return arbitration_wait_; }
+  const std::string& name() const { return config_.name; }
+  std::size_t queue_depth(int node) const;
+
+ private:
+  struct Pending {
+    CanFrame frame;
+    SimTime enqueued_at = 0;
+    int attempts = 0;
+  };
+  struct Node {
+    std::string name;
+    RxCallback on_rx;
+    std::vector<Pending> queue;  // FIFO per node
+    int tec = 0;                 // transmit error counter
+    bool bus_off = false;
+    int forced_errors = 0;       // injected by inject_errors_on()
+  };
+
+  void try_start_transmission();
+  void finish_transmission(int node);
+
+  core::Scheduler& sim_;
+  CanBusConfig config_;
+  std::vector<Node> nodes_;
+  bool busy_ = false;
+  core::Rng error_rng_;
+
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t frames_retransmitted_ = 0;
+  SimTime busy_time_ = 0;
+  core::Samples arbitration_wait_;
+};
+
+}  // namespace avsec::netsim

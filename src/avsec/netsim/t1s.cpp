@@ -1,0 +1,75 @@
+#include "avsec/netsim/t1s.hpp"
+
+#include <cassert>
+
+namespace avsec::netsim {
+
+T1sBus::T1sBus(core::Scheduler& sim, T1sConfig config)
+    : sim_(sim), config_(std::move(config)) {}
+
+int T1sBus::attach(std::string name, RxCallback on_rx) {
+  assert(!started_ && "attach all nodes before start()");
+  nodes_.push_back(Node{std::move(name), std::move(on_rx), {}});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void T1sBus::set_rx(int node, RxCallback on_rx) {
+  nodes_.at(static_cast<std::size_t>(node)).on_rx = std::move(on_rx);
+}
+
+void T1sBus::start() {
+  assert(!nodes_.empty());
+  started_ = true;
+  sim_.schedule_in(
+      core::transmission_time(config_.beacon_bits, config_.bitrate),
+      [this] { run_cycle_step(); });
+}
+
+void T1sBus::send(int node, EthFrame frame) {
+  assert(node >= 0 && node < static_cast<int>(nodes_.size()));
+  nodes_[static_cast<std::size_t>(node)].queue.push_back(
+      Pending{std::move(frame), sim_.now()});
+}
+
+void T1sBus::run_cycle_step() {
+  Node& holder = nodes_[current_];
+  core::SimTime hold_time;
+
+  if (!holder.queue.empty()) {
+    Pending p = std::move(holder.queue.front());
+    holder.queue.erase(holder.queue.begin());
+
+    const core::SimTime duration =
+        core::transmission_time(p.frame.wire_bits(), config_.bitrate);
+    hold_time = duration;
+    busy_time_ += duration;
+    access_latency_.add(core::to_microseconds(sim_.now() - p.enqueued_at));
+    ++frames_delivered_;
+
+    const int src = static_cast<int>(current_);
+    const EthFrame frame = std::move(p.frame);
+    sim_.schedule_in(duration, [this, src, frame] {
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (static_cast<int>(i) == src) continue;
+        if (nodes_[i].on_rx) nodes_[i].on_rx(src, frame, sim_.now());
+      }
+    });
+  } else {
+    // Yield the transmit opportunity after the TO window.
+    hold_time = core::transmission_time(config_.to_timer_bits, config_.bitrate);
+  }
+
+  current_ = (current_ + 1) % nodes_.size();
+  core::SimTime next = hold_time;
+  if (current_ == 0) {
+    next += core::transmission_time(config_.beacon_bits, config_.bitrate);
+  }
+  sim_.schedule_in(next, [this] { run_cycle_step(); });
+}
+
+double T1sBus::bus_load() const {
+  if (sim_.now() <= 0) return 0.0;
+  return static_cast<double>(busy_time_) / static_cast<double>(sim_.now());
+}
+
+}  // namespace avsec::netsim

@@ -1,0 +1,47 @@
+#include "avsec/netsim/topology.hpp"
+
+namespace avsec::netsim {
+
+ZonalTopology::ZonalTopology(core::Scheduler& sim,
+                             const ZonalTopologyConfig& config)
+    : sim_(&sim) {
+  switch_ = std::make_unique<EthSwitch>(sim, "cc-switch");
+
+  cc_nic_ = std::make_unique<EthNic>("cc", mac_from_index(1));
+  zc1_nic_ = std::make_unique<EthNic>("zc1", mac_from_index(2));
+  zc2_nic_ = std::make_unique<EthNic>("zc2", mac_from_index(3));
+
+  for (EthNic* nic : {cc_nic_.get(), zc1_nic_.get(), zc2_nic_.get()}) {
+    links_.push_back(std::make_unique<EthLink>(
+        sim, config.backbone_bitrate, config.backbone_propagation));
+    EthLink* link = links_.back().get();
+    EthSink* port = switch_->add_port(link);
+    link->connect(nic, port);
+    nic->attach_link(link);
+  }
+
+  CanBusConfig can_cfg = config.can;
+  if (can_cfg.name == "can0") can_cfg.name = "zone1-can";
+  can_bus_ = std::make_unique<CanBus>(sim, can_cfg);
+  zc1_can_node_ = can_bus_->attach("zc1", nullptr);
+  for (int i = 0; i < config.can_endpoints; ++i) {
+    can_endpoint_nodes_.push_back(
+        can_bus_->attach("ecu-can-" + std::to_string(i), nullptr));
+  }
+
+  T1sConfig t1s_cfg = config.t1s;
+  if (t1s_cfg.name == "t1s0") t1s_cfg.name = "zone2-t1s";
+  t1s_bus_ = std::make_unique<T1sBus>(sim, t1s_cfg);
+  zc2_t1s_node_ = t1s_bus_->attach("zc2", nullptr);
+  for (int i = 0; i < config.t1s_endpoints; ++i) {
+    t1s_endpoint_nodes_.push_back(
+        t1s_bus_->attach("ecu-t1s-" + std::to_string(i), nullptr));
+  }
+  t1s_bus_->start();
+}
+
+const MacAddress& ZonalTopology::cc_mac() const { return cc_nic_->mac(); }
+const MacAddress& ZonalTopology::zc1_mac() const { return zc1_nic_->mac(); }
+const MacAddress& ZonalTopology::zc2_mac() const { return zc2_nic_->mac(); }
+
+}  // namespace avsec::netsim

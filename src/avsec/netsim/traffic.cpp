@@ -1,0 +1,63 @@
+#include "avsec/netsim/traffic.hpp"
+
+namespace avsec::netsim {
+
+PeriodicSource::PeriodicSource(core::Scheduler& sim, core::SimTime period,
+                               Emit emit, std::uint64_t count,
+                               core::SimTime jitter, std::uint64_t seed)
+    : sim_(sim),
+      period_(period),
+      emit_(std::move(emit)),
+      limit_(count),
+      jitter_(jitter),
+      rng_(seed) {}
+
+void PeriodicSource::start(core::SimTime initial_delay) {
+  sim_.schedule_in(initial_delay, [this] { fire(); });
+}
+
+void PeriodicSource::fire() {
+  if (limit_ != 0 && sent_ >= limit_) return;
+  emit_(sent_++);
+  if (limit_ != 0 && sent_ >= limit_) return;
+  core::SimTime next = period_;
+  if (jitter_ > 0) next += rng_.uniform_int(-jitter_, jitter_);
+  if (next < 1) next = 1;
+  sim_.schedule_in(next, [this] { fire(); });
+}
+
+void LatencyProbe::mark_sent(std::uint64_t tag) {
+  pending_[tag] = sim_->now();
+}
+
+double LatencyProbe::mark_received(std::uint64_t tag) {
+  const auto it = pending_.find(tag);
+  if (it == pending_.end()) {
+    ++unknown_;
+    return -1.0;
+  }
+  const double us = core::to_microseconds(sim_->now() - it->second);
+  pending_.erase(it);
+  samples_.add(us);
+  return us;
+}
+
+core::Bytes test_payload(std::uint64_t tag, std::size_t size) {
+  core::Bytes out(size);
+  std::uint64_t state = tag * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    out[i] = static_cast<std::uint8_t>(state);
+  }
+  return out;
+}
+
+bool check_payload(std::uint64_t tag, core::BytesView payload) {
+  const core::Bytes expect = test_payload(tag, payload.size());
+  return core::BytesView(expect) .size() == payload.size() &&
+         std::equal(payload.begin(), payload.end(), expect.begin());
+}
+
+}  // namespace avsec::netsim

@@ -1,0 +1,70 @@
+// Traffic generation and measurement probes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "avsec/core/bytes.hpp"
+#include "avsec/core/rng.hpp"
+#include "avsec/core/scheduler.hpp"
+#include "avsec/core/stats.hpp"
+
+namespace avsec::netsim {
+
+/// Emits `emit(seq)` every `period` (with optional jitter) until `count`
+/// messages have been sent (0 = unbounded).
+class PeriodicSource {
+ public:
+  using Emit = std::function<void(std::uint64_t seq)>;
+
+  PeriodicSource(core::Scheduler& sim, core::SimTime period, Emit emit,
+                 std::uint64_t count = 0, core::SimTime jitter = 0,
+                 std::uint64_t seed = 1);
+
+  void start(core::SimTime initial_delay = 0);
+  std::uint64_t sent() const { return sent_; }
+
+ private:
+  void fire();
+
+  core::Scheduler& sim_;
+  core::SimTime period_;
+  Emit emit_;
+  std::uint64_t limit_;
+  core::SimTime jitter_;
+  core::Rng rng_;
+  std::uint64_t sent_ = 0;
+};
+
+/// End-to-end latency probe: tag on send, resolve on receive.
+class LatencyProbe {
+ public:
+  explicit LatencyProbe(core::Scheduler& sim) : sim_(&sim) {}
+
+  /// Records that message `tag` left the producer now.
+  void mark_sent(std::uint64_t tag);
+
+  /// Records arrival; returns latency in microseconds (negative if the tag
+  /// was never marked, which callers should treat as a protocol error).
+  double mark_received(std::uint64_t tag);
+
+  const core::Samples& latencies_us() const { return samples_; }
+  std::uint64_t in_flight() const { return pending_.size(); }
+  std::uint64_t lost() const { return unknown_; }
+
+ private:
+  core::Scheduler* sim_;
+  std::map<std::uint64_t, core::SimTime> pending_;
+  core::Samples samples_;
+  std::uint64_t unknown_ = 0;
+};
+
+/// Deterministic payload generator: `size` bytes derived from a tag so that
+/// receivers can verify integrity end to end.
+core::Bytes test_payload(std::uint64_t tag, std::size_t size);
+
+/// True if `payload` matches test_payload(tag, payload.size()).
+bool check_payload(std::uint64_t tag, core::BytesView payload);
+
+}  // namespace avsec::netsim

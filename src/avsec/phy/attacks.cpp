@@ -1,0 +1,77 @@
+#include "avsec/phy/attacks.hpp"
+
+#include <cmath>
+
+namespace avsec::phy {
+
+namespace {
+
+/// Gaussian monocycle identical to the renderer's pulse.
+double pulse_sample(int k, int half_width) {
+  const double t = static_cast<double>(k) / half_width;
+  return -t * std::exp(0.5 * (1.0 - t * t));
+}
+
+void inject_pulse(Signal& rx, std::ptrdiff_t center, double amplitude,
+                  int half_width) {
+  for (int k = -2 * half_width; k <= 2 * half_width; ++k) {
+    const std::ptrdiff_t idx = center + k;
+    if (idx < 0 || idx >= static_cast<std::ptrdiff_t>(rx.size())) continue;
+    rx[static_cast<std::size_t>(idx)] +=
+        amplitude * pulse_sample(k, half_width);
+  }
+}
+
+}  // namespace
+
+HrpRanging::AttackHook CicadaAttack::hook() const {
+  return [cfg = *this](Signal& rx, std::size_t true_toa, const Signal&) {
+    core::Rng rng(cfg.seed ^ true_toa);
+    const std::ptrdiff_t start =
+        static_cast<std::ptrdiff_t>(true_toa) - cfg.advance_samples;
+    for (std::size_t i = 0; i < cfg.n_pulses; ++i) {
+      const double sign = rng.chance(0.5) ? 1.0 : -1.0;
+      inject_pulse(rx,
+                   start + static_cast<std::ptrdiff_t>(i) * cfg.chip_spacing,
+                   sign * cfg.amplitude, 2);
+    }
+  };
+}
+
+HrpRanging::AttackHook EdLcAttack::hook(const ChipCode& code,
+                                        const PulseShape& shape) const {
+  return [cfg = *this, code, shape](Signal& rx, std::size_t true_toa,
+                                    const Signal&) {
+    core::Rng rng(cfg.seed ^ (true_toa * 31));
+    const std::ptrdiff_t start =
+        static_cast<std::ptrdiff_t>(true_toa) - cfg.advance_samples;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      // The attacker guesses each chip's polarity; with accuracy 0.5 the
+      // guesses are uncorrelated with the real STS.
+      const int truth = code.chips[i];
+      const int guess =
+          rng.chance(cfg.polarity_guess_accuracy) ? truth : -truth;
+      inject_pulse(rx,
+                   start + static_cast<std::ptrdiff_t>(
+                               i * shape.chip_spacing_samples +
+                               2 * shape.pulse_half_width),
+                   guess * cfg.amplitude, shape.pulse_half_width);
+    }
+  };
+}
+
+HrpRanging::AttackHook EnlargementAttack::hook() const {
+  return [cfg = *this](Signal& rx, std::size_t true_toa,
+                       const Signal& clean_tx) {
+    // Annihilate the direct path: subtract (1 - residual) of the genuine
+    // waveform at its true position...
+    mix_into(rx, clean_tx, static_cast<std::ptrdiff_t>(true_toa),
+             -(1.0 - cfg.residual));
+    // ...and replay a louder copy later.
+    mix_into(rx, clean_tx,
+             static_cast<std::ptrdiff_t>(true_toa) + cfg.delay_samples,
+             cfg.replay_gain);
+  };
+}
+
+}  // namespace avsec::phy

@@ -1,0 +1,47 @@
+// Physical-layer attack implementations against UWB ranging (paper §II):
+// distance reduction (Cicada-style blind early pulses, ED/LC power-up) and
+// distance enlargement (annihilate-and-replay).
+#pragma once
+
+#include "avsec/phy/ranging.hpp"
+
+namespace avsec::phy {
+
+/// Cicada-style attack: a blind train of pulses with random polarity
+/// injected `advance_samples` ahead of the legitimate first path, hoping
+/// the receiver's back-search locks onto it.
+struct CicadaAttack {
+  int advance_samples = 40;   // how much earlier the fake path appears
+  double amplitude = 6.0;     // power-up factor vs. legit unit pulses
+  std::size_t n_pulses = 64;  // pulses in the injected train
+  int chip_spacing = 8;
+  std::uint64_t seed = 99;
+
+  HrpRanging::AttackHook hook() const;
+};
+
+/// ED/LC-style attack on HRP: the attacker re-uses the *structure* of the
+/// STS grid (chip-aligned pulses) with guessed polarities and high power,
+/// committing early. Equivalent to Cicada but aligned to the chip grid,
+/// which maximizes correlation pickup per pulse.
+struct EdLcAttack {
+  int advance_samples = 48;
+  double amplitude = 6.0;
+  double polarity_guess_accuracy = 0.5;  // 0.5 = blind guessing
+  std::uint64_t seed = 7;
+
+  HrpRanging::AttackHook hook(const ChipCode& code,
+                              const PulseShape& shape) const;
+};
+
+/// Distance-enlargement attack: annihilate the direct path (imperfectly,
+/// leaving `residual` of its amplitude) and replay a delayed copy.
+struct EnlargementAttack {
+  int delay_samples = 80;       // added apparent distance (~12 m at 80)
+  double residual = 0.15;       // imperfect annihilation leftover
+  double replay_gain = 1.5;
+
+  HrpRanging::AttackHook hook() const;
+};
+
+}  // namespace avsec::phy

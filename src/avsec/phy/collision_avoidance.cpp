@@ -1,0 +1,60 @@
+#include "avsec/phy/collision_avoidance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace avsec::phy {
+
+AebOutcome run_aeb_scenario(const AebScenarioConfig& config) {
+  const core::Bytes key(16, 0x1D);
+  TwrConfig twr;
+  twr.channel.snr_db = config.snr_db;
+  twr.channel.seed = config.seed;
+  HrpRanging ranging(key, twr);
+
+  AebOutcome out;
+  double gap = config.initial_gap_m;
+  double speed = config.ego_speed_mps;
+  bool braking = false;
+  double since_ranging = config.ranging_period_s;  // measure immediately
+  const double dt = 0.01;
+  std::uint64_t session = 0;
+
+  for (double t = 0.0; t < 60.0; t += dt) {
+    since_ranging += dt;
+    if (since_ranging >= config.ranging_period_s && gap > 0.5) {
+      since_ranging = 0.0;
+      HrpRanging::AttackHook hook;
+      if (config.attack) hook = config.attack->hook();
+      const TwrResult r = ranging.measure(gap, ++session, hook);
+      out.worst_gap_error_m = std::max(out.worst_gap_error_m,
+                                       r.measured_distance_m - gap);
+      if (!braking) {
+        if (config.enlargement_check_enabled && r.enlargement_flagged) {
+          // Integrity check fired: distrust the measurement, brake now.
+          out.attack_flagged = true;
+          braking = true;
+        } else if (r.measured_distance_m <= config.brake_trigger_m) {
+          braking = true;
+        }
+      }
+    }
+
+    if (braking) speed = std::max(0.0, speed - config.brake_decel_mps2 * dt);
+    gap -= speed * dt;
+
+    if (gap <= 0.0) {
+      out.collided = true;
+      out.impact_speed_mps = speed;
+      return out;
+    }
+    if (speed == 0.0) {
+      out.stop_margin_m = gap;
+      return out;
+    }
+  }
+  out.stop_margin_m = gap;
+  return out;
+}
+
+}  // namespace avsec::phy

@@ -1,0 +1,39 @@
+// Collision avoidance through secure two-way ranging (paper §II-B): the
+// ego vehicle measures the gap to a stopped lead vehicle with UWB ranging
+// and triggers automatic emergency braking (AEB). A distance-*enlargement*
+// attacker makes the obstacle look farther than it is — "particularly
+// dangerous, as an attacker within communication range can prevent
+// detection of other vehicles". The UWB-ED integrity check is the defense.
+#pragma once
+
+#include "avsec/phy/attacks.hpp"
+#include "avsec/phy/ranging.hpp"
+
+namespace avsec::phy {
+
+struct AebScenarioConfig {
+  double initial_gap_m = 80.0;
+  double ego_speed_mps = 20.0;
+  double brake_decel_mps2 = 7.0;
+  double brake_trigger_m = 40.0;
+  double ranging_period_s = 0.1;
+  /// Enlargement attack (nullopt = no attack).
+  std::optional<EnlargementAttack> attack;
+  /// React to the UWB-ED flag with a precautionary emergency brake.
+  bool enlargement_check_enabled = false;
+  double snr_db = 15.0;
+  std::uint64_t seed = 1;
+};
+
+struct AebOutcome {
+  bool collided = false;
+  bool attack_flagged = false;   // UWB-ED fired at least once
+  double impact_speed_mps = 0.0;
+  double stop_margin_m = 0.0;
+  double worst_gap_error_m = 0.0;  // max (measured - true) seen
+};
+
+/// Runs the AEB-with-ranging scenario to stop or collision.
+AebOutcome run_aeb_scenario(const AebScenarioConfig& config);
+
+}  // namespace avsec::phy

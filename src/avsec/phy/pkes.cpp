@@ -1,0 +1,122 @@
+#include "avsec/phy/pkes.hpp"
+
+#include <cmath>
+
+namespace avsec::phy {
+
+const char* pkes_tech_name(PkesTech tech) {
+  switch (tech) {
+    case PkesTech::kLfRssi:
+      return "LF/RSSI (legacy)";
+    case PkesTech::kUwbHrpNaive:
+      return "UWB HRP, naive receiver";
+    case PkesTech::kUwbHrpChecked:
+      return "UWB HRP + STS check";
+    case PkesTech::kUwbLrpBounded:
+      return "UWB LRP + distance bounding";
+  }
+  return "?";
+}
+
+PkesSystem::PkesSystem(PkesTech tech, core::BytesView key16, PkesConfig config)
+    : tech_(tech), key_(key16.begin(), key16.end()), config_(config),
+      rng_(config.seed) {}
+
+TwrConfig PkesSystem::twr_config() const {
+  TwrConfig cfg;
+  cfg.channel.snr_db = config_.snr_db;
+  cfg.channel.seed = config_.seed;
+  cfg.toa.back_search_window = config_.back_search_window;
+  return cfg;
+}
+
+PkesAttempt PkesSystem::uwb_attempt(double distance_m,
+                                    const HrpRanging::AttackHook& attack) {
+  PkesAttempt a;
+  ++session_;
+  if (tech_ == PkesTech::kUwbLrpBounded) {
+    LrpRanging ranging(key_, twr_config());
+    const TwrResult r = ranging.measure(distance_m, session_, attack);
+    a.measured_distance_m = r.measured_distance_m;
+    a.attack_detected = !r.commitment_passed;
+
+    // Logical-layer rapid bit exchange: a physical-layer reduction must
+    // also answer the per-round challenges ahead of time. The commitment
+    // check failing already voids the attempt; an attacker who somehow
+    // passed would still need to guess every round.
+    bool bounding_ok = true;
+    if (attack) {
+      for (int round = 0; round < config_.bounding_rounds; ++round) {
+        if (!rng_.chance(0.5)) {
+          bounding_ok = false;
+          break;
+        }
+      }
+    }
+    a.unlocked = !a.attack_detected && bounding_ok &&
+                 a.measured_distance_m <= config_.unlock_range_m;
+    return a;
+  }
+
+  HrpRanging ranging(key_, twr_config());
+  const TwrResult r = ranging.measure(distance_m, session_, attack);
+  a.measured_distance_m = r.measured_distance_m;
+  if (tech_ == PkesTech::kUwbHrpChecked) {
+    a.attack_detected = !r.sts_check_passed;
+  }
+  a.unlocked = !a.attack_detected &&
+               a.measured_distance_m <= config_.unlock_range_m;
+  return a;
+}
+
+PkesAttempt PkesSystem::legitimate_unlock(double key_distance_m) {
+  if (tech_ == PkesTech::kLfRssi) {
+    // RSSI path-loss ranging with mild log-normal shadowing.
+    PkesAttempt a;
+    const double est =
+        key_distance_m * std::pow(10.0, rng_.normal(0.0, 0.05));
+    a.measured_distance_m = est;
+    a.unlocked = est <= config_.unlock_range_m;
+    return a;
+  }
+  return uwb_attempt(key_distance_m, nullptr);
+}
+
+PkesAttempt PkesSystem::relay_attack(double key_distance_m,
+                                     double relay_processing_ns) {
+  if (tech_ == PkesTech::kLfRssi) {
+    // The relay amplifies the LF wake-up and UHF response: the vehicle's
+    // RSSI estimate collapses to the attacker's antenna distance. This is
+    // precisely the Francillon et al. attack.
+    PkesAttempt a;
+    a.measured_distance_m = rng_.uniform(0.3, 1.0);
+    a.unlocked = a.measured_distance_m <= config_.unlock_range_m;
+    return a;
+  }
+  // ToF through the relay cannot be shorter than the true flight time:
+  // measured distance = true distance + relay processing (c * t / 2 per
+  // leg folds into one-way here).
+  const double added_m = relay_processing_ns * 1e-9 * kSpeedOfLight;
+  PkesAttempt a = uwb_attempt(key_distance_m + added_m, nullptr);
+  // A relay is not an integrity violation; it simply fails to unlock.
+  a.attack_detected = false;
+  return a;
+}
+
+PkesAttempt PkesSystem::reduction_attack(double key_distance_m) {
+  if (tech_ == PkesTech::kLfRssi) {
+    return relay_attack(key_distance_m, 0.0);  // RSSI falls to relay anyway
+  }
+  // Early-commit injection sized to pull the fob inside the unlock range.
+  const double needed_m = key_distance_m - 0.5 * config_.unlock_range_m;
+  const int advance =
+      static_cast<int>(std::lround(distance_to_samples(needed_m)));
+  CicadaAttack cicada;
+  cicada.advance_samples = advance;
+  cicada.amplitude = 6.0;
+  cicada.n_pulses = 256;
+  cicada.seed = rng_.next();
+  return uwb_attempt(key_distance_m, cicada.hook());
+}
+
+}  // namespace avsec::phy

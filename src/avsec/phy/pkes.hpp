@@ -1,0 +1,76 @@
+// Passive Keyless Entry and Start (PKES) — paper §II-A, Fig. 2.
+//
+// Four system generations are modeled:
+//   kLfRssi        : legacy LF/RSSI proximity (no ToF) — the design broken
+//                    by Francillon et al.'s relay attack.
+//   kUwbHrpNaive   : UWB HRP two-way ranging with a naive back-search
+//                    receiver (no STS integrity check).
+//   kUwbHrpChecked : HRP + STS consistency check at the receiver.
+//   kUwbLrpBounded : LRP distance commitment + logical-layer rapid bit
+//                    exchange (distance bounding).
+#pragma once
+
+#include <cstdint>
+
+#include "avsec/phy/attacks.hpp"
+#include "avsec/phy/ranging.hpp"
+
+namespace avsec::phy {
+
+enum class PkesTech : std::uint8_t {
+  kLfRssi,
+  kUwbHrpNaive,
+  kUwbHrpChecked,
+  kUwbLrpBounded,
+};
+
+const char* pkes_tech_name(PkesTech tech);
+
+struct PkesConfig {
+  double unlock_range_m = 2.0;
+  /// Rapid-bit-exchange rounds for kUwbLrpBounded.
+  int bounding_rounds = 16;
+  /// Naive receivers search aggressively for the first path; checked
+  /// receivers can afford the same window because the STS check guards it.
+  int back_search_window = 256;
+  double snr_db = 20.0;
+  std::uint64_t seed = 1;
+};
+
+struct PkesAttempt {
+  bool unlocked = false;
+  bool attack_detected = false;   // integrity check fired
+  double measured_distance_m = 0.0;
+};
+
+/// A vehicle + key-fob pair sharing a ranging key.
+class PkesSystem {
+ public:
+  PkesSystem(PkesTech tech, core::BytesView key16, PkesConfig config = {});
+
+  /// Owner walks up with the fob at `key_distance_m`.
+  PkesAttempt legitimate_unlock(double key_distance_m);
+
+  /// Two-thief relay: the fob is far away (`key_distance_m`), relays add
+  /// `relay_processing_ns` of forwarding delay. RSSI systems see a strong
+  /// (amplified) signal; ToF systems see the true (longer) flight time.
+  PkesAttempt relay_attack(double key_distance_m, double relay_processing_ns);
+
+  /// Distance-reduction attack (Cicada/ED-LC early commit) while the fob
+  /// is at `key_distance_m`.
+  PkesAttempt reduction_attack(double key_distance_m);
+
+  PkesTech tech() const { return tech_; }
+
+ private:
+  TwrConfig twr_config() const;
+  PkesAttempt uwb_attempt(double distance_m, const HrpRanging::AttackHook& attack);
+
+  PkesTech tech_;
+  core::Bytes key_;
+  PkesConfig config_;
+  std::uint64_t session_ = 0;
+  core::Rng rng_;
+};
+
+}  // namespace avsec::phy

@@ -1,0 +1,256 @@
+#include "avsec/phy/ranging.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace avsec::phy {
+
+namespace {
+
+/// Gaussian monocycle matched to uwb.cpp's pulse_sample.
+double pulse_sample(int k, int half_width) {
+  const double t = static_cast<double>(k) / half_width;
+  return -t * std::exp(0.5 * (1.0 - t * t));
+}
+
+/// Matched-filter output for a single pulse centered at `center`.
+double pulse_demod(const Signal& rx, std::ptrdiff_t center,
+                   const PulseShape& shape) {
+  double acc = 0.0;
+  for (int k = -2 * shape.pulse_half_width; k <= 2 * shape.pulse_half_width;
+       ++k) {
+    const std::ptrdiff_t idx = center + k;
+    if (idx < 0 || idx >= static_cast<std::ptrdiff_t>(rx.size())) continue;
+    acc += rx[static_cast<std::size_t>(idx)] *
+           pulse_sample(k, shape.pulse_half_width);
+  }
+  return acc;
+}
+
+double pulse_energy(const PulseShape& shape) {
+  double e = 0.0;
+  for (int k = -2 * shape.pulse_half_width; k <= 2 * shape.pulse_half_width;
+       ++k) {
+    const double v = pulse_sample(k, shape.pulse_half_width);
+    e += v * v;
+  }
+  return e;
+}
+
+std::size_t chip_center(std::size_t chip_index, const PulseShape& shape) {
+  return chip_index * shape.chip_spacing_samples + 2 * shape.pulse_half_width;
+}
+
+}  // namespace
+
+std::vector<double> correlate(const Signal& rx, const Signal& tmpl,
+                              std::size_t max_offset) {
+  std::vector<double> out(max_offset + 1, 0.0);
+  for (std::size_t k = 0; k <= max_offset; ++k) {
+    double acc = 0.0;
+    const std::size_t n = std::min(tmpl.size(), rx.size() - std::min(rx.size(), k));
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += rx[k + i] * tmpl[i];
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+ToaEstimate estimate_toa(const std::vector<double>& corr,
+                         const ToaConfig& config) {
+  ToaEstimate est;
+  for (std::size_t k = 0; k < corr.size(); ++k) {
+    if (corr[k] > est.peak_value) {
+      est.peak_value = corr[k];
+      est.peak_offset = k;
+    }
+  }
+  // Back-search for the leading edge: the earliest offset within the window
+  // whose correlation magnitude exceeds the threshold fraction of the peak.
+  est.first_path = est.peak_offset;
+  const double threshold = config.edge_threshold * est.peak_value;
+  const std::size_t lo =
+      est.peak_offset > static_cast<std::size_t>(config.back_search_window)
+          ? est.peak_offset - config.back_search_window
+          : 0;
+  const std::size_t hi =
+      est.peak_offset > static_cast<std::size_t>(config.min_separation)
+          ? est.peak_offset - config.min_separation
+          : 0;
+  for (std::size_t k = lo; k < hi; ++k) {
+    // Signed comparison: a genuine earlier path correlates positively with
+    // the template; the peak's negative sidelobes must not trigger.
+    if (corr[k] >= threshold) {
+      est.first_path = k;
+      break;
+    }
+  }
+  return est;
+}
+
+namespace {
+
+/// Worst (minimum) per-segment normalized score at one candidate alignment.
+double min_segment_score_at(const Signal& rx, const ChipCode& code,
+                            const PulseShape& shape, std::ptrdiff_t toa,
+                            std::size_t segments) {
+  const std::size_t per_segment = code.size() / segments;
+  const double e_pulse = pulse_energy(shape);
+  double worst = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < segments; ++s) {
+    double score = 0.0;
+    for (std::size_t i = s * per_segment; i < (s + 1) * per_segment; ++i) {
+      score += code.chips[i] *
+               pulse_demod(rx, toa + static_cast<std::ptrdiff_t>(
+                                         chip_center(i, shape)),
+                           shape);
+    }
+    worst = std::min(worst,
+                     score / (static_cast<double>(per_segment) * e_pulse));
+  }
+  return worst;
+}
+
+}  // namespace
+
+bool sts_consistency_check(const Signal& rx, const ChipCode& code,
+                           const PulseShape& shape, std::size_t claimed_toa,
+                           const StsCheckConfig& config) {
+  if (code.size() / config.segments == 0) return false;
+  // Re-align within the tolerance window: a genuine path scores ~1 at its
+  // true alignment; a blind injection scores at chance at *every*
+  // alignment, because the per-segment signs stay random.
+  double best = -std::numeric_limits<double>::infinity();
+  for (int d = -config.alignment_tolerance; d <= config.alignment_tolerance;
+       ++d) {
+    best = std::max(best, min_segment_score_at(
+                              rx, code, shape,
+                              static_cast<std::ptrdiff_t>(claimed_toa) + d,
+                              config.segments));
+  }
+  return best >= config.min_segment_score;
+}
+
+bool distance_commitment_check(const Signal& rx, const LrpCode& code,
+                               const PulseShape& shape,
+                               std::size_t claimed_toa,
+                               const CommitmentCheckConfig& config) {
+  if (code.positions.empty()) return false;
+  double best_ber = 1.0;
+  for (int d = -config.alignment_tolerance; d <= config.alignment_tolerance;
+       ++d) {
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < code.positions.size(); ++i) {
+      const double q = pulse_demod(
+          rx,
+          static_cast<std::ptrdiff_t>(claimed_toa) + d +
+              static_cast<std::ptrdiff_t>(
+                  chip_center(code.positions[i], shape)),
+          shape);
+      const int bit = q >= 0.0 ? 1 : -1;
+      if (bit != code.polarities[i]) ++errors;
+    }
+    best_ber = std::min(best_ber, static_cast<double>(errors) /
+                                      static_cast<double>(
+                                          code.positions.size()));
+  }
+  return best_ber <= config.max_ber;
+}
+
+bool enlargement_detected(const Signal& rx, std::size_t claimed_toa,
+                          double noise_sigma,
+                          const EnlargementCheckConfig& config) {
+  if (claimed_toa <= static_cast<std::size_t>(config.guard_samples)) {
+    return false;
+  }
+  const std::size_t scan_end = claimed_toa - config.guard_samples;
+  constexpr std::size_t kWindow = 9;
+  if (scan_end < kWindow) return false;
+  const double threshold =
+      config.detection_factor * noise_sigma * noise_sigma * kWindow;
+  double window_energy = 0.0;
+  for (std::size_t i = 0; i < scan_end; ++i) {
+    window_energy += rx[i] * rx[i];
+    if (i >= kWindow) window_energy -= rx[i - kWindow] * rx[i - kWindow];
+    if (i + 1 >= kWindow && window_energy > threshold) return true;
+  }
+  return false;
+}
+
+HrpRanging::HrpRanging(core::BytesView key16, TwrConfig config)
+    : key_(key16.begin(), key16.end()), config_(config) {}
+
+TwrResult HrpRanging::measure(double true_distance_m, std::uint64_t session,
+                              const AttackHook& attack) {
+  const ChipCode code = make_sts(key_, session, config_.sts_chips);
+  const Signal tx = render_chips(code, config_.shape);
+
+  ChannelConfig ch_cfg = config_.channel;
+  ch_cfg.seed = config_.channel.seed * 0x9E3779B9ULL + session;
+  Channel channel(ch_cfg);
+  const std::size_t rx_len = tx.size() + config_.search_samples;
+  Signal rx = channel.propagate(tx, true_distance_m, rx_len);
+
+  const auto true_toa = static_cast<std::size_t>(
+      std::lround(distance_to_samples(true_distance_m)));
+  if (attack) attack(rx, true_toa, tx);
+
+  const auto corr = correlate(rx, tx, config_.search_samples);
+  const auto est = estimate_toa(corr, config_.toa);
+
+  TwrResult result;
+  result.measured_distance_m = samples_to_distance(
+      static_cast<double>(est.first_path));
+  result.toa_error_samples =
+      static_cast<double>(est.first_path) -
+      distance_to_samples(true_distance_m);
+  result.sts_check_passed =
+      sts_consistency_check(rx, code, config_.shape, est.first_path);
+  const double noise_sigma = std::pow(10.0, -config_.channel.snr_db / 20.0);
+  result.enlargement_flagged =
+      enlargement_detected(rx, est.first_path, noise_sigma);
+  return result;
+}
+
+LrpRanging::LrpRanging(core::BytesView key16, TwrConfig config)
+    : key_(key16.begin(), key16.end()), config_(config) {}
+
+TwrResult LrpRanging::measure(double true_distance_m, std::uint64_t session,
+                              const AttackHook& attack) {
+  // LRP: sparse pulses (1 in 8 slots) with secret positions; the slot count
+  // matches the HRP chip count so both modes span similar airtime.
+  const std::size_t n_slots = config_.sts_chips;
+  const std::size_t n_pulses = std::max<std::size_t>(8, n_slots / 8);
+  const LrpCode code = make_lrp_code(key_, session, n_slots, n_pulses);
+  const Signal tx = render_lrp(code, config_.shape);
+
+  ChannelConfig ch_cfg = config_.channel;
+  ch_cfg.seed = config_.channel.seed * 0xC2B2AE35ULL + session;
+  Channel channel(ch_cfg);
+  const std::size_t rx_len = tx.size() + config_.search_samples;
+  Signal rx = channel.propagate(tx, true_distance_m, rx_len);
+
+  const auto true_toa = static_cast<std::size_t>(
+      std::lround(distance_to_samples(true_distance_m)));
+  if (attack) attack(rx, true_toa, tx);
+
+  const auto corr = correlate(rx, tx, config_.search_samples);
+  const auto est = estimate_toa(corr, config_.toa);
+
+  TwrResult result;
+  result.measured_distance_m =
+      samples_to_distance(static_cast<double>(est.first_path));
+  result.toa_error_samples = static_cast<double>(est.first_path) -
+                             distance_to_samples(true_distance_m);
+  result.commitment_passed =
+      distance_commitment_check(rx, code, config_.shape, est.first_path);
+  const double noise_sigma = std::pow(10.0, -config_.channel.snr_db / 20.0);
+  result.enlargement_flagged =
+      enlargement_detected(rx, est.first_path, noise_sigma);
+  return result;
+}
+
+}  // namespace avsec::phy

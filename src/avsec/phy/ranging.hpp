@@ -1,0 +1,152 @@
+// Receiver-side ranging: correlation, time-of-arrival estimation with
+// leading-edge search, and the physical-layer integrity checks the paper
+// cites as the fix for distance-manipulation attacks:
+//  - STS consistency check (HRP; Luo et al., IEEE S&P'24 flavor)
+//  - distance commitment / code BER check (LRP; Tippenhauer et al.,
+//    Singh et al.)
+//  - UWB-ED variance test against distance *enlargement* (Singh et al.,
+//    USENIX Sec'19)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "avsec/phy/uwb.hpp"
+
+namespace avsec::phy {
+
+/// Cross-correlation of `rx` against `tmpl` at integer offsets
+/// [0, max_offset]; result[k] = sum rx[k+i]*tmpl[i].
+std::vector<double> correlate(const Signal& rx, const Signal& tmpl,
+                              std::size_t max_offset);
+
+struct ToaConfig {
+  /// Leading-edge threshold relative to the correlation peak.
+  double edge_threshold = 0.25;
+  /// How far before the peak the back-search may reach (samples).
+  int back_search_window = 64;
+  /// A first path must be at least this much earlier than the peak;
+  /// excludes the peak's own pulse-shaped correlation lobe (and its
+  /// negative sidelobes) from the search.
+  int min_separation = 8;
+};
+
+struct ToaEstimate {
+  std::size_t peak_offset = 0;   // argmax of correlation
+  std::size_t first_path = 0;    // leading-edge estimate (the ToA used)
+  double peak_value = 0.0;
+};
+
+/// Peak + leading-edge (back-search) ToA estimation. The back-search is
+/// exactly the mechanism early-pulse-injection attacks exploit on naive
+/// HRP receivers.
+ToaEstimate estimate_toa(const std::vector<double>& corr,
+                         const ToaConfig& config = {});
+
+// ---- integrity checks ----
+
+struct StsCheckConfig {
+  std::size_t segments = 8;
+  /// Minimum per-segment normalized correlation at the claimed ToA.
+  double min_segment_score = 0.35;
+  /// Alignment tolerance: the check re-aligns within +/- this many samples
+  /// of the claimed ToA (models receiver channel-estimation jitter).
+  int alignment_tolerance = 4;
+};
+
+/// HRP STS consistency check: splits the STS into segments and requires
+/// every segment to individually show a coherent correlation peak at the
+/// claimed ToA. Blind early-pulse injection has random polarity per
+/// segment and fails.
+bool sts_consistency_check(const Signal& rx, const ChipCode& code,
+                           const PulseShape& shape, std::size_t claimed_toa,
+                           const StsCheckConfig& config = {});
+
+struct CommitmentCheckConfig {
+  double max_ber = 0.2;
+  /// Alignment tolerance around the claimed ToA (samples).
+  int alignment_tolerance = 4;
+};
+
+/// LRP distance commitment: demodulate the pulse polarities at the claimed
+/// ToA and compare with the secret code; an attacker committing early
+/// cannot know polarities/positions and shows ~50% BER.
+bool distance_commitment_check(const Signal& rx, const LrpCode& code,
+                               const PulseShape& shape,
+                               std::size_t claimed_toa,
+                               const CommitmentCheckConfig& config = {});
+
+struct EnlargementCheckConfig {
+  /// Energy ratio above the noise floor that flags an earlier path.
+  double detection_factor = 4.0;
+  /// Guard gap before the claimed ToA excluded from the scan (pulse tails).
+  int guard_samples = 8;
+};
+
+/// UWB-ED style distance-enlargement detection: scans the window *before*
+/// the claimed ToA for unexplained energy (imperfectly annihilated or
+/// original direct path). Returns true if an attack is detected.
+bool enlargement_detected(const Signal& rx, std::size_t claimed_toa,
+                          double noise_sigma,
+                          const EnlargementCheckConfig& config = {});
+
+// ---- two-way ranging ----
+
+struct TwrConfig {
+  std::size_t sts_chips = 256;
+  PulseShape shape;
+  ChannelConfig channel;
+  ToaConfig toa;
+  /// Extra receive-buffer beyond the template, bounding measurable range.
+  std::size_t search_samples = 700;  // ~100 m one way
+};
+
+struct TwrResult {
+  double measured_distance_m = 0.0;
+  bool sts_check_passed = true;       // HRP integrity check outcome
+  bool commitment_passed = true;      // LRP integrity check outcome
+  bool enlargement_flagged = false;
+  double toa_error_samples = 0.0;
+};
+
+/// One secure HRP two-way ranging exchange between devices sharing
+/// `key16`; an optional attacker hook may mutate the over-the-air signal.
+class HrpRanging {
+ public:
+  /// Mutates the over-the-air signal. Receives the received buffer, the
+  /// true first-path ToA in samples, and the clean transmitted waveform
+  /// (standing in for the attacker's physical-layer signal access).
+  using AttackHook = std::function<void(Signal& rx, std::size_t true_toa,
+                                        const Signal& clean_tx)>;
+
+  HrpRanging(core::BytesView key16, TwrConfig config = {});
+
+  TwrResult measure(double true_distance_m, std::uint64_t session,
+                    const AttackHook& attack = nullptr);
+
+ private:
+  core::Bytes key_;
+  TwrConfig config_;
+};
+
+/// LRP ranging with distance commitment (sparse secret pulse pattern).
+class LrpRanging {
+ public:
+  /// Mutates the over-the-air signal. Receives the received buffer, the
+  /// true first-path ToA in samples, and the clean transmitted waveform
+  /// (standing in for the attacker's physical-layer signal access).
+  using AttackHook = std::function<void(Signal& rx, std::size_t true_toa,
+                                        const Signal& clean_tx)>;
+
+  LrpRanging(core::BytesView key16, TwrConfig config = {});
+
+  TwrResult measure(double true_distance_m, std::uint64_t session,
+                    const AttackHook& attack = nullptr);
+
+ private:
+  core::Bytes key_;
+  TwrConfig config_;
+};
+
+}  // namespace avsec::phy

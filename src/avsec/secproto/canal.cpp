@@ -1,0 +1,164 @@
+#include "avsec/secproto/canal.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "avsec/core/crc.hpp"
+
+namespace avsec::secproto {
+
+CanalSegmenter::CanalSegmenter(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ < kCanalHeaderLen + kCanalTrailerLen + 1) {
+    throw std::invalid_argument("CanalSegmenter: capacity too small");
+  }
+}
+
+std::vector<Bytes> CanalSegmenter::segment(std::uint8_t sdu_id,
+                                           BytesView sdu) const {
+  const std::size_t data_per_seg = capacity_ - kCanalHeaderLen;
+  const std::uint32_t crc = core::crc32_ieee(sdu);
+
+  // Total bytes to place = SDU + trailer; the trailer must sit at the very
+  // end of the last segment, padded so that it lands flush.
+  std::vector<Bytes> segments;
+  std::size_t offset = 0;
+  std::uint8_t seq = 0;
+
+  while (true) {
+    const std::size_t remaining = sdu.size() - offset;
+    const bool fits_with_trailer = remaining + kCanalTrailerLen <= data_per_seg;
+
+    Bytes seg;
+    std::uint8_t flags = static_cast<std::uint8_t>(seq & 0x3F);
+    if (offset == 0) flags |= 0x80;
+    if (fits_with_trailer) flags |= 0x40;
+    seg.push_back(flags);
+    seg.push_back(sdu_id);
+
+    if (fits_with_trailer) {
+      // Unlike ATM's fixed cells, CAN DLCs are variable: the trailer goes
+      // directly after the data and receivers locate it from the segment
+      // end (the simulator delivers exact payload sizes).
+      seg.insert(seg.end(), sdu.begin() + offset, sdu.end());
+      core::append_be(seg, static_cast<std::uint16_t>(sdu.size()), 2);
+      core::append_be(seg, crc, 4);
+      segments.push_back(std::move(seg));
+      break;
+    }
+    const std::size_t take = std::min(remaining, data_per_seg);
+    seg.insert(seg.end(), sdu.begin() + offset, sdu.begin() + offset + take);
+    offset += take;
+    segments.push_back(std::move(seg));
+    seq = static_cast<std::uint8_t>((seq + 1) & 0x3F);
+  }
+  return segments;
+}
+
+std::optional<Bytes> CanalReassembler::feed(int source, BytesView segment) {
+  if (segment.size() < kCanalHeaderLen) {
+    ++stats_.orphan_segments;
+    return std::nullopt;
+  }
+  const std::uint8_t flags = segment[0];
+  const std::uint8_t sdu_id = segment[1];
+  const bool first = flags & 0x80;
+  const bool last = flags & 0x40;
+  const std::uint8_t seq = flags & 0x3F;
+
+  auto key = std::make_pair(source, sdu_id);
+  Context& ctx = contexts_[key];
+
+  if (first) {
+    ctx = Context{};
+    ctx.active = true;
+  } else if (!ctx.active) {
+    ++stats_.orphan_segments;
+    return std::nullopt;
+  }
+  if (seq != ctx.next_seq) {
+    ++stats_.sequence_errors;
+    ctx.active = false;
+    return std::nullopt;
+  }
+  ctx.next_seq = static_cast<std::uint8_t>((ctx.next_seq + 1) & 0x3F);
+  ctx.data.insert(ctx.data.end(), segment.begin() + kCanalHeaderLen,
+                  segment.end());
+
+  if (!last) return std::nullopt;
+
+  ctx.active = false;
+  if (ctx.data.size() < kCanalTrailerLen) {
+    ++stats_.crc_errors;
+    return std::nullopt;
+  }
+  const std::size_t trailer_at = ctx.data.size() - kCanalTrailerLen;
+  const std::uint16_t length =
+      static_cast<std::uint16_t>(core::read_be(ctx.data, trailer_at, 2));
+  const std::uint32_t crc =
+      static_cast<std::uint32_t>(core::read_be(ctx.data, trailer_at + 2, 4));
+  if (length > trailer_at) {
+    ++stats_.crc_errors;
+    return std::nullopt;
+  }
+  Bytes sdu(ctx.data.begin(), ctx.data.begin() + length);
+  if (core::crc32_ieee(sdu) != crc) {
+    ++stats_.crc_errors;
+    return std::nullopt;
+  }
+  ++stats_.sdus_completed;
+  return sdu;
+}
+
+Bytes canal_serialize_eth(const netsim::EthFrame& frame) {
+  Bytes out;
+  core::append(out, BytesView(frame.dst.data(), 6));
+  core::append(out, BytesView(frame.src.data(), 6));
+  core::append_be(out, frame.ethertype, 2);
+  core::append(out, frame.payload);
+  return out;
+}
+
+std::optional<netsim::EthFrame> canal_parse_eth(BytesView sdu) {
+  if (sdu.size() < 14) return std::nullopt;
+  netsim::EthFrame f;
+  std::copy(sdu.begin(), sdu.begin() + 6, f.dst.begin());
+  std::copy(sdu.begin() + 6, sdu.begin() + 12, f.src.begin());
+  f.ethertype = static_cast<std::uint16_t>(core::read_be(sdu, 12, 2));
+  f.payload.assign(sdu.begin() + 14, sdu.end());
+  return f;
+}
+
+CanalPort::CanalPort(netsim::CanBus& bus, int node, std::uint32_t can_id,
+                     netsim::CanProtocol protocol)
+    : bus_(bus),
+      node_(node),
+      can_id_(can_id),
+      protocol_(protocol),
+      segmenter_(netsim::can_max_payload(protocol)) {
+  bus_.set_rx(node_, [this](int src, const netsim::CanFrame& f,
+                            core::SimTime now) { on_can(src, f, now); });
+}
+
+void CanalPort::send_eth(const netsim::EthFrame& frame) {
+  const Bytes sdu = canal_serialize_eth(frame);
+  const std::uint8_t sdu_id = next_sdu_id_++;
+  for (Bytes& seg : segmenter_.segment(sdu_id, sdu)) {
+    netsim::CanFrame cf;
+    cf.id = can_id_;
+    cf.protocol = protocol_;
+    cf.sdu_type = 0x05;  // tunneled Ethernet per CiA 611-1 flavor
+    cf.payload = std::move(seg);
+    bus_.send(node_, std::move(cf));
+    ++segments_sent_;
+  }
+}
+
+void CanalPort::on_can(int src, const netsim::CanFrame& f, core::SimTime now) {
+  if (f.sdu_type != 0x05) return;  // not CANAL traffic
+  auto sdu = reassembler_.feed(src, f.payload);
+  if (!sdu) return;
+  auto eth = canal_parse_eth(*sdu);
+  if (eth && on_eth_) on_eth_(src, *eth, now);
+}
+
+}  // namespace avsec::secproto

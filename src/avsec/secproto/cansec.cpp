@@ -1,0 +1,118 @@
+#include "avsec/secproto/cansec.hpp"
+
+namespace avsec::secproto {
+
+CansecAssociation::CansecAssociation(BytesView key16, CansecConfig config)
+    : gcm_(key16), config_(config) {}
+
+Bytes CansecAssociation::build_iv(std::uint32_t counter) const {
+  Bytes iv;
+  core::append_be(iv, config_.association_id, 2);
+  core::append_be(iv, std::uint64_t{0}, 6);
+  core::append_be(iv, counter, 4);
+  return iv;
+}
+
+Bytes CansecAssociation::build_aad(const CanFrame& f, BytesView header) const {
+  Bytes aad;
+  core::append_be(aad, f.id, 2);
+  aad.push_back(f.vcid);
+  core::append_be(aad, f.acceptance, 4);
+  core::append(aad, header);
+  return aad;
+}
+
+CanFrame CansecAssociation::protect(const CanFrame& plain) {
+  const std::uint32_t counter = ++tx_counter_;
+
+  Bytes header;
+  header.push_back(config_.encrypt ? 0x81 : 0x80);  // version 1 | C bit
+  core::append_be(header, config_.association_id, 2);
+  core::append_be(header, counter, 4);
+
+  const Bytes aad = build_aad(plain, header);
+
+  Bytes body;
+  Bytes tag;
+  if (config_.encrypt) {
+    body = gcm_.seal(build_iv(counter), aad, plain.payload, tag,
+                     config_.tag_bytes);
+  } else {
+    // Authentication-only: payload in clear, GCM over empty plaintext with
+    // the payload folded into the AAD.
+    Bytes full_aad = aad;
+    core::append(full_aad, plain.payload);
+    gcm_.seal(build_iv(counter), full_aad, {}, tag, config_.tag_bytes);
+    body = plain.payload;
+  }
+
+  CanFrame out = plain;
+  out.sdu_type = kCansecSduType;
+  out.payload = header;
+  core::append(out.payload, body);
+  core::append(out.payload, tag);
+  ++stats_.protected_frames;
+  return out;
+}
+
+std::optional<CanFrame> CansecAssociation::unprotect(const CanFrame& secured) {
+  if (secured.sdu_type != kCansecSduType ||
+      secured.payload.size() < 7 + config_.tag_bytes) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+  const BytesView header(secured.payload.data(), 7);
+  const bool encrypted = (header[0] & 0x01) != 0;
+  const std::uint16_t assoc =
+      static_cast<std::uint16_t>(core::read_be(header, 1, 2));
+  const std::uint32_t counter =
+      static_cast<std::uint32_t>(core::read_be(header, 3, 4));
+  if (assoc != config_.association_id) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+  if (config_.replay_window == 0) {
+    if (counter <= highest_rx_) {
+      ++stats_.replay_dropped;
+      return std::nullopt;
+    }
+  } else if (counter + config_.replay_window <= highest_rx_) {
+    ++stats_.replay_dropped;
+    return std::nullopt;
+  }
+
+  const std::size_t body_len =
+      secured.payload.size() - 7 - config_.tag_bytes;
+  const BytesView body(secured.payload.data() + 7, body_len);
+  const BytesView tag(secured.payload.data() + 7 + body_len,
+                      config_.tag_bytes);
+  const Bytes aad = build_aad(secured, header);
+
+  Bytes plain_payload;
+  if (encrypted) {
+    auto pt = gcm_.open(build_iv(counter), aad, body, tag);
+    if (!pt) {
+      ++stats_.auth_failed;
+      return std::nullopt;
+    }
+    plain_payload = std::move(*pt);
+  } else {
+    Bytes full_aad = aad;
+    core::append(full_aad, body);
+    auto ok = gcm_.open(build_iv(counter), full_aad, {}, tag);
+    if (!ok) {
+      ++stats_.auth_failed;
+      return std::nullopt;
+    }
+    plain_payload.assign(body.begin(), body.end());
+  }
+  if (counter > highest_rx_) highest_rx_ = counter;
+
+  CanFrame out = secured;
+  out.sdu_type = 0x01;
+  out.payload = std::move(plain_payload);
+  ++stats_.accepted;
+  return out;
+}
+
+}  // namespace avsec::secproto

@@ -1,0 +1,64 @@
+// CANsec (CiA 613-2 working draft) — MACsec-inspired security for CAN XL.
+//
+// A secured CAN XL frame carries a CANsec header inside the XL payload:
+//   [ version/flags (1) | association id (2) | freshness counter (4) ]
+// followed by the (optionally encrypted) SDU and an AES-GCM tag. The XL
+// header's SEC semantics are mirrored by setting `sdu_type` to the CANsec
+// SDU type. Authenticity covers the priority ID, VCID and CANsec header.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "avsec/crypto/modes.hpp"
+#include "avsec/netsim/can.hpp"
+
+namespace avsec::secproto {
+
+using core::Bytes;
+using core::BytesView;
+using netsim::CanFrame;
+
+inline constexpr std::uint8_t kCansecSduType = 0x03;
+
+struct CansecConfig {
+  std::uint16_t association_id = 1;
+  bool encrypt = true;          // confidentiality on/off (authenticity always)
+  std::size_t tag_bytes = 8;    // truncated GCM tag
+  std::uint32_t replay_window = 0;  // 0 = strict monotonic
+};
+
+struct CansecStats {
+  std::uint64_t protected_frames = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t replay_dropped = 0;
+  std::uint64_t auth_failed = 0;
+  std::uint64_t malformed = 0;
+};
+
+/// One CANsec secure association (unidirectional).
+class CansecAssociation {
+ public:
+  CansecAssociation(BytesView key16, CansecConfig config = {});
+
+  /// Wraps a plain CAN XL frame into a secured one.
+  CanFrame protect(const CanFrame& plain);
+
+  /// Verifies and unwraps; nullopt on any failure.
+  std::optional<CanFrame> unprotect(const CanFrame& secured);
+
+  const CansecStats& stats() const { return stats_; }
+  std::size_t overhead_bytes() const { return 7 + config_.tag_bytes; }
+
+ private:
+  Bytes build_iv(std::uint32_t counter) const;
+  Bytes build_aad(const CanFrame& f, BytesView header) const;
+
+  crypto::AesGcm gcm_;
+  CansecConfig config_;
+  std::uint32_t tx_counter_ = 0;
+  std::uint32_t highest_rx_ = 0;
+  CansecStats stats_;
+};
+
+}  // namespace avsec::secproto

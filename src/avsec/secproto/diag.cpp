@@ -1,0 +1,101 @@
+#include "avsec/secproto/diag.hpp"
+
+namespace avsec::secproto {
+
+LegacySecurityAccess::LegacySecurityAccess(std::uint16_t algo_constant,
+                                           std::uint64_t seed)
+    : algo_constant_(algo_constant), rng_(seed) {}
+
+std::uint16_t LegacySecurityAccess::key_function(std::uint16_t seed,
+                                                 std::uint16_t algo_constant) {
+  // The kind of transform found in real ECU firmware: xor, rotate, add.
+  std::uint16_t k = seed ^ algo_constant;
+  k = static_cast<std::uint16_t>((k << 3) | (k >> 13));
+  return static_cast<std::uint16_t>(k + 0x4D4F);
+}
+
+std::uint16_t LegacySecurityAccess::request_seed() {
+  current_seed_ = static_cast<std::uint16_t>(rng_.uniform_int(1, 0xFFFF));
+  seed_outstanding_ = true;
+  return current_seed_;
+}
+
+bool LegacySecurityAccess::send_key(std::uint16_t key) {
+  if (!seed_outstanding_) return false;
+  seed_outstanding_ = false;
+  if (key == key_function(current_seed_, algo_constant_)) {
+    unlocked_ = true;
+    return true;
+  }
+  ++failed_attempts_;
+  return false;
+}
+
+DiagAuthenticator::DiagAuthenticator(std::array<std::uint8_t, 32> ca_key,
+                                     std::uint64_t seed)
+    : ca_key_(ca_key), drbg_(seed) {}
+
+DiagChallenge DiagAuthenticator::challenge() {
+  DiagChallenge c;
+  c.nonce = drbg_.generate(16);
+  outstanding_nonce_ = c.nonce;
+  return c;
+}
+
+namespace {
+
+core::Bytes diag_proof_input(core::BytesView nonce, DiagRole role) {
+  core::Bytes input = core::to_bytes("uds-authentication");
+  core::append(input, nonce);
+  input.push_back(static_cast<std::uint8_t>(role));
+  return input;
+}
+
+}  // namespace
+
+bool DiagAuthenticator::authenticate(const DiagAuthResponse& response) {
+  if (outstanding_nonce_.empty()) return false;
+  const core::Bytes nonce = outstanding_nonce_;
+  outstanding_nonce_.clear();  // single use
+
+  if (!TlsCa::check(response.tester_cert, ca_key_)) return false;
+  if (!crypto::ed25519_verify(
+          core::BytesView(response.tester_cert.public_key.data(), 32),
+          diag_proof_input(nonce, response.requested_role),
+          core::BytesView(response.proof.data(), 64))) {
+    return false;
+  }
+  // Role scoping: reprogramming requires a reprogramming-class cert.
+  if (response.requested_role == DiagRole::kReprogramming &&
+      response.tester_cert.subject.rfind("reprog:", 0) != 0) {
+    return false;
+  }
+  role_ = response.requested_role;
+  return true;
+}
+
+DiagAuthResponse diag_respond(const DiagChallenge& challenge,
+                              const TlsCert& cert,
+                              const crypto::Ed25519KeyPair& key,
+                              DiagRole requested_role) {
+  DiagAuthResponse r;
+  r.tester_cert = cert;
+  r.requested_role = requested_role;
+  r.proof = crypto::ed25519_sign(
+      key, diag_proof_input(challenge.nonce, requested_role));
+  return r;
+}
+
+std::optional<int> brute_force_legacy(LegacySecurityAccess& ecu, int budget) {
+  // The attacker does not know the algorithm constant; each attempt gets a
+  // fresh seed, so it simply guesses uniformly over the 16-bit key space.
+  core::Rng rng(0xBADC0DE);
+  for (int attempt = 1; attempt <= budget; ++attempt) {
+    ecu.request_seed();
+    const auto guess = static_cast<std::uint16_t>(rng.uniform_int(0, 0xFFFF));
+    if (ecu.send_key(guess)) return attempt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace avsec::secproto

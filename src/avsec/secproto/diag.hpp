@@ -1,0 +1,107 @@
+// Diagnostic-session security (paper §III cites the Jeep hack [22] and
+// comprehensive attack-surface analyses [21] — the diagnostic interface is
+// the historic way in). Two generations of UDS-style access control:
+//
+//  - Legacy SecurityAccess (service 0x27): a 16-bit seed/key handshake
+//    whose key function leaks with one firmware dump; brute-forceable.
+//  - Modern Authentication (service 0x29 flavor): certificate-based
+//    challenge-response with Ed25519, role-scoped (diagnostic vs
+//    reprogramming), and unforgeable without the tester's private key.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "avsec/core/rng.hpp"
+#include "avsec/crypto/ed25519.hpp"
+#include "avsec/secproto/tls_lite.hpp"  // reuses TlsCa/TlsCert as tester PKI
+
+namespace avsec::secproto {
+
+/// What an unlocked session may do.
+enum class DiagRole : std::uint8_t {
+  kNone,
+  kDiagnostics,    // read DTCs, live data
+  kReprogramming,  // flash software
+};
+
+// ---------- legacy 0x27 seed/key ----------
+
+/// The weak legacy scheme: key = F(seed) with a secret-but-static 16-bit
+/// transform (here: xor+rotate with a constant, as real ECUs shipped).
+class LegacySecurityAccess {
+ public:
+  explicit LegacySecurityAccess(std::uint16_t algo_constant,
+                                std::uint64_t seed = 1);
+
+  /// Tester asks for a seed.
+  std::uint16_t request_seed();
+
+  /// Tester sends the key; true unlocks the session.
+  bool send_key(std::uint16_t key);
+
+  bool unlocked() const { return unlocked_; }
+  /// Consecutive failures before a 10s lockout in real ECUs; the model
+  /// just counts them.
+  int failed_attempts() const { return failed_attempts_; }
+
+  /// The transform, public for the "attacker read the firmware" scenario.
+  static std::uint16_t key_function(std::uint16_t seed,
+                                    std::uint16_t algo_constant);
+
+ private:
+  std::uint16_t algo_constant_;
+  core::Rng rng_;
+  std::uint16_t current_seed_ = 0;
+  bool seed_outstanding_ = false;
+  bool unlocked_ = false;
+  int failed_attempts_ = 0;
+};
+
+// ---------- modern certificate-based authentication ----------
+
+struct DiagChallenge {
+  core::Bytes nonce;  // 16B
+};
+
+struct DiagAuthResponse {
+  TlsCert tester_cert;              // role is encoded in the subject
+  crypto::Ed25519Signature proof{}; // signature over nonce || role
+  DiagRole requested_role = DiagRole::kDiagnostics;
+};
+
+/// ECU side of certificate-based diagnostic authentication.
+class DiagAuthenticator {
+ public:
+  /// `ca_key`: the OEM tester-CA the ECU trusts.
+  DiagAuthenticator(std::array<std::uint8_t, 32> ca_key, std::uint64_t seed);
+
+  DiagChallenge challenge();
+
+  /// Verifies the response; on success the session is unlocked at the
+  /// requested role (reprogramming requires a cert subject with the
+  /// "reprog:" prefix).
+  bool authenticate(const DiagAuthResponse& response);
+
+  DiagRole session_role() const { return role_; }
+
+ private:
+  std::array<std::uint8_t, 32> ca_key_;
+  crypto::CtrDrbg drbg_;
+  core::Bytes outstanding_nonce_;
+  DiagRole role_ = DiagRole::kNone;
+};
+
+/// Tester side: builds the signed response for a challenge.
+DiagAuthResponse diag_respond(const DiagChallenge& challenge,
+                              const TlsCert& cert,
+                              const crypto::Ed25519KeyPair& key,
+                              DiagRole requested_role);
+
+/// Brute-force attack against the legacy scheme: tries keys until the
+/// session unlocks or `budget` attempts are spent. Returns attempts used,
+/// or nullopt if the budget ran out.
+std::optional<int> brute_force_legacy(LegacySecurityAccess& ecu, int budget);
+
+}  // namespace avsec::secproto

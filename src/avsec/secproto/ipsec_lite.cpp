@@ -1,0 +1,122 @@
+#include "avsec/secproto/ipsec_lite.hpp"
+
+namespace avsec::secproto {
+
+EspSa::EspSa(std::uint32_t spi, BytesView key16, BytesView salt4,
+             std::uint32_t replay_window)
+    : spi_(spi), gcm_(key16), salt_(salt4.begin(), salt4.end()),
+      window_(replay_window) {}
+
+Bytes EspSa::nonce_for(std::uint32_t seq) const {
+  // RFC 4106: 12-byte nonce = 4-byte salt || 8-byte IV; we use the zero-
+  // extended sequence number as the IV (unique per SA lifetime).
+  Bytes nonce = salt_;
+  core::append_be(nonce, std::uint64_t{seq}, 8);
+  return nonce;
+}
+
+Bytes EspSa::seal(BytesView inner_packet) {
+  const std::uint32_t seq = ++seq_tx_;
+  Bytes header;
+  core::append_be(header, spi_, 4);
+  core::append_be(header, seq, 4);
+  Bytes tag;
+  const Bytes ct = gcm_.seal(nonce_for(seq), header, inner_packet, tag);
+  Bytes out = header;
+  core::append(out, ct);
+  core::append(out, tag);
+  ++stats_.sealed;
+  return out;
+}
+
+bool EspSa::replay_check_and_update(std::uint32_t seq) {
+  if (seq == 0) return false;
+  if (seq > highest_) {
+    const std::uint32_t shift = seq - highest_;
+    window_bits_ = shift >= 64 ? 0 : (window_bits_ << shift);
+    window_bits_ |= 1;  // bit 0 = highest
+    highest_ = seq;
+    return true;
+  }
+  const std::uint32_t offset = highest_ - seq;
+  if (offset >= window_ || offset >= 64) return false;  // too old
+  const std::uint64_t bit = 1ULL << offset;
+  if (window_bits_ & bit) return false;  // duplicate
+  window_bits_ |= bit;
+  return true;
+}
+
+std::optional<Bytes> EspSa::open(BytesView esp_packet) {
+  if (esp_packet.size() < kOverhead) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+  const std::uint32_t spi =
+      static_cast<std::uint32_t>(core::read_be(esp_packet, 0, 4));
+  const std::uint32_t seq =
+      static_cast<std::uint32_t>(core::read_be(esp_packet, 4, 4));
+  if (spi != spi_) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+  // Pre-check replay (cheap) but only commit after authentication.
+  if (seq == 0 ||
+      (seq <= highest_ &&
+       (highest_ - seq >= window_ || highest_ - seq >= 64 ||
+        (window_bits_ & (1ULL << (highest_ - seq)))))) {
+    ++stats_.replay_dropped;
+    return std::nullopt;
+  }
+
+  const BytesView header(esp_packet.data(), 8);
+  const BytesView ct(esp_packet.data() + 8, esp_packet.size() - 8 - 16);
+  const BytesView tag(esp_packet.data() + esp_packet.size() - 16, 16);
+  auto pt = gcm_.open(nonce_for(seq), header, ct, tag);
+  if (!pt) {
+    ++stats_.auth_failed;
+    return std::nullopt;
+  }
+  replay_check_and_update(seq);
+  ++stats_.accepted;
+  return pt;
+}
+
+IkePeer::IkePeer(std::uint64_t seed, bool initiator)
+    : drbg_(seed), initiator_(initiator) {}
+
+IkeInitMessage IkePeer::init() {
+  const Bytes priv = drbg_.generate(32);
+  std::copy(priv.begin(), priv.end(), priv_.begin());
+  mine_.share = crypto::x25519_base(priv_);
+  mine_.nonce = drbg_.generate(16);
+  return mine_;
+}
+
+EspSaPair IkePeer::complete(const IkeInitMessage& peer) {
+  const auto shared = crypto::x25519(priv_, peer.share);
+
+  // Order nonces by role so both sides derive identical material.
+  const IkeInitMessage& init_msg = initiator_ ? mine_ : peer;
+  const IkeInitMessage& resp_msg = initiator_ ? peer : mine_;
+  Bytes salt = init_msg.nonce;
+  core::append(salt, resp_msg.nonce);
+  const Bytes prk =
+      crypto::hkdf_extract(salt, BytesView(shared.data(), 32));
+  const Bytes ki = crypto::hkdf_expand(prk, core::to_bytes("esp i2r key"), 16);
+  const Bytes si = crypto::hkdf_expand(prk, core::to_bytes("esp i2r salt"), 4);
+  const Bytes kr = crypto::hkdf_expand(prk, core::to_bytes("esp r2i key"), 16);
+  const Bytes sr = crypto::hkdf_expand(prk, core::to_bytes("esp r2i salt"), 4);
+
+  constexpr std::uint32_t kSpiI2r = 0x1001, kSpiR2i = 0x2002;
+  EspSaPair pair;
+  if (initiator_) {
+    pair.outbound = std::make_unique<EspSa>(kSpiI2r, ki, si);
+    pair.inbound = std::make_unique<EspSa>(kSpiR2i, kr, sr);
+  } else {
+    pair.outbound = std::make_unique<EspSa>(kSpiR2i, kr, sr);
+    pair.inbound = std::make_unique<EspSa>(kSpiI2r, ki, si);
+  }
+  return pair;
+}
+
+}  // namespace avsec::secproto

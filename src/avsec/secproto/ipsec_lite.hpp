@@ -1,0 +1,88 @@
+// IPsec-lite: ESP tunnel-mode encapsulation with AES-GCM (RFC 4106 shape)
+// and a two-message IKE-style key exchange (X25519 + HKDF into an SA pair).
+//
+// ESP packet layout:
+//   [ SPI (4) | sequence (4) | ciphertext | ICV (16) ]
+// The anti-replay window follows RFC 4303's sliding-window semantics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "avsec/crypto/drbg.hpp"
+#include "avsec/crypto/hmac.hpp"
+#include "avsec/crypto/modes.hpp"
+#include "avsec/crypto/x25519.hpp"
+
+namespace avsec::secproto {
+
+using core::Bytes;
+using core::BytesView;
+
+struct EspStats {
+  std::uint64_t sealed = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t replay_dropped = 0;
+  std::uint64_t auth_failed = 0;
+  std::uint64_t malformed = 0;
+};
+
+/// One unidirectional ESP security association.
+class EspSa {
+ public:
+  EspSa(std::uint32_t spi, BytesView key16, BytesView salt4,
+        std::uint32_t replay_window = 64);
+
+  /// Encapsulates an inner packet.
+  Bytes seal(BytesView inner_packet);
+
+  /// Decapsulates; enforces SPI match and anti-replay.
+  std::optional<Bytes> open(BytesView esp_packet);
+
+  const EspStats& stats() const { return stats_; }
+  static constexpr std::size_t kOverhead = 4 + 4 + 16;
+
+ private:
+  Bytes nonce_for(std::uint32_t seq) const;
+  bool replay_check_and_update(std::uint32_t seq);
+
+  std::uint32_t spi_;
+  crypto::AesGcm gcm_;
+  Bytes salt_;
+  std::uint32_t seq_tx_ = 0;
+  std::uint32_t window_;
+  std::uint32_t highest_ = 0;
+  std::uint64_t window_bits_ = 0;
+  EspStats stats_;
+};
+
+/// Two-message IKE-style exchange producing a pair of SAs (one per
+/// direction) on both peers.
+struct IkeInitMessage {
+  crypto::X25519Key share{};
+  Bytes nonce;  // 16B
+};
+
+struct EspSaPair {
+  std::unique_ptr<EspSa> outbound;
+  std::unique_ptr<EspSa> inbound;
+};
+
+class IkePeer {
+ public:
+  IkePeer(std::uint64_t seed, bool initiator);
+
+  IkeInitMessage init();
+
+  /// Completes the exchange with the peer's message; both sides derive the
+  /// same keys (directions swapped by role).
+  EspSaPair complete(const IkeInitMessage& peer);
+
+ private:
+  crypto::CtrDrbg drbg_;
+  bool initiator_;
+  crypto::X25519Key priv_{};
+  IkeInitMessage mine_;
+};
+
+}  // namespace avsec::secproto

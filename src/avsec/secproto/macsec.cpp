@@ -1,0 +1,195 @@
+#include "avsec/secproto/macsec.hpp"
+
+namespace avsec::secproto {
+
+namespace {
+constexpr std::uint8_t kTciAn = 0x2C;  // SC bit set, E+C set, AN=0
+constexpr std::size_t kSecTagLen = 14;
+}  // namespace
+
+MacsecChannel::MacsecChannel(BytesView sak, std::uint64_t sci,
+                             std::uint32_t replay_window)
+    : gcm_(sak), sci_(sci), replay_window_(replay_window) {}
+
+Bytes MacsecChannel::build_iv(std::uint32_t pn) const {
+  // 96-bit IV = SCI (8B) || PN (4B), the 802.1AE construction.
+  Bytes iv;
+  core::append_be(iv, sci_, 8);
+  core::append_be(iv, pn, 4);
+  return iv;
+}
+
+EthFrame MacsecChannel::protect(const EthFrame& plain) {
+  const std::uint32_t pn = next_pn_++;
+
+  Bytes sectag;
+  sectag.push_back(kTciAn);
+  sectag.push_back(0);  // SL = 0 (no short-length)
+  core::append_be(sectag, pn, 4);
+  core::append_be(sectag, sci_, 8);
+
+  // AAD = dst || src || MACsec EtherType || SecTAG.
+  Bytes aad;
+  core::append(aad, BytesView(plain.dst.data(), 6));
+  core::append(aad, BytesView(plain.src.data(), 6));
+  core::append_be(aad, netsim::kEtherTypeMacsec, 2);
+  core::append(aad, sectag);
+
+  // Confidentiality covers the original EtherType + payload.
+  Bytes secret;
+  core::append_be(secret, plain.ethertype, 2);
+  core::append(secret, plain.payload);
+
+  Bytes tag;
+  const Bytes ct = gcm_.seal(build_iv(pn), aad, secret, tag);
+
+  EthFrame out;
+  out.dst = plain.dst;
+  out.src = plain.src;
+  out.ethertype = netsim::kEtherTypeMacsec;
+  out.payload = sectag;
+  core::append(out.payload, ct);
+  core::append(out.payload, tag);
+  ++stats_.protected_frames;
+  return out;
+}
+
+std::optional<EthFrame> MacsecChannel::unprotect(const EthFrame& secured) {
+  if (secured.ethertype != netsim::kEtherTypeMacsec ||
+      secured.payload.size() < kSecTagLen + 16 + 2) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+  const BytesView sectag(secured.payload.data(), kSecTagLen);
+  const std::uint32_t pn =
+      static_cast<std::uint32_t>(core::read_be(sectag, 2, 4));
+  const std::uint64_t sci = core::read_be(sectag, 6, 8);
+  if (sci != sci_) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+
+  // Replay check (strict when window == 0: PN must strictly increase).
+  if (replay_window_ == 0) {
+    if (pn <= highest_rx_pn_) {
+      ++stats_.replay_dropped;
+      return std::nullopt;
+    }
+  } else if (pn + replay_window_ <= highest_rx_pn_) {
+    ++stats_.replay_dropped;
+    return std::nullopt;
+  }
+
+  Bytes aad;
+  core::append(aad, BytesView(secured.dst.data(), 6));
+  core::append(aad, BytesView(secured.src.data(), 6));
+  core::append_be(aad, netsim::kEtherTypeMacsec, 2);
+  core::append(aad, sectag);
+
+  const std::size_t ct_len = secured.payload.size() - kSecTagLen - 16;
+  const BytesView ct(secured.payload.data() + kSecTagLen, ct_len);
+  const BytesView tag(secured.payload.data() + kSecTagLen + ct_len, 16);
+
+  auto pt = gcm_.open(build_iv(pn), aad, ct, tag);
+  if (!pt) {
+    ++stats_.auth_failed;
+    return std::nullopt;
+  }
+  if (pn > highest_rx_pn_) highest_rx_pn_ = pn;
+
+  EthFrame out;
+  out.dst = secured.dst;
+  out.src = secured.src;
+  out.ethertype = static_cast<std::uint16_t>(core::read_be(*pt, 0, 2));
+  out.payload.assign(pt->begin() + 2, pt->end());
+  ++stats_.accepted;
+  return out;
+}
+
+MkaPeer::MkaPeer(BytesView cak, BytesView ckn)
+    : cak_(cak.begin(), cak.end()) {
+  // 802.1X-2020 derives KEK and ICK from the CAK via AES-CMAC KDFs; the
+  // HKDF labels here play the same role.
+  kek_ = crypto::hkdf(ckn, cak, core::to_bytes("IEEE8021 KEK"), 16);
+  ick_ = crypto::hkdf(ckn, cak, core::to_bytes("IEEE8021 ICK"), 16);
+}
+
+Bytes MkaPeer::derive_sak(BytesView server_nonce, BytesView peer_nonce,
+                          std::uint32_t key_number) const {
+  Bytes info = core::to_bytes("IEEE8021 SAK");
+  core::append(info, server_nonce);
+  core::append(info, peer_nonce);
+  core::append_be(info, key_number, 4);
+  return crypto::hkdf({}, cak_, info, 16);
+}
+
+Bytes MkaPeer::wrap_sak(BytesView sak, std::uint32_t key_number) const {
+  crypto::AesGcm gcm(kek_);
+  Bytes iv(12, 0);
+  for (int i = 0; i < 4; ++i) {
+    iv[8 + i] = static_cast<std::uint8_t>(key_number >> (24 - 8 * i));
+  }
+  Bytes tag;
+  Bytes ct = gcm.seal(iv, ick_, sak, tag);
+  core::append(ct, tag);
+  return ct;
+}
+
+std::optional<Bytes> MkaPeer::unwrap_sak(BytesView wrapped,
+                                         std::uint32_t key_number) const {
+  if (wrapped.size() < 16) return std::nullopt;
+  crypto::AesGcm gcm(kek_);
+  Bytes iv(12, 0);
+  for (int i = 0; i < 4; ++i) {
+    iv[8 + i] = static_cast<std::uint8_t>(key_number >> (24 - 8 * i));
+  }
+  const std::size_t ct_len = wrapped.size() - 16;
+  return gcm.open(iv, ick_, BytesView(wrapped.data(), ct_len),
+                  BytesView(wrapped.data() + ct_len, 16));
+}
+
+RekeyingSecy::RekeyingSecy(BytesView cak, BytesView ckn, std::uint64_t sci,
+                           Distribute distribute,
+                           std::uint32_t rekey_after_frames)
+    : mka_(cak, ckn), sci_(sci), distribute_(std::move(distribute)),
+      rekey_after_(rekey_after_frames) {
+  rotate();
+}
+
+void RekeyingSecy::rotate() {
+  ++key_number_;
+  if (key_number_ > 1) ++rekeys_;
+  // Nonce material: the key number itself suffices here because the CAK
+  // is pre-shared and the derivation is per key number.
+  Bytes n1, n2;
+  core::append_be(n1, key_number_, 4);
+  core::append_be(n2, sci_, 8);
+  const Bytes sak = mka_.derive_sak(n1, n2, key_number_);
+  tx_ = std::make_unique<MacsecChannel>(sak, sci_);
+  if (distribute_) distribute_(mka_.wrap_sak(sak, key_number_), key_number_);
+}
+
+EthFrame RekeyingSecy::protect(const EthFrame& plain) {
+  if (tx_->next_pn() > rekey_after_) rotate();
+  return tx_->protect(plain);
+}
+
+bool RekeyingSecy::install_sak(BytesView wrapped, std::uint32_t key_number) {
+  const auto sak = mka_.unwrap_sak(wrapped, key_number);
+  if (!sak) return false;
+  rx_previous_ = std::move(rx_current_);
+  rx_current_ = std::make_unique<MacsecChannel>(*sak, sci_);
+  return true;
+}
+
+std::optional<EthFrame> RekeyingSecy::unprotect(const EthFrame& secured) {
+  if (rx_current_) {
+    if (auto out = rx_current_->unprotect(secured)) return out;
+  }
+  if (rx_previous_) {
+    if (auto out = rx_previous_->unprotect(secured)) return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace avsec::secproto

@@ -1,0 +1,134 @@
+// IEEE 802.1AE MACsec: SecTAG + AES-GCM protection of Ethernet frames,
+// with replay-window enforcement, and a lightweight MKA-style key
+// agreement that derives and distributes SAKs from a pre-shared CAK.
+//
+// SecTAG layout used here (matching 802.1AE with explicit 8-byte SCI):
+//   [ TCI/AN (1) | SL (1) | PN (4) | SCI (8) ]
+// The protected frame keeps EtherType 0x88E5; the original EtherType is
+// carried encrypted as the first two payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "avsec/crypto/hmac.hpp"
+#include "avsec/crypto/modes.hpp"
+#include "avsec/netsim/ethernet.hpp"
+
+namespace avsec::secproto {
+
+using core::Bytes;
+using core::BytesView;
+using netsim::EthFrame;
+
+struct MacsecStats {
+  std::uint64_t protected_frames = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t replay_dropped = 0;
+  std::uint64_t auth_failed = 0;
+  std::uint64_t malformed = 0;
+};
+
+/// One unidirectional secure channel (SC), identified by an 8-byte SCI.
+/// A SecY owns a TX channel and any number of RX channels.
+class MacsecChannel {
+ public:
+  /// `sak` is the 16-byte secure association key; `sci` identifies the
+  /// transmitting station.
+  MacsecChannel(BytesView sak, std::uint64_t sci,
+                std::uint32_t replay_window = 0);
+
+  /// Encrypt+authenticate (TX side).
+  EthFrame protect(const EthFrame& plain);
+
+  /// Verify+decrypt (RX side). Returns the recovered plain frame.
+  std::optional<EthFrame> unprotect(const EthFrame& secured);
+
+  const MacsecStats& stats() const { return stats_; }
+  std::uint32_t next_pn() const { return next_pn_; }
+  std::uint64_t sci() const { return sci_; }
+
+  /// Per-frame byte overhead (SecTAG + ICV).
+  static constexpr std::size_t kOverhead = 14 + 16;
+
+ private:
+  Bytes build_iv(std::uint32_t pn) const;
+
+  crypto::AesGcm gcm_;
+  std::uint64_t sci_;
+  std::uint32_t replay_window_;
+  std::uint32_t next_pn_ = 1;       // TX packet number
+  std::uint32_t highest_rx_pn_ = 0; // RX replay state
+  MacsecStats stats_;
+};
+
+/// MKA-lite: derives the KEK/ICK and a SAK from a pre-shared CAK, and
+/// wraps/unwraps SAK distribution messages (the essence of IEEE 802.1X
+/// MKA without the liveness state machine).
+class MkaPeer {
+ public:
+  MkaPeer(BytesView cak, BytesView ckn);
+
+  /// Key server side: generates SAK number `key_number` from the CAK and
+  /// both parties' nonces.
+  Bytes derive_sak(BytesView server_nonce, BytesView peer_nonce,
+                   std::uint32_t key_number) const;
+
+  /// Wraps a SAK for distribution (AES-GCM under the KEK).
+  Bytes wrap_sak(BytesView sak, std::uint32_t key_number) const;
+
+  /// Unwraps a distributed SAK; nullopt if tampered or wrong CAK.
+  std::optional<Bytes> unwrap_sak(BytesView wrapped,
+                                  std::uint32_t key_number) const;
+
+ private:
+  Bytes kek_;  // key-encrypting key
+  Bytes ick_;  // integrity check key (folded into GCM AAD here)
+  Bytes cak_;
+};
+
+/// A SecY pair with automatic SAK rotation: 802.1AE forbids PN reuse, so
+/// the key server must distribute a fresh SAK before the 32-bit PN space
+/// runs out. This wrapper owns the TX channel, watches PN consumption and
+/// rotates through MKA when the configured threshold is crossed; the RX
+/// side accepts the current and the previous association (AN rollover).
+class RekeyingSecy {
+ public:
+  /// `distribute` delivers the wrapped SAK + key number to the peer(s)
+  /// (e.g. over the control channel); called at construction for key 1
+  /// and at every rotation.
+  using Distribute =
+      std::function<void(const Bytes& wrapped_sak, std::uint32_t key_number)>;
+
+  RekeyingSecy(BytesView cak, BytesView ckn, std::uint64_t sci,
+               Distribute distribute, std::uint32_t rekey_after_frames);
+
+  /// TX: protect, rotating the SAK first when the PN budget is spent.
+  EthFrame protect(const EthFrame& plain);
+
+  /// RX-side companion: accepts a distributed SAK.
+  bool install_sak(BytesView wrapped, std::uint32_t key_number);
+
+  /// RX: tries the current, then the previous association.
+  std::optional<EthFrame> unprotect(const EthFrame& secured);
+
+  std::uint32_t current_key_number() const { return key_number_; }
+  std::uint64_t rekeys() const { return rekeys_; }
+
+ private:
+  void rotate();
+
+  MkaPeer mka_;
+  std::uint64_t sci_;
+  Distribute distribute_;
+  std::uint32_t rekey_after_;
+  std::uint32_t key_number_ = 0;
+  std::uint64_t rekeys_ = 0;
+  std::unique_ptr<MacsecChannel> tx_;
+  std::unique_ptr<MacsecChannel> rx_current_;
+  std::unique_ptr<MacsecChannel> rx_previous_;
+};
+
+}  // namespace avsec::secproto

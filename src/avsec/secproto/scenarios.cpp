@@ -1,0 +1,286 @@
+#include "avsec/secproto/scenarios.hpp"
+
+#include "avsec/crypto/drbg.hpp"
+
+namespace avsec::secproto {
+
+namespace {
+
+using netsim::CanFrame;
+using netsim::EthFrame;
+
+/// Application PDU = [ tag (8B) | deterministic filler ].
+core::Bytes make_app_pdu(std::uint64_t tag, std::size_t size) {
+  core::Bytes pdu;
+  core::append_be(pdu, tag, 8);
+  const core::Bytes filler =
+      netsim::test_payload(tag, size > 8 ? size - 8 : 0);
+  core::append(pdu, filler);
+  return pdu;
+}
+
+std::uint64_t pdu_tag(core::BytesView pdu) {
+  return core::read_be(pdu, 0, 8);
+}
+
+void finish_report(ScenarioReport& r, const netsim::LatencyProbe& probe) {
+  r.latency_mean_us = probe.latencies_us().mean();
+  r.latency_p99_us = probe.latencies_us().quantile(0.99);
+  r.pdus_delivered = probe.latencies_us().count();
+}
+
+}  // namespace
+
+ScenarioReport run_scenario_s1(const ScenarioConfig& config) {
+  core::Scheduler sim;
+  netsim::ZonalTopologyConfig topo_cfg;
+  netsim::ZonalTopology topo(sim, topo_cfg);
+  const ProcessingModel& pm = config.processing;
+
+  crypto::CtrDrbg drbg(config.seed);
+  const core::Bytes secoc_key = drbg.generate(16);
+  const core::Bytes sak = drbg.generate(16);
+
+  SecOcSender ecu_tx(secoc_key);
+  SecOcReceiver zc_rx(secoc_key);
+  MacsecChannel zc_tx(sak, /*sci=*/0x51C1, 0);
+  MacsecChannel cc_rx(sak, /*sci=*/0x51C1, 0);
+
+  ScenarioReport report;
+  report.name = "S1 SECOC+MACsec";
+  netsim::LatencyProbe probe(sim);
+  constexpr std::uint16_t kDataId = 0x0101;
+
+  // CC: MACsec termination.
+  topo.cc_nic().set_rx([&](const EthFrame& f, core::SimTime) {
+    sim.schedule_in(pm.macsec_op, [&, f] {
+      auto plain = cc_rx.unprotect(f);
+      if (!plain) {
+        ++report.pdus_rejected;
+        return;
+      }
+      probe.mark_received(pdu_tag(plain->payload));
+    });
+  });
+
+  // ZC1 gateway: SECOC verify, then MACsec protect toward CC.
+  topo.can_bus().set_rx(
+      topo.zc1_can_node(),
+      [&](int, const CanFrame& f, core::SimTime) {
+        sim.schedule_in(
+            pm.secoc_verify + pm.gateway_forward, [&, payload = f.payload] {
+              auto data = zc_rx.verify(kDataId, payload);
+              if (!data) {
+                ++report.pdus_rejected;
+                return;
+              }
+              sim.schedule_in(pm.macsec_op, [&, d = *data] {
+                EthFrame out;
+                out.dst = topo.cc_mac();
+                out.src = topo.zc1_mac();  // bound into the MACsec ICV
+                out.payload = d;
+                topo.zc1_nic().send(zc_tx.protect(out));
+              });
+            });
+      });
+
+  // ECU 0: periodic secured PDUs.
+  const int ecu = topo.can_endpoint_node(0);
+  netsim::PeriodicSource source(
+      sim, config.period,
+      [&](std::uint64_t seq) {
+        probe.mark_sent(seq);
+        const core::Bytes pdu = make_app_pdu(seq, config.app_payload);
+        sim.schedule_in(pm.secoc_protect, [&, pdu] {
+          CanFrame f;
+          f.id = 0x100;
+          f.protocol = netsim::CanProtocol::kFd;
+          f.payload = ecu_tx.protect(kDataId, pdu);
+          topo.can_bus().send(ecu, std::move(f));
+        });
+        ++report.pdus_sent;
+      },
+      config.pdu_count);
+  source.start();
+
+  sim.run_until(config.period * static_cast<std::int64_t>(config.pdu_count) +
+                core::milliseconds(50));
+
+  finish_report(report, probe);
+  report.overhead_bytes_per_pdu =
+      ecu_tx.overhead_bytes() + MacsecChannel::kOverhead;
+  report.gateway_session_keys = 2;      // SECOC key + SAK
+  report.gateway_crypto_ops_per_pdu = 2;  // verify + protect
+  report.confidentiality = false;  // SECOC leg is authentication-only
+  report.zone_bus_load = topo.can_bus().bus_load();
+  return report;
+}
+
+ScenarioReport run_scenario_s2(const ScenarioConfig& config,
+                               bool end_to_end) {
+  core::Scheduler sim;
+  netsim::ZonalTopologyConfig topo_cfg;
+  netsim::ZonalTopology topo(sim, topo_cfg);
+  const ProcessingModel& pm = config.processing;
+
+  crypto::CtrDrbg drbg(config.seed);
+  const core::Bytes sak_e2e = drbg.generate(16);
+  const core::Bytes sak_hop1 = drbg.generate(16);
+  const core::Bytes sak_hop2 = drbg.generate(16);
+
+  // End-to-end channel: endpoint <-> CC directly.
+  MacsecChannel ep_tx_e2e(sak_e2e, 0xE2E, 0), cc_rx_e2e(sak_e2e, 0xE2E, 0);
+  // Hop-by-hop: endpoint <-> ZC2, ZC2 <-> CC.
+  MacsecChannel ep_tx_hop(sak_hop1, 0xA1, 0), zc_rx_hop(sak_hop1, 0xA1, 0);
+  MacsecChannel zc_tx_hop(sak_hop2, 0xA2, 0), cc_rx_hop(sak_hop2, 0xA2, 0);
+
+  ScenarioReport report;
+  report.name = end_to_end ? "S2a MACsec end-to-end" : "S2b MACsec per-hop";
+  netsim::LatencyProbe probe(sim);
+
+  topo.cc_nic().set_rx([&](const EthFrame& f, core::SimTime) {
+    sim.schedule_in(pm.macsec_op, [&, f] {
+      auto plain = end_to_end ? cc_rx_e2e.unprotect(f) : cc_rx_hop.unprotect(f);
+      if (!plain) {
+        ++report.pdus_rejected;
+        return;
+      }
+      probe.mark_received(pdu_tag(plain->payload));
+    });
+  });
+
+  // ZC2 bridges the T1S segment to the backbone.
+  topo.t1s_bus().set_rx(
+      topo.zc2_t1s_node(),
+      [&](int, const EthFrame& f, core::SimTime) {
+        if (end_to_end) {
+          // Forward opaque (still MACsec-protected) frame; no keys held.
+          sim.schedule_in(pm.gateway_forward, [&, f] {
+            EthFrame out = f;
+            out.dst = topo.cc_mac();
+            topo.zc2_nic().send(out);
+          });
+          return;
+        }
+        // Hop-by-hop: unprotect, then re-protect for the backbone hop.
+        sim.schedule_in(pm.gateway_forward + pm.macsec_op, [&, f] {
+          auto plain = zc_rx_hop.unprotect(f);
+          if (!plain) {
+            ++report.pdus_rejected;
+            return;
+          }
+          sim.schedule_in(pm.macsec_op, [&, p = *plain] {
+            EthFrame out = p;
+            out.dst = topo.cc_mac();
+            topo.zc2_nic().send(zc_tx_hop.protect(out));
+          });
+        });
+      });
+
+  const int ep = topo.t1s_endpoint_node(0);
+  netsim::PeriodicSource source(
+      sim, config.period,
+      [&](std::uint64_t seq) {
+        probe.mark_sent(seq);
+        EthFrame f;
+        f.dst = topo.cc_mac();  // logical destination is always CC
+        f.src = netsim::mac_from_index(0x10);
+        f.payload = make_app_pdu(seq, config.app_payload);
+        sim.schedule_in(pm.macsec_op, [&, f] {
+          topo.t1s_bus().send(ep, end_to_end ? ep_tx_e2e.protect(f)
+                                             : ep_tx_hop.protect(f));
+        });
+        ++report.pdus_sent;
+      },
+      config.pdu_count);
+  source.start();
+
+  sim.run_until(config.period * static_cast<std::int64_t>(config.pdu_count) +
+                core::milliseconds(50));
+
+  finish_report(report, probe);
+  report.overhead_bytes_per_pdu = MacsecChannel::kOverhead;
+  report.gateway_session_keys = end_to_end ? 0 : 2;
+  report.gateway_crypto_ops_per_pdu = end_to_end ? 0 : 2;
+  report.confidentiality = true;
+  report.zone_bus_load = topo.t1s_bus().bus_load();
+  return report;
+}
+
+ScenarioReport run_scenario_s3(const ScenarioConfig& config,
+                               netsim::CanProtocol protocol) {
+  core::Scheduler sim;
+  netsim::ZonalTopologyConfig topo_cfg;
+  netsim::ZonalTopology topo(sim, topo_cfg);
+  const ProcessingModel& pm = config.processing;
+
+  crypto::CtrDrbg drbg(config.seed);
+  const core::Bytes sak = drbg.generate(16);
+  MacsecChannel ecu_tx(sak, 0xC0FFEE, 0), cc_rx(sak, 0xC0FFEE, 0);
+
+  ScenarioReport report;
+  report.name = std::string("S3 CANAL+MACsec e2e (") +
+                (protocol == netsim::CanProtocol::kXl ? "CAN XL" : "CAN FD") +
+                ")";
+  netsim::LatencyProbe probe(sim);
+
+  topo.cc_nic().set_rx([&](const EthFrame& f, core::SimTime) {
+    sim.schedule_in(pm.macsec_op, [&, f] {
+      auto plain = cc_rx.unprotect(f);
+      if (!plain) {
+        ++report.pdus_rejected;
+        return;
+      }
+      probe.mark_received(pdu_tag(plain->payload));
+    });
+  });
+
+  // ECU and gateway CANAL ports on the zone-1 CAN bus.
+  CanalPort ecu_port(topo.can_bus(), topo.can_endpoint_node(0), 0x200,
+                     protocol);
+  CanalPort zc_port(topo.can_bus(), topo.zc1_can_node(), 0x201, protocol);
+  std::uint64_t segments_for_overhead = 0;
+
+  // Gateway: reassembled Ethernet frames are forwarded opaque to CC.
+  zc_port.set_on_eth([&](int, const EthFrame& f, core::SimTime) {
+    sim.schedule_in(pm.gateway_forward, [&, f] {
+      EthFrame out = f;
+      out.dst = topo.cc_mac();
+      topo.zc1_nic().send(out);
+    });
+  });
+
+  netsim::PeriodicSource source(
+      sim, config.period,
+      [&](std::uint64_t seq) {
+        probe.mark_sent(seq);
+        EthFrame f;
+        f.dst = topo.cc_mac();
+        f.src = netsim::mac_from_index(0x20);
+        f.payload = make_app_pdu(seq, config.app_payload);
+        sim.schedule_in(pm.macsec_op + pm.canal_per_segment, [&, f] {
+          const std::uint64_t before = ecu_port.segments_sent();
+          ecu_port.send_eth(ecu_tx.protect(f));
+          segments_for_overhead = ecu_port.segments_sent() - before;
+        });
+        ++report.pdus_sent;
+      },
+      config.pdu_count);
+  source.start();
+
+  sim.run_until(config.period * static_cast<std::int64_t>(config.pdu_count) +
+                core::milliseconds(50));
+
+  finish_report(report, probe);
+  report.overhead_bytes_per_pdu =
+      MacsecChannel::kOverhead +
+      static_cast<std::size_t>(segments_for_overhead) * kCanalHeaderLen +
+      kCanalTrailerLen + 14;  // CANAL headers + trailer + tunneled Eth header
+  report.gateway_session_keys = 0;
+  report.gateway_crypto_ops_per_pdu = 0;
+  report.confidentiality = true;
+  report.zone_bus_load = topo.can_bus().bus_load();
+  return report;
+}
+
+}  // namespace avsec::secproto

@@ -1,0 +1,75 @@
+// The paper's three IVN security-deployment scenarios (Figs. 4-6), wired
+// onto the Fig. 3 zonal topology:
+//
+//  S1: ECU --[CAN FD + SECOC]--> ZC1 --[Ethernet + MACsec]--> CC
+//      Gateway terminates SECOC and re-protects with MACsec; it must hold
+//      keys for both domains and pay per-PDU crypto twice.
+//  S2: endpoint --[10BASE-T1S]--> ZC2 --[Ethernet]--> CC, MACsec either
+//      end-to-end (S2a: no keys at the gateway, headers immutable) or
+//      point-to-point per hop (S2b: gateway re-protects).
+//  S3: ECU --[CAN + CANAL carrying MACsec-protected Ethernet]--> ZC1
+//      --[Ethernet]--> CC. Security is end-to-end; the gateway only
+//      reassembles/forwards below the security layer.
+//
+// Each stack drives one application flow (periodic fixed-size PDUs from an
+// endpoint to central computing) and reports latency, overhead, gateway
+// key storage and per-PDU gateway crypto operations.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "avsec/netsim/topology.hpp"
+#include "avsec/netsim/traffic.hpp"
+#include "avsec/secproto/canal.hpp"
+#include "avsec/secproto/macsec.hpp"
+#include "avsec/secproto/secoc.hpp"
+
+namespace avsec::secproto {
+
+/// Security-processing cost model (simulated compute latency per
+/// operation). Defaults reflect the paper's qualitative points: SECOC is a
+/// software stack on small ECUs; MACsec has hardware support.
+struct ProcessingModel {
+  core::SimTime secoc_protect = core::microseconds(20);
+  core::SimTime secoc_verify = core::microseconds(20);
+  core::SimTime macsec_op = core::microseconds(2);   // HW-assisted
+  core::SimTime gateway_forward = core::microseconds(5);
+  core::SimTime canal_per_segment = core::microseconds(1);
+};
+
+/// Everything a scenario run reports (one row of the FIG4/5/6 tables).
+struct ScenarioReport {
+  std::string name;
+  std::uint64_t pdus_sent = 0;
+  std::uint64_t pdus_delivered = 0;
+  std::uint64_t pdus_rejected = 0;
+  double latency_mean_us = 0.0;
+  double latency_p99_us = 0.0;
+  std::size_t overhead_bytes_per_pdu = 0;  // security bytes on the wire
+  int gateway_session_keys = 0;
+  int gateway_crypto_ops_per_pdu = 0;
+  bool confidentiality = false;
+  double zone_bus_load = 0.0;
+};
+
+struct ScenarioConfig {
+  std::size_t app_payload = 32;      // application bytes per PDU
+  std::uint64_t pdu_count = 200;
+  core::SimTime period = core::milliseconds(1);
+  ProcessingModel processing;
+  std::uint64_t seed = 7;
+};
+
+/// Runs scenario S1 to completion on a fresh topology.
+ScenarioReport run_scenario_s1(const ScenarioConfig& config);
+
+/// Runs scenario S2; `end_to_end` selects S2a (true) or S2b (false).
+ScenarioReport run_scenario_s2(const ScenarioConfig& config, bool end_to_end);
+
+/// Runs scenario S3; `protocol` selects the CAN generation carrying CANAL
+/// (kFd or kXl).
+ScenarioReport run_scenario_s3(const ScenarioConfig& config,
+                               netsim::CanProtocol protocol);
+
+}  // namespace avsec::secproto

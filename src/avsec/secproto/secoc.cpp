@@ -1,0 +1,174 @@
+#include "avsec/secproto/secoc.hpp"
+
+#include <stdexcept>
+
+namespace avsec::secproto {
+
+namespace {
+
+/// Packs the low `bits` of `value` big-endian into ceil(bits/8) bytes.
+Bytes pack_bits(std::uint64_t value, std::size_t bits) {
+  const std::size_t bytes = (bits + 7) / 8;
+  const std::uint64_t mask =
+      bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+  Bytes out;
+  core::append_be(out, value & mask, bytes);
+  return out;
+}
+
+std::uint64_t unpack_bits(BytesView data, std::size_t offset,
+                          std::size_t bits) {
+  const std::size_t bytes = (bits + 7) / 8;
+  return core::read_be(data, offset, bytes);
+}
+
+}  // namespace
+
+std::uint64_t FreshnessManager::next_tx(std::uint16_t data_id) {
+  return ++tx_[data_id];
+}
+
+std::uint64_t FreshnessManager::current_tx(std::uint16_t data_id) const {
+  const auto it = tx_.find(data_id);
+  return it == tx_.end() ? 0 : it->second;
+}
+
+std::uint64_t FreshnessManager::expected_rx(std::uint16_t data_id) const {
+  const auto it = rx_last_.find(data_id);
+  return (it == rx_last_.end() ? 0 : it->second) + 1;
+}
+
+void FreshnessManager::commit_rx(std::uint16_t data_id, std::uint64_t value) {
+  rx_last_[data_id] = value;
+}
+
+Bytes secoc_mac_input(std::uint16_t data_id, BytesView data,
+                      std::uint64_t freshness) {
+  Bytes input;
+  core::append_be(input, data_id, 2);
+  core::append(input, data);
+  core::append_be(input, freshness, 8);
+  return input;
+}
+
+SecOcSender::SecOcSender(BytesView key16, SecOcConfig config)
+    : cmac_(key16), config_(config) {}
+
+std::size_t SecOcSender::overhead_bytes() const {
+  return (config_.freshness_bits + 7) / 8 + (config_.mac_bits + 7) / 8;
+}
+
+Bytes SecOcSender::protect(std::uint16_t data_id, BytesView data) {
+  const std::uint64_t freshness = fvm_.next_tx(data_id);
+  const Bytes mac = cmac_.mac_truncated(
+      secoc_mac_input(data_id, data, freshness), (config_.mac_bits + 7) / 8);
+
+  Bytes pdu(data.begin(), data.end());
+  core::append(pdu, pack_bits(freshness, config_.freshness_bits));
+  core::append(pdu, mac);
+  return pdu;
+}
+
+SecOcReceiver::SecOcReceiver(BytesView key16, SecOcConfig config)
+    : cmac_(key16), config_(config) {}
+
+std::optional<Bytes> SecOcReceiver::verify(std::uint16_t data_id,
+                                           BytesView secured_pdu,
+                                           SecOcVerdict* verdict) {
+  auto fail = [&](SecOcVerdict v) -> std::optional<Bytes> {
+    if (verdict) *verdict = v;
+    ++rejected_;
+    return std::nullopt;
+  };
+
+  const std::size_t fresh_bytes = (config_.freshness_bits + 7) / 8;
+  const std::size_t mac_bytes = (config_.mac_bits + 7) / 8;
+  if (secured_pdu.size() < fresh_bytes + mac_bytes) {
+    return fail(SecOcVerdict::kMalformed);
+  }
+  const std::size_t data_len = secured_pdu.size() - fresh_bytes - mac_bytes;
+  const BytesView data(secured_pdu.data(), data_len);
+  const std::uint64_t truncated_fresh =
+      unpack_bits(secured_pdu, data_len, config_.freshness_bits);
+  const BytesView mac(secured_pdu.data() + data_len + fresh_bytes, mac_bytes);
+
+  // Reconstruct the full freshness: find the smallest counter >= expected
+  // whose low bits match the truncated value, within the acceptance window.
+  const std::uint64_t expected = fvm_.expected_rx(data_id);
+  const std::uint64_t mod =
+      config_.freshness_bits >= 64 ? 0 : (1ULL << config_.freshness_bits);
+  bool tried_any = false;
+  for (std::uint64_t candidate = expected;
+       candidate < expected + config_.acceptance_window; ++candidate) {
+    const std::uint64_t low =
+        mod == 0 ? candidate : (candidate % mod);
+    if (low != truncated_fresh) continue;
+    tried_any = true;
+    const Bytes expect_mac = cmac_.mac_truncated(
+        secoc_mac_input(data_id, data, candidate), mac_bytes);
+    if (core::ct_equal(expect_mac, mac)) {
+      fvm_.commit_rx(data_id, candidate);
+      ++accepted_;
+      if (verdict) *verdict = SecOcVerdict::kOk;
+      return Bytes(data.begin(), data.end());
+    }
+    // A matching truncated freshness with a bad MAC is a hard failure for
+    // this candidate; keep scanning the window (the true counter may be
+    // one wrap further out).
+  }
+  return fail(tried_any ? SecOcVerdict::kMacMismatch
+                        : SecOcVerdict::kFreshnessExhausted);
+}
+
+void SecOcReceiver::resync(std::uint16_t data_id, std::uint64_t last_seen) {
+  fvm_.commit_rx(data_id, last_seen);
+}
+
+namespace {
+
+Bytes sync_mac_input(std::uint64_t seq, std::uint16_t data_id,
+                     std::uint64_t counter) {
+  Bytes input = core::to_bytes("secoc-fv-sync");
+  core::append_be(input, seq, 8);
+  core::append_be(input, data_id, 2);
+  core::append_be(input, counter, 8);
+  return input;
+}
+
+}  // namespace
+
+FreshnessSyncMaster::FreshnessSyncMaster(BytesView key16) : cmac_(key16) {}
+
+Bytes FreshnessSyncMaster::make_sync(std::uint16_t data_id,
+                                     std::uint64_t counter) {
+  const std::uint64_t seq = ++seq_;
+  Bytes msg;
+  core::append_be(msg, seq, 8);
+  core::append_be(msg, data_id, 2);
+  core::append_be(msg, counter, 8);
+  core::append(msg, cmac_.mac_truncated(sync_mac_input(seq, data_id, counter),
+                                        8));
+  return msg;
+}
+
+FreshnessSyncSlave::FreshnessSyncSlave(BytesView key16) : cmac_(key16) {}
+
+bool FreshnessSyncSlave::apply(BytesView sync_message,
+                               SecOcReceiver& receiver) {
+  if (sync_message.size() != 8 + 2 + 8 + 8) return false;
+  const std::uint64_t seq = core::read_be(sync_message, 0, 8);
+  const auto data_id =
+      static_cast<std::uint16_t>(core::read_be(sync_message, 8, 2));
+  const std::uint64_t counter = core::read_be(sync_message, 10, 8);
+  const BytesView mac(sync_message.data() + 18, 8);
+
+  const Bytes expect =
+      cmac_.mac_truncated(sync_mac_input(seq, data_id, counter), 8);
+  if (!core::ct_equal(expect, mac)) return false;
+  if (seq <= highest_seq_) return false;  // replayed or stale sync
+  highest_seq_ = seq;
+  receiver.resync(data_id, counter);
+  return true;
+}
+
+}  // namespace avsec::secproto

@@ -1,0 +1,141 @@
+// AUTOSAR Secure Onboard Communication (SECOC) — authentication-only
+// protection of PDUs with a truncated CMAC and a truncated freshness value.
+//
+// Secured PDU layout (as transmitted):
+//   [ authentic data | truncated freshness (f bits) | truncated MAC (m bits) ]
+//
+// The MAC is computed over  dataId || authentic data || full freshness,
+// exactly as the AUTOSAR SecOC profile family does. Truncation of both
+// fields is the central design trade-off the TAB1 bench ablates: shorter
+// fields cost less bus bandwidth but raise forgery probability (MAC) and
+// narrow the re-synchronization window (freshness).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "avsec/core/bytes.hpp"
+#include "avsec/crypto/modes.hpp"
+
+namespace avsec::secproto {
+
+using core::Bytes;
+using core::BytesView;
+
+struct SecOcConfig {
+  std::size_t mac_bits = 24;        // truncated MAC length
+  std::size_t freshness_bits = 8;   // truncated freshness length
+  /// Receiver-side recovery: how many candidate counter values beyond the
+  /// last accepted one are tried when reconstructing the full freshness.
+  std::uint64_t acceptance_window = 16;
+};
+
+/// Per-dataId monotonic freshness counters (AUTOSAR FreshnessValueManager).
+class FreshnessManager {
+ public:
+  /// Next value for transmission (increments).
+  std::uint64_t next_tx(std::uint16_t data_id);
+
+  /// Last value transmitted (0 if none yet) — what a sync master announces.
+  std::uint64_t current_tx(std::uint16_t data_id) const;
+
+  /// Currently expected value for reception (last accepted + 1).
+  std::uint64_t expected_rx(std::uint16_t data_id) const;
+
+  /// Commits an accepted reception value.
+  void commit_rx(std::uint16_t data_id, std::uint64_t value);
+
+ private:
+  std::map<std::uint16_t, std::uint64_t> tx_;
+  std::map<std::uint16_t, std::uint64_t> rx_last_;
+};
+
+/// Result of a verification attempt.
+enum class SecOcVerdict : std::uint8_t {
+  kOk,
+  kMacMismatch,
+  kFreshnessExhausted,  // no counter in the window matched
+  kMalformed,
+};
+
+class SecOcSender {
+ public:
+  SecOcSender(BytesView key16, SecOcConfig config = {});
+
+  /// Builds the secured PDU for `data` under `data_id`.
+  Bytes protect(std::uint16_t data_id, BytesView data);
+
+  /// Bytes of security overhead appended per PDU.
+  std::size_t overhead_bytes() const;
+
+  FreshnessManager& freshness() { return fvm_; }
+
+ private:
+  crypto::AesCmac cmac_;
+  SecOcConfig config_;
+  FreshnessManager fvm_;
+};
+
+class SecOcReceiver {
+ public:
+  SecOcReceiver(BytesView key16, SecOcConfig config = {});
+
+  /// Verifies a secured PDU; on success returns the authentic data and
+  /// advances freshness state.
+  std::optional<Bytes> verify(std::uint16_t data_id, BytesView secured_pdu,
+                              SecOcVerdict* verdict = nullptr);
+
+  std::uint64_t accepted() const { return accepted_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+  /// Re-synchronizes the expected freshness for `data_id` (used by the
+  /// authenticated FreshnessSync protocol after gaps larger than the
+  /// acceptance window — e.g. receiver reboot or long bus-off).
+  void resync(std::uint16_t data_id, std::uint64_t last_seen);
+
+ private:
+  crypto::AesCmac cmac_;
+  SecOcConfig config_;
+  FreshnessManager fvm_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+/// Authenticated freshness synchronization (the role of AUTOSAR's
+/// FreshnessValueManager sync messages): a master that knows the true
+/// counters periodically broadcasts   [ data id | counter | CMAC ]   so
+/// receivers can recover after reboots or counter divergence. Sync
+/// messages carry their own monotonic sequence to prevent replaying an
+/// *old* sync to roll a receiver's window back.
+class FreshnessSyncMaster {
+ public:
+  explicit FreshnessSyncMaster(BytesView key16);
+
+  /// Builds a sync message announcing `counter` for `data_id`.
+  Bytes make_sync(std::uint16_t data_id, std::uint64_t counter);
+
+ private:
+  crypto::AesCmac cmac_;
+  std::uint64_t seq_ = 0;
+};
+
+class FreshnessSyncSlave {
+ public:
+  explicit FreshnessSyncSlave(BytesView key16);
+
+  /// Verifies a sync message and applies it to `receiver`. Returns false
+  /// on bad MAC, malformed input, or replayed/old sequence.
+  bool apply(BytesView sync_message, SecOcReceiver& receiver);
+
+ private:
+  crypto::AesCmac cmac_;
+  std::uint64_t highest_seq_ = 0;
+};
+
+/// The exact bytes MAC'd for (data_id, data, full_freshness) — exposed for
+/// tests and for the forgery-probability bench.
+Bytes secoc_mac_input(std::uint16_t data_id, BytesView data,
+                      std::uint64_t freshness);
+
+}  // namespace avsec::secproto

@@ -1,0 +1,234 @@
+#include "avsec/secproto/tls_lite.hpp"
+
+namespace avsec::secproto {
+
+namespace {
+
+void append_counted(Bytes& out, BytesView data) {
+  core::append_be(out, data.size(), 2);
+  core::append(out, data);
+}
+
+std::optional<Bytes> read_counted(BytesView data, std::size_t& offset) {
+  if (offset + 2 > data.size()) return std::nullopt;
+  const auto len = core::read_be(data, offset, 2);
+  offset += 2;
+  if (offset + len > data.size()) return std::nullopt;
+  Bytes out(data.begin() + offset, data.begin() + offset + len);
+  offset += len;
+  return out;
+}
+
+}  // namespace
+
+Bytes TlsCert::to_be_signed() const {
+  Bytes out;
+  append_counted(out, core::to_bytes(subject));
+  core::append(out, BytesView(public_key.data(), 32));
+  return out;
+}
+
+Bytes TlsCert::serialize() const {
+  Bytes out = to_be_signed();
+  core::append(out, BytesView(ca_signature.data(), 64));
+  return out;
+}
+
+std::optional<TlsCert> TlsCert::parse(BytesView data) {
+  std::size_t offset = 0;
+  auto subject = read_counted(data, offset);
+  if (!subject) return std::nullopt;
+  if (offset + 32 + 64 != data.size()) return std::nullopt;
+  TlsCert cert;
+  cert.subject.assign(subject->begin(), subject->end());
+  std::copy(data.begin() + offset, data.begin() + offset + 32,
+            cert.public_key.begin());
+  std::copy(data.begin() + offset + 32, data.end(),
+            cert.ca_signature.begin());
+  return cert;
+}
+
+TlsCa::TlsCa(BytesView seed32) : kp_(crypto::ed25519_keypair(seed32)) {}
+
+TlsCert TlsCa::issue(const std::string& subject,
+                     const std::array<std::uint8_t, 32>& subject_key) const {
+  TlsCert cert;
+  cert.subject = subject;
+  cert.public_key = subject_key;
+  cert.ca_signature = crypto::ed25519_sign(kp_, cert.to_be_signed());
+  return cert;
+}
+
+bool TlsCa::check(const TlsCert& cert,
+                  const std::array<std::uint8_t, 32>& ca_key) {
+  return crypto::ed25519_verify(BytesView(ca_key.data(), 32),
+                                cert.to_be_signed(),
+                                BytesView(cert.ca_signature.data(), 64));
+}
+
+Bytes TlsClientHello::serialize() const {
+  Bytes out;
+  core::append(out, BytesView(client_share.data(), 32));
+  core::append(out, client_nonce);
+  return out;
+}
+
+std::optional<TlsClientHello> TlsClientHello::parse(BytesView data) {
+  if (data.size() != 48) return std::nullopt;
+  TlsClientHello ch;
+  std::copy(data.begin(), data.begin() + 32, ch.client_share.begin());
+  ch.client_nonce.assign(data.begin() + 32, data.end());
+  return ch;
+}
+
+Bytes TlsServerHello::serialize() const {
+  Bytes out;
+  core::append(out, BytesView(server_share.data(), 32));
+  core::append(out, server_nonce);
+  append_counted(out, cert.serialize());
+  core::append(out, BytesView(transcript_signature.data(), 64));
+  return out;
+}
+
+std::optional<TlsServerHello> TlsServerHello::parse(BytesView data) {
+  if (data.size() < 32 + 16 + 2 + 64) return std::nullopt;
+  TlsServerHello sh;
+  std::copy(data.begin(), data.begin() + 32, sh.server_share.begin());
+  sh.server_nonce.assign(data.begin() + 32, data.begin() + 48);
+  std::size_t offset = 48;
+  auto cert_bytes = read_counted(data, offset);
+  if (!cert_bytes) return std::nullopt;
+  auto cert = TlsCert::parse(*cert_bytes);
+  if (!cert) return std::nullopt;
+  sh.cert = *cert;
+  if (offset + 64 != data.size()) return std::nullopt;
+  std::copy(data.begin() + offset, data.end(),
+            sh.transcript_signature.begin());
+  return sh;
+}
+
+TlsKeys tls_derive_keys(BytesView shared_secret, BytesView client_nonce,
+                        BytesView server_nonce) {
+  Bytes salt(client_nonce.begin(), client_nonce.end());
+  core::append(salt, server_nonce);
+  const Bytes prk = crypto::hkdf_extract(salt, shared_secret);
+  TlsKeys k;
+  k.c2s_key = crypto::hkdf_expand(prk, core::to_bytes("c2s key"), 16);
+  k.c2s_iv = crypto::hkdf_expand(prk, core::to_bytes("c2s iv"), 12);
+  k.s2c_key = crypto::hkdf_expand(prk, core::to_bytes("s2c key"), 16);
+  k.s2c_iv = crypto::hkdf_expand(prk, core::to_bytes("s2c iv"), 12);
+  return k;
+}
+
+TlsRecordLayer::TlsRecordLayer(BytesView key16, BytesView iv12)
+    : gcm_(key16), iv_(iv12.begin(), iv12.end()) {}
+
+Bytes TlsRecordLayer::nonce_for(std::uint64_t seq) const {
+  // TLS 1.3 style: XOR the sequence number into the static IV.
+  Bytes nonce = iv_;
+  for (int i = 0; i < 8; ++i) {
+    nonce[4 + i] ^= static_cast<std::uint8_t>(seq >> (56 - 8 * i));
+  }
+  return nonce;
+}
+
+Bytes TlsRecordLayer::seal(BytesView plaintext) {
+  const std::uint64_t seq = seq_tx_++;
+  Bytes record;
+  core::append_be(record, seq, 8);
+  Bytes tag;
+  const Bytes ct = gcm_.seal(nonce_for(seq), BytesView(record), plaintext, tag);
+  core::append(record, ct);
+  core::append(record, tag);
+  return record;
+}
+
+std::optional<Bytes> TlsRecordLayer::open(BytesView record) {
+  if (record.size() < 8 + 16) return std::nullopt;
+  const std::uint64_t seq = core::read_be(record, 0, 8);
+  if (seq < seq_rx_expect_) return std::nullopt;  // replay/reorder rejected
+  const BytesView header(record.data(), 8);
+  const BytesView ct(record.data() + 8, record.size() - 8 - 16);
+  const BytesView tag(record.data() + record.size() - 16, 16);
+  auto pt = gcm_.open(nonce_for(seq), header, ct, tag);
+  if (!pt) return std::nullopt;
+  seq_rx_expect_ = seq + 1;
+  return pt;
+}
+
+TlsClient::TlsClient(std::uint64_t seed,
+                     std::array<std::uint8_t, 32> trusted_ca_key)
+    : drbg_(seed), ca_key_(trusted_ca_key) {}
+
+TlsClientHello TlsClient::hello() {
+  const Bytes priv = drbg_.generate(32);
+  std::copy(priv.begin(), priv.end(), priv_.begin());
+  TlsClientHello ch;
+  ch.client_share = crypto::x25519_base(priv_);
+  ch.client_nonce = drbg_.generate(16);
+  hello_bytes_ = ch.serialize();
+  return ch;
+}
+
+std::optional<TlsSession> TlsClient::finish(const TlsServerHello& sh) {
+  if (!TlsCa::check(sh.cert, ca_key_)) return std::nullopt;
+
+  // Transcript = ClientHello || ServerHello-without-signature.
+  Bytes transcript = hello_bytes_;
+  core::append(transcript, BytesView(sh.server_share.data(), 32));
+  core::append(transcript, sh.server_nonce);
+  core::append(transcript, sh.cert.serialize());
+  if (!crypto::ed25519_verify(BytesView(sh.cert.public_key.data(), 32),
+                              transcript,
+                              BytesView(sh.transcript_signature.data(), 64))) {
+    return std::nullopt;
+  }
+
+  const auto shared = crypto::x25519(priv_, sh.server_share);
+  const auto keys = tls_derive_keys(BytesView(shared.data(), 32),
+                                    BytesView(hello_bytes_.data() + 32, 16),
+                                    sh.server_nonce);
+  TlsSession s;
+  s.client_to_server =
+      std::make_unique<TlsRecordLayer>(keys.c2s_key, keys.c2s_iv);
+  s.server_to_client =
+      std::make_unique<TlsRecordLayer>(keys.s2c_key, keys.s2c_iv);
+  return s;
+}
+
+TlsServer::TlsServer(std::uint64_t seed, TlsCert cert, BytesView ed25519_seed)
+    : drbg_(seed), cert_(std::move(cert)),
+      identity_(crypto::ed25519_keypair(ed25519_seed)) {}
+
+std::optional<TlsServer::Response> TlsServer::respond(
+    const TlsClientHello& ch) {
+  if (ch.client_nonce.size() != 16) return std::nullopt;
+
+  crypto::X25519Key priv{};
+  const Bytes priv_bytes = drbg_.generate(32);
+  std::copy(priv_bytes.begin(), priv_bytes.end(), priv.begin());
+
+  TlsServerHello sh;
+  sh.server_share = crypto::x25519_base(priv);
+  sh.server_nonce = drbg_.generate(16);
+  sh.cert = cert_;
+
+  Bytes transcript = ch.serialize();
+  core::append(transcript, BytesView(sh.server_share.data(), 32));
+  core::append(transcript, sh.server_nonce);
+  core::append(transcript, sh.cert.serialize());
+  sh.transcript_signature = crypto::ed25519_sign(identity_, transcript);
+
+  const auto shared = crypto::x25519(priv, ch.client_share);
+  const auto keys = tls_derive_keys(BytesView(shared.data(), 32),
+                                    ch.client_nonce, sh.server_nonce);
+  Response r;
+  r.hello = sh;
+  r.session.client_to_server =
+      std::make_unique<TlsRecordLayer>(keys.c2s_key, keys.c2s_iv);
+  r.session.server_to_client =
+      std::make_unique<TlsRecordLayer>(keys.s2c_key, keys.s2c_iv);
+  return r;
+}
+
+}  // namespace avsec::secproto

@@ -1,0 +1,150 @@
+#include "avsec/sos/graph.hpp"
+
+#include <cassert>
+#include <deque>
+
+namespace avsec::sos {
+
+int SosGraph::add_node(SosNode node) {
+  const int id = static_cast<int>(nodes_.size());
+  by_name_[node.name] = id;
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void SosGraph::add_edge(int from, int to, double exposure, std::string kind) {
+  assert(from >= 0 && from < static_cast<int>(nodes_.size()));
+  assert(to >= 0 && to < static_cast<int>(nodes_.size()));
+  edges_.push_back(SosEdge{from, to, exposure, std::move(kind)});
+}
+
+int SosGraph::node_id(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+std::vector<const SosEdge*> SosGraph::out_edges(int id) const {
+  std::vector<const SosEdge*> out;
+  for (const auto& e : edges_) {
+    if (e.from == id) out.push_back(&e);
+  }
+  return out;
+}
+
+PropagationResult propagate(const SosGraph& graph, int entry,
+                            std::size_t trials, std::uint64_t seed) {
+  assert(entry >= 0 && entry < static_cast<int>(graph.node_count()));
+  core::Rng rng(seed);
+  std::vector<std::size_t> hits(graph.node_count(), 0);
+  std::size_t safety_hits = 0;
+  double total_compromised = 0.0;
+
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::vector<bool> compromised(graph.node_count(), false);
+    std::deque<int> frontier;
+    if (rng.chance(1.0 - graph.node(entry).posture)) {
+      compromised[std::size_t(entry)] = true;
+      frontier.push_back(entry);
+    }
+    while (!frontier.empty()) {
+      const int cur = frontier.front();
+      frontier.pop_front();
+      for (const SosEdge* e : graph.out_edges(cur)) {
+        if (compromised[std::size_t(e->to)]) continue;
+        const double p = e->exposure * (1.0 - graph.node(e->to).posture);
+        if (rng.chance(p)) {
+          compromised[std::size_t(e->to)] = true;
+          frontier.push_back(e->to);
+        }
+      }
+    }
+    bool safety = false;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < compromised.size(); ++i) {
+      if (!compromised[i]) continue;
+      ++hits[i];
+      ++count;
+      safety |= graph.node(static_cast<int>(i)).safety_critical;
+    }
+    safety_hits += safety;
+    total_compromised += static_cast<double>(count);
+  }
+
+  PropagationResult result;
+  result.compromise_probability.resize(graph.node_count());
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    result.compromise_probability[i] =
+        static_cast<double>(hits[i]) / static_cast<double>(trials);
+  }
+  result.safety_critical_reached =
+      static_cast<double>(safety_hits) / static_cast<double>(trials);
+  result.mean_compromised_nodes =
+      total_compromised / static_cast<double>(trials);
+  return result;
+}
+
+SosGraph build_maas_reference(int n_vehicles, double baseline_posture) {
+  SosGraph g;
+  auto node = [&](const std::string& name, int level, double posture,
+                  bool safety = false) {
+    return g.add_node(SosNode{name, level, posture, safety});
+  };
+
+  // Level 0/1: platform-side systems. The MaaS platform faces the public
+  // internet (weakest posture); the backend brokers fleet communication.
+  const int platform = node("maas-platform", 1, baseline_posture - 0.2);
+  const int backend = node("backend", 1, baseline_posture);
+  const int hub = node("hub-infra", 1, baseline_posture - 0.1);
+  g.add_edge(platform, backend, 0.6, "api");
+  g.add_edge(backend, platform, 0.3, "api");
+  g.add_edge(hub, backend, 0.4, "api");
+  g.add_edge(backend, hub, 0.3, "api");
+
+  for (int v = 0; v < n_vehicles; ++v) {
+    const std::string p = "vehicle" + std::to_string(v) + "/";
+    // Level 2 subsystems per Fig. 9.
+    const int telematics = node(p + "telematics", 2, baseline_posture - 0.1);
+    const int pass_os = node(p + "passenger-os", 2, baseline_posture - 0.2);
+    const int sds = node(p + "self-driving", 2, baseline_posture + 0.1);
+    const int veh_os = node(p + "vehicle-os", 2, baseline_posture);
+    // Level 3 function groups.
+    const int safety_fn = node(p + "safety-fn", 3, baseline_posture + 0.2,
+                               /*safety=*/true);
+    const int comfort_fn = node(p + "comfort-fn", 3, baseline_posture - 0.1);
+    const int perception = node(p + "perception", 3, baseline_posture, true);
+
+    // Backend <-> vehicle via telematics gateways.
+    g.add_edge(backend, telematics, 0.5, "telematics");
+    g.add_edge(telematics, backend, 0.2, "telematics");
+    // Passenger OS is the MaaS platform's in-car gateway.
+    g.add_edge(platform, pass_os, 0.5, "api");
+    // Shared onboard computing hardware couples the subsystems.
+    g.add_edge(telematics, veh_os, 0.4, "shared-hw");
+    g.add_edge(pass_os, veh_os, 0.3, "shared-hw");
+    g.add_edge(pass_os, sds, 0.2, "shared-hw");
+    g.add_edge(telematics, sds, 0.3, "shared-hw");
+    // Vehicle OS hosts the function groups.
+    g.add_edge(veh_os, safety_fn, 0.4, "internal");
+    g.add_edge(veh_os, comfort_fn, 0.6, "internal");
+    // Self-driving stack: perception feeds safety decisions.
+    g.add_edge(sds, perception, 0.5, "internal");
+    g.add_edge(perception, safety_fn, 0.4, "internal");
+  }
+  return g;
+}
+
+SosGraph with_hardened_node(const SosGraph& graph, const std::string& name,
+                            double new_posture) {
+  SosGraph out;
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    SosNode n = graph.node(static_cast<int>(i));
+    if (n.name == name) n.posture = new_posture;
+    out.add_node(std::move(n));
+  }
+  for (const auto& e : graph.edges()) {
+    out.add_edge(e.from, e.to, e.exposure, e.kind);
+  }
+  return out;
+}
+
+}  // namespace avsec::sos

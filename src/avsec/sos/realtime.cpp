@@ -1,0 +1,64 @@
+#include "avsec/sos/realtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace avsec::sos {
+
+BrakingOutcome run_braking_scenario(const BrakingScenarioConfig& config) {
+  core::Rng rng(config.seed);
+  const double dt = 0.005;  // physics step, 5 ms
+
+  double distance = config.initial_distance_m;
+  double speed = config.speed_mps;
+  bool braking = false;
+  double last_update_age = 0.0;
+  double perceived = distance;
+  double since_perception = 0.0;
+
+  BrakingOutcome out;
+  for (double t = 0.0; t < 120.0; t += dt) {
+    // Perception messages at the configured period, possibly dropped or
+    // biased by the attacker.
+    since_perception += dt;
+    last_update_age += dt;
+    if (since_perception >= config.perception_period_s) {
+      since_perception = 0.0;
+      if (!rng.chance(config.drop_probability)) {
+        perceived = distance + config.spoof_bias_m;
+        last_update_age = 0.0;
+      }
+    }
+
+    // Controller.
+    if (!braking) {
+      if (perceived <= config.brake_trigger_m) {
+        braking = true;
+      } else if (config.staleness_watchdog &&
+                 last_update_age > config.watchdog_deadline_s) {
+        braking = true;
+        out.emergency_stop = true;
+      }
+    }
+
+    // Physics.
+    if (braking) {
+      speed = std::max(0.0, speed - config.brake_decel_mps2 * dt);
+    }
+    distance -= speed * dt;
+
+    if (distance <= 0.0) {
+      out.collided = true;
+      out.impact_speed_mps = speed;
+      return out;
+    }
+    if (speed == 0.0) {
+      out.stop_margin_m = distance;
+      return out;
+    }
+  }
+  out.stop_margin_m = distance;
+  return out;
+}
+
+}  // namespace avsec::sos

@@ -1,0 +1,43 @@
+// Real-time data under attack (paper §VI: real-time data is "highly
+// susceptible to spoofing and denial-of-service (DoS) attacks, potentially
+// affecting decision-making, jeopardizing safety").
+//
+// A vehicle approaches a stationary obstacle while a perception channel
+// delivers distance measurements to a braking controller. The attacker may
+// drop messages (DoS) or bias them (spoofing). A staleness watchdog is the
+// defense: if no fresh measurement arrives within a deadline, the vehicle
+// performs a precautionary stop.
+#pragma once
+
+#include <cstdint>
+
+#include "avsec/core/rng.hpp"
+
+namespace avsec::sos {
+
+struct BrakingScenarioConfig {
+  double initial_distance_m = 120.0;
+  double speed_mps = 20.0;            // ~72 km/h
+  double brake_decel_mps2 = 6.0;
+  double perception_period_s = 0.05;  // 20 Hz
+  double brake_trigger_m = 45.0;      // comfortable stop threshold
+  // Attack knobs.
+  double drop_probability = 0.0;      // DoS: per-message loss
+  double spoof_bias_m = 0.0;          // spoofing: reported = true + bias
+  // Defense.
+  bool staleness_watchdog = false;
+  double watchdog_deadline_s = 0.3;
+  std::uint64_t seed = 1;
+};
+
+struct BrakingOutcome {
+  bool collided = false;
+  bool emergency_stop = false;   // watchdog-triggered precautionary stop
+  double stop_margin_m = 0.0;    // distance left when stopped (if stopped)
+  double impact_speed_mps = 0.0; // speed at collision (if collided)
+};
+
+/// Runs the scenario to completion (stop or collision).
+BrakingOutcome run_braking_scenario(const BrakingScenarioConfig& config);
+
+}  // namespace avsec::sos

@@ -1,0 +1,141 @@
+#include "avsec/ssi/did.hpp"
+
+#include <algorithm>
+
+#include "avsec/crypto/sha2.hpp"
+
+namespace avsec::ssi {
+
+namespace {
+
+void append_str(Bytes& out, const std::string& s) {
+  core::append_be(out, s.size(), 2);
+  core::append(out, core::to_bytes(s));
+}
+
+}  // namespace
+
+Bytes DidDocument::canonical() const {
+  Bytes out;
+  append_str(out, did);
+  core::append(out, BytesView(verification_key.data(), 32));
+  append_str(out, controller);
+  out.push_back(active ? 1 : 0);
+  return out;
+}
+
+std::string did_for_key(const std::array<std::uint8_t, 32>& key) {
+  const Bytes digest = crypto::Sha256::hash(BytesView(key.data(), 32));
+  return "did:sim:" + core::to_hex(BytesView(digest.data(), 16));
+}
+
+void DidRegistry::add_anchor(const std::string& name) {
+  if (!has_anchor(name)) anchors_.push_back(name);
+}
+
+bool DidRegistry::has_anchor(const std::string& name) const {
+  return std::find(anchors_.begin(), anchors_.end(), name) != anchors_.end();
+}
+
+void DidRegistry::append(OpType op, const DidDocument& doc,
+                         const std::string& anchor, bool compromise) {
+  Block b;
+  b.index = chain_.size();
+  b.op = op;
+  b.doc = doc;
+  b.anchor = anchor;
+  b.compromise = compromise;
+  b.prev_hash = chain_.empty() ? Bytes(32, 0) : chain_.back().hash;
+
+  Bytes material;
+  core::append_be(material, b.index, 8);
+  material.push_back(static_cast<std::uint8_t>(op));
+  material.push_back(compromise ? 1 : 0);
+  core::append(material, doc.canonical());
+  core::append(material, core::to_bytes(anchor));
+  core::append(material, b.prev_hash);
+  b.hash = crypto::Sha256::hash(material);
+
+  latest_[doc.did] = chain_.size();
+  chain_.push_back(std::move(b));
+}
+
+bool DidRegistry::register_document(const DidDocument& doc,
+                                    const std::string& anchor) {
+  if (!has_anchor(anchor)) return false;
+  if (doc.did != did_for_key(doc.verification_key)) return false;
+  if (latest_.count(doc.did)) return false;
+  DidDocument d = doc;
+  d.active = true;
+  append(OpType::kRegister, d, anchor);
+  return true;
+}
+
+bool DidRegistry::rotate_key(const std::string& did,
+                             const std::array<std::uint8_t, 32>& new_key,
+                             const std::string& anchor, bool compromise) {
+  if (!has_anchor(anchor)) return false;
+  const auto it = latest_.find(did);
+  if (it == latest_.end()) return false;
+  DidDocument doc = chain_[it->second].doc;
+  if (!doc.active) return false;
+  doc.verification_key = new_key;  // DID string stays stable across rotation
+  append(OpType::kRotate, doc, anchor, compromise);
+  return true;
+}
+
+std::vector<DidRegistry::KeyRecord> DidRegistry::key_history(
+    const std::string& did) const {
+  std::vector<KeyRecord> history;
+  for (const auto& b : chain_) {
+    if (b.doc.did != did) continue;
+    if (b.op == OpType::kDeactivate) continue;
+    // A rotation block records the *new* key; the block's compromise flag
+    // refers to the key being rotated OUT (the previous record).
+    if (b.op == OpType::kRotate && !history.empty() && b.compromise) {
+      history.back().compromised = true;
+    }
+    KeyRecord rec;
+    rec.key = b.doc.verification_key;
+    history.push_back(rec);
+  }
+  if (!history.empty()) history.back().current = true;
+  return history;
+}
+
+bool DidRegistry::deactivate(const std::string& did,
+                             const std::string& anchor) {
+  if (!has_anchor(anchor)) return false;
+  const auto it = latest_.find(did);
+  if (it == latest_.end()) return false;
+  DidDocument doc = chain_[it->second].doc;
+  if (!doc.active) return false;
+  doc.active = false;
+  append(OpType::kDeactivate, doc, anchor);
+  return true;
+}
+
+std::optional<DidDocument> DidRegistry::resolve(const std::string& did) const {
+  const auto it = latest_.find(did);
+  if (it == latest_.end()) return std::nullopt;
+  return chain_[it->second].doc;
+}
+
+bool DidRegistry::audit() const {
+  Bytes prev(32, 0);
+  for (const auto& b : chain_) {
+    if (b.prev_hash != prev) return false;
+    Bytes material;
+    core::append_be(material, b.index, 8);
+    material.push_back(static_cast<std::uint8_t>(b.op));
+    material.push_back(b.compromise ? 1 : 0);
+    core::append(material, b.doc.canonical());
+    core::append(material, core::to_bytes(b.anchor));
+    core::append(material, b.prev_hash);
+    if (crypto::Sha256::hash(material) != b.hash) return false;
+    prev = b.hash;
+  }
+  return true;
+}
+
+}  // namespace avsec::ssi

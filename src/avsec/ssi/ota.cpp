@@ -1,0 +1,119 @@
+#include "avsec/ssi/ota.hpp"
+
+namespace avsec::ssi {
+
+namespace {
+
+void append_str(Bytes& out, const std::string& s) {
+  core::append_be(out, s.size(), 2);
+  core::append(out, core::to_bytes(s));
+}
+
+}  // namespace
+
+Bytes UpdateBundle::to_be_signed() const {
+  Bytes out = core::to_bytes("update-bundle");
+  append_str(out, component);
+  core::append_be(out, version, 8);
+  append_str(out, requires_profile);
+  core::append_be(out, payload.size(), 4);
+  core::append(out, payload);
+  append_str(out, vendor_did);
+  return out;
+}
+
+UpdateVendor::UpdateVendor(std::string name, BytesView seed32)
+    : name_(std::move(name)), kp_(crypto::ed25519_keypair(seed32)),
+      did_(did_for_key(kp_.public_key)) {}
+
+bool UpdateVendor::anchor_into(DidRegistry& registry,
+                               const std::string& anchor) const {
+  DidDocument doc;
+  doc.did = did_;
+  doc.verification_key = kp_.public_key;
+  doc.controller = name_;
+  return registry.register_document(doc, anchor);
+}
+
+UpdateBundle UpdateVendor::publish(const std::string& component,
+                                   std::uint64_t version,
+                                   const std::string& requires_profile,
+                                   BytesView payload) const {
+  UpdateBundle bundle;
+  bundle.component = component;
+  bundle.version = version;
+  bundle.requires_profile = requires_profile;
+  bundle.payload.assign(payload.begin(), payload.end());
+  bundle.vendor_did = did_;
+  bundle.signature = crypto::ed25519_sign(kp_, bundle.to_be_signed());
+  return bundle;
+}
+
+const char* update_verdict_name(UpdateVerdict v) {
+  switch (v) {
+    case UpdateVerdict::kInstalled: return "installed";
+    case UpdateVerdict::kBadSignature: return "bad signature";
+    case UpdateVerdict::kUnknownVendor: return "unknown vendor";
+    case UpdateVerdict::kRollback: return "rollback rejected";
+    case UpdateVerdict::kIncompatible: return "incompatible profile";
+    case UpdateVerdict::kWrongComponent: return "wrong component";
+  }
+  return "?";
+}
+
+UpdateClient::UpdateClient(std::string component, std::string hw_profile,
+                           std::string trusted_vendor_did)
+    : component_(std::move(component)), hw_profile_(std::move(hw_profile)),
+      vendor_did_(std::move(trusted_vendor_did)) {}
+
+UpdateVerdict UpdateClient::apply(const UpdateBundle& bundle,
+                                  const DidRegistry& registry) {
+  if (bundle.component != component_) return UpdateVerdict::kWrongComponent;
+  if (bundle.vendor_did != vendor_did_) return UpdateVerdict::kUnknownVendor;
+
+  const auto doc = registry.resolve(bundle.vendor_did);
+  if (!doc || !doc->active) return UpdateVerdict::kUnknownVendor;
+
+  // Verify under the vendor's current key; a routinely rotated-out key is
+  // also acceptable (same semantics as credentials), a compromised one not.
+  const Bytes body = bundle.to_be_signed();
+  const BytesView sig(bundle.signature.data(), 64);
+  bool verified = crypto::ed25519_verify(
+      BytesView(doc->verification_key.data(), 32), body, sig);
+  if (!verified) {
+    for (const auto& rec : registry.key_history(bundle.vendor_did)) {
+      if (rec.current) continue;
+      if (crypto::ed25519_verify(BytesView(rec.key.data(), 32), body, sig)) {
+        if (rec.compromised) return UpdateVerdict::kBadSignature;
+        verified = true;
+        break;
+      }
+    }
+  }
+  if (!verified) return UpdateVerdict::kBadSignature;
+
+  if (bundle.version <= installed_version_) return UpdateVerdict::kRollback;
+  if (bundle.requires_profile != hw_profile_) {
+    return UpdateVerdict::kIncompatible;
+  }
+
+  // Stage into the inactive slot, then flip.
+  const int staging = 1 - active_slot_;
+  slots_[std::size_t(staging)] = bundle.payload;
+  previous_version_ = installed_version_;
+  installed_version_ = bundle.version;
+  active_slot_ = staging;
+  return UpdateVerdict::kInstalled;
+}
+
+bool UpdateClient::owner_rollback() {
+  if (previous_version_ == 0 && slots_[std::size_t(1 - active_slot_)].empty()) {
+    return false;  // nothing to roll back to
+  }
+  active_slot_ = 1 - active_slot_;
+  installed_version_ = previous_version_;
+  previous_version_ = 0;
+  return true;
+}
+
+}  // namespace avsec::ssi

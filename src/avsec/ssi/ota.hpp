@@ -1,0 +1,94 @@
+// Secure over-the-air software updates for the SDV (paper §IV-A: "in the
+// case of software updates or hardware replacements, authentication is
+// essential"). Uptane-flavored essentials on the SSI substrate:
+//
+// - Update bundles are signed by the software vendor, whose DID is
+//   anchored in the registry (multi-vendor trust without one global PKI).
+// - Version counters are monotonic per component: replaying an older,
+//   vulnerable-but-validly-signed bundle (rollback attack) is rejected.
+// - A/B slots: the new image lands in the inactive slot and is only
+//   activated after verification, so a bad update never bricks the ECU.
+// - Compatibility is re-checked at install time against the hardware
+//   profile (the §IV-A reconfiguration rule).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "avsec/ssi/vc.hpp"
+
+namespace avsec::ssi {
+
+/// A signed software-update bundle.
+struct UpdateBundle {
+  std::string component;         // e.g. "brake-app"
+  std::uint64_t version = 0;
+  std::string requires_profile;  // hardware profile it may run on
+  Bytes payload;                 // the image itself
+  std::string vendor_did;
+  crypto::Ed25519Signature signature{};
+
+  Bytes to_be_signed() const;
+};
+
+/// Vendor-side: signs bundles under a DID-anchored key.
+class UpdateVendor {
+ public:
+  UpdateVendor(std::string name, BytesView seed32);
+
+  bool anchor_into(DidRegistry& registry, const std::string& anchor) const;
+
+  UpdateBundle publish(const std::string& component, std::uint64_t version,
+                       const std::string& requires_profile,
+                       BytesView payload) const;
+
+  const std::string& did() const { return did_; }
+
+ private:
+  std::string name_;
+  crypto::Ed25519KeyPair kp_;
+  std::string did_;
+};
+
+enum class UpdateVerdict : std::uint8_t {
+  kInstalled,
+  kBadSignature,
+  kUnknownVendor,
+  kRollback,        // version <= installed (anti-rollback)
+  kIncompatible,    // profile mismatch
+  kWrongComponent,
+};
+
+const char* update_verdict_name(UpdateVerdict v);
+
+/// ECU-side update client with A/B slots and anti-rollback state.
+class UpdateClient {
+ public:
+  /// `hw_profile` is this ECU's hardware compatibility profile; the
+  /// `trusted_vendor_did` pins which vendor may update `component`.
+  UpdateClient(std::string component, std::string hw_profile,
+               std::string trusted_vendor_did);
+
+  /// Full pipeline: verify -> stage into the inactive slot -> activate.
+  UpdateVerdict apply(const UpdateBundle& bundle, const DidRegistry& registry);
+
+  std::uint64_t installed_version() const { return installed_version_; }
+  int active_slot() const { return active_slot_; }
+  /// Image currently running.
+  const Bytes& active_image() const { return slots_[std::size_t(active_slot_)]; }
+  /// Previous image retained for fail-safe rollback *by the owner* (an
+  /// explicit authorized operation, unlike an attacker's replay).
+  bool owner_rollback();
+
+ private:
+  std::string component_;
+  std::string hw_profile_;
+  std::string vendor_did_;
+  std::uint64_t installed_version_ = 0;
+  std::uint64_t previous_version_ = 0;
+  int active_slot_ = 0;
+  Bytes slots_[2];
+};
+
+}  // namespace avsec::ssi

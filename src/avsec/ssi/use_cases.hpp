@@ -1,0 +1,120 @@
+// The paper's three SDV trust use cases built on the SSI substrate:
+//   §IV-A component reconfiguration (mutual HW/SW authentication across
+//         vendor trust anchors),
+//   §IV-B data integrity (linked signed records, e.g. crash reports),
+//   §IV-C distributed plug-and-charge (vehicle / charge point / mobility
+//         operator roaming, with offline support).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "avsec/ssi/vc.hpp"
+
+namespace avsec::ssi {
+
+// ---------- §IV-A component reconfiguration ----------
+
+/// A hardware platform (ECU) or software image with its credential.
+struct Component {
+  std::unique_ptr<Wallet> wallet;
+  std::string compatibility_profile;  // e.g. "brake-ctrl-v2"
+
+  Component(const std::string& name, BytesView seed,
+            std::string profile);
+};
+
+struct ReconfigOutcome {
+  bool authorized = false;
+  VcVerdict hw_verdict = VcVerdict::kValid;
+  VcVerdict sw_verdict = VcVerdict::kValid;
+  bool profiles_compatible = false;
+};
+
+/// Zero-trust reconfiguration: before software `sw` may run on hardware
+/// `hw`, each side verifies the other's credential (possibly issued by a
+/// *different* vendor anchor) and the compatibility profiles must match.
+ReconfigOutcome authorize_reconfiguration(
+    const Component& hw, const VerifiableCredential& hw_credential,
+    const Component& sw, const VerifiableCredential& sw_credential,
+    const DidRegistry& registry, const std::set<std::string>& revocations,
+    LogicalTime now);
+
+// ---------- §IV-B linked signed records ----------
+
+/// A signed data record (crash report, scenario log) linked to the
+/// credentials of every component that produced it.
+struct SignedRecord {
+  std::string id;
+  std::string producer_did;
+  Bytes payload;
+  std::vector<std::string> linked_credentials;
+  crypto::Ed25519Signature proof{};
+};
+
+SignedRecord make_record(const Wallet& producer, const std::string& id,
+                         BytesView payload,
+                         std::vector<std::string> linked_credentials);
+
+/// Verifies the record signature and that every linked credential id is
+/// present and valid in `available` (the evidence bundle).
+bool verify_record(const SignedRecord& record, const DidRegistry& registry,
+                   const std::vector<VerifiableCredential>& available,
+                   const std::set<std::string>& revocations, LogicalTime now);
+
+// ---------- §IV-C plug-and-charge ----------
+
+struct ChargeSessionResult {
+  bool authorized = false;
+  bool offline = false;
+  VcVerdict vehicle_verdict = VcVerdict::kValid;
+  VcVerdict station_verdict = VcVerdict::kValid;
+  /// Signed billing record produced on success.
+  std::optional<SignedRecord> billing_record;
+};
+
+/// One plug-and-charge authorization: the vehicle presents its charging
+/// contract (issued by its mobility operator), the charge point presents
+/// its operator credential; both verify against the registry. In offline
+/// mode the charge point uses its cached registry snapshot and (stale)
+/// revocation view — SSI's key operational advantage in the paper.
+class ChargePoint {
+ public:
+  ChargePoint(const std::string& name, BytesView seed,
+              VerifiableCredential own_credential);
+
+  Wallet& wallet() { return *wallet_; }
+
+  /// Online authorization against the live registry.
+  ChargeSessionResult authorize(const Wallet& vehicle,
+                                const std::string& contract_credential_id,
+                                const DidRegistry& live_registry,
+                                const std::set<std::string>& live_revocations,
+                                LogicalTime now);
+
+  /// Offline authorization using the cached snapshot (cached at
+  /// `cache_time`); succeeds for credentials valid in the snapshot.
+  ChargeSessionResult authorize_offline(
+      const Wallet& vehicle, const std::string& contract_credential_id,
+      LogicalTime now);
+
+  /// Refreshes the offline cache.
+  void sync(const DidRegistry& registry,
+            const std::set<std::string>& revocations, LogicalTime now);
+
+ private:
+  ChargeSessionResult run_session(const Wallet& vehicle,
+                                  const std::string& contract_credential_id,
+                                  const DidRegistry& registry,
+                                  const std::set<std::string>& revocations,
+                                  LogicalTime now, bool offline);
+
+  std::unique_ptr<Wallet> wallet_;
+  VerifiableCredential own_credential_;
+  std::optional<DidRegistry> cached_registry_;
+  std::set<std::string> cached_revocations_;
+  LogicalTime cache_time_ = 0;
+  std::uint64_t session_counter_ = 0;
+};
+
+}  // namespace avsec::ssi

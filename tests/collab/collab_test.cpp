@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "avsec/collab/intersection.hpp"
+#include "avsec/collab/perception.hpp"
+
+namespace avsec::collab {
+namespace {
+
+TEST(Perception, HonestFleetFusesMostVisibleObjects) {
+  CollabConfig cfg;
+  CollabSim sim(cfg);
+  const auto m = sim.run(50);
+  EXPECT_GT(m.object_recall, 0.85);
+  EXPECT_EQ(m.ghost_acceptance_rate, 0.0);  // no attackers, no ghosts
+}
+
+TEST(Perception, LoneAttackerGhostsRejectedByVoting) {
+  CollabConfig cfg;
+  cfg.n_attackers = 1;
+  CollabSim sim(cfg);
+  const auto m = sim.run(50);
+  // One insider cannot reach the 2-vote confirmation threshold alone.
+  EXPECT_LT(m.ghost_acceptance_rate, 0.05);
+}
+
+TEST(Perception, CollusionDefeatsNaiveFusion) {
+  CollabConfig cfg;
+  cfg.n_attackers = 2;
+  cfg.defense_enabled = false;
+  CollabSim sim(cfg);
+  const auto m = sim.run(50);
+  EXPECT_GT(m.ghost_acceptance_rate, 0.8);  // ghosts sail through
+}
+
+TEST(Perception, TrustDefenseSuppressesGhostsOverTime) {
+  CollabConfig cfg;
+  cfg.n_attackers = 2;
+  cfg.defense_enabled = true;
+  CollabSim sim(cfg);
+  const auto m = sim.run(100);
+  // Early rounds leak some ghosts (trust must first decay); the long-run
+  // acceptance collapses well below the undefended level.
+  EXPECT_LT(m.ghost_acceptance_rate, 0.4);
+}
+
+TEST(Perception, TrustDefenseIdentifiesAttackers) {
+  CollabConfig cfg;
+  cfg.n_attackers = 2;
+  cfg.defense_enabled = true;
+  CollabSim sim(cfg);
+  const auto m = sim.run(100);
+  EXPECT_GE(m.attacker_detection_recall, 0.99);
+  EXPECT_GE(m.attacker_detection_precision, 0.6);
+}
+
+TEST(Perception, DefenseKeepsHonestRecall) {
+  CollabConfig with_def, without_def;
+  with_def.n_attackers = without_def.n_attackers = 2;
+  with_def.defense_enabled = true;
+  const auto a = CollabSim(with_def).run(100);
+  const auto b = CollabSim(without_def).run(100);
+  EXPECT_GT(a.object_recall, b.object_recall - 0.15);
+  EXPECT_GT(a.object_recall, 0.7);
+}
+
+TEST(Perception, HidingAttackersReduceRecallOnlyMildlyWithRedundancy) {
+  CollabConfig cfg;
+  cfg.n_attackers = 2;
+  cfg.attackers_hide_objects = true;
+  cfg.ghosts_per_attacker = 0;
+  CollabSim sim(cfg);
+  const auto m = sim.run(50);
+  // Redundant honest sensors still cover most objects.
+  EXPECT_GT(m.object_recall, 0.6);
+}
+
+TEST(Perception, DeterministicPerSeed) {
+  CollabConfig cfg;
+  cfg.n_attackers = 1;
+  const auto a = CollabSim(cfg).run(20);
+  const auto b = CollabSim(cfg).run(20);
+  EXPECT_DOUBLE_EQ(a.ghost_acceptance_rate, b.ghost_acceptance_rate);
+  EXPECT_EQ(a.final_trust, b.final_trust);
+}
+
+TEST(Intersection, AllHonestIsFairAndWasteFree) {
+  IntersectionConfig cfg;
+  const auto m = run_intersection(cfg);
+  EXPECT_EQ(m.wasted_slots_fraction, 0.0);
+  EXPECT_GT(m.crossings, 1000u);
+  EXPECT_LT(m.honest_mean_wait, 10.0);
+}
+
+TEST(Intersection, AggressiveMinorityGainsAdvantage) {
+  IntersectionConfig cfg;
+  cfg.aggressive_fraction = 0.2;
+  const auto m = run_intersection(cfg);
+  EXPECT_LT(m.aggressive_mean_wait, m.honest_mean_wait);
+  EXPECT_LT(m.fairness_jain, 0.999);
+}
+
+TEST(Intersection, AggressiveMajorityWastesSlots) {
+  IntersectionConfig low, high;
+  low.aggressive_fraction = 0.1;
+  high.aggressive_fraction = 0.9;
+  high.arrival_rate = low.arrival_rate = 0.3;
+  const auto a = run_intersection(low);
+  const auto b = run_intersection(high);
+  EXPECT_GT(b.wasted_slots_fraction, a.wasted_slots_fraction);
+  EXPECT_GT(b.wasted_slots_fraction, 0.02);  // deadlocked negotiations
+}
+
+TEST(Intersection, RegulationRestoresFairness) {
+  IntersectionConfig cheating, regulated;
+  cheating.aggressive_fraction = regulated.aggressive_fraction = 0.3;
+  regulated.regulation_enforced = true;
+  const auto a = run_intersection(cheating);
+  const auto b = run_intersection(regulated);
+  EXPECT_GT(b.fairness_jain, a.fairness_jain);
+  EXPECT_EQ(b.wasted_slots_fraction, 0.0);
+}
+
+TEST(Intersection, ThroughputSurvivesRegulation) {
+  IntersectionConfig cfg;
+  cfg.aggressive_fraction = 0.5;
+  cfg.regulation_enforced = true;
+  const auto m = run_intersection(cfg);
+  IntersectionConfig honest_cfg;
+  const auto honest = run_intersection(honest_cfg);
+  EXPECT_NEAR(m.throughput, honest.throughput, 0.05);
+}
+
+}  // namespace
+}  // namespace avsec::collab

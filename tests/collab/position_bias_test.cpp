@@ -1,0 +1,61 @@
+// Subtle falsification: attackers bias positions instead of inventing
+// ghosts — harder to detect, bounded in harm (paper §VII-B's point that
+// redundancy-based detection has limits).
+#include <gtest/gtest.h>
+
+#include "avsec/collab/perception.hpp"
+
+namespace avsec::collab {
+namespace {
+
+CollabConfig biased_config(double bias_m, bool defense) {
+  CollabConfig cfg;
+  cfg.n_attackers = 2;
+  cfg.ghosts_per_attacker = 0;  // pure falsification, no ghosts
+  cfg.attacker_position_bias_m = bias_m;
+  cfg.defense_enabled = defense;
+  return cfg;
+}
+
+TEST(PositionBias, NoBiasBaselineErrorIsSensorNoise) {
+  const auto m = CollabSim(biased_config(0.0, false)).run(50);
+  EXPECT_LT(m.mean_fused_error_m, 0.5);
+}
+
+TEST(PositionBias, SmallBiasCorruptsFusedPositions) {
+  const auto clean = CollabSim(biased_config(0.0, false)).run(50);
+  const auto biased = CollabSim(biased_config(2.0, false)).run(50);
+  // Sub-cluster-radius bias drags centroids without breaking clusters.
+  EXPECT_GT(biased.mean_fused_error_m, clean.mean_fused_error_m + 0.1);
+}
+
+TEST(PositionBias, SmallBiasIsNotDetected) {
+  const auto m = CollabSim(biased_config(2.0, true)).run(100);
+  // The consistency defense cannot see sub-radius manipulation.
+  EXPECT_LT(m.attacker_detection_recall, 0.5);
+}
+
+TEST(PositionBias, LargeBiasSplitsClustersAndIsDetected) {
+  // Beyond the cluster radius the attacker's reports form separate,
+  // honest-denied clusters — the same signature as ghosts.
+  const auto m = CollabSim(biased_config(10.0, true)).run(100);
+  EXPECT_GE(m.attacker_detection_recall, 0.99);
+}
+
+TEST(PositionBias, DefenseRestoresAccuracyOnceDetected) {
+  const auto undefended = CollabSim(biased_config(10.0, false)).run(100);
+  const auto defended = CollabSim(biased_config(10.0, true)).run(100);
+  EXPECT_LE(defended.mean_fused_error_m, undefended.mean_fused_error_m + 0.1);
+  EXPECT_GT(defended.object_recall, 0.7);
+}
+
+TEST(PositionBias, HarmIsBoundedByClusterRadius) {
+  // The undetectable regime cannot push fused positions further than the
+  // clustering radius allows — quantifying the residual risk.
+  CollabConfig cfg = biased_config(2.5, true);
+  const auto m = CollabSim(cfg).run(100);
+  EXPECT_LT(m.mean_fused_error_m, cfg.cluster_radius_m);
+}
+
+}  // namespace
+}  // namespace avsec::collab

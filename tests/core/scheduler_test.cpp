@@ -1,0 +1,137 @@
+#include "avsec/core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace avsec::core {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler sim;
+  std::vector<int> order;
+  sim.schedule_at(nanoseconds(30), [&] { order.push_back(3); });
+  sim.schedule_at(nanoseconds(10), [&] { order.push_back(1); });
+  sim.schedule_at(nanoseconds(20), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), nanoseconds(30));
+}
+
+TEST(Scheduler, SameTimeEventsFireInScheduleOrder) {
+  Scheduler sim;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    sim.schedule_at(microseconds(5), [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, ScheduleInUsesCurrentTime) {
+  Scheduler sim;
+  SimTime fired_at = -1;
+  sim.schedule_in(nanoseconds(5), [&] {
+    sim.schedule_in(nanoseconds(7), [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, nanoseconds(12));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sim;
+  bool ran = false;
+  auto h = sim.schedule_in(nanoseconds(1), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelTwiceReturnsFalse) {
+  Scheduler sim;
+  auto h = sim.schedule_in(nanoseconds(1), [] {});
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));
+  sim.run();
+}
+
+TEST(Scheduler, CancelInvalidHandleReturnsFalse) {
+  Scheduler sim;
+  EventHandle h;
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(Scheduler, CancelAfterExecutionIsNoOp) {
+  Scheduler sim;
+  bool ran = false;
+  auto h = sim.schedule_in(nanoseconds(1), [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(sim.cancel(h));  // already executed
+  // Bookkeeping stays consistent: nothing pending, later events still run.
+  EXPECT_EQ(sim.pending(), 0u);
+  int count = 0;
+  sim.schedule_in(nanoseconds(1), [&] { ++count; });
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Scheduler sim;
+  int count = 0;
+  sim.schedule_at(nanoseconds(10), [&] { ++count; });
+  sim.schedule_at(nanoseconds(20), [&] { ++count; });
+  sim.schedule_at(nanoseconds(30), [&] { ++count; });
+  EXPECT_EQ(sim.run_until(nanoseconds(20)), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), nanoseconds(20));
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_in(nanoseconds(1), recurse);
+  };
+  sim.schedule_in(nanoseconds(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), nanoseconds(100));
+}
+
+TEST(Scheduler, StepExecutesExactlyOne) {
+  Scheduler sim;
+  int count = 0;
+  sim.schedule_in(nanoseconds(1), [&] { ++count; });
+  sim.schedule_in(nanoseconds(2), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Time, BitTimeRoundsToNearestPicosecond) {
+  EXPECT_EQ(bit_time(1'000'000), 1'000'000);          // 1 Mbit/s -> 1 us
+  EXPECT_EQ(bit_time(500'000), 2'000'000);            // 500 kbit/s -> 2 us
+  EXPECT_EQ(bit_time(10'000'000), 100'000);           // 10 Mbit/s -> 100 ns
+  EXPECT_EQ(bit_time(1'000'000'000), 1'000);          // 1 Gbit/s -> 1 ns
+  EXPECT_EQ(bit_time(3), 333'333'333'333);            // rounds down
+}
+
+TEST(Time, TransmissionTimeScalesWithBits) {
+  EXPECT_EQ(transmission_time(8, 1'000'000), 8 * kMicrosecond);
+  EXPECT_EQ(transmission_time(1500 * 8, 100'000'000),
+            1500 * 8 * bit_time(100'000'000));
+}
+
+}  // namespace
+}  // namespace avsec::core

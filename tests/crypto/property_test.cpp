@@ -1,0 +1,136 @@
+// Parameterized invariants of the crypto substrate.
+#include <gtest/gtest.h>
+
+#include "avsec/core/rng.hpp"
+#include "avsec/crypto/ed25519.hpp"
+#include "avsec/crypto/hmac.hpp"
+#include "avsec/crypto/modes.hpp"
+#include "avsec/crypto/shamir.hpp"
+#include "avsec/crypto/x25519.hpp"
+
+namespace avsec::crypto {
+namespace {
+
+class GcmSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GcmSizeSweep, RoundTripAndCiphertextLength) {
+  const std::size_t n = GetParam();
+  core::Rng rng(n + 1);
+  core::Bytes key(16), pt(n), aad(n % 32);
+  rng.fill_bytes(key);
+  rng.fill_bytes(pt);
+  rng.fill_bytes(aad);
+  const AesGcm gcm(key);
+  const core::Bytes iv(12, 7);
+  core::Bytes tag;
+  const auto ct = gcm.seal(iv, aad, pt, tag);
+  EXPECT_EQ(ct.size(), pt.size());  // CTR mode: no expansion
+  EXPECT_EQ(tag.size(), 16u);
+  const auto back = gcm.open(iv, aad, ct, tag);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GcmSizeSweep,
+                         ::testing::Values<std::size_t>(0, 1, 15, 16, 17, 31,
+                                                        32, 33, 63, 64, 255,
+                                                        1500));
+
+TEST(GcmProperty, DistinctIvsGiveDistinctCiphertexts) {
+  const AesGcm gcm(core::Bytes(16, 1));
+  const auto pt = core::to_bytes("same plaintext every time");
+  core::Bytes prev;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    core::Bytes iv(12, 0);
+    iv[11] = static_cast<std::uint8_t>(i);
+    core::Bytes tag;
+    const auto ct = gcm.seal(iv, {}, pt, tag);
+    EXPECT_NE(ct, prev);
+    prev = ct;
+  }
+}
+
+TEST(CmacProperty, TruncationIsPrefix) {
+  const AesCmac cmac(core::Bytes(16, 2));
+  const auto msg = core::to_bytes("prefix property");
+  const auto full = cmac.mac(msg);
+  for (std::size_t len = 1; len <= 16; ++len) {
+    const auto trunc = cmac.mac_truncated(msg, len);
+    ASSERT_EQ(trunc.size(), len);
+    EXPECT_TRUE(std::equal(trunc.begin(), trunc.end(), full.begin()));
+  }
+}
+
+TEST(HkdfProperty, ShorterOutputsArePrefixesOfLonger) {
+  const auto ikm = core::to_bytes("input key material");
+  const auto info = core::to_bytes("context");
+  const auto long_okm = hkdf({}, ikm, info, 96);
+  for (std::size_t len : {1u, 16u, 32u, 33u, 64u, 95u}) {
+    const auto short_okm = hkdf({}, ikm, info, len);
+    EXPECT_TRUE(std::equal(short_okm.begin(), short_okm.end(),
+                           long_okm.begin()))
+        << len;
+  }
+}
+
+class Ed25519MsgSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Ed25519MsgSweep, SignVerifyAcrossSizes) {
+  core::Rng rng(GetParam() + 7);
+  core::Bytes seed(32), msg(GetParam());
+  rng.fill_bytes(seed);
+  rng.fill_bytes(msg);
+  const auto kp = ed25519_keypair(seed);
+  const auto sig = ed25519_sign(kp, msg);
+  EXPECT_TRUE(ed25519_verify(core::BytesView(kp.public_key.data(), 32), msg,
+                             core::BytesView(sig.data(), 64)));
+  if (!msg.empty()) {
+    msg[msg.size() / 2] ^= 1;
+    EXPECT_FALSE(ed25519_verify(core::BytesView(kp.public_key.data(), 32),
+                                msg, core::BytesView(sig.data(), 64)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Ed25519MsgSweep,
+                         ::testing::Values<std::size_t>(0, 1, 32, 63, 64, 65,
+                                                        127, 128, 1000));
+
+TEST(ShamirProperty, RandomSubsetsAlwaysReconstruct) {
+  core::Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    core::Bytes secret(16);
+    rng.fill_bytes(secret);
+    const int n = static_cast<int>(rng.uniform_int(3, 10));
+    const int k = static_cast<int>(rng.uniform_int(2, std::int64_t(n)));
+    auto shares = shamir_split(secret, n, k, rng.next());
+    std::shuffle(shares.begin(), shares.end(), rng);
+    shares.resize(std::size_t(k));
+    EXPECT_EQ(shamir_combine(shares), secret)
+        << "n=" << n << " k=" << k << " trial=" << trial;
+  }
+}
+
+TEST(AesProperty, EncryptIsPermutation) {
+  // Distinct plaintexts map to distinct ciphertexts (injectivity spot
+  // check over a structured family).
+  const Aes aes(core::Bytes(16, 3));
+  std::set<std::array<std::uint8_t, 16>> seen;
+  for (int i = 0; i < 256; ++i) {
+    Aes::Block pt{};
+    pt[0] = static_cast<std::uint8_t>(i);
+    EXPECT_TRUE(seen.insert(aes.encrypt(pt)).second);
+  }
+}
+
+TEST(X25519Property, ScalarsProduceDistinctPublicKeys) {
+  std::set<std::array<std::uint8_t, 32>> seen;
+  for (int i = 1; i <= 32; ++i) {
+    X25519Key k{};
+    // Byte 1 survives clamping unchanged (clamping touches bytes 0 and 31).
+    k[1] = static_cast<std::uint8_t>(i);
+    EXPECT_TRUE(seen.insert(x25519_base(k)).second) << i;
+  }
+}
+
+}  // namespace
+}  // namespace avsec::crypto

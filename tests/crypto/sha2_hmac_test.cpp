@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "avsec/core/bytes.hpp"
+#include "avsec/crypto/hmac.hpp"
+#include "avsec/crypto/sha2.hpp"
+
+namespace avsec::crypto {
+namespace {
+
+using core::from_hex;
+using core::to_bytes;
+using core::to_hex;
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash(core::Bytes{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  // NIST FIPS 180-4 example message.
+  EXPECT_EQ(to_hex(Sha256::hash(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const auto msg = to_bytes("the quick brown fox jumps over the lazy dog");
+  Sha256 inc;
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    inc.update(core::BytesView(&msg[i], 1));
+  }
+  const auto d = inc.finish();
+  EXPECT_EQ(core::Bytes(d.begin(), d.end()), Sha256::hash(msg));
+}
+
+TEST(Sha256, BlockBoundaryLengths) {
+  // Lengths straddling the 64-byte block boundary must all differ and be
+  // stable; exercised by checking the avalanche across lengths.
+  core::Bytes prev;
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    const core::Bytes msg(len, 0x5A);
+    const auto d = Sha256::hash(msg);
+    EXPECT_NE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Sha512, EmptyString) {
+  EXPECT_EQ(to_hex(Sha512::hash(core::Bytes{})),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Abc) {
+  EXPECT_EQ(to_hex(Sha512::hash(to_bytes("abc"))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, IncrementalMatchesOneShot) {
+  core::Bytes msg(300);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  Sha512 inc;
+  inc.update(core::BytesView(msg.data(), 100));
+  inc.update(core::BytesView(msg.data() + 100, 200));
+  const auto d = inc.finish();
+  EXPECT_EQ(core::Bytes(d.begin(), d.end()), Sha512::hash(msg));
+}
+
+TEST(HmacSha256, Rfc4231TestCase1) {
+  const core::Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231TestCase2) {
+  EXPECT_EQ(
+      to_hex(hmac_sha256(to_bytes("Jefe"), to_bytes("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, LongKeyIsHashedDown) {
+  const core::Bytes long_key(131, 0xaa);
+  // RFC 4231 test case 6.
+  EXPECT_EQ(to_hex(hmac_sha256(long_key,
+                               to_bytes("Test Using Larger Than Block-Size Key "
+                                        "- Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, KeySensitivity) {
+  const auto msg = to_bytes("payload");
+  const auto a = hmac_sha256(from_hex("00"), msg);
+  const auto b = hmac_sha256(from_hex("01"), msg);
+  EXPECT_NE(a, b);
+}
+
+TEST(Hkdf, Rfc5869TestCase1) {
+  const auto ikm = from_hex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  const auto salt = from_hex("000102030405060708090a0b0c");
+  const auto info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const auto okm = hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, EmptySaltUsesZeros) {
+  const auto ikm = from_hex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  const auto okm = hkdf({}, ikm, {}, 42);
+  // RFC 5869 test case 3.
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, LengthControl) {
+  const auto ikm = to_bytes("ikm");
+  EXPECT_EQ(hkdf({}, ikm, {}, 1).size(), 1u);
+  EXPECT_EQ(hkdf({}, ikm, {}, 32).size(), 32u);
+  EXPECT_EQ(hkdf({}, ikm, {}, 100).size(), 100u);
+  EXPECT_THROW(hkdf_expand(hkdf_extract({}, ikm), {}, 255 * 32 + 1),
+               std::invalid_argument);
+}
+
+TEST(Hkdf, InfoSeparatesKeys) {
+  const auto ikm = to_bytes("shared secret");
+  EXPECT_NE(hkdf({}, ikm, to_bytes("enc"), 16), hkdf({}, ikm, to_bytes("mac"), 16));
+}
+
+}  // namespace
+}  // namespace avsec::crypto

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "avsec/datalayer/incidents.hpp"
+
+namespace avsec::datalayer {
+namespace {
+
+TEST(Incidents, TimelineHasOneEntryPerMonth) {
+  IncidentModelConfig cfg;
+  cfg.months = 24;
+  const auto t = simulate_incidents(cfg);
+  EXPECT_EQ(t.actually_compromised.size(), 24u);
+  EXPECT_EQ(t.publicly_known.size(), 24u);
+  EXPECT_EQ(t.internally_detected.size(), 24u);
+}
+
+TEST(Incidents, KnownIncidentsAreMonotone) {
+  const auto t = simulate_incidents({});
+  for (std::size_t i = 1; i < t.publicly_known.size(); ++i) {
+    EXPECT_GE(t.publicly_known[i], t.publicly_known[i - 1]);
+    EXPECT_GE(t.internally_detected[i], t.internally_detected[i - 1]);
+  }
+}
+
+TEST(Incidents, LatentCompromisesExceedPublicOnes) {
+  // The paper's §V-B1 claim: what you see is a fraction of what exists.
+  IncidentModelConfig cfg;
+  const auto s = summarize(cfg);
+  EXPECT_GT(s.total_compromises, s.total_disclosed);
+  EXPECT_GT(s.never_discovered, 0);
+  EXPECT_GT(s.iceberg_ratio, 2.0);
+}
+
+TEST(Incidents, NoCompromisesMeansNothingToSee) {
+  IncidentModelConfig cfg;
+  cfg.p_compromise = 0.0;
+  const auto s = summarize(cfg);
+  EXPECT_EQ(s.total_compromises, 0);
+  EXPECT_EQ(s.total_disclosed, 0);
+  EXPECT_EQ(s.never_discovered, 0);
+}
+
+TEST(Incidents, StealthyAttackersStayHiddenLonger) {
+  IncidentModelConfig loud, stealth;
+  loud.stealth_fraction = 0.0;
+  stealth.stealth_fraction = 1.0;
+  loud.p_internal_detect = stealth.p_internal_detect = 0.01;
+  const auto sl = summarize(loud);
+  const auto ss = summarize(stealth);
+  // With everyone stealthy, nothing is *publicly* disclosed at all.
+  EXPECT_EQ(ss.total_disclosed, 0);
+  EXPECT_GT(sl.total_disclosed, 0);
+}
+
+TEST(Incidents, BetterDetectionShrinksTheIceberg) {
+  IncidentModelConfig weak, strong;
+  weak.p_internal_detect = 0.01;
+  strong.p_internal_detect = 0.4;
+  const auto sw = summarize(weak);
+  const auto ss = summarize(strong);
+  EXPECT_GT(sw.never_discovered, ss.never_discovered);
+}
+
+TEST(Incidents, DeterministicPerSeed) {
+  IncidentModelConfig cfg;
+  const auto a = summarize(cfg);
+  const auto b = summarize(cfg);
+  EXPECT_EQ(a.total_compromises, b.total_compromises);
+  EXPECT_EQ(a.total_disclosed, b.total_disclosed);
+}
+
+}  // namespace
+}  // namespace avsec::datalayer

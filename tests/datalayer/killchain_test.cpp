@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "avsec/datalayer/killchain.hpp"
+
+namespace avsec::datalayer {
+namespace {
+
+constexpr std::size_t kRecords = 2000;
+
+CloudService make_service(const DefenseConfig& d, std::uint64_t seed = 1) {
+  return CloudService(d, kRecords, seed);
+}
+
+TEST(Cloud, UndefendedServiceExposesDebugEndpoints) {
+  auto svc = make_service({});
+  EXPECT_EQ(svc.get(CloudService::kHeapDumpPath).status, 200);
+  EXPECT_EQ(svc.get("/actuator/env").status, 200);
+  EXPECT_EQ(svc.get("/nonexistent").status, 404);
+}
+
+TEST(Cloud, DebugRemovalHidesHeapDump) {
+  DefenseConfig d;
+  d.debug_endpoints_removed = true;
+  auto svc = make_service(d);
+  EXPECT_EQ(svc.get(CloudService::kHeapDumpPath).status, 404);
+}
+
+TEST(Cloud, WafThrottlesBursts) {
+  DefenseConfig d;
+  d.waf_rate_limiting = true;
+  auto svc = make_service(d);
+  int throttled = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (svc.get("/health").status == 429) ++throttled;
+  }
+  EXPECT_GT(throttled, 100);
+}
+
+TEST(Cloud, HeapDumpContainsKeysOnlyWithoutHygiene) {
+  auto leaky = make_service({});
+  EXPECT_FALSE(scan_for_keys(leaky.get(CloudService::kHeapDumpPath).body).empty());
+
+  DefenseConfig d;
+  d.secret_hygiene = true;
+  auto clean = make_service(d);
+  EXPECT_TRUE(scan_for_keys(clean.get(CloudService::kHeapDumpPath).body).empty());
+}
+
+TEST(Cloud, ScanRejectsFalsePatterns) {
+  Bytes noise = core::to_bytes("AKIAnotakeyreally and no secret markers");
+  EXPECT_TRUE(scan_for_keys(noise).empty());
+}
+
+TEST(KillChain, FullBreachWithoutDefenses) {
+  auto svc = make_service({});
+  const auto out = run_kill_chain(svc);
+  EXPECT_EQ(out.broke_at(), KillChainStage::kStageCount);
+  EXPECT_GT(out.records_exfiltrated, 900u);
+  EXPECT_EQ(out.plaintext_pii_records, out.records_exfiltrated);
+  EXPECT_FALSE(out.attacker_detected);
+  EXPECT_TRUE(out.full_breach());
+}
+
+TEST(KillChain, DebugRemovalBreaksAtHeapDump) {
+  DefenseConfig d;
+  d.debug_endpoints_removed = true;
+  auto svc = make_service(d);
+  const auto out = run_kill_chain(svc);
+  // Without actuator paths the framework is never identified.
+  EXPECT_EQ(out.broke_at(), KillChainStage::kFrameworkIdentification);
+  EXPECT_EQ(out.records_exfiltrated, 0u);
+}
+
+TEST(KillChain, SecretHygieneBreaksAtKeyExtraction) {
+  DefenseConfig d;
+  d.secret_hygiene = true;
+  auto svc = make_service(d);
+  const auto out = run_kill_chain(svc);
+  EXPECT_EQ(out.broke_at(), KillChainStage::kKeyExtraction);
+  EXPECT_FALSE(out.full_breach());
+}
+
+TEST(KillChain, LeastPrivilegeBreaksDataExtraction) {
+  DefenseConfig d;
+  d.least_privilege_iam = true;
+  auto svc = make_service(d);
+  const auto out = run_kill_chain(svc);
+  EXPECT_EQ(out.broke_at(), KillChainStage::kDataExtraction);
+  EXPECT_EQ(out.records_exfiltrated, 0u);
+}
+
+TEST(KillChain, PiiEncryptionMakesExfiltrationWorthless) {
+  DefenseConfig d;
+  d.pii_encryption = true;
+  auto svc = make_service(d);
+  const auto out = run_kill_chain(svc);
+  EXPECT_GT(out.records_exfiltrated, 0u);   // bytes leave the system...
+  EXPECT_EQ(out.plaintext_pii_records, 0u); // ...but no readable PII
+  EXPECT_FALSE(out.full_breach());
+}
+
+TEST(KillChain, EgressMonitoringCapsAndDetects) {
+  DefenseConfig d;
+  d.egress_monitoring = true;
+  auto svc = make_service(d);
+  const auto out = run_kill_chain(svc);
+  EXPECT_TRUE(out.attacker_detected);
+  EXPECT_LE(out.records_exfiltrated, svc.egress_alarm_threshold());
+  EXPECT_LT(out.records_exfiltrated, 1000u);
+}
+
+TEST(KillChain, WafStallsEnumeration) {
+  DefenseConfig d;
+  d.waf_rate_limiting = true;
+  auto svc = make_service(d);
+  // Exhaust the request budget first, as a real scan would.
+  for (int i = 0; i < 60; ++i) svc.get("/");
+  const auto out = run_kill_chain(svc);
+  EXPECT_EQ(out.broke_at(), KillChainStage::kDirectoryEnumeration);
+}
+
+TEST(KillChain, AllDefensesYieldNoBreachAndEarlyBreak) {
+  DefenseConfig d;
+  d.debug_endpoints_removed = d.waf_rate_limiting = d.secret_hygiene =
+      d.least_privilege_iam = d.pii_encryption = d.egress_monitoring = true;
+  auto svc = make_service(d);
+  const auto out = run_kill_chain(svc);
+  EXPECT_FALSE(out.full_breach());
+  EXPECT_LT(static_cast<int>(out.broke_at()),
+            static_cast<int>(KillChainStage::kStageCount));
+}
+
+TEST(KillChain, EverySingleDefenseAlonePreventsPlaintextBreach) {
+  // The paper's point 2 ("security is hard") inverted: any one of these
+  // six controls would have stopped the plaintext PII loss — yet none was
+  // in place.
+  for (int bit = 0; bit < 6; ++bit) {
+    DefenseConfig d;
+    d.debug_endpoints_removed = bit == 0;
+    d.waf_rate_limiting = bit == 1;
+    d.secret_hygiene = bit == 2;
+    d.least_privilege_iam = bit == 3;
+    d.pii_encryption = bit == 4;
+    d.egress_monitoring = bit == 5;
+    auto svc = make_service(d);
+    if (bit == 1) {
+      for (int i = 0; i < 60; ++i) svc.get("/");  // scan pressure
+    }
+    const auto out = run_kill_chain(svc);
+    if (bit == 5) {
+      // Egress monitoring limits rather than prevents.
+      EXPECT_LE(out.plaintext_pii_records, svc.egress_alarm_threshold());
+      EXPECT_TRUE(out.attacker_detected);
+    } else {
+      EXPECT_FALSE(out.full_breach()) << "defense bit " << bit;
+    }
+  }
+}
+
+TEST(AttackSurface, DefensesReduceScore) {
+  DefenseConfig none;
+  DefenseConfig all;
+  all.debug_endpoints_removed = all.waf_rate_limiting = all.secret_hygiene =
+      all.least_privilege_iam = all.pii_encryption = all.egress_monitoring =
+          true;
+  auto svc_none = make_service(none);
+  auto svc_all = make_service(all);
+  EXPECT_GT(attack_surface_score(svc_none, none),
+            attack_surface_score(svc_all, all));
+}
+
+TEST(AttackSurface, DebugEndpointsDominate) {
+  DefenseConfig with_debug;
+  DefenseConfig no_debug;
+  no_debug.debug_endpoints_removed = true;
+  auto a = make_service(with_debug);
+  auto b = make_service(no_debug);
+  EXPECT_GT(attack_surface_score(a, with_debug) -
+                attack_surface_score(b, no_debug),
+            20.0);
+}
+
+TEST(DefenseConfig, SummaryStringIsStable) {
+  DefenseConfig d;
+  d.debug_endpoints_removed = true;
+  d.pii_encryption = true;
+  EXPECT_EQ(d.summary(), "D---P-");
+  EXPECT_EQ(d.enabled_count(), 2);
+}
+
+}  // namespace
+}  // namespace avsec::datalayer

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "avsec/datalayer/privacy.hpp"
+
+namespace avsec::datalayer {
+namespace {
+
+TEST(Privacy, RetentionKeepsOnlyNewestFixes) {
+  std::vector<std::pair<double, double>> trail;
+  for (int i = 0; i < 10; ++i) trail.emplace_back(i, i);
+  PrivacyPolicy policy;
+  policy.retention_fixes = 3;
+  const auto stored = apply_policy(trail, policy);
+  ASSERT_EQ(stored.size(), 3u);
+  EXPECT_DOUBLE_EQ(stored.front().first, 7.0);
+  EXPECT_DOUBLE_EQ(stored.back().first, 9.0);
+}
+
+TEST(Privacy, ZeroPolicyIsIdentity) {
+  std::vector<std::pair<double, double>> trail{{48.123456, 11.654321}};
+  const auto stored = apply_policy(trail, {});
+  EXPECT_EQ(stored, trail);
+}
+
+TEST(Privacy, CoarseningSnapsToGrid) {
+  std::vector<std::pair<double, double>> trail{{48.123456, 11.654321}};
+  PrivacyPolicy policy;
+  policy.grid_degrees = 0.01;
+  const auto stored = apply_policy(trail, policy);
+  EXPECT_NEAR(stored[0].first, 48.12, 1e-9);
+  EXPECT_NEAR(stored[0].second, 11.65, 1e-9);
+}
+
+TEST(Privacy, ExactTrailsAreHighlyReidentifiable) {
+  const auto fleet = make_fleet_trails(100, 60, 1);
+  const auto result = reidentify(fleet.trails, fleet.homes);
+  EXPECT_EQ(result.trajectories, 100u);
+  EXPECT_GT(result.rate(), 0.9);  // the paper's scenario: months of fixes
+}
+
+TEST(Privacy, CoarseningCollapsesReidentification) {
+  const auto fleet = make_fleet_trails(100, 60, 1);
+  PrivacyPolicy policy;
+  policy.grid_degrees = 0.05;  // ~5 km cells merge many homes
+  std::vector<std::vector<std::pair<double, double>>> stored;
+  for (const auto& t : fleet.trails) stored.push_back(apply_policy(t, policy));
+  const auto coarse = reidentify(stored, fleet.homes);
+  const auto exact = reidentify(fleet.trails, fleet.homes);
+  EXPECT_LT(coarse.rate(), exact.rate() * 0.5);
+}
+
+TEST(Privacy, RetentionCapsLeakedHistory) {
+  const auto fleet = make_fleet_trails(20, 200, 2);
+  PrivacyPolicy policy;
+  policy.retention_fixes = 10;
+  std::size_t total = 0;
+  for (const auto& t : fleet.trails) {
+    total += apply_policy(t, policy).size();
+  }
+  EXPECT_EQ(total, 20u * 10u);  // 95% of the history never stored
+}
+
+TEST(Privacy, EmptyTrailHandled) {
+  const auto r = reidentify({{}}, {{48.0, 11.0}});
+  EXPECT_EQ(r.trajectories, 1u);
+  EXPECT_EQ(r.reidentified, 0u);
+}
+
+}  // namespace
+}  // namespace avsec::datalayer

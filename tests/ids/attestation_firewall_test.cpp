@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "avsec/ids/attestation.hpp"
+#include "avsec/ids/firewall.hpp"
+
+namespace avsec::ids {
+namespace {
+
+std::vector<BootComponent> golden_chain() {
+  return {{"bootloader", core::to_bytes("bl-v1")},
+          {"kernel", core::to_bytes("kernel-v5")},
+          {"middleware", core::to_bytes("autosar-ap-r22")},
+          {"app", core::to_bytes("brake-app-v2")}};
+}
+
+struct AttestFixture {
+  Attester device{core::Bytes(32, 0x41)};
+  AttestationVerifier verifier;
+  Bytes nonce = core::to_bytes("challenge-0001");
+
+  AttestFixture() {
+    verifier.enroll(device.device_key(),
+                    composite_measurement(golden_chain()));
+  }
+};
+
+TEST(Attestation, GoldenBootIsTrusted) {
+  AttestFixture fx;
+  const auto quote = fx.device.quote(golden_chain(), fx.nonce);
+  EXPECT_EQ(fx.verifier.verify(fx.device.device_key(), quote, fx.nonce),
+            AttestVerdict::kTrusted);
+}
+
+TEST(Attestation, TamperedComponentDetected) {
+  AttestFixture fx;
+  auto chain = golden_chain();
+  chain[3].image = core::to_bytes("brake-app-v2-with-implant");
+  const auto quote = fx.device.quote(chain, fx.nonce);
+  EXPECT_EQ(fx.verifier.verify(fx.device.device_key(), quote, fx.nonce),
+            AttestVerdict::kMeasurementMismatch);
+}
+
+TEST(Attestation, ReorderedBootChainDetected) {
+  AttestFixture fx;
+  auto chain = golden_chain();
+  std::swap(chain[1], chain[2]);  // same components, wrong order
+  const auto quote = fx.device.quote(chain, fx.nonce);
+  EXPECT_EQ(fx.verifier.verify(fx.device.device_key(), quote, fx.nonce),
+            AttestVerdict::kMeasurementMismatch);
+}
+
+TEST(Attestation, ExtraComponentDetected) {
+  AttestFixture fx;
+  auto chain = golden_chain();
+  chain.push_back({"rootkit", core::to_bytes("persist")});
+  const auto quote = fx.device.quote(chain, fx.nonce);
+  EXPECT_EQ(fx.verifier.verify(fx.device.device_key(), quote, fx.nonce),
+            AttestVerdict::kMeasurementMismatch);
+}
+
+TEST(Attestation, ReplayedQuoteRejectedByNonce) {
+  AttestFixture fx;
+  const auto quote = fx.device.quote(golden_chain(), fx.nonce);
+  EXPECT_EQ(fx.verifier.verify(fx.device.device_key(), quote,
+                               core::to_bytes("challenge-0002")),
+            AttestVerdict::kWrongNonce);
+}
+
+TEST(Attestation, ForgedQuoteRejected) {
+  AttestFixture fx;
+  Attester impostor(core::Bytes(32, 0x42));
+  // The impostor knows the golden measurement but not the device key.
+  const auto quote = impostor.quote(golden_chain(), fx.nonce);
+  EXPECT_EQ(fx.verifier.verify(fx.device.device_key(), quote, fx.nonce),
+            AttestVerdict::kBadSignature);
+}
+
+TEST(Attestation, UnknownDeviceRejected) {
+  AttestationVerifier verifier;  // nothing enrolled
+  Attester device(core::Bytes(32, 0x43));
+  const auto nonce = core::to_bytes("n");
+  const auto quote = device.quote(golden_chain(), nonce);
+  EXPECT_EQ(verifier.verify(device.device_key(), quote, nonce),
+            AttestVerdict::kMeasurementMismatch);
+}
+
+TEST(Attestation, RegisterExtendIsOrderSensitive) {
+  MeasurementRegister a, b;
+  a.extend(core::to_bytes("x"));
+  a.extend(core::to_bytes("y"));
+  b.extend(core::to_bytes("y"));
+  b.extend(core::to_bytes("x"));
+  EXPECT_NE(a.value(), b.value());
+}
+
+// ---------- gateway firewall ----------
+
+TEST(Firewall, UnknownIdDropped) {
+  GatewayFirewall fw;
+  EXPECT_FALSE(fw.allow_to_backbone(0x123, 0));
+  EXPECT_EQ(fw.stats().dropped_unknown_id, 1u);
+}
+
+TEST(Firewall, DirectionEnforced) {
+  GatewayFirewall fw;
+  FirewallRule rule;
+  rule.allow_to_backbone = true;
+  rule.allow_from_backbone = false;
+  fw.add_rule(0x100, rule);
+  EXPECT_TRUE(fw.allow_to_backbone(0x100, 0));
+  EXPECT_FALSE(fw.allow_from_backbone(0x100));
+  EXPECT_EQ(fw.stats().dropped_wrong_direction, 1u);
+}
+
+TEST(Firewall, RateLimitEnforcedPerWindow) {
+  GatewayFirewall fw;
+  FirewallRule rule;
+  rule.allow_to_backbone = true;
+  rule.rate_limit_hz = 10;
+  fw.add_rule(0x100, rule);
+  int allowed = 0;
+  for (int i = 0; i < 100; ++i) {
+    allowed += fw.allow_to_backbone(0x100, core::milliseconds(5) * i);
+  }
+  // 500 ms span: a single 1 s window -> exactly 10 allowed.
+  EXPECT_EQ(allowed, 10);
+  EXPECT_EQ(fw.stats().dropped_rate, 90u);
+}
+
+TEST(Firewall, RateWindowResets) {
+  GatewayFirewall fw;
+  FirewallRule rule;
+  rule.allow_to_backbone = true;
+  rule.rate_limit_hz = 5;
+  fw.add_rule(0x100, rule);
+  for (int i = 0; i < 10; ++i) fw.allow_to_backbone(0x100, 0);
+  int allowed_next_window = 0;
+  for (int i = 0; i < 10; ++i) {
+    allowed_next_window += fw.allow_to_backbone(0x100, core::seconds(2));
+  }
+  EXPECT_EQ(allowed_next_window, 5);
+}
+
+TEST(Firewall, CompromisedEndpointCannotReachArbitraryTargets) {
+  // The matrix knows ECU 0x100 publishes sensor data to the backbone and
+  // receives nothing; a compromised ECU trying to push diagnostic or
+  // actuation IDs across the gateway gets nothing through.
+  GatewayFirewall fw;
+  FirewallRule sensor;
+  sensor.allow_to_backbone = true;
+  fw.add_rule(0x100, sensor);
+
+  EXPECT_TRUE(fw.allow_to_backbone(0x100, 0));
+  for (std::uint32_t id : {0x7DFu, 0x001u, 0x200u, 0x6FFu}) {
+    EXPECT_FALSE(fw.allow_to_backbone(id, 0)) << id;
+  }
+  EXPECT_EQ(fw.stats().forwarded, 1u);
+}
+
+}  // namespace
+}  // namespace avsec::ids

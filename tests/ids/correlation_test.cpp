@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "avsec/ids/correlation.hpp"
+
+namespace avsec::ids {
+namespace {
+
+Alert make_alert(AlertType type, std::uint32_t id, core::SimTime t,
+                 double confidence) {
+  return Alert{type, id, t, confidence, 3};
+}
+
+TEST(Correlator, SingleAlertMakesOneIncident) {
+  AlertCorrelator c;
+  c.ingest(make_alert(AlertType::kRateAnomaly, 0x100, 0, 0.8));
+  ASSERT_EQ(c.incidents().size(), 1u);
+  EXPECT_EQ(c.incidents()[0].can_id, 0x100u);
+  EXPECT_DOUBLE_EQ(c.incidents()[0].confidence, 0.8);
+  EXPECT_FALSE(c.incidents()[0].multi_detector());
+}
+
+TEST(Correlator, RepeatedAlertsCompressIntoOneIncident) {
+  AlertCorrelator c;
+  for (int i = 0; i < 50; ++i) {
+    c.ingest(make_alert(AlertType::kRateAnomaly, 0x100,
+                        core::milliseconds(i), 0.8));
+  }
+  EXPECT_EQ(c.incidents().size(), 1u);
+  EXPECT_EQ(c.incidents()[0].alert_count, 50u);
+  EXPECT_DOUBLE_EQ(c.compression_ratio(), 50.0);
+}
+
+TEST(Correlator, MultiDetectorAgreementBoostsConfidence) {
+  AlertCorrelator c;
+  c.ingest(make_alert(AlertType::kWrongSource, 0x100, 0, 0.6));
+  c.ingest(make_alert(AlertType::kPayloadAnomaly, 0x100,
+                      core::milliseconds(5), 0.6));
+  ASSERT_EQ(c.incidents().size(), 1u);
+  EXPECT_TRUE(c.incidents()[0].multi_detector());
+  EXPECT_NEAR(c.incidents()[0].confidence, 0.75, 1e-9);  // 0.6 + 0.15
+}
+
+TEST(Correlator, ConfidenceCapsAtOne) {
+  AlertCorrelator c;
+  c.ingest(make_alert(AlertType::kWrongSource, 0x100, 0, 0.95));
+  c.ingest(make_alert(AlertType::kPayloadAnomaly, 0x100,
+                      core::milliseconds(1), 0.9));
+  c.ingest(make_alert(AlertType::kRateAnomaly, 0x100,
+                      core::milliseconds(2), 0.9));
+  EXPECT_LE(c.incidents()[0].confidence, 1.0);
+}
+
+TEST(Correlator, DifferentIdsMakeSeparateIncidents) {
+  AlertCorrelator c;
+  c.ingest(make_alert(AlertType::kRateAnomaly, 0x100, 0, 0.8));
+  c.ingest(make_alert(AlertType::kRateAnomaly, 0x200, 0, 0.8));
+  EXPECT_EQ(c.incidents().size(), 2u);
+}
+
+TEST(Correlator, WindowExpirySplitsIncidents) {
+  AlertCorrelator c;
+  c.ingest(make_alert(AlertType::kRateAnomaly, 0x100, 0, 0.8));
+  c.ingest(make_alert(AlertType::kRateAnomaly, 0x100,
+                      core::milliseconds(500), 0.8));  // > 100 ms window
+  EXPECT_EQ(c.incidents().size(), 2u);
+}
+
+TEST(Correlator, SlidingWindowChainsContinuousAttack) {
+  // A sustained attack alerts every 50 ms: each alert is within the window
+  // of the previous one, so the incident keeps extending.
+  AlertCorrelator c;
+  for (int i = 0; i < 20; ++i) {
+    c.ingest(make_alert(AlertType::kRateAnomaly, 0x100,
+                        core::milliseconds(50) * i, 0.8));
+  }
+  EXPECT_EQ(c.incidents().size(), 1u);
+  EXPECT_EQ(c.incidents()[0].last_alert, core::milliseconds(950));
+}
+
+TEST(Correlator, ActionableFiltersByConfidence) {
+  AlertCorrelator c;
+  c.ingest(make_alert(AlertType::kPayloadAnomaly, 0x100, 0, 0.5));
+  c.ingest(make_alert(AlertType::kWrongSource, 0x200, 0, 0.95));
+  const auto actionable = c.actionable(0.7);
+  ASSERT_EQ(actionable.size(), 1u);
+  EXPECT_EQ(actionable[0].can_id, 0x200u);
+}
+
+TEST(Correlator, WeakAlertsBecomeActionableThroughAgreement) {
+  // Two weak detectors agreeing crosses the floor that neither crosses
+  // alone — the "synergy" argument made quantitative.
+  AlertCorrelator c;
+  c.ingest(make_alert(AlertType::kPayloadAnomaly, 0x100, 0, 0.6));
+  EXPECT_TRUE(c.actionable(0.7).empty());
+  c.ingest(make_alert(AlertType::kRateAnomaly, 0x100,
+                      core::milliseconds(2), 0.65));
+  EXPECT_EQ(c.actionable(0.7).size(), 1u);
+}
+
+}  // namespace
+}  // namespace avsec::ids

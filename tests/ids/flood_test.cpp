@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "avsec/ids/response.hpp"
+
+namespace avsec::ids {
+namespace {
+
+TEST(Flood, UnknownIdFloodRaisesRateAlert) {
+  CanIds ids;
+  ids.learn(CanObservation{0x100, 0, 0, {1}});
+  ids.freeze();
+  std::vector<Alert> last;
+  for (int i = 0; i < 20; ++i) {
+    last = ids.monitor(
+        CanObservation{0x000, 3, core::microseconds(300) * i, {0xEE}});
+  }
+  ASSERT_FALSE(last.empty());
+  EXPECT_EQ(last.front().type, AlertType::kRateAnomaly);
+  EXPECT_GT(last.front().confidence, 0.8);
+}
+
+TEST(Flood, SlowUnknownIdStaysPayloadAnomaly) {
+  CanIds ids;
+  ids.learn(CanObservation{0x100, 0, 0, {1}});
+  ids.freeze();
+  std::vector<Alert> last;
+  for (int i = 0; i < 20; ++i) {
+    last = ids.monitor(
+        CanObservation{0x7F0, 3, core::milliseconds(100) * i, {0xEE}});
+  }
+  ASSERT_FALSE(last.empty());
+  EXPECT_EQ(last.front().type, AlertType::kPayloadAnomaly);
+}
+
+TEST(Flood, ExperimentShowsStarvationAndRecovery) {
+  FloodExperimentConfig cfg;
+  const auto r = run_flood_experiment(cfg);
+  EXPECT_TRUE(r.detected);
+  EXPECT_EQ(r.response.action, ResponseAction::kRateLimitId);
+  // Healthy service is sub-millisecond; under flood the victim starves.
+  EXPECT_LT(r.victim_p99_before_us, 1000.0);
+  EXPECT_GT(r.victim_p99_after_us, 0.0);
+  EXPECT_LT(r.victim_p99_after_us, 5000.0);  // recovery after rate limiting
+}
+
+TEST(Flood, WithoutResponseVictimStaysStarved) {
+  FloodExperimentConfig cfg;
+  cfg.respond = false;
+  const auto r = run_flood_experiment(cfg);
+  EXPECT_TRUE(r.detected);
+  // No frames ever see "after" (no recovery phase) and the in-flight queue
+  // piles up.
+  EXPECT_GT(r.victim_lost_during, 10u);
+}
+
+TEST(Flood, RespondedRunLosesFewerPdus) {
+  FloodExperimentConfig with, without;
+  without.respond = false;
+  const auto a = run_flood_experiment(with);
+  const auto b = run_flood_experiment(without);
+  EXPECT_LT(a.victim_lost_during, b.victim_lost_during);
+}
+
+}  // namespace
+}  // namespace avsec::ids

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "avsec/ids/response.hpp"
+
+namespace avsec::ids {
+namespace {
+
+CanObservation obs(std::uint32_t id, int src, core::SimTime t,
+                   core::Bytes payload = {0x10, 0xA5}) {
+  return CanObservation{id, src, t, std::move(payload)};
+}
+
+TEST(CanIds, CleanPeriodicTrafficRaisesNoAlerts) {
+  CanIds ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.learn(obs(0x100, 0, core::milliseconds(10) * i));
+  }
+  ids.freeze();
+  int alerts = 0;
+  for (int i = 100; i < 200; ++i) {
+    alerts += ids.monitor(obs(0x100, 0, core::milliseconds(10) * i)).size();
+  }
+  EXPECT_EQ(alerts, 0);
+}
+
+TEST(CanIds, WrongSourceFlaggedImmediately) {
+  CanIds ids;
+  for (int i = 0; i < 50; ++i) {
+    ids.learn(obs(0x100, 0, core::milliseconds(10) * i));
+  }
+  ids.freeze();
+  const auto alerts = ids.monitor(obs(0x100, 3, core::milliseconds(500)));
+  ASSERT_FALSE(alerts.empty());
+  EXPECT_EQ(alerts.front().type, AlertType::kWrongSource);
+  EXPECT_GT(alerts.front().confidence, 0.9);
+  EXPECT_EQ(alerts.front().observed_source, 3);
+}
+
+TEST(CanIds, RateDoublingDetectedWithinPatience) {
+  CanIds ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.learn(obs(0x200, 1, core::milliseconds(10) * i));
+  }
+  ids.freeze();
+  // Injection doubles the rate: frames every 5 ms from the *right* source
+  // and with in-profile payload — only the rate gives it away.
+  int rate_alerts = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto alerts =
+        ids.monitor(obs(0x200, 1, core::seconds(1) + core::milliseconds(5) * i));
+    for (const auto& a : alerts) {
+      rate_alerts += a.type == AlertType::kRateAnomaly;
+    }
+  }
+  EXPECT_GE(rate_alerts, 1);
+}
+
+TEST(CanIds, PayloadOutOfProfileFlagged) {
+  CanIds ids;
+  for (int i = 0; i < 50; ++i) {
+    ids.learn(obs(0x300, 2, core::milliseconds(10) * i,
+                  {static_cast<std::uint8_t>(i % 16), 0xA5}));
+  }
+  ids.freeze();
+  const auto alerts = ids.monitor(
+      obs(0x300, 2, core::milliseconds(600), {0x0F, 0xFF}));  // 0xA5 -> 0xFF
+  ASSERT_FALSE(alerts.empty());
+  EXPECT_EQ(alerts.front().type, AlertType::kPayloadAnomaly);
+}
+
+TEST(CanIds, UnknownIdFlagged) {
+  CanIds ids;
+  ids.learn(obs(0x100, 0, 0));
+  ids.freeze();
+  EXPECT_FALSE(ids.monitor(obs(0x7FF, 0, core::milliseconds(1))).empty());
+}
+
+TEST(ResponseEngine, LowConfidenceOnlyLogs) {
+  ResponseEngine engine;
+  Alert a{AlertType::kWrongSource, 0x100, 0, 0.3, 3};
+  const auto d = engine.decide(a, Criticality::kDriving);
+  EXPECT_EQ(d.action, ResponseAction::kLogOnly);
+}
+
+TEST(ResponseEngine, MasqueradeOnDrivingAssetIsolatesEcu) {
+  ResponseEngine engine;
+  Alert a{AlertType::kWrongSource, 0x100, 0, 0.95, 3};
+  const auto d = engine.decide(a, Criticality::kDriving);
+  EXPECT_EQ(d.action, ResponseAction::kIsolateEcu);
+  EXPECT_GT(d.utility, 0.0);
+}
+
+TEST(ResponseEngine, SafetyAssetPrefersGentlerResponse) {
+  ResponseEngine engine;
+  Alert a{AlertType::kRateAnomaly, 0x100, 0, 0.8, 3};
+  const auto safety = engine.decide(a, Criticality::kSafety);
+  // Isolating a safety ECU costs 0.65; rate limiting wins.
+  EXPECT_EQ(safety.action, ResponseAction::kRateLimitId);
+}
+
+TEST(ResponseEngine, EffectivenessAndCostTablesAreSane) {
+  EXPECT_GT(ResponseEngine::effectiveness(ResponseAction::kIsolateEcu,
+                                          AlertType::kWrongSource),
+            ResponseEngine::effectiveness(ResponseAction::kLogOnly,
+                                          AlertType::kWrongSource));
+  EXPECT_GT(ResponseEngine::cost(ResponseAction::kLimpHomeMode,
+                                 Criticality::kSafety),
+            ResponseEngine::cost(ResponseAction::kRateLimitId,
+                                 Criticality::kComfort));
+}
+
+TEST(Masquerade, ExperimentDetectsAndResponds) {
+  MasqueradeExperimentConfig cfg;
+  const auto r = run_masquerade_experiment(cfg);
+  EXPECT_TRUE(r.detected);
+  EXPECT_EQ(r.first_alert_type, AlertType::kWrongSource);
+  EXPECT_LE(r.malicious_frames_before_detection, 1u);
+  EXPECT_LE(r.detection_latency, core::milliseconds(1));
+  EXPECT_EQ(r.response.action, ResponseAction::kIsolateEcu);
+  EXPECT_EQ(r.malicious_frames_accepted_after_response, 0u);
+}
+
+TEST(Masquerade, CleanTrafficFalsePositiveRateIsLow) {
+  MasqueradeExperimentConfig cfg;
+  const auto r = run_masquerade_experiment(cfg);
+  EXPECT_LT(r.clean_false_positive_rate, 0.02);
+}
+
+TEST(Masquerade, SafetyCriticalityChangesResponse) {
+  MasqueradeExperimentConfig cfg;
+  cfg.criticality = Criticality::kSafety;
+  const auto r = run_masquerade_experiment(cfg);
+  EXPECT_TRUE(r.detected);
+  // Isolation of a safety ECU costs too much; the engine still acts, but
+  // with a cheaper measure.
+  EXPECT_NE(r.response.action, ResponseAction::kLogOnly);
+}
+
+TEST(AlertNames, Distinct) {
+  EXPECT_STRNE(alert_type_name(AlertType::kRateAnomaly),
+               alert_type_name(AlertType::kWrongSource));
+  EXPECT_STRNE(response_action_name(ResponseAction::kIsolateEcu),
+               response_action_name(ResponseAction::kLimpHomeMode));
+}
+
+}  // namespace
+}  // namespace avsec::ids

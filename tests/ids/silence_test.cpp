@@ -1,0 +1,110 @@
+// Silence detection: the defender-side view of a bus-off attack
+// (netsim fault confinement) — a trained periodic ID disappears.
+#include <gtest/gtest.h>
+
+#include "avsec/ids/response.hpp"
+#include "avsec/netsim/traffic.hpp"
+
+namespace avsec::ids {
+namespace {
+
+CanIds trained_ids() {
+  CanIds ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.learn(CanObservation{0x100, 0, core::milliseconds(10) * i,
+                             {0x01, 0xA5}});
+  }
+  ids.freeze();
+  return ids;
+}
+
+TEST(Silence, NoAlertWhileTrafficFlows) {
+  auto ids = trained_ids();
+  for (int i = 100; i < 120; ++i) {
+    ids.monitor(CanObservation{0x100, 0, core::milliseconds(10) * i,
+                               {0x01, 0xA5}});
+  }
+  EXPECT_TRUE(ids.check_silence(core::milliseconds(10) * 120 +
+                                core::milliseconds(20)).empty());
+}
+
+TEST(Silence, AlertAfterSilenceWindow) {
+  auto ids = trained_ids();
+  ids.monitor(CanObservation{0x100, 0, core::milliseconds(1000), {0x01, 0xA5}});
+  // 5x the 10 ms period = 50 ms of silence triggers.
+  const auto alerts = ids.check_silence(core::milliseconds(1100));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts.front().type, AlertType::kUnexpectedSilence);
+  EXPECT_EQ(alerts.front().can_id, 0x100u);
+}
+
+TEST(Silence, AlertsOnlyOnceUntilHeardAgain) {
+  auto ids = trained_ids();
+  ids.monitor(CanObservation{0x100, 0, core::milliseconds(1000), {0x01, 0xA5}});
+  EXPECT_EQ(ids.check_silence(core::milliseconds(1100)).size(), 1u);
+  EXPECT_TRUE(ids.check_silence(core::milliseconds(1200)).empty());
+
+  // The ID comes back, then goes silent again: a fresh alert.
+  ids.monitor(CanObservation{0x100, 0, core::milliseconds(1300), {0x01, 0xA5}});
+  EXPECT_EQ(ids.check_silence(core::milliseconds(1500)).size(), 1u);
+}
+
+TEST(Silence, WorksFromTrainingStateWithoutMonitoredFrames) {
+  auto ids = trained_ids();  // last training frame at t = 990 ms
+  const auto alerts = ids.check_silence(core::milliseconds(2000));
+  EXPECT_EQ(alerts.size(), 1u);
+}
+
+TEST(Silence, ResponseEngineChoosesLimpHome) {
+  ResponseEngine engine;
+  Alert a{AlertType::kUnexpectedSilence, 0x100, 0, 0.85, -1};
+  const auto d = engine.decide(a, Criticality::kSafety);
+  EXPECT_EQ(d.action, ResponseAction::kLimpHomeMode);
+}
+
+TEST(Silence, BusOffAttackEndToEnd) {
+  // Full loop: fault-confined bus, victim driven bus-off by targeted
+  // errors, IDS notices the silence.
+  core::Scheduler sim;
+  netsim::CanBusConfig cfg;
+  cfg.fault_confinement = true;
+  netsim::CanBus bus(sim, cfg);
+  const int victim = bus.attach("victim", nullptr);
+  const int monitor = bus.attach("ids-tap", nullptr);
+  (void)monitor;
+
+  CanIds ids;
+  bus.set_rx(1, [&](int src, const netsim::CanFrame& f, core::SimTime now) {
+    const CanObservation obs{f.id, src, now, f.payload};
+    if (ids.frozen()) {
+      ids.monitor(obs);
+    } else {
+      ids.learn(obs);
+    }
+  });
+
+  netsim::PeriodicSource source(
+      sim, core::milliseconds(10),
+      [&](std::uint64_t) {
+        netsim::CanFrame f;
+        f.id = 0x100;
+        f.payload = {0x01, 0xA5};
+        bus.send(victim, f);
+      },
+      0);
+  source.start();
+
+  sim.schedule_at(core::milliseconds(500), [&] { ids.freeze(); });
+  // The attack begins at t=700ms: every victim frame is corrupted.
+  sim.schedule_at(core::milliseconds(700),
+                  [&] { bus.inject_errors_on(victim, 1000); });
+  sim.run_until(core::seconds(1));
+
+  EXPECT_TRUE(bus.is_bus_off(victim));
+  const auto alerts = ids.check_silence(sim.now());
+  ASSERT_FALSE(alerts.empty());
+  EXPECT_EQ(alerts.front().type, AlertType::kUnexpectedSilence);
+}
+
+}  // namespace
+}  // namespace avsec::ids

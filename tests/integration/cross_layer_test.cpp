@@ -1,0 +1,172 @@
+// Cross-module integration: the layered architecture of Fig. 1 working as
+// one system.
+#include <gtest/gtest.h>
+
+#include "avsec/datalayer/killchain.hpp"
+#include "avsec/ids/response.hpp"
+#include "avsec/netsim/traffic.hpp"
+#include "avsec/phy/pkes.hpp"
+#include "avsec/secproto/canal.hpp"
+#include "avsec/secproto/macsec.hpp"
+#include "avsec/secproto/scenarios.hpp"
+#include "avsec/sos/graph.hpp"
+#include "avsec/ssi/use_cases.hpp"
+
+namespace avsec {
+namespace {
+
+// Physical layer -> vehicle access: a stolen-credential-free theft chain
+// fails once the PHY is hardened, regardless of upper layers.
+TEST(CrossLayer, PkesHardeningBlocksTheftChain) {
+  const core::Bytes key(16, 0x5A);
+  phy::PkesSystem legacy(phy::PkesTech::kLfRssi, key);
+  phy::PkesSystem hardened(phy::PkesTech::kUwbLrpBounded, key);
+
+  int legacy_thefts = 0, hardened_thefts = 0;
+  for (int i = 0; i < 10; ++i) {
+    legacy_thefts += legacy.relay_attack(25.0, 30.0).unlocked;
+    legacy_thefts += legacy.reduction_attack(25.0).unlocked;
+    hardened_thefts += hardened.relay_attack(25.0, 30.0).unlocked;
+    hardened_thefts += hardened.reduction_attack(25.0).unlocked;
+  }
+  EXPECT_GT(legacy_thefts, 15);
+  EXPECT_LE(hardened_thefts, 1);
+}
+
+// Network layer under faults: MACsec over CANAL over a CAN bus with bit
+// errors still delivers only authentic frames (errors cause CRC/ICV
+// rejections + retransmissions, never forged acceptance).
+TEST(CrossLayer, CanalMacsecSurvivesNoisyBus) {
+  core::Scheduler sim;
+  netsim::CanBusConfig cfg;
+  cfg.bit_error_rate = 3e-4;
+  netsim::CanBus bus(sim, cfg);
+  const int a = bus.attach("a", nullptr);
+  const int b = bus.attach("b", nullptr);
+  secproto::CanalPort port_a(bus, a, 0x100, netsim::CanProtocol::kFd);
+  secproto::CanalPort port_b(bus, b, 0x101, netsim::CanProtocol::kFd);
+
+  const core::Bytes sak(16, 0x7E);
+  secproto::MacsecChannel tx(sak, 0xAB), rx(sak, 0xAB);
+
+  int delivered = 0, authentic = 0;
+  port_b.set_on_eth([&](int, const netsim::EthFrame& f, core::SimTime) {
+    ++delivered;
+    auto plain = rx.unprotect(f);
+    if (plain && netsim::check_payload(7, plain->payload)) ++authentic;
+  });
+
+  netsim::EthFrame frame;
+  frame.dst = netsim::mac_from_index(2);
+  frame.payload = netsim::test_payload(7, 200);
+  for (int i = 0; i < 20; ++i) port_a.send_eth(tx.protect(frame));
+  sim.run();
+
+  // CAN's CRC + retransmission recovers every frame; MACsec on top means
+  // nothing inauthentic ever surfaces.
+  EXPECT_EQ(delivered, 20);
+  EXPECT_EQ(authentic, delivered);
+  EXPECT_GT(bus.frames_retransmitted(), 0u);
+}
+
+// Software layer -> network layer: components authenticate via SSI before
+// being admitted to the MACsec network (zero-trust onboarding), then MKA
+// provisions the SAK.
+TEST(CrossLayer, SsiGatedMkaOnboarding) {
+  ssi::DidRegistry registry;
+  registry.add_anchor("oem");
+  ssi::Issuer oem("oem", core::Bytes(32, 0x11));
+  oem.anchor_into(registry, "oem");
+
+  ssi::Component new_ecu("new-ecu", core::Bytes(32, 0x12), "gateway-v1");
+  ssi::Component gw_sw("gw-sw", core::Bytes(32, 0x13), "gateway-v1");
+  new_ecu.wallet->anchor_into(registry, "oem");
+  gw_sw.wallet->anchor_into(registry, "oem");
+
+  const auto hw_vc = oem.issue("hw-9", new_ecu.wallet->did(),
+                               {{"profile", "gateway-v1"}}, 1, 0);
+  const auto sw_vc = oem.issue("sw-9", gw_sw.wallet->did(),
+                               {{"requires_profile", "gateway-v1"}}, 1, 0);
+  const auto auth = ssi::authorize_reconfiguration(
+      new_ecu, hw_vc, gw_sw, sw_vc, registry, {}, 5);
+  ASSERT_TRUE(auth.authorized);
+
+  // Admission granted: run MKA and exchange a protected frame.
+  const auto cak = core::to_bytes("network-cak-0016");
+  const auto ckn = core::to_bytes("zone-a");
+  secproto::MkaPeer server(cak, ckn), member(cak, ckn);
+  const auto sak = server.derive_sak(core::to_bytes("sn"),
+                                     core::to_bytes("mn"), 1);
+  const auto member_sak = member.unwrap_sak(server.wrap_sak(sak, 1), 1);
+  ASSERT_TRUE(member_sak.has_value());
+
+  secproto::MacsecChannel tx(sak, 0x42), rx(*member_sak, 0x42);
+  netsim::EthFrame f;
+  f.dst = netsim::mac_from_index(1);
+  f.payload = core::to_bytes("first authenticated frame");
+  EXPECT_TRUE(rx.unprotect(tx.protect(f)).has_value());
+}
+
+// Data layer -> system-of-systems: the breach outcome parameterizes the
+// cascade entry. A backend breached via the kill chain becomes the entry
+// point; defenses that stop the kill chain also eliminate the cascade.
+TEST(CrossLayer, KillChainOutcomeDrivesSosCascade) {
+  const auto graph = sos::build_maas_reference(2);
+  const int backend = graph.node_id("backend");
+
+  datalayer::DefenseConfig undefended;
+  datalayer::CloudService weak(undefended, 100, 1);
+  const auto breach = datalayer::run_kill_chain(weak);
+  ASSERT_TRUE(breach.full_breach());
+  const auto cascade = sos::propagate(graph, backend, 20000, 2);
+  EXPECT_GT(cascade.safety_critical_reached, 0.0);
+
+  datalayer::DefenseConfig defended;
+  defended.secret_hygiene = true;
+  datalayer::CloudService strong(defended, 100, 1);
+  const auto no_breach = datalayer::run_kill_chain(strong);
+  EXPECT_FALSE(no_breach.full_breach());
+  // No foothold -> no cascade to evaluate; the chain broke before keys.
+  EXPECT_LT(static_cast<int>(no_breach.broke_at()),
+            static_cast<int>(datalayer::KillChainStage::kDataExtraction));
+}
+
+// Network + IDS + response: the holistic loop of §VIII on one bus.
+TEST(CrossLayer, DetectRespondContainMasquerade) {
+  ids::MasqueradeExperimentConfig cfg;
+  cfg.criticality = ids::Criticality::kDriving;
+  const auto r = ids::run_masquerade_experiment(cfg);
+  EXPECT_TRUE(r.detected);
+  EXPECT_EQ(r.response.action, ids::ResponseAction::kIsolateEcu);
+  EXPECT_EQ(r.malicious_frames_accepted_after_response, 0u);
+  EXPECT_LT(r.clean_false_positive_rate, 0.02);
+}
+
+// All three IVN scenarios deliver the same application traffic; their
+// trade-offs (keys at gateway, confidentiality) differ exactly as the
+// paper describes.
+TEST(CrossLayer, ScenarioTradeoffsMatchPaperNarrative) {
+  secproto::ScenarioConfig cfg;
+  cfg.pdu_count = 30;
+  const auto s1 = secproto::run_scenario_s1(cfg);
+  const auto s2a = secproto::run_scenario_s2(cfg, true);
+  const auto s2b = secproto::run_scenario_s2(cfg, false);
+  const auto s3 = secproto::run_scenario_s3(cfg, netsim::CanProtocol::kXl);
+
+  for (const auto* r : {&s1, &s2a, &s2b, &s3}) {
+    EXPECT_EQ(r->pdus_delivered, cfg.pdu_count) << r->name;
+  }
+  // S1: software-heavy AUTOSAR stack + gateway keys, auth-only.
+  EXPECT_FALSE(s1.confidentiality);
+  EXPECT_EQ(s1.gateway_session_keys, 2);
+  // S2a/S3: end-to-end — no gateway keys or crypto.
+  EXPECT_EQ(s2a.gateway_session_keys, 0);
+  EXPECT_EQ(s3.gateway_session_keys, 0);
+  // S2b pays double crypto at the gateway.
+  EXPECT_EQ(s2b.gateway_crypto_ops_per_pdu, 2);
+  // SECOC software cost makes S1 the slowest path.
+  EXPECT_GT(s1.latency_mean_us, s2a.latency_mean_us);
+}
+
+}  // namespace
+}  // namespace avsec

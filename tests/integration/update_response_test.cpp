@@ -1,0 +1,136 @@
+// Second cross-layer suite: the extension features working together —
+// OTA + reconfiguration, diagnostics + network, access control + breach,
+// V2X + perception defense.
+#include <gtest/gtest.h>
+
+#include "avsec/collab/v2x.hpp"
+#include "avsec/datalayer/access_control.hpp"
+#include "avsec/datalayer/killchain.hpp"
+#include "avsec/ids/response.hpp"
+#include "avsec/secproto/diag.hpp"
+#include "avsec/ssi/ota.hpp"
+#include "avsec/ssi/use_cases.hpp"
+
+namespace avsec {
+namespace {
+
+// An update is only half the story: the updated image must still pass the
+// zero-trust reconfiguration gate before it runs on the ECU.
+TEST(UpdateFlow, OtaThenReconfigurationGate) {
+  ssi::DidRegistry registry;
+  registry.add_anchor("sw");
+  registry.add_anchor("hw");
+  ssi::UpdateVendor vendor("sw-house", core::Bytes(32, 1));
+  ssi::Issuer hw_vendor("tier1", core::Bytes(32, 2));
+  vendor.anchor_into(registry, "sw");
+  hw_vendor.anchor_into(registry, "hw");
+
+  ssi::UpdateClient client("brake-app", "brake-ctrl-v2", vendor.did());
+  const auto verdict = client.apply(
+      vendor.publish("brake-app", 2, "brake-ctrl-v2", core::to_bytes("v2")),
+      registry);
+  ASSERT_EQ(verdict, ssi::UpdateVerdict::kInstalled);
+
+  // The vendor also issues the runtime credential for the new image; the
+  // ECU and image then mutually authenticate per §IV-A.
+  ssi::Issuer sw_issuer("sw-house-runtime", core::Bytes(32, 3));
+  registry.add_anchor("sw-rt");
+  sw_issuer.anchor_into(registry, "sw-rt");
+  ssi::Component ecu("brake-ecu", core::Bytes(32, 4), "brake-ctrl-v2");
+  ssi::Component app("brake-app", core::Bytes(32, 5), "brake-ctrl-v2");
+  ecu.wallet->anchor_into(registry, "hw");
+  app.wallet->anchor_into(registry, "sw-rt");
+  const auto hw_vc = hw_vendor.issue("hw-c", ecu.wallet->did(),
+                                     {{"profile", "brake-ctrl-v2"}}, 1, 0);
+  const auto sw_vc = sw_issuer.issue(
+      "sw-c", app.wallet->did(), {{"requires_profile", "brake-ctrl-v2"}}, 1, 0);
+  const auto out = ssi::authorize_reconfiguration(ecu, hw_vc, app, sw_vc,
+                                                  registry, {}, 10);
+  EXPECT_TRUE(out.authorized);
+}
+
+// Legacy diagnostics as the reprogramming gate is exactly how the classic
+// remote attacks escalated; certificate-based auth closes it while the
+// workshop keeps its (scoped) access.
+TEST(UpdateFlow, DiagGenerationsGateReprogramming) {
+  // Attacker with a firmware dump against the legacy scheme:
+  secproto::LegacySecurityAccess legacy(0xD00D);
+  const auto seed = legacy.request_seed();
+  EXPECT_TRUE(legacy.send_key(
+      secproto::LegacySecurityAccess::key_function(seed, 0xD00D)));
+
+  // The same attacker against certificate-based auth:
+  secproto::TlsCa tester_ca(core::Bytes(32, 6));
+  secproto::DiagAuthenticator modern(tester_ca.public_key(), 1);
+  const auto attacker_kp = crypto::ed25519_keypair(core::Bytes(32, 7));
+  secproto::TlsCa attacker_ca(core::Bytes(32, 8));
+  const auto fake = attacker_ca.issue("reprog:fake", attacker_kp.public_key);
+  const auto resp = secproto::diag_respond(
+      modern.challenge(), fake, attacker_kp,
+      secproto::DiagRole::kReprogramming);
+  EXPECT_FALSE(modern.authenticate(resp));
+}
+
+// The breach scenario with owner-controlled storage: even a *successful*
+// kill chain (keys stolen, API reachable) yields zero plaintext records.
+TEST(UpdateFlow, KillChainAgainstEscrowedStorage) {
+  datalayer::DefenseConfig undefended;  // the service itself is as breached
+  datalayer::CloudService svc(undefended, 100, 1);
+  const auto breach = datalayer::run_kill_chain(svc);
+  ASSERT_TRUE(breach.full_breach());  // the *service's* records leak
+
+  // The records an owner escrowed separately survive the same attacker.
+  datalayer::DataOwner owner(core::Bytes(32, 9), 5, 3);
+  const auto sealed = owner.seal("trip", core::to_bytes("geodata"));
+  datalayer::AccessGrant stolen_credentials_grant;  // forged, unsigned
+  stolen_credentials_grant.record_id = "trip";
+  stolen_credentials_grant.consumer = "attacker";
+  EXPECT_FALSE(consume_record(sealed, stolen_credentials_grant, "attacker",
+                              owner.servers(), owner.threshold())
+                   .has_value());
+}
+
+// Authenticated V2X + plausibility + trust defense: the full receive
+// pipeline for a collaborative perception message.
+TEST(UpdateFlow, V2xReceivePipeline) {
+  collab::PseudonymAuthority authority(core::Bytes(32, 10));
+  collab::V2xStack honest(1, core::Bytes(32, 11), authority, 10);
+  collab::V2xStack insider(2, core::Bytes(32, 12), authority, 10);
+
+  // Stage 1 — signature: an outsider's unsigned injection dies here.
+  collab::SignedCpm forged;
+  forged.position = {5, 5};
+  forged.round = 1;
+  EXPECT_NE(collab::verify_cpm(forged, authority.public_key(), 1),
+            collab::CpmVerdict::kValid);
+
+  // Stage 2 — plausibility: a credentialed insider's far-away ghost dies
+  // here even though its signature verifies.
+  const auto ghost = insider.sign({500.0, 0.0}, {0.0, 0.0}, 1);
+  EXPECT_EQ(collab::verify_cpm(ghost, authority.public_key(), 1),
+            collab::CpmVerdict::kValid);
+  EXPECT_FALSE(collab::cpm_plausible(ghost, 60.0));
+
+  // Stage 3 — honest traffic passes both.
+  const auto good = honest.sign({30.0, 0.0}, {0.0, 0.0}, 1);
+  EXPECT_EQ(collab::verify_cpm(good, authority.public_key(), 1),
+            collab::CpmVerdict::kValid);
+  EXPECT_TRUE(collab::cpm_plausible(good, 60.0));
+
+  // Stage 4 — misbehavior: the authority de-anonymizes the insider.
+  EXPECT_EQ(authority.resolve(ghost.cert.pseudonym_id), 2);
+}
+
+// Detect -> respond -> recover timeline for the flood DoS, asserting the
+// phases are ordered sensibly.
+TEST(UpdateFlow, FloodResponseTimeline) {
+  ids::FloodExperimentConfig cfg;
+  const auto r = ids::run_flood_experiment(cfg);
+  EXPECT_TRUE(r.detected);
+  EXPECT_EQ(r.response.action, ids::ResponseAction::kRateLimitId);
+  EXPECT_LT(r.victim_p99_before_us, r.victim_p99_after_us);
+  EXPECT_EQ(r.victim_lost_during, 0u);
+}
+
+}  // namespace
+}  // namespace avsec

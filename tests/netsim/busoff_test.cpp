@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "avsec/netsim/can.hpp"
+
+namespace avsec::netsim {
+namespace {
+
+CanBusConfig fault_confined() {
+  CanBusConfig cfg;
+  cfg.fault_confinement = true;
+  return cfg;
+}
+
+TEST(BusOff, TecStartsAtZero) {
+  core::Scheduler sim;
+  CanBus bus(sim, fault_confined());
+  const int a = bus.attach("a", nullptr);
+  EXPECT_EQ(bus.tec(a), 0);
+  EXPECT_FALSE(bus.is_bus_off(a));
+}
+
+TEST(BusOff, SuccessfulTrafficKeepsTecLow) {
+  core::Scheduler sim;
+  CanBus bus(sim, fault_confined());
+  const int a = bus.attach("a", nullptr);
+  bus.attach("b", nullptr);
+  CanFrame f;
+  f.id = 0x10;
+  f.payload = Bytes(4, 1);
+  for (int i = 0; i < 50; ++i) bus.send(a, f);
+  sim.run();
+  EXPECT_EQ(bus.tec(a), 0);
+  EXPECT_EQ(bus.frames_delivered(), 50u);
+}
+
+TEST(BusOff, InjectedErrorsRaiseTecByEight) {
+  core::Scheduler sim;
+  CanBus bus(sim, fault_confined());
+  const int a = bus.attach("a", nullptr);
+  bus.attach("b", nullptr);
+  bus.inject_errors_on(a, 3);
+  CanFrame f;
+  f.id = 0x10;
+  bus.send(a, f);
+  sim.run();
+  // 3 errors (+24), then success path decrements once per delivery.
+  EXPECT_EQ(bus.tec(a), 23);
+  EXPECT_EQ(bus.frames_delivered(), 1u);
+}
+
+TEST(BusOff, SustainedAttackDrivesVictimBusOff) {
+  core::Scheduler sim;
+  CanBus bus(sim, fault_confined());
+  const int victim = bus.attach("victim", nullptr);
+  int delivered = 0;
+  bus.attach("listener",
+             [&](int, const CanFrame&, core::SimTime) { ++delivered; });
+
+  // The attacker corrupts every frame the victim sends (dominant-bit
+  // overwrite); 32 consecutive transmit errors exceed TEC 255.
+  bus.inject_errors_on(victim, 100);
+  CanFrame f;
+  f.id = 0x20;
+  f.payload = Bytes(2, 7);
+  for (int i = 0; i < 5; ++i) bus.send(victim, f);
+  sim.run();
+
+  EXPECT_TRUE(bus.is_bus_off(victim));
+  EXPECT_EQ(delivered, 0);  // the safety-critical sender is silenced
+}
+
+TEST(BusOff, BusOffNodeCannotTransmitAgain) {
+  core::Scheduler sim;
+  CanBus bus(sim, fault_confined());
+  const int victim = bus.attach("victim", nullptr);
+  int delivered = 0;
+  bus.attach("listener",
+             [&](int, const CanFrame&, core::SimTime) { ++delivered; });
+  bus.inject_errors_on(victim, 100);
+  CanFrame f;
+  f.id = 0x20;
+  bus.send(victim, f);
+  sim.run();
+  ASSERT_TRUE(bus.is_bus_off(victim));
+
+  bus.send(victim, f);  // queued but never transmitted
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(BusOff, OtherNodesUnaffectedByVictimBusOff) {
+  core::Scheduler sim;
+  CanBus bus(sim, fault_confined());
+  const int victim = bus.attach("victim", nullptr);
+  const int healthy = bus.attach("healthy", nullptr);
+  int delivered = 0;
+  bus.attach("listener",
+             [&](int, const CanFrame&, core::SimTime) { ++delivered; });
+
+  bus.inject_errors_on(victim, 100);
+  CanFrame f;
+  f.id = 0x20;
+  bus.send(victim, f);
+  sim.run();
+  ASSERT_TRUE(bus.is_bus_off(victim));
+
+  f.id = 0x30;
+  for (int i = 0; i < 10; ++i) bus.send(healthy, f);
+  sim.run();
+  EXPECT_EQ(delivered, 10);
+  EXPECT_FALSE(bus.is_bus_off(healthy));
+}
+
+TEST(BusOff, RecoveryViaTecDecrement) {
+  // Below the bus-off threshold, successful transmissions heal the TEC.
+  core::Scheduler sim;
+  CanBus bus(sim, fault_confined());
+  const int a = bus.attach("a", nullptr);
+  bus.attach("b", nullptr);
+  bus.inject_errors_on(a, 4);  // TEC 32 after errors
+  CanFrame f;
+  f.id = 0x10;
+  for (int i = 0; i < 20; ++i) bus.send(a, f);
+  sim.run();
+  EXPECT_EQ(bus.tec(a), 32 - 20);
+  EXPECT_FALSE(bus.is_bus_off(a));
+}
+
+TEST(BusOff, DisabledByDefault) {
+  core::Scheduler sim;
+  CanBus bus(sim, {});  // fault confinement off
+  const int a = bus.attach("a", nullptr);
+  bus.attach("b", nullptr);
+  bus.inject_errors_on(a, 100);
+  CanFrame f;
+  f.id = 0x10;
+  bus.send(a, f);
+  sim.run();
+  EXPECT_FALSE(bus.is_bus_off(a));
+  EXPECT_EQ(bus.tec(a), 0);
+}
+
+}  // namespace
+}  // namespace avsec::netsim

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "avsec/netsim/can.hpp"
+#include "avsec/netsim/traffic.hpp"
+
+namespace avsec::netsim {
+namespace {
+
+TEST(CanFrame, MaxPayloads) {
+  EXPECT_EQ(can_max_payload(CanProtocol::kClassic), 8u);
+  EXPECT_EQ(can_max_payload(CanProtocol::kFd), 64u);
+  EXPECT_EQ(can_max_payload(CanProtocol::kXl), 2048u);
+}
+
+TEST(CanFrame, ValidityChecks) {
+  CanFrame f;
+  f.id = 0x7FF;
+  f.payload = Bytes(8, 0);
+  EXPECT_TRUE(can_frame_valid(f));
+  f.id = 0x800;
+  EXPECT_FALSE(can_frame_valid(f));
+  f.id = 1;
+  f.payload = Bytes(9, 0);
+  EXPECT_FALSE(can_frame_valid(f));
+  f.protocol = CanProtocol::kFd;
+  EXPECT_TRUE(can_frame_valid(f));
+  f.protocol = CanProtocol::kXl;
+  f.payload.clear();
+  EXPECT_FALSE(can_frame_valid(f));  // XL needs at least 1 byte
+}
+
+TEST(CanFrame, BitBudgetGrowsWithPayload) {
+  CanFrame small, big;
+  small.payload = Bytes(1, 0);
+  big.payload = Bytes(8, 0);
+  EXPECT_LT(small.bit_budget().nominal_bits, big.bit_budget().nominal_bits);
+
+  CanFrame fd_small, fd_big;
+  fd_small.protocol = fd_big.protocol = CanProtocol::kFd;
+  fd_small.payload = Bytes(8, 0);
+  fd_big.payload = Bytes(64, 0);
+  EXPECT_LT(fd_small.bit_budget().data_bits, fd_big.bit_budget().data_bits);
+}
+
+TEST(CanFrame, FdPayloadPadsToDlcSteps) {
+  CanFrame a, b;
+  a.protocol = b.protocol = CanProtocol::kFd;
+  a.payload = Bytes(17, 0);
+  b.payload = Bytes(20, 0);
+  // 17..20 all pad to 20 -> same budget.
+  EXPECT_EQ(a.bit_budget().data_bits, b.bit_budget().data_bits);
+}
+
+TEST(CanBus, DeliversToAllOtherNodes) {
+  core::Scheduler sim;
+  CanBus bus(sim, {});
+  int rx_b = 0, rx_c = 0;
+  const int a = bus.attach("a", nullptr);
+  bus.attach("b", [&](int src, const CanFrame& f, core::SimTime) {
+    EXPECT_EQ(src, a);
+    EXPECT_EQ(f.id, 0x123u);
+    ++rx_b;
+  });
+  bus.attach("c", [&](int, const CanFrame&, core::SimTime) { ++rx_c; });
+
+  CanFrame f;
+  f.id = 0x123;
+  f.payload = {1, 2, 3};
+  bus.send(a, f);
+  sim.run();
+  EXPECT_EQ(rx_b, 1);
+  EXPECT_EQ(rx_c, 1);
+  EXPECT_EQ(bus.frames_delivered(), 1u);
+}
+
+TEST(CanBus, SenderDoesNotReceiveOwnFrame) {
+  core::Scheduler sim;
+  CanBus bus(sim, {});
+  int rx_a = 0;
+  const int a =
+      bus.attach("a", [&](int, const CanFrame&, core::SimTime) { ++rx_a; });
+  bus.attach("b", nullptr);
+  CanFrame f;
+  f.id = 1;
+  bus.send(a, f);
+  sim.run();
+  EXPECT_EQ(rx_a, 0);
+}
+
+TEST(CanBus, ArbitrationLowestIdWins) {
+  core::Scheduler sim;
+  CanBus bus(sim, {});
+  std::vector<std::uint32_t> order;
+  const int a = bus.attach("a", nullptr);
+  const int b = bus.attach("b", nullptr);
+  bus.attach("sink", [&](int, const CanFrame& f, core::SimTime) {
+    order.push_back(f.id);
+  });
+
+  // Node a first sends a low-priority (high id) frame which seizes the idle
+  // bus; while it transmits, both queues fill. The remaining frames must
+  // drain in priority order regardless of enqueue order.
+  CanFrame f;
+  f.id = 0x700;
+  bus.send(a, f);
+  f.id = 0x300;
+  bus.send(a, f);
+  f.id = 0x100;
+  bus.send(b, f);
+  f.id = 0x200;
+  bus.send(b, f);
+  sim.run();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0x700u);  // already on the wire
+  EXPECT_EQ(order[1], 0x100u);
+  EXPECT_EQ(order[2], 0x200u);
+  EXPECT_EQ(order[3], 0x300u);
+}
+
+TEST(CanBus, FrameDurationMatchesBitrate) {
+  core::Scheduler sim;
+  CanBusConfig cfg;
+  cfg.nominal_bitrate = 500'000;
+  CanBus bus(sim, cfg);
+  CanFrame f;
+  f.payload = Bytes(8, 0xAA);
+  const auto bits = f.bit_budget();
+  EXPECT_EQ(bus.frame_duration(f),
+            core::transmission_time(bits.nominal_bits, 500'000));
+}
+
+TEST(CanBus, FdDataPhaseUsesDataBitrate) {
+  core::Scheduler sim;
+  CanBusConfig slow, fast;
+  slow.data_bitrate = 1'000'000;
+  fast.data_bitrate = 8'000'000;
+  CanBus bus_slow(sim, slow), bus_fast(sim, fast);
+  CanFrame f;
+  f.protocol = CanProtocol::kFd;
+  f.payload = Bytes(64, 0);
+  EXPECT_LT(bus_fast.frame_duration(f), bus_slow.frame_duration(f));
+}
+
+TEST(CanBus, BusLoadReflectsTraffic) {
+  core::Scheduler sim;
+  CanBus bus(sim, {});
+  const int a = bus.attach("a", nullptr);
+  bus.attach("b", nullptr);
+  CanFrame f;
+  f.id = 5;
+  f.payload = Bytes(8, 1);
+  for (int i = 0; i < 10; ++i) bus.send(a, f);
+  sim.run();
+  EXPECT_GT(bus.bus_load(), 0.95);  // back-to-back frames keep the bus busy
+  sim.run_until(sim.now() * 2);
+  EXPECT_NEAR(bus.bus_load(), 0.5, 0.05);
+}
+
+TEST(CanBus, ErrorInjectionCausesRetransmissions) {
+  core::Scheduler sim;
+  CanBusConfig cfg;
+  cfg.bit_error_rate = 1e-3;  // aggressive: most frames get hit
+  CanBus bus(sim, cfg);
+  const int a = bus.attach("a", nullptr);
+  int rx = 0;
+  bus.attach("b", [&](int, const CanFrame&, core::SimTime) { ++rx; });
+  CanFrame f;
+  f.id = 7;
+  f.payload = Bytes(8, 2);
+  for (int i = 0; i < 50; ++i) bus.send(a, f);
+  sim.run();
+  EXPECT_EQ(rx, 50);  // all eventually delivered
+  EXPECT_GT(bus.frames_retransmitted(), 0u);
+}
+
+TEST(CanBus, InvalidFrameThrows) {
+  core::Scheduler sim;
+  CanBus bus(sim, {});
+  const int a = bus.attach("a", nullptr);
+  CanFrame f;
+  f.id = 0x1000;  // out of 11-bit range
+  EXPECT_THROW(bus.send(a, f), std::invalid_argument);
+}
+
+TEST(CanBus, QueueDepthVisible) {
+  core::Scheduler sim;
+  CanBus bus(sim, {});
+  const int a = bus.attach("a", nullptr);
+  bus.attach("b", nullptr);
+  CanFrame f;
+  f.id = 2;
+  bus.send(a, f);
+  bus.send(a, f);
+  bus.send(a, f);
+  EXPECT_EQ(bus.queue_depth(a), 3u);
+  sim.run();
+  EXPECT_EQ(bus.queue_depth(a), 0u);
+}
+
+TEST(Traffic, PeriodicSourceCountAndSpacing) {
+  core::Scheduler sim;
+  std::vector<core::SimTime> at;
+  PeriodicSource src(
+      sim, core::milliseconds(10),
+      [&](std::uint64_t) { at.push_back(sim.now()); }, 5);
+  src.start();
+  sim.run();
+  ASSERT_EQ(at.size(), 5u);
+  for (std::size_t i = 1; i < at.size(); ++i) {
+    EXPECT_EQ(at[i] - at[i - 1], core::milliseconds(10));
+  }
+}
+
+TEST(Traffic, LatencyProbeMeasures) {
+  core::Scheduler sim;
+  LatencyProbe probe(sim);
+  probe.mark_sent(42);
+  sim.schedule_in(core::microseconds(150), [&] {
+    EXPECT_NEAR(probe.mark_received(42), 150.0, 1e-9);
+  });
+  sim.run();
+  EXPECT_EQ(probe.latencies_us().count(), 1u);
+  EXPECT_EQ(probe.in_flight(), 0u);
+}
+
+TEST(Traffic, LatencyProbeUnknownTagCountsAsLost) {
+  core::Scheduler sim;
+  LatencyProbe probe(sim);
+  EXPECT_LT(probe.mark_received(99), 0.0);
+  EXPECT_EQ(probe.lost(), 1u);
+}
+
+TEST(Traffic, TestPayloadRoundTrip) {
+  const auto p = test_payload(7, 32);
+  EXPECT_EQ(p.size(), 32u);
+  EXPECT_TRUE(check_payload(7, p));
+  EXPECT_FALSE(check_payload(8, p));
+  auto tampered = p;
+  tampered[5] ^= 1;
+  EXPECT_FALSE(check_payload(7, tampered));
+}
+
+}  // namespace
+}  // namespace avsec::netsim

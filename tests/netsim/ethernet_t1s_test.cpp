@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "avsec/netsim/ethernet.hpp"
+#include "avsec/netsim/t1s.hpp"
+#include "avsec/netsim/topology.hpp"
+
+namespace avsec::netsim {
+namespace {
+
+TEST(EthFrame, WireBitsIncludeMinimumPadding) {
+  EthFrame small;
+  small.payload = Bytes(1, 0);
+  EthFrame at_min;
+  at_min.payload = Bytes(46, 0);
+  EXPECT_EQ(small.wire_bits(), at_min.wire_bits());
+  EXPECT_EQ(at_min.wire_bits(), 8 * (14 + 46 + 4 + 8 + 12));
+
+  EthFrame big;
+  big.payload = Bytes(1000, 0);
+  EXPECT_EQ(big.wire_bits(), 8 * (14 + 1000 + 4 + 8 + 12));
+}
+
+TEST(Mac, FormattingAndBroadcast) {
+  const auto mac = mac_from_index(0x0102);
+  EXPECT_EQ(mac_to_string(mac), "02:a5:5e:00:01:02");
+  EXPECT_FALSE(is_broadcast(mac));
+  MacAddress bcast;
+  bcast.fill(0xFF);
+  EXPECT_TRUE(is_broadcast(bcast));
+}
+
+TEST(EthLink, DeliversWithSerializationAndPropagation) {
+  core::Scheduler sim;
+  EthNic a("a", mac_from_index(1)), b("b", mac_from_index(2));
+  EthLink link(sim, 100'000'000, core::nanoseconds(500));
+  link.connect(&a, &b);
+  a.attach_link(&link);
+  b.attach_link(&link);
+
+  core::SimTime rx_time = -1;
+  b.set_rx([&](const EthFrame&, core::SimTime now) { rx_time = now; });
+
+  EthFrame f;
+  f.dst = b.mac();
+  f.payload = Bytes(100, 0xAB);
+  const auto expected =
+      core::transmission_time(f.wire_bits(), 100'000'000) +
+      core::nanoseconds(500);
+  a.send(f);
+  sim.run();
+  EXPECT_EQ(rx_time, expected);
+  EXPECT_EQ(b.rx_frames(), 1u);
+}
+
+TEST(EthLink, BackToBackFramesQueueOnSerializer) {
+  core::Scheduler sim;
+  EthNic a("a", mac_from_index(1)), b("b", mac_from_index(2));
+  EthLink link(sim, 10'000'000, 0);
+  link.connect(&a, &b);
+  a.attach_link(&link);
+  b.attach_link(&link);
+  std::vector<core::SimTime> arrivals;
+  b.set_rx([&](const EthFrame&, core::SimTime now) { arrivals.push_back(now); });
+
+  EthFrame f;
+  f.dst = b.mac();
+  f.payload = Bytes(100, 1);
+  a.send(f);
+  a.send(f);
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  const auto ser = core::transmission_time(f.wire_bits(), 10'000'000);
+  EXPECT_EQ(arrivals[0], ser);
+  EXPECT_EQ(arrivals[1], 2 * ser);
+}
+
+TEST(EthNic, FiltersFramesForOtherHosts) {
+  core::Scheduler sim;
+  EthNic a("a", mac_from_index(1)), b("b", mac_from_index(2));
+  EthLink link(sim, 100'000'000, 0);
+  link.connect(&a, &b);
+  a.attach_link(&link);
+  int rx = 0;
+  b.set_rx([&](const EthFrame&, core::SimTime) { ++rx; });
+
+  EthFrame f;
+  f.dst = mac_from_index(99);  // not b
+  a.send(f);
+  sim.run();
+  EXPECT_EQ(rx, 0);
+
+  f.dst.fill(0xFF);  // broadcast reaches b
+  a.send(f);
+  sim.run();
+  EXPECT_EQ(rx, 1);
+}
+
+TEST(EthSwitch, LearnsAndForwardsUnicast) {
+  core::Scheduler sim;
+  EthSwitch sw(sim, "sw");
+  EthNic a("a", mac_from_index(1)), b("b", mac_from_index(2)),
+      c("c", mac_from_index(3));
+  std::vector<std::unique_ptr<EthLink>> links;
+  for (EthNic* nic : {&a, &b, &c}) {
+    links.push_back(std::make_unique<EthLink>(sim, 100'000'000,
+                                              core::nanoseconds(100)));
+    auto* port = sw.add_port(links.back().get());
+    links.back()->connect(nic, port);
+    nic->attach_link(links.back().get());
+  }
+  int rx_b = 0, rx_c = 0;
+  b.set_rx([&](const EthFrame&, core::SimTime) { ++rx_b; });
+  c.set_rx([&](const EthFrame&, core::SimTime) { ++rx_c; });
+
+  // First frame a->b floods (b unknown); b's reply teaches the switch.
+  EthFrame f;
+  f.dst = b.mac();
+  a.send(f);
+  sim.run();
+  EXPECT_EQ(rx_b, 1);
+  EXPECT_EQ(sw.flooded(), 1u);
+
+  EthFrame r;
+  r.dst = a.mac();
+  b.send(r);
+  sim.run();
+
+  // Now a->b is a learned unicast; c must not see it.
+  a.send(f);
+  sim.run();
+  EXPECT_EQ(rx_b, 2);
+  EXPECT_EQ(rx_c, 0);
+  EXPECT_GE(sw.forwarded(), 1u);
+}
+
+TEST(T1s, RoundRobinDeliversAllFrames) {
+  core::Scheduler sim;
+  T1sBus bus(sim, {});
+  const int a = bus.attach("a", nullptr);
+  const int b = bus.attach("b", nullptr);
+  int rx = 0;
+  bus.attach("sink", [&](int, const EthFrame&, core::SimTime) { ++rx; });
+  bus.start();
+
+  EthFrame f;
+  f.dst.fill(0xFF);
+  f.payload = Bytes(64, 1);
+  for (int i = 0; i < 5; ++i) {
+    bus.send(a, f);
+    bus.send(b, f);
+  }
+  sim.run_until(core::milliseconds(10));
+  EXPECT_EQ(rx, 10);
+  EXPECT_EQ(bus.frames_delivered(), 10u);
+}
+
+TEST(T1s, AccessLatencyIsBoundedUnderContention) {
+  core::Scheduler sim;
+  T1sConfig cfg;
+  T1sBus bus(sim, cfg);
+  constexpr int kNodes = 8;
+  std::vector<int> ids;
+  for (int i = 0; i < kNodes; ++i) {
+    ids.push_back(bus.attach("n" + std::to_string(i), nullptr));
+  }
+  bus.start();
+
+  EthFrame f;
+  f.dst.fill(0xFF);
+  f.payload = Bytes(100, 2);
+  for (int id : ids) bus.send(id, f);
+  sim.run_until(core::milliseconds(5));
+
+  // Worst-case wait: everyone else's frame plus yield windows — all of
+  // which fits well under 8 full frame times at 10 Mbit/s.
+  const double frame_us = static_cast<double>(f.wire_bits()) / 10.0;
+  EXPECT_LE(bus.access_latency().max(), kNodes * frame_us + 100.0);
+  EXPECT_EQ(bus.frames_delivered(), static_cast<std::uint64_t>(kNodes));
+}
+
+TEST(T1s, IdleBusHasZeroLoad) {
+  core::Scheduler sim;
+  T1sBus bus(sim, {});
+  bus.attach("a", nullptr);
+  bus.attach("b", nullptr);
+  bus.start();
+  sim.run_until(core::milliseconds(1));
+  EXPECT_DOUBLE_EQ(bus.bus_load(), 0.0);
+}
+
+TEST(ZonalTopology, BuildsFig3Structure) {
+  core::Scheduler sim;
+  ZonalTopologyConfig cfg;
+  cfg.can_endpoints = 4;
+  cfg.t1s_endpoints = 2;
+  ZonalTopology topo(sim, cfg);
+
+  EXPECT_EQ(topo.can_endpoint_count(), 4);
+  EXPECT_EQ(topo.t1s_endpoint_count(), 2);
+  EXPECT_NE(topo.cc_mac(), topo.zc1_mac());
+  EXPECT_NE(topo.zc1_mac(), topo.zc2_mac());
+}
+
+TEST(ZonalTopology, BackboneConnectsZcToCc) {
+  core::Scheduler sim;
+  ZonalTopology topo(sim, {});
+  int rx_cc = 0;
+  topo.cc_nic().set_rx([&](const EthFrame&, core::SimTime) { ++rx_cc; });
+
+  EthFrame f;
+  f.dst = topo.cc_mac();
+  f.payload = Bytes(64, 3);
+  topo.zc1_nic().send(f);
+  sim.run_until(core::milliseconds(1));
+  EXPECT_EQ(rx_cc, 1);
+
+  topo.zc2_nic().send(f);
+  sim.run_until(core::milliseconds(2));
+  EXPECT_EQ(rx_cc, 2);
+}
+
+TEST(ZonalTopology, CanEndpointsReachZonalController) {
+  core::Scheduler sim;
+  ZonalTopology topo(sim, {});
+  int rx = 0;
+  topo.can_bus().set_rx(topo.zc1_can_node(),
+                        [&](int, const CanFrame&, core::SimTime) { ++rx; });
+  CanFrame f;
+  f.id = 0x55;
+  f.protocol = CanProtocol::kFd;
+  f.payload = Bytes(16, 9);
+  topo.can_bus().send(topo.can_endpoint_node(0), f);
+  sim.run_until(core::milliseconds(1));
+  EXPECT_EQ(rx, 1);
+}
+
+}  // namespace
+}  // namespace avsec::netsim

@@ -1,0 +1,155 @@
+// Parameterized invariants of the network substrate.
+#include <gtest/gtest.h>
+
+#include "avsec/core/rng.hpp"
+#include "avsec/netsim/t1s.hpp"
+#include "avsec/netsim/topology.hpp"
+#include "avsec/netsim/traffic.hpp"
+
+namespace avsec::netsim {
+namespace {
+
+class BitBudgetSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(BitBudgetSweep, MonotoneInPayloadAndPositive) {
+  const auto [proto_idx, size] = GetParam();
+  const auto protocol = static_cast<CanProtocol>(proto_idx);
+  if (size > can_max_payload(protocol)) GTEST_SKIP();
+  if (protocol == CanProtocol::kXl && size == 0) GTEST_SKIP();
+
+  CanFrame f;
+  f.protocol = protocol;
+  f.payload = Bytes(size, 0xAA);
+  const auto b = f.bit_budget();
+  EXPECT_GT(b.nominal_bits, 0);
+
+  // Strictly larger payloads never shrink the budget.
+  CanFrame g = f;
+  g.payload.resize(std::min(can_max_payload(protocol), size + 8), 0xAA);
+  const auto b2 = g.bit_budget();
+  EXPECT_GE(b2.nominal_bits + b2.data_bits, b.nominal_bits + b.data_bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, BitBudgetSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values<std::size_t>(1, 4, 8, 16, 48, 64,
+                                                      512, 2048)));
+
+TEST(Conservation, CanBusDeliversExactlyWhatWasSent) {
+  core::Scheduler sim;
+  CanBus bus(sim, {});
+  core::Rng rng(3);
+  std::vector<int> senders;
+  for (int i = 0; i < 4; ++i) {
+    senders.push_back(bus.attach("n" + std::to_string(i), nullptr));
+  }
+  std::uint64_t received = 0;
+  bus.attach("sink", [&](int, const CanFrame&, core::SimTime) { ++received; });
+
+  std::uint64_t sent = 0;
+  for (int burst = 0; burst < 20; ++burst) {
+    const int n = static_cast<int>(rng.uniform_int(1, 5));
+    for (int i = 0; i < n; ++i) {
+      CanFrame f;
+      f.id = static_cast<std::uint32_t>(rng.uniform_int(1, 0x7FF));
+      f.payload = Bytes(std::size_t(rng.uniform_int(0, 8)), 0x5A);
+      bus.send(senders[std::size_t(rng.uniform_int(0, 3))], f);
+      ++sent;
+    }
+    sim.run();
+  }
+  EXPECT_EQ(received, sent);
+}
+
+TEST(Conservation, CanBusPreservesPayloadBytes) {
+  core::Scheduler sim;
+  CanBus bus(sim, {});
+  const int tx = bus.attach("tx", nullptr);
+  int checked = 0;
+  bus.attach("rx", [&](int, const CanFrame& f, core::SimTime) {
+    const auto tag = core::read_be(f.payload, 0, 4);
+    EXPECT_TRUE(check_payload(tag, core::BytesView(f.payload.data() + 4,
+                                                   f.payload.size() - 4)));
+    ++checked;
+  });
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    CanFrame f;
+    f.id = 0x50;
+    f.protocol = CanProtocol::kFd;
+    core::append_be(f.payload, i, 4);
+    core::append(f.payload, test_payload(i, 32));
+    bus.send(tx, f);
+  }
+  sim.run();
+  EXPECT_EQ(checked, 30);
+}
+
+TEST(Conservation, T1sDeliversAllUnderRandomLoad) {
+  core::Scheduler sim;
+  T1sBus bus(sim, {});
+  core::Rng rng(9);
+  std::vector<int> nodes;
+  for (int i = 0; i < 5; ++i) {
+    nodes.push_back(bus.attach("n" + std::to_string(i), nullptr));
+  }
+  std::uint64_t received = 0;
+  // Every node counts receptions; each frame reaches n-1 nodes.
+  for (int i = 0; i < 5; ++i) {
+    bus.set_rx(nodes[std::size_t(i)],
+               [&](int, const EthFrame&, core::SimTime) { ++received; });
+  }
+  bus.start();
+
+  std::uint64_t sent = 0;
+  for (int i = 0; i < 40; ++i) {
+    EthFrame f;
+    f.dst.fill(0xFF);
+    f.payload = Bytes(std::size_t(rng.uniform_int(46, 500)), 0x11);
+    bus.send(nodes[std::size_t(rng.uniform_int(0, 4))], f);
+    ++sent;
+  }
+  sim.run_until(core::milliseconds(400));
+  EXPECT_EQ(received, sent * 4);
+}
+
+TEST(Timing, FasterDataPhaseNeverSlower) {
+  core::Scheduler sim;
+  for (std::int64_t rate : {1'000'000, 2'000'000, 5'000'000, 8'000'000}) {
+    CanBusConfig slow_cfg, fast_cfg;
+    slow_cfg.data_bitrate = rate;
+    fast_cfg.data_bitrate = rate * 2;
+    CanBus slow(sim, slow_cfg), fast(sim, fast_cfg);
+    CanFrame f;
+    f.protocol = CanProtocol::kFd;
+    f.payload = Bytes(64, 0);
+    EXPECT_LE(fast.frame_duration(f), slow.frame_duration(f)) << rate;
+  }
+}
+
+TEST(Timing, SwitchAddsBoundedLatency) {
+  core::Scheduler sim;
+  ZonalTopology topo(sim, {});
+  LatencyProbe probe(sim);
+  topo.cc_nic().set_rx([&](const EthFrame& f, core::SimTime) {
+    probe.mark_received(core::read_be(f.payload, 0, 8));
+  });
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    sim.schedule_at(core::microseconds(100) * (i + 1), [&, i] {
+      probe.mark_sent(i);
+      EthFrame f;
+      f.dst = topo.cc_mac();
+      core::append_be(f.payload, i, 8);
+      f.payload.resize(100, 0);
+      topo.zc1_nic().send(f);
+    });
+  }
+  sim.run_until(core::milliseconds(10));
+  EXPECT_EQ(probe.latencies_us().count(), 20u);
+  // Serialization (~1 us) + 2 propagation (0.1 us) + forwarding (3 us).
+  EXPECT_LT(probe.latencies_us().max(), 10.0);
+}
+
+}  // namespace
+}  // namespace avsec::netsim

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "avsec/phy/collision_avoidance.hpp"
+
+namespace avsec::phy {
+namespace {
+
+TEST(Aeb, CleanRunStopsBeforeObstacle) {
+  AebScenarioConfig cfg;
+  const auto out = run_aeb_scenario(cfg);
+  EXPECT_FALSE(out.collided);
+  EXPECT_GT(out.stop_margin_m, 5.0);
+  EXPECT_FALSE(out.attack_flagged);
+  EXPECT_LT(out.worst_gap_error_m, 1.0);
+}
+
+TEST(Aeb, EnlargementAttackCausesCollisionOnNaiveStack) {
+  AebScenarioConfig cfg;
+  EnlargementAttack attack;
+  attack.delay_samples = 160;  // ~24 m apparent enlargement
+  cfg.attack = attack;
+  cfg.enlargement_check_enabled = false;
+  const auto out = run_aeb_scenario(cfg);
+  EXPECT_TRUE(out.collided);
+  EXPECT_GT(out.impact_speed_mps, 5.0);
+  EXPECT_GT(out.worst_gap_error_m, 10.0);
+}
+
+TEST(Aeb, UwbEdCheckConvertsAttackIntoSafeStop) {
+  AebScenarioConfig cfg;
+  EnlargementAttack attack;
+  attack.delay_samples = 160;
+  attack.residual = 0.2;
+  cfg.attack = attack;
+  cfg.enlargement_check_enabled = true;
+  const auto out = run_aeb_scenario(cfg);
+  EXPECT_FALSE(out.collided);
+  EXPECT_TRUE(out.attack_flagged);
+}
+
+TEST(Aeb, CheckDoesNotFalseAlarmOnCleanRuns) {
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    AebScenarioConfig cfg;
+    cfg.enlargement_check_enabled = true;
+    cfg.seed = s;
+    const auto out = run_aeb_scenario(cfg);
+    EXPECT_FALSE(out.collided) << "seed " << s;
+    EXPECT_FALSE(out.attack_flagged) << "seed " << s;
+  }
+}
+
+TEST(Aeb, ModerateEnlargementErodesMarginWithoutCollision) {
+  AebScenarioConfig cfg;
+  EnlargementAttack attack;
+  attack.delay_samples = 40;  // ~6 m
+  cfg.attack = attack;
+  const auto clean = run_aeb_scenario(AebScenarioConfig{});
+  const auto biased = run_aeb_scenario(cfg);
+  EXPECT_FALSE(biased.collided);
+  EXPECT_LT(biased.stop_margin_m, clean.stop_margin_m);
+}
+
+}  // namespace
+}  // namespace avsec::phy

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "avsec/phy/pkes.hpp"
+
+namespace avsec::phy {
+namespace {
+
+const core::Bytes kKey(16, 0x77);
+
+TEST(Pkes, OwnerUnlocksAtCloseRangeAllTechs) {
+  for (auto tech : {PkesTech::kLfRssi, PkesTech::kUwbHrpNaive,
+                    PkesTech::kUwbHrpChecked, PkesTech::kUwbLrpBounded}) {
+    PkesSystem sys(tech, kKey);
+    const auto a = sys.legitimate_unlock(1.0);
+    EXPECT_TRUE(a.unlocked) << pkes_tech_name(tech);
+    EXPECT_FALSE(a.attack_detected) << pkes_tech_name(tech);
+  }
+}
+
+TEST(Pkes, OwnerCannotUnlockFromFarAway) {
+  for (auto tech : {PkesTech::kLfRssi, PkesTech::kUwbHrpNaive,
+                    PkesTech::kUwbHrpChecked, PkesTech::kUwbLrpBounded}) {
+    PkesSystem sys(tech, kKey);
+    EXPECT_FALSE(sys.legitimate_unlock(30.0).unlocked)
+        << pkes_tech_name(tech);
+  }
+}
+
+TEST(Pkes, RelayAttackDefeatsLegacyRssi) {
+  PkesSystem sys(PkesTech::kLfRssi, kKey);
+  int unlocked = 0;
+  for (int i = 0; i < 10; ++i) {
+    unlocked += sys.relay_attack(30.0, 50.0).unlocked;
+  }
+  EXPECT_EQ(unlocked, 10);  // the classic car-theft scenario
+}
+
+TEST(Pkes, RelayAttackFailsAgainstTofRanging) {
+  for (auto tech : {PkesTech::kUwbHrpNaive, PkesTech::kUwbHrpChecked,
+                    PkesTech::kUwbLrpBounded}) {
+    PkesSystem sys(tech, kKey);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_FALSE(sys.relay_attack(30.0, 50.0).unlocked)
+          << pkes_tech_name(tech);
+    }
+  }
+}
+
+TEST(Pkes, ReductionAttackOftenDefeatsNaiveHrp) {
+  PkesSystem sys(PkesTech::kUwbHrpNaive, kKey);
+  int unlocked = 0;
+  for (int i = 0; i < 20; ++i) {
+    unlocked += sys.reduction_attack(20.0).unlocked;
+  }
+  EXPECT_GE(unlocked, 8);  // the HRP back-search weakness
+}
+
+TEST(Pkes, StsCheckStopsReductionAttack) {
+  PkesSystem sys(PkesTech::kUwbHrpChecked, kKey);
+  int unlocked = 0;
+  for (int i = 0; i < 20; ++i) {
+    unlocked += sys.reduction_attack(20.0).unlocked;
+  }
+  EXPECT_LE(unlocked, 1);
+}
+
+TEST(Pkes, DistanceBoundingStopsReductionAttack) {
+  PkesSystem sys(PkesTech::kUwbLrpBounded, kKey);
+  int unlocked = 0;
+  for (int i = 0; i < 20; ++i) {
+    unlocked += sys.reduction_attack(20.0).unlocked;
+  }
+  EXPECT_LE(unlocked, 1);
+}
+
+TEST(Pkes, CheckedReceiverDoesNotFalseAlarmOnOwner) {
+  PkesSystem sys(PkesTech::kUwbHrpChecked, kKey);
+  int unlocked = 0;
+  for (int i = 0; i < 20; ++i) {
+    unlocked += sys.legitimate_unlock(1.5).unlocked;
+  }
+  EXPECT_GE(unlocked, 19);
+}
+
+TEST(Pkes, TechNamesAreDistinct) {
+  EXPECT_STRNE(pkes_tech_name(PkesTech::kLfRssi),
+               pkes_tech_name(PkesTech::kUwbHrpNaive));
+  EXPECT_STRNE(pkes_tech_name(PkesTech::kUwbHrpChecked),
+               pkes_tech_name(PkesTech::kUwbLrpBounded));
+}
+
+}  // namespace
+}  // namespace avsec::phy

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "avsec/phy/attacks.hpp"
+#include "avsec/phy/ranging.hpp"
+
+namespace avsec::phy {
+namespace {
+
+const core::Bytes kKey(16, 0x42);
+
+TEST(Uwb, DistanceSampleConversionRoundTrip) {
+  EXPECT_NEAR(samples_to_distance(distance_to_samples(12.34)), 12.34, 1e-9);
+  EXPECT_NEAR(kMetersPerSample, 0.1499, 1e-3);
+}
+
+TEST(Uwb, StsIsDeterministicPerKeyAndCounter) {
+  const auto a = make_sts(kKey, 1, 128);
+  const auto b = make_sts(kKey, 1, 128);
+  const auto c = make_sts(kKey, 2, 128);
+  EXPECT_EQ(a.chips, b.chips);
+  EXPECT_NE(a.chips, c.chips);
+  const auto d = make_sts(core::Bytes(16, 0x43), 1, 128);
+  EXPECT_NE(a.chips, d.chips);
+}
+
+TEST(Uwb, StsIsBalanced) {
+  const auto code = make_sts(kKey, 5, 4096);
+  int sum = 0;
+  for (int c : code.chips) sum += c;
+  EXPECT_LT(std::abs(sum), 256);  // ~4 sigma for a fair coin
+}
+
+TEST(Uwb, LrpCodeHasUniqueSortedPositions) {
+  const auto code = make_lrp_code(kKey, 3, 256, 32);
+  ASSERT_EQ(code.positions.size(), 32u);
+  ASSERT_EQ(code.polarities.size(), 32u);
+  for (std::size_t i = 1; i < code.positions.size(); ++i) {
+    EXPECT_LT(code.positions[i - 1], code.positions[i]);
+  }
+  EXPECT_LT(code.positions.back(), 256u);
+}
+
+TEST(Uwb, LrpCodeDependsOnKey) {
+  const auto a = make_lrp_code(kKey, 1, 256, 32);
+  const auto b = make_lrp_code(core::Bytes(16, 9), 1, 256, 32);
+  EXPECT_NE(a.positions, b.positions);
+}
+
+TEST(Uwb, RenderedChipsHaveEnergy) {
+  const auto code = make_sts(kKey, 1, 64);
+  const auto sig = render_chips(code, {});
+  double energy = 0.0;
+  for (double v : sig) energy += v * v;
+  EXPECT_GT(energy, 64 * 2.0);  // at least ~pulse energy per chip
+}
+
+TEST(Uwb, ChannelDelaysSignalByDistance) {
+  ChannelConfig cfg;
+  cfg.snr_db = 60.0;  // almost noiseless
+  cfg.multipath_taps = 0;
+  Channel ch(cfg);
+  const auto code = make_sts(kKey, 1, 64);
+  const auto tx = render_chips(code, {});
+  const auto rx = ch.propagate(tx, 15.0, tx.size() + 200);
+
+  const auto corr = correlate(rx, tx, 200);
+  const auto est = estimate_toa(corr);
+  const double expected = distance_to_samples(15.0);
+  EXPECT_NEAR(static_cast<double>(est.peak_offset), expected, 1.5);
+}
+
+TEST(Ranging, HrpAccurateAtHighSnr) {
+  HrpRanging ranging(kKey);
+  for (double d : {3.0, 10.0, 30.0}) {
+    const auto r = ranging.measure(d, 1);
+    EXPECT_NEAR(r.measured_distance_m, d, 0.5) << "distance " << d;
+    EXPECT_TRUE(r.sts_check_passed);
+    EXPECT_FALSE(r.enlargement_flagged);
+  }
+}
+
+TEST(Ranging, LrpAccurateAtHighSnr) {
+  LrpRanging ranging(kKey);
+  for (double d : {3.0, 10.0, 30.0}) {
+    const auto r = ranging.measure(d, 1);
+    EXPECT_NEAR(r.measured_distance_m, d, 0.5) << "distance " << d;
+    EXPECT_TRUE(r.commitment_passed);
+  }
+}
+
+TEST(Ranging, ErrorGrowsAsSnrDrops) {
+  TwrConfig low, high;
+  low.channel.snr_db = 2.0;
+  high.channel.snr_db = 30.0;
+  HrpRanging noisy(kKey, low), clean(kKey, high);
+  double err_noisy = 0.0, err_clean = 0.0;
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    err_noisy += std::abs(noisy.measure(10.0, s).toa_error_samples);
+    err_clean += std::abs(clean.measure(10.0, s).toa_error_samples);
+  }
+  EXPECT_LE(err_clean, err_noisy);
+}
+
+TEST(Ranging, CicadaReducesDistanceOnNaiveReceiver) {
+  HrpRanging ranging(kKey);
+  CicadaAttack attack;
+  attack.advance_samples = 40;
+  int reduced = 0;
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    const auto r = ranging.measure(20.0, s, attack.hook());
+    if (r.measured_distance_m < 19.0) ++reduced;
+  }
+  // The blind attack wins the back-search race in a solid majority of
+  // sessions at 6x power.
+  EXPECT_GE(reduced, 10);
+}
+
+TEST(Ranging, StsCheckCatchesCicadaReductions) {
+  HrpRanging ranging(kKey);
+  CicadaAttack attack;
+  attack.advance_samples = 40;
+  int undetected_reductions = 0;
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    const auto r = ranging.measure(20.0, s, attack.hook());
+    if (r.measured_distance_m < 19.0 && r.sts_check_passed) {
+      ++undetected_reductions;
+    }
+  }
+  EXPECT_LE(undetected_reductions, 1);
+}
+
+TEST(Ranging, StsCheckPassesCleanSessions) {
+  HrpRanging ranging(kKey);
+  int passed = 0;
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    passed += ranging.measure(12.0, s).sts_check_passed;
+  }
+  EXPECT_GE(passed, 29);  // false-alarm rate must be tiny
+}
+
+TEST(Ranging, EdLcWithPerfectGuessesWouldSucceed) {
+  // Sanity upper bound: polarity_guess_accuracy=1 is an oracle attacker
+  // that knows the STS; the check cannot distinguish it from a real early
+  // path. This bounds what the defense can promise (it defeats *blind*
+  // attackers, as the literature states).
+  TwrConfig cfg;
+  HrpRanging ranging(kKey, cfg);
+  const auto code = make_sts(kKey, 3, cfg.sts_chips);
+  EdLcAttack oracle;
+  oracle.polarity_guess_accuracy = 1.0;
+  oracle.amplitude = 1.0;
+  oracle.advance_samples = 48;
+  const auto r = ranging.measure(20.0, 3, oracle.hook(code, cfg.shape));
+  EXPECT_LT(r.measured_distance_m, 16.0);
+  EXPECT_TRUE(r.sts_check_passed);
+}
+
+TEST(Ranging, EdLcBlindIsCaughtByStsCheck) {
+  TwrConfig cfg;
+  HrpRanging ranging(kKey, cfg);
+  int undetected = 0;
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    const auto code = make_sts(kKey, s, cfg.sts_chips);
+    EdLcAttack blind;
+    blind.polarity_guess_accuracy = 0.5;
+    blind.seed = 1000 + s;
+    const auto r = ranging.measure(20.0, s, blind.hook(code, cfg.shape));
+    if (r.measured_distance_m < 19.0 && r.sts_check_passed) ++undetected;
+  }
+  EXPECT_LE(undetected, 1);
+}
+
+TEST(Ranging, CommitmentCheckCatchesEarlyCommitOnLrp) {
+  LrpRanging ranging(kKey);
+  CicadaAttack attack;
+  attack.advance_samples = 40;
+  attack.amplitude = 8.0;
+  int undetected_reductions = 0;
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    const auto r = ranging.measure(20.0, s, attack.hook());
+    if (r.measured_distance_m < 19.0 && r.commitment_passed) {
+      ++undetected_reductions;
+    }
+  }
+  EXPECT_LE(undetected_reductions, 1);
+}
+
+TEST(Ranging, EnlargementMovesDistanceOnNaiveReceiver) {
+  HrpRanging ranging(kKey);
+  EnlargementAttack attack;
+  int enlarged = 0;
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    const auto r = ranging.measure(10.0, s, attack.hook());
+    if (r.measured_distance_m > 10.5) ++enlarged;
+  }
+  EXPECT_GE(enlarged, 12);
+}
+
+TEST(Ranging, UwbEdFlagsEnlargement) {
+  HrpRanging ranging(kKey);
+  EnlargementAttack attack;
+  attack.residual = 0.3;  // sloppier annihilation
+  int flagged = 0;
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    const auto r = ranging.measure(10.0, s, attack.hook());
+    if (r.measured_distance_m > 10.5) {
+      flagged += r.enlargement_flagged;
+    } else {
+      // enlargement failed anyway; not counted
+      ++flagged;
+    }
+  }
+  EXPECT_GE(flagged, 16);
+}
+
+TEST(Ranging, UwbEdQuietOnCleanSessions) {
+  HrpRanging ranging(kKey);
+  int flagged = 0;
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    flagged += ranging.measure(25.0, s).enlargement_flagged;
+  }
+  EXPECT_LE(flagged, 2);
+}
+
+TEST(Toa, EstimateFindsPeakAndLeadingEdge) {
+  std::vector<double> corr(100, 0.0);
+  corr[50] = 10.0;  // main peak
+  corr[40] = 3.0;   // genuine first path above 25% threshold
+  corr[30] = 1.0;   // below threshold
+  const auto est = estimate_toa(corr);
+  EXPECT_EQ(est.peak_offset, 50u);
+  EXPECT_EQ(est.first_path, 40u);
+}
+
+TEST(Toa, MinSeparationExcludesPeakShoulder) {
+  std::vector<double> corr(100, 0.0);
+  corr[50] = 10.0;
+  corr[45] = 5.0;   // within min_separation: a sidelobe, not a path
+  corr[44] = -5.0;  // negative lobes never trigger
+  const auto est = estimate_toa(corr);
+  EXPECT_EQ(est.first_path, 50u);
+}
+
+TEST(Toa, BackSearchWindowLimitsReach) {
+  std::vector<double> corr(300, 0.0);
+  corr[250] = 10.0;
+  corr[10] = 9.0;  // far earlier than the window allows
+  ToaConfig cfg;
+  cfg.back_search_window = 64;
+  const auto est = estimate_toa(corr, cfg);
+  EXPECT_EQ(est.first_path, 250u);
+}
+
+}  // namespace
+}  // namespace avsec::phy

@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include "avsec/core/rng.hpp"
+#include "avsec/netsim/traffic.hpp"
+#include "avsec/secproto/canal.hpp"
+#include "avsec/secproto/ipsec_lite.hpp"
+#include "avsec/secproto/macsec.hpp"
+#include "avsec/secproto/tls_lite.hpp"
+
+namespace avsec::secproto {
+namespace {
+
+// ---------- CANAL ----------
+
+TEST(Canal, SingleSegmentSduRoundTrip) {
+  CanalSegmenter seg(64);
+  CanalReassembler rsm;
+  const auto sdu = core::to_bytes("short sdu");
+  const auto segs = seg.segment(1, sdu);
+  ASSERT_EQ(segs.size(), 1u);
+  const auto out = rsm.feed(0, segs[0]);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, sdu);
+}
+
+TEST(Canal, MultiSegmentSduRoundTrip) {
+  CanalSegmenter seg(64);
+  CanalReassembler rsm;
+  const auto sdu = netsim::test_payload(3, 500);
+  const auto segs = seg.segment(9, sdu);
+  EXPECT_GT(segs.size(), 7u);
+  std::optional<core::Bytes> out;
+  for (const auto& s : segs) {
+    EXPECT_FALSE(out.has_value());
+    out = rsm.feed(2, s);
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, sdu);
+  EXPECT_EQ(rsm.stats().sdus_completed, 1u);
+}
+
+TEST(Canal, EmptySduRoundTrip) {
+  CanalSegmenter seg(64);
+  CanalReassembler rsm;
+  const auto segs = seg.segment(0, {});
+  ASSERT_EQ(segs.size(), 1u);
+  const auto out = rsm.feed(0, segs[0]);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(Canal, LostSegmentDetectedBySequence) {
+  CanalSegmenter seg(64);
+  CanalReassembler rsm;
+  const auto segs = seg.segment(1, netsim::test_payload(1, 300));
+  ASSERT_GE(segs.size(), 3u);
+  rsm.feed(0, segs[0]);
+  // segment 1 lost
+  const auto out = rsm.feed(0, segs[2]);
+  EXPECT_FALSE(out.has_value());
+  EXPECT_EQ(rsm.stats().sequence_errors, 1u);
+}
+
+TEST(Canal, CorruptedDataDetectedByCrc) {
+  CanalSegmenter seg(64);
+  CanalReassembler rsm;
+  auto segs = seg.segment(1, netsim::test_payload(2, 150));
+  segs[1][10] ^= 0x40;  // flip a data bit (not header flags)
+  std::optional<core::Bytes> out;
+  for (const auto& s : segs) out = rsm.feed(0, s);
+  EXPECT_FALSE(out.has_value());
+  EXPECT_EQ(rsm.stats().crc_errors, 1u);
+}
+
+TEST(Canal, InterleavedSourcesReassembleIndependently) {
+  CanalSegmenter seg(64);
+  CanalReassembler rsm;
+  const auto sdu_a = netsim::test_payload(10, 200);
+  const auto sdu_b = netsim::test_payload(11, 200);
+  const auto segs_a = seg.segment(1, sdu_a);
+  const auto segs_b = seg.segment(1, sdu_b);  // same sdu id, other source
+  ASSERT_EQ(segs_a.size(), segs_b.size());
+  std::optional<core::Bytes> out_a, out_b;
+  for (std::size_t i = 0; i < segs_a.size(); ++i) {
+    out_a = rsm.feed(/*source=*/1, segs_a[i]);
+    out_b = rsm.feed(/*source=*/2, segs_b[i]);
+  }
+  ASSERT_TRUE(out_a.has_value());
+  ASSERT_TRUE(out_b.has_value());
+  EXPECT_EQ(*out_a, sdu_a);
+  EXPECT_EQ(*out_b, sdu_b);
+}
+
+TEST(Canal, OrphanMiddleSegmentIgnored) {
+  CanalSegmenter seg(64);
+  CanalReassembler rsm;
+  const auto segs = seg.segment(1, netsim::test_payload(1, 300));
+  EXPECT_FALSE(rsm.feed(0, segs[1]).has_value());
+  EXPECT_EQ(rsm.stats().orphan_segments, 1u);
+}
+
+TEST(Canal, CapacityTooSmallThrows) {
+  EXPECT_THROW(CanalSegmenter(4), std::invalid_argument);
+}
+
+TEST(Canal, EthSerializationRoundTrip) {
+  netsim::EthFrame f;
+  f.dst = netsim::mac_from_index(1);
+  f.src = netsim::mac_from_index(2);
+  f.ethertype = 0x88E5;
+  f.payload = netsim::test_payload(4, 77);
+  const auto sdu = canal_serialize_eth(f);
+  const auto back = canal_parse_eth(sdu);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->dst, f.dst);
+  EXPECT_EQ(back->src, f.src);
+  EXPECT_EQ(back->ethertype, f.ethertype);
+  EXPECT_EQ(back->payload, f.payload);
+  EXPECT_FALSE(canal_parse_eth(core::Bytes(5, 0)).has_value());
+}
+
+// Property: round trip across many sizes and both CAN generations.
+class CanalSizeSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(CanalSizeSweep, RoundTrip) {
+  const auto [cap_kind, size] = GetParam();
+  const std::size_t capacity = cap_kind == 0 ? 64 : 2048;
+  CanalSegmenter seg(capacity);
+  CanalReassembler rsm;
+  const auto sdu = netsim::test_payload(size, size);
+  std::optional<core::Bytes> out;
+  for (const auto& s : seg.segment(5, sdu)) {
+    EXPECT_LE(s.size(), capacity);
+    out = rsm.feed(0, s);
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, sdu);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CanalSizeSweep,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values<std::size_t>(1, 55, 56, 57, 62, 63,
+                                                      124, 200, 1000, 4000)));
+
+TEST(Canal, PortCarriesMacsecFramesOverCanBus) {
+  core::Scheduler sim;
+  netsim::CanBus bus(sim, {});
+  const int n_ecu = bus.attach("ecu", nullptr);
+  const int n_gw = bus.attach("gw", nullptr);
+  CanalPort ecu(bus, n_ecu, 0x200, netsim::CanProtocol::kFd);
+  CanalPort gw(bus, n_gw, 0x201, netsim::CanProtocol::kFd);
+
+  const core::Bytes sak(16, 8);
+  MacsecChannel tx(sak, 0xE2E), rx(sak, 0xE2E);
+
+  netsim::EthFrame f;
+  f.dst = netsim::mac_from_index(9);
+  f.payload = netsim::test_payload(1, 150);
+
+  int delivered = 0;
+  gw.set_on_eth([&](int, const netsim::EthFrame& got, core::SimTime) {
+    auto plain = rx.unprotect(got);
+    ASSERT_TRUE(plain.has_value());
+    EXPECT_EQ(plain->payload, f.payload);
+    ++delivered;
+  });
+
+  ecu.send_eth(tx.protect(f));
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_GT(ecu.segments_sent(), 1u);
+}
+
+// ---------- TLS-lite ----------
+
+struct TlsFixture {
+  TlsCa ca{core::Bytes(32, 0xCA)};
+  core::Bytes server_seed = core::Bytes(32, 0x51);
+  crypto::Ed25519KeyPair server_kp = crypto::ed25519_keypair(server_seed);
+  TlsCert cert = ca.issue("cc.vehicle.local", server_kp.public_key);
+};
+
+TEST(TlsLite, HandshakeEstablishesMatchingKeys) {
+  TlsFixture fx;
+  TlsClient client(1, fx.ca.public_key());
+  TlsServer server(2, fx.cert, fx.server_seed);
+
+  const auto ch = client.hello();
+  auto resp = server.respond(ch);
+  ASSERT_TRUE(resp.has_value());
+  auto session = client.finish(resp->hello);
+  ASSERT_TRUE(session.has_value());
+
+  const auto msg = core::to_bytes("diagnostic upload");
+  const auto rec = session->client_to_server->seal(msg);
+  const auto got = resp->session.client_to_server->open(rec);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, msg);
+
+  const auto rec2 = resp->session.server_to_client->seal(msg);
+  EXPECT_TRUE(session->server_to_client->open(rec2).has_value());
+}
+
+TEST(TlsLite, ClientRejectsUntrustedCa) {
+  TlsFixture fx;
+  TlsCa rogue_ca(core::Bytes(32, 0xBB));
+  const auto rogue_cert = rogue_ca.issue("cc.vehicle.local",
+                                         fx.server_kp.public_key);
+  TlsClient client(1, fx.ca.public_key());
+  TlsServer server(2, rogue_cert, fx.server_seed);
+  const auto ch = client.hello();
+  auto resp = server.respond(ch);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_FALSE(client.finish(resp->hello).has_value());
+}
+
+TEST(TlsLite, ClientRejectsTamperedTranscript) {
+  TlsFixture fx;
+  TlsClient client(1, fx.ca.public_key());
+  TlsServer server(2, fx.cert, fx.server_seed);
+  const auto ch = client.hello();
+  auto resp = server.respond(ch);
+  ASSERT_TRUE(resp.has_value());
+  resp->hello.server_nonce[0] ^= 1;  // MITM bit flip
+  EXPECT_FALSE(client.finish(resp->hello).has_value());
+}
+
+TEST(TlsLite, MitmKeySwapDetected) {
+  TlsFixture fx;
+  TlsClient client(1, fx.ca.public_key());
+  TlsServer server(2, fx.cert, fx.server_seed);
+  const auto ch = client.hello();
+  auto resp = server.respond(ch);
+  ASSERT_TRUE(resp.has_value());
+  resp->hello.server_share[5] ^= 1;  // substitute DH share
+  EXPECT_FALSE(client.finish(resp->hello).has_value());
+}
+
+TEST(TlsLite, RecordReplayRejected) {
+  const core::Bytes key(16, 1), iv(12, 2);
+  TlsRecordLayer tx(key, iv), rx(key, iv);
+  const auto r1 = tx.seal(core::to_bytes("a"));
+  const auto r2 = tx.seal(core::to_bytes("b"));
+  EXPECT_TRUE(rx.open(r1).has_value());
+  EXPECT_TRUE(rx.open(r2).has_value());
+  EXPECT_FALSE(rx.open(r1).has_value());
+}
+
+TEST(TlsLite, RecordTamperRejected) {
+  const core::Bytes key(16, 1), iv(12, 2);
+  TlsRecordLayer tx(key, iv), rx(key, iv);
+  auto r = tx.seal(core::to_bytes("payload"));
+  r[r.size() - 1] ^= 1;
+  EXPECT_FALSE(rx.open(r).has_value());
+}
+
+TEST(TlsLite, CertSerializationRoundTrip) {
+  TlsFixture fx;
+  const auto bytes = fx.cert.serialize();
+  const auto back = TlsCert::parse(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->subject, fx.cert.subject);
+  EXPECT_EQ(back->public_key, fx.cert.public_key);
+  EXPECT_TRUE(TlsCa::check(*back, fx.ca.public_key()));
+  EXPECT_FALSE(TlsCert::parse(core::Bytes(3, 0)).has_value());
+}
+
+TEST(TlsLite, HelloSerializationRoundTrips) {
+  TlsFixture fx;
+  TlsClient client(1, fx.ca.public_key());
+  const auto ch = client.hello();
+  const auto ch2 = TlsClientHello::parse(ch.serialize());
+  ASSERT_TRUE(ch2.has_value());
+  EXPECT_EQ(ch2->client_share, ch.client_share);
+
+  TlsServer server(2, fx.cert, fx.server_seed);
+  auto resp = server.respond(ch);
+  ASSERT_TRUE(resp.has_value());
+  const auto sh2 = TlsServerHello::parse(resp->hello.serialize());
+  ASSERT_TRUE(sh2.has_value());
+  EXPECT_EQ(sh2->server_share, resp->hello.server_share);
+  // The re-parsed hello must still complete the handshake.
+  EXPECT_TRUE(client.finish(*sh2).has_value());
+}
+
+// ---------- ESP / IPsec-lite ----------
+
+TEST(Esp, SealOpenRoundTrip) {
+  EspSa tx(0x1001, core::Bytes(16, 3), core::Bytes(4, 4));
+  EspSa rx(0x1001, core::Bytes(16, 3), core::Bytes(4, 4));
+  const auto pkt = netsim::test_payload(1, 120);
+  const auto esp = tx.seal(pkt);
+  EXPECT_EQ(esp.size(), pkt.size() + EspSa::kOverhead);
+  const auto out = rx.open(esp);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, pkt);
+}
+
+TEST(Esp, ReplayWithinWindowRejected) {
+  EspSa tx(1, core::Bytes(16, 3), core::Bytes(4, 4));
+  EspSa rx(1, core::Bytes(16, 3), core::Bytes(4, 4));
+  const auto e1 = tx.seal(core::to_bytes("1"));
+  EXPECT_TRUE(rx.open(e1).has_value());
+  EXPECT_FALSE(rx.open(e1).has_value());
+  EXPECT_EQ(rx.stats().replay_dropped, 1u);
+}
+
+TEST(Esp, ReorderWithinWindowAccepted) {
+  EspSa tx(1, core::Bytes(16, 3), core::Bytes(4, 4));
+  EspSa rx(1, core::Bytes(16, 3), core::Bytes(4, 4));
+  const auto e1 = tx.seal(core::to_bytes("1"));
+  const auto e2 = tx.seal(core::to_bytes("2"));
+  const auto e3 = tx.seal(core::to_bytes("3"));
+  EXPECT_TRUE(rx.open(e3).has_value());
+  EXPECT_TRUE(rx.open(e1).has_value());
+  EXPECT_TRUE(rx.open(e2).has_value());
+}
+
+TEST(Esp, TooOldPacketRejected) {
+  EspSa tx(1, core::Bytes(16, 3), core::Bytes(4, 4), /*window=*/4);
+  EspSa rx(1, core::Bytes(16, 3), core::Bytes(4, 4), /*window=*/4);
+  const auto old = tx.seal(core::to_bytes("old"));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(rx.open(tx.seal(core::to_bytes("x"))).has_value());
+  }
+  EXPECT_FALSE(rx.open(old).has_value());
+}
+
+TEST(Esp, WrongSpiOrTamperRejected) {
+  EspSa tx(1, core::Bytes(16, 3), core::Bytes(4, 4));
+  EspSa rx_other(2, core::Bytes(16, 3), core::Bytes(4, 4));
+  EspSa rx(1, core::Bytes(16, 3), core::Bytes(4, 4));
+  auto esp = tx.seal(core::to_bytes("pkt"));
+  EXPECT_FALSE(rx_other.open(esp).has_value());
+  esp[10] ^= 1;
+  EXPECT_FALSE(rx.open(esp).has_value());
+  EXPECT_EQ(rx.stats().auth_failed, 1u);
+  EXPECT_FALSE(rx.open(core::Bytes(8, 0)).has_value());
+}
+
+TEST(Ike, ExchangeEstablishesBidirectionalSas) {
+  IkePeer initiator(11, true), responder(22, false);
+  const auto mi = initiator.init();
+  const auto mr = responder.init();
+  auto sa_i = initiator.complete(mr);
+  auto sa_r = responder.complete(mi);
+
+  const auto pkt = core::to_bytes("tunnelled ip packet");
+  EXPECT_TRUE(sa_r.inbound->open(sa_i.outbound->seal(pkt)).has_value());
+  EXPECT_TRUE(sa_i.inbound->open(sa_r.outbound->seal(pkt)).has_value());
+}
+
+TEST(Ike, DifferentSessionsYieldDifferentKeys) {
+  IkePeer a1(1, true), b1(2, false);
+  IkePeer a2(3, true), b2(4, false);
+  const auto ma1 = a1.init(), mb1 = b1.init();
+  const auto ma2 = a2.init(), mb2 = b2.init();
+  auto s1 = a1.complete(mb1);
+  b1.complete(ma1);
+  auto s2 = a2.complete(mb2);
+  auto s2r = b2.complete(ma2);
+  // A packet from session 1 must not open under session 2 keys.
+  const auto esp = s1.outbound->seal(core::to_bytes("x"));
+  EXPECT_FALSE(s2r.inbound->open(esp).has_value());
+}
+
+}  // namespace
+}  // namespace avsec::secproto

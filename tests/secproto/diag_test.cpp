@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "avsec/secproto/diag.hpp"
+
+namespace avsec::secproto {
+namespace {
+
+TEST(LegacyDiag, CorrectKeyUnlocks) {
+  LegacySecurityAccess ecu(0xBEEF);
+  const auto seed = ecu.request_seed();
+  EXPECT_TRUE(ecu.send_key(LegacySecurityAccess::key_function(seed, 0xBEEF)));
+  EXPECT_TRUE(ecu.unlocked());
+}
+
+TEST(LegacyDiag, WrongKeyRejectedAndCounted) {
+  LegacySecurityAccess ecu(0xBEEF);
+  const auto seed = ecu.request_seed();
+  EXPECT_FALSE(ecu.send_key(static_cast<std::uint16_t>(seed + 1)));
+  EXPECT_FALSE(ecu.unlocked());
+  EXPECT_EQ(ecu.failed_attempts(), 1);
+}
+
+TEST(LegacyDiag, KeyWithoutSeedRequestRejected) {
+  LegacySecurityAccess ecu(0xBEEF);
+  EXPECT_FALSE(ecu.send_key(0x1234));
+}
+
+TEST(LegacyDiag, FirmwareDumpBreaksItInstantly) {
+  // Once the attacker has read key_function from the firmware (as the
+  // Jeep researchers did), every ECU of the series unlocks first try.
+  LegacySecurityAccess ecu(0xC0DE);
+  const auto seed = ecu.request_seed();
+  EXPECT_TRUE(ecu.send_key(LegacySecurityAccess::key_function(seed, 0xC0DE)));
+}
+
+TEST(LegacyDiag, BlindBruteForceSucceedsWithinKeySpace) {
+  // 16-bit key space: ~65k expected attempts; give 400k budget.
+  LegacySecurityAccess ecu(0x1337);
+  const auto attempts = brute_force_legacy(ecu, 400000);
+  ASSERT_TRUE(attempts.has_value());
+  EXPECT_TRUE(ecu.unlocked());
+  EXPECT_GT(*attempts, 100);  // but it is NOT instant either
+}
+
+struct ModernDiagFixture {
+  TlsCa tester_ca{core::Bytes(32, 0x70)};
+  crypto::Ed25519KeyPair diag_kp = crypto::ed25519_keypair(core::Bytes(32, 0x71));
+  crypto::Ed25519KeyPair reprog_kp =
+      crypto::ed25519_keypair(core::Bytes(32, 0x72));
+  TlsCert diag_cert = tester_ca.issue("diag:workshop-123", diag_kp.public_key);
+  TlsCert reprog_cert =
+      tester_ca.issue("reprog:oem-line-7", reprog_kp.public_key);
+  DiagAuthenticator ecu{tester_ca.public_key(), 1};
+};
+
+TEST(ModernDiag, AuthorizedTesterUnlocksDiagnostics) {
+  ModernDiagFixture fx;
+  const auto challenge = fx.ecu.challenge();
+  const auto response = diag_respond(challenge, fx.diag_cert, fx.diag_kp,
+                                     DiagRole::kDiagnostics);
+  EXPECT_TRUE(fx.ecu.authenticate(response));
+  EXPECT_EQ(fx.ecu.session_role(), DiagRole::kDiagnostics);
+}
+
+TEST(ModernDiag, DiagnosticCertCannotReprogram) {
+  ModernDiagFixture fx;
+  const auto challenge = fx.ecu.challenge();
+  const auto response = diag_respond(challenge, fx.diag_cert, fx.diag_kp,
+                                     DiagRole::kReprogramming);
+  EXPECT_FALSE(fx.ecu.authenticate(response));
+  EXPECT_EQ(fx.ecu.session_role(), DiagRole::kNone);
+}
+
+TEST(ModernDiag, ReprogrammingCertUnlocksReprogramming) {
+  ModernDiagFixture fx;
+  const auto challenge = fx.ecu.challenge();
+  const auto response = diag_respond(challenge, fx.reprog_cert, fx.reprog_kp,
+                                     DiagRole::kReprogramming);
+  EXPECT_TRUE(fx.ecu.authenticate(response));
+  EXPECT_EQ(fx.ecu.session_role(), DiagRole::kReprogramming);
+}
+
+TEST(ModernDiag, RogueCaRejected) {
+  ModernDiagFixture fx;
+  TlsCa rogue(core::Bytes(32, 0x99));
+  const auto rogue_cert = rogue.issue("diag:fake", fx.diag_kp.public_key);
+  const auto challenge = fx.ecu.challenge();
+  const auto response = diag_respond(challenge, rogue_cert, fx.diag_kp,
+                                     DiagRole::kDiagnostics);
+  EXPECT_FALSE(fx.ecu.authenticate(response));
+}
+
+TEST(ModernDiag, ReplayedResponseRejected) {
+  ModernDiagFixture fx;
+  const auto challenge = fx.ecu.challenge();
+  const auto response = diag_respond(challenge, fx.diag_cert, fx.diag_kp,
+                                     DiagRole::kDiagnostics);
+  EXPECT_TRUE(fx.ecu.authenticate(response));
+  // Same response again, without a fresh challenge: nonce is consumed.
+  EXPECT_FALSE(fx.ecu.authenticate(response));
+  // Even with a fresh challenge the old proof does not match.
+  fx.ecu.challenge();
+  EXPECT_FALSE(fx.ecu.authenticate(response));
+}
+
+TEST(ModernDiag, StolenCertWithoutKeyUseless) {
+  ModernDiagFixture fx;
+  const auto challenge = fx.ecu.challenge();
+  const auto wrong_key = crypto::ed25519_keypair(core::Bytes(32, 0x73));
+  const auto response = diag_respond(challenge, fx.diag_cert, wrong_key,
+                                     DiagRole::kDiagnostics);
+  EXPECT_FALSE(fx.ecu.authenticate(response));
+}
+
+}  // namespace
+}  // namespace avsec::secproto

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "avsec/secproto/macsec.hpp"
+#include "avsec/secproto/secoc.hpp"
+
+namespace avsec::secproto {
+namespace {
+
+netsim::EthFrame make_frame() {
+  netsim::EthFrame f;
+  f.dst = netsim::mac_from_index(1);
+  f.src = netsim::mac_from_index(2);
+  f.payload = core::Bytes(48, 0x5C);
+  return f;
+}
+
+struct SecyPair {
+  const core::Bytes cak = core::to_bytes("pairwise-cak-016");
+  const core::Bytes ckn = core::to_bytes("link-7");
+  std::unique_ptr<RekeyingSecy> rx;
+  std::unique_ptr<RekeyingSecy> tx;
+
+  explicit SecyPair(std::uint32_t rekey_after) {
+    rx = std::make_unique<RekeyingSecy>(cak, ckn, 0x77, nullptr, rekey_after);
+    tx = std::make_unique<RekeyingSecy>(
+        cak, ckn, 0x77,
+        [this](const core::Bytes& wrapped, std::uint32_t kn) {
+          ASSERT_TRUE(rx->install_sak(wrapped, kn));
+        },
+        rekey_after);
+  }
+};
+
+TEST(RekeyingSecy, ProtectUnprotectAcrossDistribution) {
+  SecyPair pair(1000);
+  const auto plain = make_frame();
+  const auto out = pair.rx->unprotect(pair.tx->protect(plain));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->payload, plain.payload);
+}
+
+TEST(RekeyingSecy, RotatesAfterPnBudget) {
+  SecyPair pair(10);
+  EXPECT_EQ(pair.tx->current_key_number(), 1u);
+  for (int i = 0; i < 25; ++i) {
+    const auto out = pair.rx->unprotect(pair.tx->protect(make_frame()));
+    ASSERT_TRUE(out.has_value()) << "frame " << i;
+  }
+  EXPECT_GE(pair.tx->rekeys(), 2u);
+  EXPECT_GE(pair.tx->current_key_number(), 3u);
+}
+
+TEST(RekeyingSecy, FramesUnderPreviousSakStillAcceptedAfterRotation) {
+  SecyPair pair(10);
+  // Capture a frame under key 1, then force a rotation, then deliver it
+  // late (in-flight during the rekey).
+  const auto late_frame = pair.tx->protect(make_frame());
+  for (int i = 0; i < 12; ++i) pair.tx->protect(make_frame());
+  EXPECT_GE(pair.tx->current_key_number(), 2u);
+  EXPECT_TRUE(pair.rx->unprotect(late_frame).has_value());
+}
+
+TEST(RekeyingSecy, TwoGenerationsBackIsRejected) {
+  SecyPair pair(5);
+  const auto ancient = pair.tx->protect(make_frame());
+  for (int i = 0; i < 20; ++i) pair.tx->protect(make_frame());  // 2+ rekeys
+  ASSERT_GE(pair.tx->current_key_number(), 3u);
+  EXPECT_FALSE(pair.rx->unprotect(ancient).has_value());
+}
+
+TEST(RekeyingSecy, WrongCakCannotInstallSak) {
+  SecyPair pair(100);
+  RekeyingSecy outsider(core::to_bytes("a-wrong-cak-0016"),
+                        core::to_bytes("link-7"), 0x77, nullptr, 100);
+  core::Bytes captured;
+  std::uint32_t captured_kn = 0;
+  RekeyingSecy tx(pair.cak, pair.ckn, 0x77,
+                  [&](const core::Bytes& wrapped, std::uint32_t kn) {
+                    captured = wrapped;
+                    captured_kn = kn;
+                  },
+                  100);
+  EXPECT_FALSE(outsider.install_sak(captured, captured_kn));
+}
+
+TEST(FreshnessSync, RecoversReceiverAfterLargeGap) {
+  const core::Bytes key(16, 0x31);
+  SecOcConfig cfg;
+  cfg.acceptance_window = 4;
+  SecOcSender tx(key, cfg);
+  SecOcReceiver rx(key, cfg);
+  FreshnessSyncMaster master(key);
+  FreshnessSyncSlave slave(key);
+
+  // 500 PDUs lost: far beyond the window.
+  for (int i = 0; i < 500; ++i) tx.protect(1, core::to_bytes("lost"));
+  const auto pdu = tx.protect(1, core::to_bytes("arrives"));
+  EXPECT_FALSE(rx.verify(1, pdu).has_value());
+
+  // The authenticated sync brings the receiver forward...
+  const auto sync = master.make_sync(1, tx.freshness().current_tx(1) - 1);
+  EXPECT_TRUE(slave.apply(sync, rx));
+  // ...and the very same PDU now verifies.
+  EXPECT_TRUE(rx.verify(1, pdu).has_value());
+}
+
+TEST(FreshnessSync, ForgedSyncRejected) {
+  const core::Bytes key(16, 0x31);
+  SecOcReceiver rx(key);
+  FreshnessSyncMaster rogue_master(core::Bytes(16, 0x66));  // wrong key
+  FreshnessSyncSlave slave(key);
+  const auto sync = rogue_master.make_sync(1, 999);
+  EXPECT_FALSE(slave.apply(sync, rx));
+}
+
+TEST(FreshnessSync, TamperedSyncRejected) {
+  const core::Bytes key(16, 0x31);
+  SecOcReceiver rx(key);
+  FreshnessSyncMaster master(key);
+  FreshnessSyncSlave slave(key);
+  auto sync = master.make_sync(1, 100);
+  sync[12] ^= 1;  // counter byte
+  EXPECT_FALSE(slave.apply(sync, rx));
+  EXPECT_FALSE(slave.apply(core::Bytes(5, 0), rx));  // malformed
+}
+
+TEST(FreshnessSync, ReplayedSyncCannotRollReceiverBack) {
+  const core::Bytes key(16, 0x31);
+  SecOcSender tx(key);
+  SecOcReceiver rx(key);
+  FreshnessSyncMaster master(key);
+  FreshnessSyncSlave slave(key);
+
+  const auto old_sync = master.make_sync(1, 10);
+  EXPECT_TRUE(slave.apply(old_sync, rx));
+  const auto new_sync = master.make_sync(1, 500);
+  EXPECT_TRUE(slave.apply(new_sync, rx));
+  // Replaying the older sync (lower master sequence) must be ignored —
+  // otherwise an attacker could re-open the replay window.
+  EXPECT_FALSE(slave.apply(old_sync, rx));
+}
+
+TEST(FreshnessSync, SyncedReceiverRejectsPreSyncReplays) {
+  const core::Bytes key(16, 0x31);
+  SecOcSender tx(key);
+  SecOcReceiver rx(key);
+  FreshnessSyncMaster master(key);
+  FreshnessSyncSlave slave(key);
+
+  const auto old_pdu = tx.protect(1, core::to_bytes("old"));
+  for (int i = 0; i < 50; ++i) tx.protect(1, core::to_bytes("x"));
+  const auto sync = master.make_sync(1, tx.freshness().current_tx(1));
+  EXPECT_TRUE(slave.apply(sync, rx));
+  // The counter in old_pdu is far below the synced point.
+  EXPECT_FALSE(rx.verify(1, old_pdu).has_value());
+}
+
+}  // namespace
+}  // namespace avsec::secproto

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "avsec/secproto/scenarios.hpp"
+
+namespace avsec::secproto {
+namespace {
+
+ScenarioConfig quick_config() {
+  ScenarioConfig cfg;
+  cfg.pdu_count = 50;
+  cfg.period = core::milliseconds(1);
+  return cfg;
+}
+
+TEST(Scenarios, S1DeliversAllPdus) {
+  const auto r = run_scenario_s1(quick_config());
+  EXPECT_EQ(r.pdus_sent, 50u);
+  EXPECT_EQ(r.pdus_delivered, 50u);
+  EXPECT_EQ(r.pdus_rejected, 0u);
+  EXPECT_GT(r.latency_mean_us, 0.0);
+}
+
+TEST(Scenarios, S1GatewayHoldsKeysAndPaysCrypto) {
+  const auto r = run_scenario_s1(quick_config());
+  EXPECT_EQ(r.gateway_session_keys, 2);
+  EXPECT_EQ(r.gateway_crypto_ops_per_pdu, 2);
+  EXPECT_FALSE(r.confidentiality);  // SECOC leg is auth-only
+}
+
+TEST(Scenarios, S2aDeliversEndToEndWithoutGatewayKeys) {
+  const auto r = run_scenario_s2(quick_config(), /*end_to_end=*/true);
+  EXPECT_EQ(r.pdus_delivered, 50u);
+  EXPECT_EQ(r.gateway_session_keys, 0);
+  EXPECT_EQ(r.gateway_crypto_ops_per_pdu, 0);
+  EXPECT_TRUE(r.confidentiality);
+}
+
+TEST(Scenarios, S2bHopByHopNeedsGatewayKeys) {
+  const auto r = run_scenario_s2(quick_config(), /*end_to_end=*/false);
+  EXPECT_EQ(r.pdus_delivered, 50u);
+  EXPECT_EQ(r.gateway_session_keys, 2);
+  EXPECT_EQ(r.gateway_crypto_ops_per_pdu, 2);
+}
+
+TEST(Scenarios, S2EndToEndIsFasterThanHopByHop) {
+  const auto e2e = run_scenario_s2(quick_config(), true);
+  const auto hop = run_scenario_s2(quick_config(), false);
+  EXPECT_LT(e2e.latency_mean_us, hop.latency_mean_us);
+}
+
+TEST(Scenarios, S3DeliversOverCanFdAndXl) {
+  const auto fd = run_scenario_s3(quick_config(), netsim::CanProtocol::kFd);
+  EXPECT_EQ(fd.pdus_delivered, 50u);
+  EXPECT_EQ(fd.gateway_session_keys, 0);
+  EXPECT_TRUE(fd.confidentiality);
+
+  const auto xl = run_scenario_s3(quick_config(), netsim::CanProtocol::kXl);
+  EXPECT_EQ(xl.pdus_delivered, 50u);
+}
+
+TEST(Scenarios, S3XlNeedsFewerSegmentsThanFd) {
+  // With CAN XL the whole MACsec frame fits one XL frame; FD needs several
+  // segments, so FD shows strictly higher zone-bus load for equal traffic.
+  const auto fd = run_scenario_s3(quick_config(), netsim::CanProtocol::kFd);
+  const auto xl = run_scenario_s3(quick_config(), netsim::CanProtocol::kXl);
+  EXPECT_GT(fd.zone_bus_load, 0.0);
+  EXPECT_GT(xl.zone_bus_load, 0.0);
+}
+
+TEST(Scenarios, SecocSoftwareCostDominatesS1Latency) {
+  // The paper calls the AUTOSAR stack "heavy": doubling the SECOC software
+  // cost must move S1 latency by about the added amount.
+  ScenarioConfig cheap = quick_config();
+  ScenarioConfig dear = quick_config();
+  dear.processing.secoc_protect = core::microseconds(100);
+  dear.processing.secoc_verify = core::microseconds(100);
+  const auto a = run_scenario_s1(cheap);
+  const auto b = run_scenario_s1(dear);
+  EXPECT_GT(b.latency_mean_us, a.latency_mean_us + 100.0);
+}
+
+TEST(Scenarios, ReportsCarryDistinctNames) {
+  const auto s1 = run_scenario_s1(quick_config());
+  const auto s2 = run_scenario_s2(quick_config(), true);
+  const auto s3 = run_scenario_s3(quick_config(), netsim::CanProtocol::kXl);
+  EXPECT_NE(s1.name, s2.name);
+  EXPECT_NE(s2.name, s3.name);
+}
+
+TEST(Scenarios, DeterministicAcrossRuns) {
+  const auto a = run_scenario_s1(quick_config());
+  const auto b = run_scenario_s1(quick_config());
+  EXPECT_DOUBLE_EQ(a.latency_mean_us, b.latency_mean_us);
+  EXPECT_EQ(a.pdus_delivered, b.pdus_delivered);
+}
+
+}  // namespace
+}  // namespace avsec::secproto

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "avsec/netsim/traffic.hpp"
+#include "avsec/secproto/secoc.hpp"
+
+namespace avsec::secproto {
+namespace {
+
+const core::Bytes kKey(16, 0x11);
+
+TEST(SecOc, ProtectVerifyRoundTrip) {
+  SecOcSender tx(kKey);
+  SecOcReceiver rx(kKey);
+  const auto data = core::to_bytes("speed=88");
+  const auto pdu = tx.protect(0x42, data);
+  EXPECT_EQ(pdu.size(), data.size() + tx.overhead_bytes());
+  SecOcVerdict v;
+  const auto out = rx.verify(0x42, pdu, &v);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+  EXPECT_EQ(v, SecOcVerdict::kOk);
+}
+
+TEST(SecOc, DefaultOverheadIsFourBytes) {
+  SecOcSender tx(kKey);  // 8-bit freshness + 24-bit MAC
+  EXPECT_EQ(tx.overhead_bytes(), 4u);
+}
+
+TEST(SecOc, SequenceOfPdusAllVerify) {
+  SecOcSender tx(kKey);
+  SecOcReceiver rx(kKey);
+  for (int i = 0; i < 300; ++i) {  // crosses the 8-bit freshness wrap
+    const auto data = netsim::test_payload(i, 16);
+    const auto pdu = tx.protect(7, data);
+    ASSERT_TRUE(rx.verify(7, pdu).has_value()) << "at pdu " << i;
+  }
+  EXPECT_EQ(rx.accepted(), 300u);
+}
+
+TEST(SecOc, ReplayIsRejected) {
+  SecOcSender tx(kKey);
+  SecOcReceiver rx(kKey);
+  const auto pdu = tx.protect(1, core::to_bytes("x"));
+  EXPECT_TRUE(rx.verify(1, pdu).has_value());
+  SecOcVerdict v;
+  EXPECT_FALSE(rx.verify(1, pdu, &v).has_value());
+}
+
+TEST(SecOc, WrongKeyRejected) {
+  SecOcSender tx(kKey);
+  SecOcReceiver rx(core::Bytes(16, 0x22));
+  const auto pdu = tx.protect(1, core::to_bytes("x"));
+  EXPECT_FALSE(rx.verify(1, pdu).has_value());
+}
+
+TEST(SecOc, WrongDataIdRejected) {
+  SecOcSender tx(kKey);
+  SecOcReceiver rx(kKey);
+  const auto pdu = tx.protect(1, core::to_bytes("x"));
+  EXPECT_FALSE(rx.verify(2, pdu).has_value());
+}
+
+TEST(SecOc, LostPdusRecoveredWithinWindow) {
+  SecOcSender tx(kKey);
+  SecOcReceiver rx(kKey);
+  // Drop 10 PDUs (within the default window of 16): receiver resyncs.
+  for (int i = 0; i < 10; ++i) tx.protect(5, core::to_bytes("lost"));
+  const auto pdu = tx.protect(5, core::to_bytes("arrives"));
+  EXPECT_TRUE(rx.verify(5, pdu).has_value());
+}
+
+TEST(SecOc, GapBeyondWindowRejected) {
+  SecOcConfig cfg;
+  cfg.acceptance_window = 4;
+  SecOcSender tx(kKey, cfg);
+  SecOcReceiver rx(kKey, cfg);
+  for (int i = 0; i < 300; ++i) tx.protect(5, core::to_bytes("lost"));
+  const auto pdu = tx.protect(5, core::to_bytes("arrives"));
+  SecOcVerdict v;
+  EXPECT_FALSE(rx.verify(5, pdu, &v).has_value());
+}
+
+TEST(SecOc, MalformedTooShort) {
+  SecOcReceiver rx(kKey);
+  SecOcVerdict v;
+  EXPECT_FALSE(rx.verify(1, core::Bytes{1, 2}, &v).has_value());
+  EXPECT_EQ(v, SecOcVerdict::kMalformed);
+}
+
+TEST(SecOc, IndependentDataIdsDoNotInterfere) {
+  SecOcSender tx(kKey);
+  SecOcReceiver rx(kKey);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(rx.verify(10, tx.protect(10, core::to_bytes("a"))).has_value());
+    EXPECT_TRUE(rx.verify(20, tx.protect(20, core::to_bytes("b"))).has_value());
+  }
+}
+
+TEST(SecOc, WiderMacMeansMoreOverhead) {
+  SecOcConfig small, big;
+  small.mac_bits = 24;
+  big.mac_bits = 64;
+  SecOcSender a(kKey, small), b(kKey, big);
+  EXPECT_LT(a.overhead_bytes(), b.overhead_bytes());
+}
+
+TEST(SecOc, ConfiguredMacLengthsInteroperate) {
+  for (std::size_t mac_bits : {16u, 24u, 32u, 64u, 128u}) {
+    SecOcConfig cfg;
+    cfg.mac_bits = mac_bits;
+    SecOcSender tx(kKey, cfg);
+    SecOcReceiver rx(kKey, cfg);
+    const auto pdu = tx.protect(3, core::to_bytes("len-sweep"));
+    EXPECT_TRUE(rx.verify(3, pdu).has_value()) << mac_bits << " bits";
+  }
+}
+
+// Property: flipping any bit of the secured PDU must cause rejection.
+class SecOcBitFlip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SecOcBitFlip, AnyBitFlipRejected) {
+  SecOcSender tx(kKey);
+  SecOcReceiver rx(kKey);
+  auto pdu = tx.protect(9, core::to_bytes("integrity matters"));
+  const std::size_t bit = GetParam() % (pdu.size() * 8);
+  pdu[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  EXPECT_FALSE(rx.verify(9, pdu).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SecOcBitFlip,
+                         ::testing::Range<std::size_t>(0, 168, 5));
+
+TEST(SecOc, MacInputBindsAllFields) {
+  const auto base = secoc_mac_input(1, core::to_bytes("d"), 5);
+  EXPECT_NE(base, secoc_mac_input(2, core::to_bytes("d"), 5));
+  EXPECT_NE(base, secoc_mac_input(1, core::to_bytes("e"), 5));
+  EXPECT_NE(base, secoc_mac_input(1, core::to_bytes("d"), 6));
+}
+
+TEST(FreshnessManager, MonotonicTx) {
+  FreshnessManager fvm;
+  EXPECT_EQ(fvm.next_tx(1), 1u);
+  EXPECT_EQ(fvm.next_tx(1), 2u);
+  EXPECT_EQ(fvm.next_tx(2), 1u);  // independent per data id
+}
+
+TEST(FreshnessManager, RxCommitAdvancesExpectation) {
+  FreshnessManager fvm;
+  EXPECT_EQ(fvm.expected_rx(1), 1u);
+  fvm.commit_rx(1, 7);
+  EXPECT_EQ(fvm.expected_rx(1), 8u);
+}
+
+}  // namespace
+}  // namespace avsec::secproto

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "avsec/sos/responsibility.hpp"
+
+namespace avsec::sos {
+namespace {
+
+TEST(Responsibility, CatalogCoversAllSubsystems) {
+  const auto reqs = maas_requirement_catalog(2);
+  // 3 platform subsystems x 4 + 2 vehicles x 4 subsystems x 4.
+  EXPECT_EQ(reqs.size(), 3u * 4u + 2u * 4u * 4u);
+  const auto graph = build_maas_reference(2);
+  for (const auto& r : reqs) {
+    EXPECT_GE(graph.node_id(r.subsystem), 0) << r.subsystem;
+  }
+}
+
+TEST(Responsibility, IntegratedGovernanceHasHighCoverage) {
+  const auto reqs = maas_requirement_catalog(3);
+  const auto a = assign_responsibilities(reqs, integrated_oem_governance(), 1);
+  EXPECT_GT(a.coverage(), 0.85);
+}
+
+TEST(Responsibility, FragmentedGovernanceLeavesGaps) {
+  const auto reqs = maas_requirement_catalog(3);
+  const auto frag =
+      assign_responsibilities(reqs, fragmented_retrofit_governance(), 1);
+  const auto inte =
+      assign_responsibilities(reqs, integrated_oem_governance(), 1);
+  EXPECT_LT(frag.coverage(), inte.coverage());
+  EXPECT_GT(frag.gaps, 0);
+  EXPECT_GT(frag.conflicts, 0);
+}
+
+TEST(Responsibility, CountsAddUp) {
+  const auto reqs = maas_requirement_catalog(2);
+  const auto a =
+      assign_responsibilities(reqs, fragmented_retrofit_governance(), 5);
+  EXPECT_EQ(a.owned + a.gaps + a.conflicts,
+            static_cast<int>(reqs.size()));
+  EXPECT_EQ(a.assignments.size(), reqs.size());
+}
+
+TEST(Responsibility, DegradePosturesLowersAffectedNodesOnly) {
+  const auto graph = build_maas_reference(1);
+  std::vector<SecurityRequirement> reqs = {
+      {"r1", "backend", 0.2},
+      {"r2", "vehicle0/vehicle-os", 0.1},
+  };
+  ResponsibilityAnalysis analysis;
+  analysis.assignments.push_back({reqs[0], Ownership::kGap});
+  analysis.assignments.push_back({reqs[1], Ownership::kConflict});
+
+  const auto degraded = degrade_postures(graph, analysis);
+  const double before_b = graph.node(graph.node_id("backend")).posture;
+  const double after_b = degraded.node(degraded.node_id("backend")).posture;
+  EXPECT_NEAR(after_b, before_b - 0.2, 1e-12);
+
+  const double before_v =
+      graph.node(graph.node_id("vehicle0/vehicle-os")).posture;
+  const double after_v =
+      degraded.node(degraded.node_id("vehicle0/vehicle-os")).posture;
+  EXPECT_NEAR(after_v, before_v - 0.05, 1e-12);  // conflict: half weight
+
+  // Untouched node stays put.
+  EXPECT_DOUBLE_EQ(graph.node(graph.node_id("hub-infra")).posture,
+                   degraded.node(degraded.node_id("hub-infra")).posture);
+}
+
+TEST(Responsibility, PostureNeverGoesNegative) {
+  const auto graph = build_maas_reference(1);
+  std::vector<SecurityRequirement> reqs;
+  for (int i = 0; i < 50; ++i) {
+    reqs.push_back({"r" + std::to_string(i), "backend", 0.1});
+  }
+  ResponsibilityAnalysis analysis;
+  for (const auto& r : reqs) {
+    analysis.assignments.push_back({r, Ownership::kGap});
+  }
+  const auto degraded = degrade_postures(graph, analysis);
+  EXPECT_GE(degraded.node(degraded.node_id("backend")).posture, 0.0);
+}
+
+TEST(Responsibility, FragmentationIncreasesCascadeRisk) {
+  // The paper's §VI argument, end to end: fragmented governance -> gapped
+  // requirements -> degraded postures -> higher safety-cascade risk.
+  const auto graph = build_maas_reference(3);
+  const auto reqs = maas_requirement_catalog(3);
+  const int entry = graph.node_id("maas-platform");
+
+  const auto frag_graph = degrade_postures(
+      graph,
+      assign_responsibilities(reqs, fragmented_retrofit_governance(), 2));
+  const auto inte_graph = degrade_postures(
+      graph, assign_responsibilities(reqs, integrated_oem_governance(), 2));
+
+  const auto frag = propagate(frag_graph, entry, 30000, 3);
+  const auto inte = propagate(inte_graph, entry, 30000, 3);
+  EXPECT_GT(frag.safety_critical_reached, inte.safety_critical_reached);
+  EXPECT_GT(frag.mean_compromised_nodes, inte.mean_compromised_nodes);
+}
+
+TEST(Responsibility, DeterministicPerSeed) {
+  const auto reqs = maas_requirement_catalog(2);
+  const auto a =
+      assign_responsibilities(reqs, fragmented_retrofit_governance(), 9);
+  const auto b =
+      assign_responsibilities(reqs, fragmented_retrofit_governance(), 9);
+  EXPECT_EQ(a.gaps, b.gaps);
+  EXPECT_EQ(a.conflicts, b.conflicts);
+}
+
+}  // namespace
+}  // namespace avsec::sos

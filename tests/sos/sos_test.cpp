@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "avsec/sos/graph.hpp"
+#include "avsec/sos/realtime.hpp"
+
+namespace avsec::sos {
+namespace {
+
+TEST(SosGraph, BuildReferenceArchitecture) {
+  const auto g = build_maas_reference(3);
+  // 3 platform nodes + 7 per vehicle.
+  EXPECT_EQ(g.node_count(), 3u + 3u * 7u);
+  EXPECT_GE(g.node_id("maas-platform"), 0);
+  EXPECT_GE(g.node_id("vehicle0/safety-fn"), 0);
+  EXPECT_GE(g.node_id("vehicle2/perception"), 0);
+  EXPECT_EQ(g.node_id("vehicle9/telematics"), -1);
+  EXPECT_TRUE(g.node(g.node_id("vehicle0/safety-fn")).safety_critical);
+  EXPECT_FALSE(g.node(g.node_id("backend")).safety_critical);
+}
+
+TEST(SosGraph, LevelsMatchFig9) {
+  const auto g = build_maas_reference(1);
+  EXPECT_EQ(g.node(g.node_id("maas-platform")).level, 1);
+  EXPECT_EQ(g.node(g.node_id("vehicle0/vehicle-os")).level, 2);
+  EXPECT_EQ(g.node(g.node_id("vehicle0/safety-fn")).level, 3);
+}
+
+TEST(Propagation, EntryNodeCompromiseMatchesPosture) {
+  SosGraph g;
+  const int solo = g.add_node({"solo", 1, 0.7, false});
+  const auto r = propagate(g, solo, 20000, 1);
+  EXPECT_NEAR(r.compromise_probability[0], 0.3, 0.02);
+  EXPECT_EQ(r.safety_critical_reached, 0.0);
+}
+
+TEST(Propagation, PerfectPostureBlocksEverything) {
+  SosGraph g;
+  const int a = g.add_node({"a", 1, 1.0, false});
+  const int b = g.add_node({"b", 1, 0.0, true});
+  g.add_edge(a, b, 1.0);
+  const auto r = propagate(g, a, 5000, 2);
+  EXPECT_EQ(r.compromise_probability[0], 0.0);
+  EXPECT_EQ(r.safety_critical_reached, 0.0);
+}
+
+TEST(Propagation, ChainAttenuatesWithDepth) {
+  SosGraph g;
+  const int a = g.add_node({"a", 1, 0.0, false});  // always falls
+  const int b = g.add_node({"b", 2, 0.5, false});
+  const int c = g.add_node({"c", 3, 0.5, true});
+  g.add_edge(a, b, 0.8);
+  g.add_edge(b, c, 0.8);
+  const auto r = propagate(g, a, 50000, 3);
+  EXPECT_NEAR(r.compromise_probability[std::size_t(b)], 0.4, 0.02);
+  EXPECT_NEAR(r.compromise_probability[std::size_t(c)], 0.16, 0.02);
+  EXPECT_NEAR(r.safety_critical_reached, 0.16, 0.02);
+}
+
+TEST(Propagation, PlatformEntryReachesSafetyFunctions) {
+  // The paper's cascade claim: a breach of one (IT-ish) subsystem can
+  // cascade into safety-critical vehicle functions with non-trivial
+  // probability.
+  const auto g = build_maas_reference(3);
+  const auto r = propagate(g, g.node_id("maas-platform"), 50000, 4);
+  EXPECT_GT(r.safety_critical_reached, 0.002);  // rare but present
+  EXPECT_LT(r.safety_critical_reached, 0.5);
+}
+
+TEST(Propagation, HardeningTheEntryReducesCascade) {
+  const auto g = build_maas_reference(3);
+  const auto base = propagate(g, g.node_id("maas-platform"), 20000, 5);
+  const auto hardened_graph = with_hardened_node(g, "maas-platform", 0.95);
+  const auto hard =
+      propagate(hardened_graph, hardened_graph.node_id("maas-platform"),
+                20000, 5);
+  EXPECT_LT(hard.safety_critical_reached,
+            base.safety_critical_reached * 0.5);
+}
+
+TEST(Propagation, DeeperEntryIsMoreDangerous) {
+  const auto g = build_maas_reference(3);
+  const auto from_platform = propagate(g, g.node_id("maas-platform"), 20000, 6);
+  const auto from_telematics =
+      propagate(g, g.node_id("vehicle0/telematics"), 20000, 6);
+  // Telematics sits closer to the safety functions than the platform.
+  EXPECT_GT(from_telematics.compromise_probability[std::size_t(
+                g.node_id("vehicle0/safety-fn"))],
+            from_platform.compromise_probability[std::size_t(
+                g.node_id("vehicle0/safety-fn"))]);
+}
+
+TEST(Propagation, DeterministicForSeed) {
+  const auto g = build_maas_reference(2);
+  const auto a = propagate(g, 0, 2000, 42);
+  const auto b = propagate(g, 0, 2000, 42);
+  EXPECT_EQ(a.compromise_probability, b.compromise_probability);
+  EXPECT_DOUBLE_EQ(a.safety_critical_reached, b.safety_critical_reached);
+}
+
+TEST(Braking, CleanRunStopsComfortably) {
+  BrakingScenarioConfig cfg;
+  const auto out = run_braking_scenario(cfg);
+  EXPECT_FALSE(out.collided);
+  EXPECT_FALSE(out.emergency_stop);
+  EXPECT_GT(out.stop_margin_m, 5.0);
+}
+
+TEST(Braking, TotalDosCausesCollisionWithoutWatchdog) {
+  BrakingScenarioConfig cfg;
+  cfg.drop_probability = 1.0;
+  const auto out = run_braking_scenario(cfg);
+  EXPECT_TRUE(out.collided);
+  EXPECT_GT(out.impact_speed_mps, 10.0);
+}
+
+TEST(Braking, WatchdogConvertsDosIntoSafeStop) {
+  BrakingScenarioConfig cfg;
+  cfg.drop_probability = 1.0;
+  cfg.staleness_watchdog = true;
+  const auto out = run_braking_scenario(cfg);
+  EXPECT_FALSE(out.collided);
+  EXPECT_TRUE(out.emergency_stop);
+}
+
+TEST(Braking, CollisionRateGrowsWithDropProbability) {
+  int collisions_low = 0, collisions_high = 0;
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    BrakingScenarioConfig cfg;
+    cfg.seed = s;
+    cfg.drop_probability = 0.5;
+    collisions_low += run_braking_scenario(cfg).collided;
+    cfg.drop_probability = 0.98;
+    collisions_high += run_braking_scenario(cfg).collided;
+  }
+  EXPECT_LE(collisions_low, collisions_high);
+  EXPECT_EQ(collisions_low, 0);  // 50% loss still leaves 10 Hz updates
+  EXPECT_GT(collisions_high, 25);
+}
+
+TEST(Braking, SpoofedDistanceCausesCollision) {
+  BrakingScenarioConfig cfg;
+  cfg.spoof_bias_m = 35.0;  // obstacle reported farther than it is
+  const auto out = run_braking_scenario(cfg);
+  EXPECT_TRUE(out.collided);
+}
+
+TEST(Braking, SmallSpoofBiasOnlyErodesMargin) {
+  BrakingScenarioConfig clean, biased;
+  biased.spoof_bias_m = 5.0;
+  const auto a = run_braking_scenario(clean);
+  const auto b = run_braking_scenario(biased);
+  EXPECT_FALSE(b.collided);
+  EXPECT_LT(b.stop_margin_m, a.stop_margin_m);
+}
+
+TEST(Braking, WatchdogDoesNotFireOnHealthyChannel) {
+  BrakingScenarioConfig cfg;
+  cfg.staleness_watchdog = true;
+  const auto out = run_braking_scenario(cfg);
+  EXPECT_FALSE(out.emergency_stop);
+  EXPECT_FALSE(out.collided);
+}
+
+}  // namespace
+}  // namespace avsec::sos

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "avsec/ssi/vc.hpp"
+
+namespace avsec::ssi {
+namespace {
+
+TEST(Did, DidDerivedFromKeyIsStable) {
+  const auto kp = crypto::ed25519_keypair(core::Bytes(32, 1));
+  const auto did = did_for_key(kp.public_key);
+  EXPECT_EQ(did.rfind("did:sim:", 0), 0u);
+  EXPECT_EQ(did, did_for_key(kp.public_key));
+  const auto kp2 = crypto::ed25519_keypair(core::Bytes(32, 2));
+  EXPECT_NE(did, did_for_key(kp2.public_key));
+}
+
+TEST(DidRegistry, RegisterAndResolve) {
+  DidRegistry reg;
+  reg.add_anchor("oem");
+  const auto kp = crypto::ed25519_keypair(core::Bytes(32, 3));
+  DidDocument doc;
+  doc.did = did_for_key(kp.public_key);
+  doc.verification_key = kp.public_key;
+  doc.controller = "oem";
+  EXPECT_TRUE(reg.register_document(doc, "oem"));
+
+  const auto got = reg.resolve(doc.did);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->verification_key, kp.public_key);
+  EXPECT_TRUE(got->active);
+}
+
+TEST(DidRegistry, RejectsUnknownAnchorAndDuplicatesAndBadDid) {
+  DidRegistry reg;
+  reg.add_anchor("oem");
+  const auto kp = crypto::ed25519_keypair(core::Bytes(32, 4));
+  DidDocument doc;
+  doc.did = did_for_key(kp.public_key);
+  doc.verification_key = kp.public_key;
+
+  EXPECT_FALSE(reg.register_document(doc, "rogue"));
+  EXPECT_TRUE(reg.register_document(doc, "oem"));
+  EXPECT_FALSE(reg.register_document(doc, "oem"));  // duplicate
+
+  DidDocument bad = doc;
+  bad.did = "did:sim:0000";  // does not match key
+  EXPECT_FALSE(reg.register_document(bad, "oem"));
+}
+
+TEST(DidRegistry, KeyRotationChangesResolution) {
+  DidRegistry reg;
+  reg.add_anchor("oem");
+  const auto kp1 = crypto::ed25519_keypair(core::Bytes(32, 5));
+  const auto kp2 = crypto::ed25519_keypair(core::Bytes(32, 6));
+  DidDocument doc;
+  doc.did = did_for_key(kp1.public_key);
+  doc.verification_key = kp1.public_key;
+  reg.register_document(doc, "oem");
+
+  EXPECT_TRUE(reg.rotate_key(doc.did, kp2.public_key, "oem"));
+  EXPECT_EQ(reg.resolve(doc.did)->verification_key, kp2.public_key);
+  EXPECT_FALSE(reg.rotate_key("did:sim:none", kp2.public_key, "oem"));
+}
+
+TEST(DidRegistry, DeactivationSticks) {
+  DidRegistry reg;
+  reg.add_anchor("oem");
+  const auto kp = crypto::ed25519_keypair(core::Bytes(32, 7));
+  DidDocument doc;
+  doc.did = did_for_key(kp.public_key);
+  doc.verification_key = kp.public_key;
+  reg.register_document(doc, "oem");
+  EXPECT_TRUE(reg.deactivate(doc.did, "oem"));
+  EXPECT_FALSE(reg.resolve(doc.did)->active);
+  EXPECT_FALSE(reg.deactivate(doc.did, "oem"));  // already inactive
+  EXPECT_FALSE(reg.rotate_key(doc.did, kp.public_key, "oem"));
+}
+
+TEST(DidRegistry, AuditDetectsTampering) {
+  DidRegistry reg;
+  reg.add_anchor("oem");
+  for (int i = 0; i < 4; ++i) {
+    const auto kp = crypto::ed25519_keypair(core::Bytes(32, 10 + i));
+    DidDocument doc;
+    doc.did = did_for_key(kp.public_key);
+    doc.verification_key = kp.public_key;
+    reg.register_document(doc, "oem");
+  }
+  EXPECT_TRUE(reg.audit());
+  // Any "retroactive edit" of the public storage breaks the chain.
+  auto& mutable_chain = const_cast<std::vector<DidRegistry::Block>&>(reg.chain());
+  mutable_chain[1].doc.controller = "attacker";
+  EXPECT_FALSE(reg.audit());
+}
+
+struct VcFixture {
+  DidRegistry registry;
+  Issuer oem{"oem", core::Bytes(32, 21)};
+  Issuer supplier{"supplier", core::Bytes(32, 22)};
+  Wallet vehicle{"vehicle", core::Bytes(32, 23)};
+
+  VcFixture() {
+    registry.add_anchor("anchor-oem");
+    registry.add_anchor("anchor-supplier");
+    oem.anchor_into(registry, "anchor-oem");
+    supplier.anchor_into(registry, "anchor-supplier");
+    vehicle.anchor_into(registry, "anchor-oem");
+  }
+};
+
+TEST(Vc, IssueAndVerify) {
+  VcFixture fx;
+  const auto vc = fx.oem.issue("vc-1", fx.vehicle.did(),
+                               {{"model", "sedan"}, {"vin", "123"}}, 10, 100);
+  EXPECT_EQ(verify_credential(vc, fx.registry, {}, 50), VcVerdict::kValid);
+}
+
+TEST(Vc, ExpiryEnforced) {
+  VcFixture fx;
+  const auto vc = fx.oem.issue("vc-2", fx.vehicle.did(), {}, 10, 100);
+  EXPECT_EQ(verify_credential(vc, fx.registry, {}, 101), VcVerdict::kExpired);
+  const auto forever = fx.oem.issue("vc-3", fx.vehicle.did(), {}, 10, 0);
+  EXPECT_EQ(verify_credential(forever, fx.registry, {}, 99999),
+            VcVerdict::kValid);
+}
+
+TEST(Vc, RevocationEnforced) {
+  VcFixture fx;
+  const auto vc = fx.oem.issue("vc-4", fx.vehicle.did(), {}, 10, 0);
+  fx.oem.revoke("vc-4");
+  EXPECT_EQ(verify_credential(vc, fx.registry, fx.oem.revocation_list(), 50),
+            VcVerdict::kRevoked);
+}
+
+TEST(Vc, TamperedClaimDetected) {
+  VcFixture fx;
+  auto vc = fx.oem.issue("vc-5", fx.vehicle.did(), {{"role", "user"}}, 1, 0);
+  vc.claims["role"] = "admin";
+  EXPECT_EQ(verify_credential(vc, fx.registry, {}, 50),
+            VcVerdict::kBadSignature);
+}
+
+TEST(Vc, UnknownIssuerRejected) {
+  VcFixture fx;
+  Issuer rogue("rogue", core::Bytes(32, 66));  // never anchored
+  const auto vc = rogue.issue("vc-6", fx.vehicle.did(), {}, 1, 0);
+  EXPECT_EQ(verify_credential(vc, fx.registry, {}, 50),
+            VcVerdict::kUnknownIssuer);
+}
+
+TEST(Vc, DeactivatedIssuerRejected) {
+  VcFixture fx;
+  const auto vc = fx.supplier.issue("vc-7", fx.vehicle.did(), {}, 1, 0);
+  EXPECT_EQ(verify_credential(vc, fx.registry, {}, 50), VcVerdict::kValid);
+  fx.registry.deactivate(fx.supplier.did(), "anchor-supplier");
+  EXPECT_EQ(verify_credential(vc, fx.registry, {}, 50),
+            VcVerdict::kIssuerDeactivated);
+}
+
+TEST(Vc, MultipleAnchorsInteroperate) {
+  // The SSI selling point: credentials from issuers under *different*
+  // anchors verify against the same registry without cross-signing.
+  VcFixture fx;
+  const auto from_oem = fx.oem.issue("vc-8", fx.vehicle.did(), {}, 1, 0);
+  const auto from_supplier = fx.supplier.issue("vc-9", fx.vehicle.did(), {}, 1, 0);
+  EXPECT_EQ(verify_credential(from_oem, fx.registry, {}, 5), VcVerdict::kValid);
+  EXPECT_EQ(verify_credential(from_supplier, fx.registry, {}, 5),
+            VcVerdict::kValid);
+}
+
+TEST(Vp, PresentationRoundTrip) {
+  VcFixture fx;
+  fx.vehicle.store(fx.oem.issue("vc-10", fx.vehicle.did(), {{"k", "v"}}, 1, 0));
+  const auto nonce = core::to_bytes("challenge-123");
+  const auto vp = fx.vehicle.present({"vc-10"}, nonce);
+  ASSERT_TRUE(vp.has_value());
+  EXPECT_EQ(verify_presentation(*vp, fx.registry, {}, nonce, 5),
+            VcVerdict::kValid);
+}
+
+TEST(Vp, WrongNonceRejected) {
+  VcFixture fx;
+  fx.vehicle.store(fx.oem.issue("vc-11", fx.vehicle.did(), {}, 1, 0));
+  const auto vp = fx.vehicle.present({"vc-11"}, core::to_bytes("n1"));
+  EXPECT_NE(verify_presentation(*vp, fx.registry, {}, core::to_bytes("n2"), 5),
+            VcVerdict::kValid);
+}
+
+TEST(Vp, StolenCredentialCannotBePresentedByOtherHolder) {
+  VcFixture fx;
+  Wallet thief("thief", core::Bytes(32, 99));
+  thief.anchor_into(fx.registry, "anchor-oem");
+  // Credential is about the vehicle, but the thief presents it.
+  thief.store(fx.oem.issue("vc-12", fx.vehicle.did(), {}, 1, 0));
+  const auto nonce = core::to_bytes("n");
+  const auto vp = thief.present({"vc-12"}, nonce);
+  EXPECT_NE(verify_presentation(*vp, fx.registry, {}, nonce, 5),
+            VcVerdict::kValid);
+}
+
+TEST(Vp, MissingCredentialIdFailsPresentation) {
+  VcFixture fx;
+  EXPECT_FALSE(fx.vehicle.present({"no-such"}, core::to_bytes("n")).has_value());
+}
+
+TEST(Vc, LinkedCredentialIdsAreSigned) {
+  VcFixture fx;
+  auto vc = fx.oem.issue("vc-13", fx.vehicle.did(), {}, 1, 0, {"parent-1"});
+  EXPECT_EQ(verify_credential(vc, fx.registry, {}, 5), VcVerdict::kValid);
+  vc.linked_ids[0] = "parent-2";
+  EXPECT_EQ(verify_credential(vc, fx.registry, {}, 5),
+            VcVerdict::kBadSignature);
+}
+
+}  // namespace
+}  // namespace avsec::ssi

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "avsec/ssi/vc.hpp"
+
+namespace avsec::ssi {
+namespace {
+
+struct RotationFixture {
+  DidRegistry registry;
+  crypto::Ed25519KeyPair key_v1 = crypto::ed25519_keypair(core::Bytes(32, 1));
+  crypto::Ed25519KeyPair key_v2 = crypto::ed25519_keypair(core::Bytes(32, 2));
+  crypto::Ed25519KeyPair key_v3 = crypto::ed25519_keypair(core::Bytes(32, 3));
+  std::string did;
+
+  RotationFixture() {
+    registry.add_anchor("oem");
+    DidDocument doc;
+    doc.did = did_for_key(key_v1.public_key);
+    doc.verification_key = key_v1.public_key;
+    doc.controller = "oem";
+    registry.register_document(doc, "oem");
+    did = doc.did;
+  }
+
+  /// Signs a VC body under an arbitrary key pair (issuer did stays fixed).
+  VerifiableCredential issue_with(const crypto::Ed25519KeyPair& kp,
+                                  const std::string& id) const {
+    VerifiableCredential vc;
+    vc.id = id;
+    vc.issuer_did = did;
+    vc.subject_did = "did:sim:someone";
+    vc.issued_at = 1;
+    vc.proof = crypto::ed25519_sign(kp, vc.to_be_signed());
+    return vc;
+  }
+};
+
+TEST(KeyRotation, HistoryTracksAllKeys) {
+  RotationFixture fx;
+  fx.registry.rotate_key(fx.did, fx.key_v2.public_key, "oem");
+  fx.registry.rotate_key(fx.did, fx.key_v3.public_key, "oem");
+  const auto history = fx.registry.key_history(fx.did);
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[0].key, fx.key_v1.public_key);
+  EXPECT_EQ(history[2].key, fx.key_v3.public_key);
+  EXPECT_FALSE(history[0].current);
+  EXPECT_TRUE(history[2].current);
+}
+
+TEST(KeyRotation, RoutineRotationKeepsOldSignaturesValid) {
+  RotationFixture fx;
+  const auto vc = fx.issue_with(fx.key_v1, "vc-old");
+  EXPECT_EQ(verify_credential(vc, fx.registry, {}, 5), VcVerdict::kValid);
+
+  fx.registry.rotate_key(fx.did, fx.key_v2.public_key, "oem",
+                         /*compromise=*/false);
+  // The credential was signed under v1; routine rotation preserves it.
+  EXPECT_EQ(verify_credential(vc, fx.registry, {}, 5), VcVerdict::kValid);
+}
+
+TEST(KeyRotation, CompromiseRotationInvalidatesOldSignatures) {
+  RotationFixture fx;
+  const auto vc = fx.issue_with(fx.key_v1, "vc-old");
+  fx.registry.rotate_key(fx.did, fx.key_v2.public_key, "oem",
+                         /*compromise=*/true);
+  EXPECT_EQ(verify_credential(vc, fx.registry, {}, 5),
+            VcVerdict::kCompromisedKey);
+}
+
+TEST(KeyRotation, NewKeySignaturesValidAfterEitherRotation) {
+  RotationFixture fx;
+  fx.registry.rotate_key(fx.did, fx.key_v2.public_key, "oem",
+                         /*compromise=*/true);
+  const auto vc = fx.issue_with(fx.key_v2, "vc-new");
+  EXPECT_EQ(verify_credential(vc, fx.registry, {}, 5), VcVerdict::kValid);
+}
+
+TEST(KeyRotation, MixedHistoryOnlyCompromisedGenerationIsVoided) {
+  RotationFixture fx;
+  const auto vc1 = fx.issue_with(fx.key_v1, "gen1");
+  fx.registry.rotate_key(fx.did, fx.key_v2.public_key, "oem", false);
+  const auto vc2 = fx.issue_with(fx.key_v2, "gen2");
+  fx.registry.rotate_key(fx.did, fx.key_v3.public_key, "oem", true);
+
+  // v1 was rotated out routinely -> still good. v2 was compromised.
+  EXPECT_EQ(verify_credential(vc1, fx.registry, {}, 5), VcVerdict::kValid);
+  EXPECT_EQ(verify_credential(vc2, fx.registry, {}, 5),
+            VcVerdict::kCompromisedKey);
+}
+
+TEST(KeyRotation, AttackerWithStolenOldKeyCannotForgeAfterCompromiseFlag) {
+  RotationFixture fx;
+  fx.registry.rotate_key(fx.did, fx.key_v2.public_key, "oem", true);
+  // The thief signs a *new* credential with the stolen (old) key.
+  const auto forged = fx.issue_with(fx.key_v1, "vc-forged");
+  EXPECT_EQ(verify_credential(forged, fx.registry, {}, 5),
+            VcVerdict::kCompromisedKey);
+}
+
+TEST(KeyRotation, AuditStillPassesWithRotations) {
+  RotationFixture fx;
+  fx.registry.rotate_key(fx.did, fx.key_v2.public_key, "oem", true);
+  fx.registry.rotate_key(fx.did, fx.key_v3.public_key, "oem", false);
+  EXPECT_TRUE(fx.registry.audit());
+}
+
+TEST(KeyRotation, TamperingWithCompromiseFlagBreaksAudit) {
+  RotationFixture fx;
+  fx.registry.rotate_key(fx.did, fx.key_v2.public_key, "oem", true);
+  auto& chain = const_cast<std::vector<DidRegistry::Block>&>(fx.registry.chain());
+  chain[1].compromise = false;  // attacker "un-flags" the compromise
+  EXPECT_FALSE(fx.registry.audit());
+}
+
+}  // namespace
+}  // namespace avsec::ssi

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "avsec/ssi/ota.hpp"
+
+namespace avsec::ssi {
+namespace {
+
+struct OtaFixture {
+  DidRegistry registry;
+  UpdateVendor vendor{"sw-house", core::Bytes(32, 0x0A)};
+  UpdateVendor other_vendor{"competitor", core::Bytes(32, 0x0B)};
+
+  OtaFixture() {
+    registry.add_anchor("sw");
+    vendor.anchor_into(registry, "sw");
+    other_vendor.anchor_into(registry, "sw");
+  }
+
+  UpdateClient client{"brake-app", "brake-ctrl-v2", vendor.did()};
+};
+
+TEST(Ota, ValidUpdateInstallsAndActivates) {
+  OtaFixture fx;
+  const auto bundle = fx.vendor.publish("brake-app", 2, "brake-ctrl-v2",
+                                        core::to_bytes("image-v2"));
+  EXPECT_EQ(fx.client.apply(bundle, fx.registry), UpdateVerdict::kInstalled);
+  EXPECT_EQ(fx.client.installed_version(), 2u);
+  EXPECT_EQ(fx.client.active_image(), core::to_bytes("image-v2"));
+  EXPECT_EQ(fx.client.active_slot(), 1);  // flipped from slot 0
+}
+
+TEST(Ota, SequentialUpdatesAlternateSlots) {
+  OtaFixture fx;
+  fx.client.apply(fx.vendor.publish("brake-app", 1, "brake-ctrl-v2",
+                                    core::to_bytes("v1")),
+                  fx.registry);
+  fx.client.apply(fx.vendor.publish("brake-app", 2, "brake-ctrl-v2",
+                                    core::to_bytes("v2")),
+                  fx.registry);
+  EXPECT_EQ(fx.client.active_slot(), 0);
+  EXPECT_EQ(fx.client.active_image(), core::to_bytes("v2"));
+}
+
+TEST(Ota, RollbackAttackRejected) {
+  OtaFixture fx;
+  const auto v3 = fx.vendor.publish("brake-app", 3, "brake-ctrl-v2",
+                                    core::to_bytes("v3"));
+  const auto v2_vulnerable = fx.vendor.publish("brake-app", 2, "brake-ctrl-v2",
+                                               core::to_bytes("v2-vuln"));
+  ASSERT_EQ(fx.client.apply(v3, fx.registry), UpdateVerdict::kInstalled);
+  // The old bundle is VALIDLY SIGNED — only the version counter stops it.
+  EXPECT_EQ(fx.client.apply(v2_vulnerable, fx.registry),
+            UpdateVerdict::kRollback);
+  EXPECT_EQ(fx.client.installed_version(), 3u);
+}
+
+TEST(Ota, TamperedPayloadRejected) {
+  OtaFixture fx;
+  auto bundle = fx.vendor.publish("brake-app", 2, "brake-ctrl-v2",
+                                  core::to_bytes("image"));
+  bundle.payload[0] ^= 1;
+  EXPECT_EQ(fx.client.apply(bundle, fx.registry),
+            UpdateVerdict::kBadSignature);
+}
+
+TEST(Ota, WrongVendorRejectedEvenIfAnchored) {
+  OtaFixture fx;
+  const auto bundle = fx.other_vendor.publish("brake-app", 2, "brake-ctrl-v2",
+                                              core::to_bytes("trojan"));
+  EXPECT_EQ(fx.client.apply(bundle, fx.registry),
+            UpdateVerdict::kUnknownVendor);
+}
+
+TEST(Ota, IncompatibleProfileRejected) {
+  OtaFixture fx;
+  const auto bundle = fx.vendor.publish("brake-app", 2, "ivi-v1",
+                                        core::to_bytes("wrong-target"));
+  EXPECT_EQ(fx.client.apply(bundle, fx.registry),
+            UpdateVerdict::kIncompatible);
+}
+
+TEST(Ota, WrongComponentRejected) {
+  OtaFixture fx;
+  const auto bundle = fx.vendor.publish("infotainment", 2, "brake-ctrl-v2",
+                                        core::to_bytes("x"));
+  EXPECT_EQ(fx.client.apply(bundle, fx.registry),
+            UpdateVerdict::kWrongComponent);
+}
+
+TEST(Ota, OwnerRollbackRestoresPreviousSlot) {
+  OtaFixture fx;
+  fx.client.apply(fx.vendor.publish("brake-app", 1, "brake-ctrl-v2",
+                                    core::to_bytes("v1")),
+                  fx.registry);
+  fx.client.apply(fx.vendor.publish("brake-app", 2, "brake-ctrl-v2",
+                                    core::to_bytes("v2")),
+                  fx.registry);
+  EXPECT_TRUE(fx.client.owner_rollback());
+  EXPECT_EQ(fx.client.active_image(), core::to_bytes("v1"));
+  EXPECT_EQ(fx.client.installed_version(), 1u);
+}
+
+TEST(Ota, OwnerRollbackWithoutHistoryFails) {
+  OtaFixture fx;
+  EXPECT_FALSE(fx.client.owner_rollback());
+}
+
+TEST(Ota, RoutineVendorKeyRotationKeepsBundlesValid) {
+  OtaFixture fx;
+  const auto bundle = fx.vendor.publish("brake-app", 2, "brake-ctrl-v2",
+                                        core::to_bytes("image"));
+  const auto new_key = crypto::ed25519_keypair(core::Bytes(32, 0x0C));
+  fx.registry.rotate_key(fx.vendor.did(), new_key.public_key, "sw",
+                         /*compromise=*/false);
+  EXPECT_EQ(fx.client.apply(bundle, fx.registry), UpdateVerdict::kInstalled);
+}
+
+TEST(Ota, CompromisedVendorKeyVoidsItsBundles) {
+  OtaFixture fx;
+  const auto bundle = fx.vendor.publish("brake-app", 2, "brake-ctrl-v2",
+                                        core::to_bytes("image"));
+  const auto new_key = crypto::ed25519_keypair(core::Bytes(32, 0x0D));
+  fx.registry.rotate_key(fx.vendor.did(), new_key.public_key, "sw",
+                         /*compromise=*/true);
+  EXPECT_EQ(fx.client.apply(bundle, fx.registry),
+            UpdateVerdict::kBadSignature);
+}
+
+}  // namespace
+}  // namespace avsec::ssi

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "avsec/ssi/pki.hpp"
+#include "avsec/ssi/use_cases.hpp"
+
+namespace avsec::ssi {
+namespace {
+
+// ---------- PKI baseline ----------
+
+struct PkiFixture {
+  CertAuthority root{"root-ca", core::Bytes(32, 31)};
+  CertAuthority intermediate{"oem-ca", core::Bytes(32, 32)};
+  crypto::Ed25519KeyPair leaf_kp = crypto::ed25519_keypair(core::Bytes(32, 33));
+
+  std::vector<Certificate> chain() const {
+    return {intermediate.sign_leaf("ecu-7", leaf_kp.public_key, 100, 0),
+            root.sign_ca(intermediate, 10, 0), root.root_certificate()};
+  }
+};
+
+TEST(Pki, ValidChainVerifies) {
+  PkiFixture fx;
+  int ops = 0;
+  EXPECT_EQ(verify_chain(fx.chain(), {fx.root.public_key()}, {}, 50, &ops),
+            ChainVerdict::kValid);
+  EXPECT_EQ(ops, 3);  // leaf + intermediate + root
+}
+
+TEST(Pki, UntrustedRootRejected) {
+  PkiFixture fx;
+  CertAuthority other("other-root", core::Bytes(32, 44));
+  EXPECT_EQ(verify_chain(fx.chain(), {other.public_key()}, {}, 50),
+            ChainVerdict::kUntrustedRoot);
+}
+
+TEST(Pki, BrokenChainRejected) {
+  PkiFixture fx;
+  auto chain = fx.chain();
+  std::swap(chain[1], chain[2]);  // wrong order breaks issuer links
+  EXPECT_NE(verify_chain(chain, {fx.root.public_key()}, {}, 50),
+            ChainVerdict::kValid);
+  EXPECT_EQ(verify_chain({}, {fx.root.public_key()}, {}, 50),
+            ChainVerdict::kBrokenChain);
+}
+
+TEST(Pki, ExpiredCertificateRejected) {
+  PkiFixture fx;
+  auto chain = fx.chain();
+  chain[0] = fx.intermediate.sign_leaf("ecu-7", fx.leaf_kp.public_key, 101,
+                                       /*not_after=*/40);
+  EXPECT_EQ(verify_chain(chain, {fx.root.public_key()}, {}, 50),
+            ChainVerdict::kExpired);
+}
+
+TEST(Pki, RevokedSerialRejected) {
+  PkiFixture fx;
+  EXPECT_EQ(verify_chain(fx.chain(), {fx.root.public_key()}, {100}, 50),
+            ChainVerdict::kRevoked);
+}
+
+TEST(Pki, TamperedCertificateRejected) {
+  PkiFixture fx;
+  auto chain = fx.chain();
+  chain[0].subject = "ecu-8";
+  EXPECT_EQ(verify_chain(chain, {fx.root.public_key()}, {}, 50),
+            ChainVerdict::kBadSignature);
+}
+
+TEST(Pki, LeafCannotActAsCa) {
+  PkiFixture fx;
+  // Chain where the "intermediate" is actually a non-CA cert.
+  const auto fake_intermediate =
+      fx.root.sign_leaf("oem-ca", fx.intermediate.public_key(), 11, 0);
+  std::vector<Certificate> chain = {
+      fx.intermediate.sign_leaf("ecu-7", fx.leaf_kp.public_key, 100, 0),
+      fake_intermediate, fx.root.root_certificate()};
+  EXPECT_EQ(verify_chain(chain, {fx.root.public_key()}, {}, 50),
+            ChainVerdict::kNotACa);
+}
+
+// ---------- use cases ----------
+
+struct UseCaseFixture {
+  DidRegistry registry;
+  Issuer hw_vendor{"tier1-hw", core::Bytes(32, 51)};
+  Issuer sw_vendor{"sw-house", core::Bytes(32, 52)};
+  Issuer mobility_op{"mobility-op", core::Bytes(32, 53)};
+  Issuer cpo{"charge-point-op", core::Bytes(32, 54)};
+
+  UseCaseFixture() {
+    for (const char* a : {"a-hw", "a-sw", "a-mo", "a-cpo", "a-dev"}) {
+      registry.add_anchor(a);
+    }
+    hw_vendor.anchor_into(registry, "a-hw");
+    sw_vendor.anchor_into(registry, "a-sw");
+    mobility_op.anchor_into(registry, "a-mo");
+    cpo.anchor_into(registry, "a-cpo");
+  }
+};
+
+TEST(Reconfig, CompatibleComponentsAuthorized) {
+  UseCaseFixture fx;
+  Component ecu("brake-ecu", core::Bytes(32, 61), "brake-ctrl-v2");
+  Component app("brake-app", core::Bytes(32, 62), "brake-ctrl-v2");
+  ecu.wallet->anchor_into(fx.registry, "a-dev");
+  app.wallet->anchor_into(fx.registry, "a-dev");
+
+  const auto hw_vc = fx.hw_vendor.issue(
+      "hw-1", ecu.wallet->did(), {{"profile", "brake-ctrl-v2"}}, 1, 0);
+  const auto sw_vc = fx.sw_vendor.issue(
+      "sw-1", app.wallet->did(), {{"requires_profile", "brake-ctrl-v2"}}, 1, 0);
+
+  const auto out = authorize_reconfiguration(ecu, hw_vc, app, sw_vc,
+                                             fx.registry, {}, 10);
+  EXPECT_TRUE(out.authorized);
+  EXPECT_TRUE(out.profiles_compatible);
+}
+
+TEST(Reconfig, IncompatibleProfileBlocked) {
+  UseCaseFixture fx;
+  Component ecu("infotainment", core::Bytes(32, 63), "ivi-v1");
+  Component app("brake-app", core::Bytes(32, 64), "brake-ctrl-v2");
+  ecu.wallet->anchor_into(fx.registry, "a-dev");
+  app.wallet->anchor_into(fx.registry, "a-dev");
+  const auto hw_vc =
+      fx.hw_vendor.issue("hw-2", ecu.wallet->did(), {{"profile", "ivi-v1"}}, 1, 0);
+  const auto sw_vc = fx.sw_vendor.issue(
+      "sw-2", app.wallet->did(), {{"requires_profile", "brake-ctrl-v2"}}, 1, 0);
+  const auto out = authorize_reconfiguration(ecu, hw_vc, app, sw_vc,
+                                             fx.registry, {}, 10);
+  EXPECT_FALSE(out.authorized);
+  EXPECT_FALSE(out.profiles_compatible);
+}
+
+TEST(Reconfig, StolenCredentialBlocked) {
+  UseCaseFixture fx;
+  Component ecu("brake-ecu", core::Bytes(32, 65), "brake-ctrl-v2");
+  Component impostor("malware", core::Bytes(32, 66), "brake-ctrl-v2");
+  ecu.wallet->anchor_into(fx.registry, "a-dev");
+  impostor.wallet->anchor_into(fx.registry, "a-dev");
+  const auto hw_vc = fx.hw_vendor.issue(
+      "hw-3", ecu.wallet->did(), {{"profile", "brake-ctrl-v2"}}, 1, 0);
+  // SW credential issued for some other legit app, presented by malware.
+  const auto sw_vc = fx.sw_vendor.issue(
+      "sw-3", did_for_key(crypto::ed25519_keypair(core::Bytes(32, 77)).public_key),
+      {{"requires_profile", "brake-ctrl-v2"}}, 1, 0);
+  const auto out = authorize_reconfiguration(ecu, hw_vc, impostor, sw_vc,
+                                             fx.registry, {}, 10);
+  EXPECT_FALSE(out.authorized);
+}
+
+TEST(Reconfig, RevokedSoftwareBlocked) {
+  UseCaseFixture fx;
+  Component ecu("brake-ecu", core::Bytes(32, 67), "brake-ctrl-v2");
+  Component app("brake-app", core::Bytes(32, 68), "brake-ctrl-v2");
+  ecu.wallet->anchor_into(fx.registry, "a-dev");
+  app.wallet->anchor_into(fx.registry, "a-dev");
+  const auto hw_vc = fx.hw_vendor.issue(
+      "hw-4", ecu.wallet->did(), {{"profile", "brake-ctrl-v2"}}, 1, 0);
+  const auto sw_vc = fx.sw_vendor.issue(
+      "sw-4", app.wallet->did(), {{"requires_profile", "brake-ctrl-v2"}}, 1, 0);
+  fx.sw_vendor.revoke("sw-4");  // vulnerable version pulled
+  const auto out = authorize_reconfiguration(
+      ecu, hw_vc, app, sw_vc, fx.registry, fx.sw_vendor.revocation_list(), 10);
+  EXPECT_FALSE(out.authorized);
+  EXPECT_EQ(out.sw_verdict, VcVerdict::kRevoked);
+}
+
+TEST(Records, SignedRecordRoundTrip) {
+  UseCaseFixture fx;
+  Wallet logger("crash-logger", core::Bytes(32, 71));
+  logger.anchor_into(fx.registry, "a-dev");
+  const auto vc = fx.hw_vendor.issue("hw-5", logger.did(),
+                                     {{"component", "airbag"}}, 1, 0);
+  const auto record = make_record(logger, "crash-001",
+                                  core::to_bytes("impact=12g"), {"hw-5"});
+  EXPECT_TRUE(verify_record(record, fx.registry, {vc}, {}, 10));
+}
+
+TEST(Records, TamperedPayloadDetected) {
+  UseCaseFixture fx;
+  Wallet logger("crash-logger", core::Bytes(32, 72));
+  logger.anchor_into(fx.registry, "a-dev");
+  auto record = make_record(logger, "crash-002",
+                            core::to_bytes("impact=12g"), {});
+  record.payload = core::to_bytes("impact=1g");  // downplay the crash
+  EXPECT_FALSE(verify_record(record, fx.registry, {}, {}, 10));
+}
+
+TEST(Records, MissingLinkedCredentialFails) {
+  UseCaseFixture fx;
+  Wallet logger("crash-logger", core::Bytes(32, 73));
+  logger.anchor_into(fx.registry, "a-dev");
+  const auto record = make_record(logger, "crash-003",
+                                  core::to_bytes("x"), {"hw-ghost"});
+  EXPECT_FALSE(verify_record(record, fx.registry, {}, {}, 10));
+}
+
+struct ChargingFixture : UseCaseFixture {
+  Wallet vehicle{"ev-1", core::Bytes(32, 81)};
+  std::unique_ptr<ChargePoint> cp;
+
+  ChargingFixture() {
+    vehicle.anchor_into(registry, "a-mo");
+    vehicle.store(mobility_op.issue(
+        "contract-1", vehicle.did(), {{"tariff", "standard"}}, 1, 365));
+
+    Wallet cp_tmp("cp-build", core::Bytes(32, 82));
+    const auto cp_vc = cpo.issue("cp-cred-1", cp_tmp.did(),
+                                 {{"station", "A12"}}, 1, 365);
+    cp = std::make_unique<ChargePoint>("cp-build", core::Bytes(32, 82), cp_vc);
+    cp->wallet().anchor_into(registry, "a-cpo");
+  }
+};
+
+TEST(Charging, OnlinePlugAndChargeAuthorizes) {
+  ChargingFixture fx;
+  const auto r = fx.cp->authorize(fx.vehicle, "contract-1", fx.registry, {}, 30);
+  EXPECT_TRUE(r.authorized);
+  EXPECT_FALSE(r.offline);
+  ASSERT_TRUE(r.billing_record.has_value());
+  // The billing record links both parties' credentials and verifies.
+  const auto contract = fx.vehicle.credentials().front();
+  EXPECT_TRUE(verify_record(
+      *r.billing_record, fx.registry,
+      {contract, fx.cp->wallet().credentials().front()}, {}, 30));
+}
+
+TEST(Charging, ExpiredContractRejected) {
+  ChargingFixture fx;
+  const auto r =
+      fx.cp->authorize(fx.vehicle, "contract-1", fx.registry, {}, 400);
+  EXPECT_FALSE(r.authorized);
+  EXPECT_EQ(r.vehicle_verdict, VcVerdict::kExpired);
+}
+
+TEST(Charging, RevokedContractRejectedOnline) {
+  ChargingFixture fx;
+  fx.mobility_op.revoke("contract-1");
+  const auto r = fx.cp->authorize(fx.vehicle, "contract-1", fx.registry,
+                                  fx.mobility_op.revocation_list(), 30);
+  EXPECT_FALSE(r.authorized);
+}
+
+TEST(Charging, OfflineAuthorizationWorksAfterSync) {
+  ChargingFixture fx;
+  fx.cp->sync(fx.registry, {}, 20);
+  // Internet down: authorization still succeeds from the cached snapshot.
+  const auto r = fx.cp->authorize_offline(fx.vehicle, "contract-1", 30);
+  EXPECT_TRUE(r.authorized);
+  EXPECT_TRUE(r.offline);
+}
+
+TEST(Charging, OfflineWithoutCacheFails) {
+  ChargingFixture fx;
+  const auto r = fx.cp->authorize_offline(fx.vehicle, "contract-1", 30);
+  EXPECT_FALSE(r.authorized);
+}
+
+TEST(Charging, StaleOfflineCacheMissesFreshRevocation) {
+  // The documented trade-off of offline mode: a revocation issued after
+  // the last sync is not seen until the next one.
+  ChargingFixture fx;
+  fx.cp->sync(fx.registry, {}, 20);
+  fx.mobility_op.revoke("contract-1");  // revoked at t=25
+  const auto offline = fx.cp->authorize_offline(fx.vehicle, "contract-1", 30);
+  EXPECT_TRUE(offline.authorized);  // stale view accepts
+  fx.cp->sync(fx.registry, fx.mobility_op.revocation_list(), 35);
+  const auto after = fx.cp->authorize_offline(fx.vehicle, "contract-1", 40);
+  EXPECT_FALSE(after.authorized);  // next sync catches it
+}
+
+TEST(Charging, RoamingAcrossOperatorsNeedsNoCrossSigning) {
+  // Vehicle contracted with mobility_op charges at a station run by cpo:
+  // both anchors coexist in the registry — the SSI roaming story.
+  ChargingFixture fx;
+  const auto r = fx.cp->authorize(fx.vehicle, "contract-1", fx.registry, {}, 30);
+  EXPECT_TRUE(r.authorized);
+  EXPECT_NE(fx.mobility_op.did(), fx.cpo.did());
+}
+
+}  // namespace
+}  // namespace avsec::ssi
