@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collab_perception.dir/bench_collab_perception.cpp.o"
+  "CMakeFiles/bench_collab_perception.dir/bench_collab_perception.cpp.o.d"
+  "bench_collab_perception"
+  "bench_collab_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collab_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

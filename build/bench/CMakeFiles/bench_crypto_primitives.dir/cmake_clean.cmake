@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crypto_primitives.dir/bench_crypto_primitives.cpp.o"
+  "CMakeFiles/bench_crypto_primitives.dir/bench_crypto_primitives.cpp.o.d"
+  "bench_crypto_primitives"
+  "bench_crypto_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crypto_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_uwb_ranging.dir/bench_fig2_uwb_ranging.cpp.o"
+  "CMakeFiles/bench_fig2_uwb_ranging.dir/bench_fig2_uwb_ranging.cpp.o.d"
+  "bench_fig2_uwb_ranging"
+  "bench_fig2_uwb_ranging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_uwb_ranging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

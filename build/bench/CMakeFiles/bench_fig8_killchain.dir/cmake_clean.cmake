@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_killchain.dir/bench_fig8_killchain.cpp.o"
+  "CMakeFiles/bench_fig8_killchain.dir/bench_fig8_killchain.cpp.o.d"
+  "bench_fig8_killchain"
+  "bench_fig8_killchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_killchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

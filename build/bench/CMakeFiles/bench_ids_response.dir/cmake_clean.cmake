@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ids_response.dir/bench_ids_response.cpp.o"
+  "CMakeFiles/bench_ids_response.dir/bench_ids_response.cpp.o.d"
+  "bench_ids_response"
+  "bench_ids_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ids_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

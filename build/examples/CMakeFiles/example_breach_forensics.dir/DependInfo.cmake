@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/breach_forensics.cpp" "examples/CMakeFiles/example_breach_forensics.dir/breach_forensics.cpp.o" "gcc" "examples/CMakeFiles/example_breach_forensics.dir/breach_forensics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/avsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_secproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_ssi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_datalayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_sos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_collab.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_ids.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

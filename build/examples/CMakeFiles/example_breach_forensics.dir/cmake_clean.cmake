@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_breach_forensics.dir/breach_forensics.cpp.o"
+  "CMakeFiles/example_breach_forensics.dir/breach_forensics.cpp.o.d"
+  "example_breach_forensics"
+  "example_breach_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_breach_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fleet_response.dir/fleet_response.cpp.o"
+  "CMakeFiles/example_fleet_response.dir/fleet_response.cpp.o.d"
+  "example_fleet_response"
+  "example_fleet_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fleet_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_plug_and_charge.dir/plug_and_charge.cpp.o"
+  "CMakeFiles/example_plug_and_charge.dir/plug_and_charge.cpp.o.d"
+  "example_plug_and_charge"
+  "example_plug_and_charge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_plug_and_charge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_plug_and_charge.
+# This may be replaced when dependencies are built.

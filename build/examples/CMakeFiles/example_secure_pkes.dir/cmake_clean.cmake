@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_secure_pkes.dir/secure_pkes.cpp.o"
+  "CMakeFiles/example_secure_pkes.dir/secure_pkes.cpp.o.d"
+  "example_secure_pkes"
+  "example_secure_pkes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_secure_pkes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_secure_update.dir/secure_update.cpp.o"
+  "CMakeFiles/example_secure_update.dir/secure_update.cpp.o.d"
+  "example_secure_update"
+  "example_secure_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_secure_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

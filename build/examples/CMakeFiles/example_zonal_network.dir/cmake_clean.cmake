@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_zonal_network.dir/zonal_network.cpp.o"
+  "CMakeFiles/example_zonal_network.dir/zonal_network.cpp.o.d"
+  "example_zonal_network"
+  "example_zonal_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_zonal_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

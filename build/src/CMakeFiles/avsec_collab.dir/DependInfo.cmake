@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avsec/collab/intersection.cpp" "src/CMakeFiles/avsec_collab.dir/avsec/collab/intersection.cpp.o" "gcc" "src/CMakeFiles/avsec_collab.dir/avsec/collab/intersection.cpp.o.d"
+  "/root/repo/src/avsec/collab/perception.cpp" "src/CMakeFiles/avsec_collab.dir/avsec/collab/perception.cpp.o" "gcc" "src/CMakeFiles/avsec_collab.dir/avsec/collab/perception.cpp.o.d"
+  "/root/repo/src/avsec/collab/v2x.cpp" "src/CMakeFiles/avsec_collab.dir/avsec/collab/v2x.cpp.o" "gcc" "src/CMakeFiles/avsec_collab.dir/avsec/collab/v2x.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/avsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avsec_collab.dir/avsec/collab/intersection.cpp.o"
+  "CMakeFiles/avsec_collab.dir/avsec/collab/intersection.cpp.o.d"
+  "CMakeFiles/avsec_collab.dir/avsec/collab/perception.cpp.o"
+  "CMakeFiles/avsec_collab.dir/avsec/collab/perception.cpp.o.d"
+  "CMakeFiles/avsec_collab.dir/avsec/collab/v2x.cpp.o"
+  "CMakeFiles/avsec_collab.dir/avsec/collab/v2x.cpp.o.d"
+  "libavsec_collab.a"
+  "libavsec_collab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avsec_collab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

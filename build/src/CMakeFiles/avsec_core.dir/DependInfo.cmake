@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avsec/core/bytes.cpp" "src/CMakeFiles/avsec_core.dir/avsec/core/bytes.cpp.o" "gcc" "src/CMakeFiles/avsec_core.dir/avsec/core/bytes.cpp.o.d"
+  "/root/repo/src/avsec/core/crc.cpp" "src/CMakeFiles/avsec_core.dir/avsec/core/crc.cpp.o" "gcc" "src/CMakeFiles/avsec_core.dir/avsec/core/crc.cpp.o.d"
+  "/root/repo/src/avsec/core/rng.cpp" "src/CMakeFiles/avsec_core.dir/avsec/core/rng.cpp.o" "gcc" "src/CMakeFiles/avsec_core.dir/avsec/core/rng.cpp.o.d"
+  "/root/repo/src/avsec/core/scheduler.cpp" "src/CMakeFiles/avsec_core.dir/avsec/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/avsec_core.dir/avsec/core/scheduler.cpp.o.d"
+  "/root/repo/src/avsec/core/stats.cpp" "src/CMakeFiles/avsec_core.dir/avsec/core/stats.cpp.o" "gcc" "src/CMakeFiles/avsec_core.dir/avsec/core/stats.cpp.o.d"
+  "/root/repo/src/avsec/core/table.cpp" "src/CMakeFiles/avsec_core.dir/avsec/core/table.cpp.o" "gcc" "src/CMakeFiles/avsec_core.dir/avsec/core/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avsec_core.dir/avsec/core/bytes.cpp.o"
+  "CMakeFiles/avsec_core.dir/avsec/core/bytes.cpp.o.d"
+  "CMakeFiles/avsec_core.dir/avsec/core/crc.cpp.o"
+  "CMakeFiles/avsec_core.dir/avsec/core/crc.cpp.o.d"
+  "CMakeFiles/avsec_core.dir/avsec/core/rng.cpp.o"
+  "CMakeFiles/avsec_core.dir/avsec/core/rng.cpp.o.d"
+  "CMakeFiles/avsec_core.dir/avsec/core/scheduler.cpp.o"
+  "CMakeFiles/avsec_core.dir/avsec/core/scheduler.cpp.o.d"
+  "CMakeFiles/avsec_core.dir/avsec/core/stats.cpp.o"
+  "CMakeFiles/avsec_core.dir/avsec/core/stats.cpp.o.d"
+  "CMakeFiles/avsec_core.dir/avsec/core/table.cpp.o"
+  "CMakeFiles/avsec_core.dir/avsec/core/table.cpp.o.d"
+  "libavsec_core.a"
+  "libavsec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avsec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

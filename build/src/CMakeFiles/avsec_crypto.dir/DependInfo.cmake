@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avsec/crypto/aes.cpp" "src/CMakeFiles/avsec_crypto.dir/avsec/crypto/aes.cpp.o" "gcc" "src/CMakeFiles/avsec_crypto.dir/avsec/crypto/aes.cpp.o.d"
+  "/root/repo/src/avsec/crypto/drbg.cpp" "src/CMakeFiles/avsec_crypto.dir/avsec/crypto/drbg.cpp.o" "gcc" "src/CMakeFiles/avsec_crypto.dir/avsec/crypto/drbg.cpp.o.d"
+  "/root/repo/src/avsec/crypto/ed25519.cpp" "src/CMakeFiles/avsec_crypto.dir/avsec/crypto/ed25519.cpp.o" "gcc" "src/CMakeFiles/avsec_crypto.dir/avsec/crypto/ed25519.cpp.o.d"
+  "/root/repo/src/avsec/crypto/fe25519.cpp" "src/CMakeFiles/avsec_crypto.dir/avsec/crypto/fe25519.cpp.o" "gcc" "src/CMakeFiles/avsec_crypto.dir/avsec/crypto/fe25519.cpp.o.d"
+  "/root/repo/src/avsec/crypto/hmac.cpp" "src/CMakeFiles/avsec_crypto.dir/avsec/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/avsec_crypto.dir/avsec/crypto/hmac.cpp.o.d"
+  "/root/repo/src/avsec/crypto/modes.cpp" "src/CMakeFiles/avsec_crypto.dir/avsec/crypto/modes.cpp.o" "gcc" "src/CMakeFiles/avsec_crypto.dir/avsec/crypto/modes.cpp.o.d"
+  "/root/repo/src/avsec/crypto/sha2.cpp" "src/CMakeFiles/avsec_crypto.dir/avsec/crypto/sha2.cpp.o" "gcc" "src/CMakeFiles/avsec_crypto.dir/avsec/crypto/sha2.cpp.o.d"
+  "/root/repo/src/avsec/crypto/shamir.cpp" "src/CMakeFiles/avsec_crypto.dir/avsec/crypto/shamir.cpp.o" "gcc" "src/CMakeFiles/avsec_crypto.dir/avsec/crypto/shamir.cpp.o.d"
+  "/root/repo/src/avsec/crypto/x25519.cpp" "src/CMakeFiles/avsec_crypto.dir/avsec/crypto/x25519.cpp.o" "gcc" "src/CMakeFiles/avsec_crypto.dir/avsec/crypto/x25519.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/avsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avsec_crypto.dir/avsec/crypto/aes.cpp.o"
+  "CMakeFiles/avsec_crypto.dir/avsec/crypto/aes.cpp.o.d"
+  "CMakeFiles/avsec_crypto.dir/avsec/crypto/drbg.cpp.o"
+  "CMakeFiles/avsec_crypto.dir/avsec/crypto/drbg.cpp.o.d"
+  "CMakeFiles/avsec_crypto.dir/avsec/crypto/ed25519.cpp.o"
+  "CMakeFiles/avsec_crypto.dir/avsec/crypto/ed25519.cpp.o.d"
+  "CMakeFiles/avsec_crypto.dir/avsec/crypto/fe25519.cpp.o"
+  "CMakeFiles/avsec_crypto.dir/avsec/crypto/fe25519.cpp.o.d"
+  "CMakeFiles/avsec_crypto.dir/avsec/crypto/hmac.cpp.o"
+  "CMakeFiles/avsec_crypto.dir/avsec/crypto/hmac.cpp.o.d"
+  "CMakeFiles/avsec_crypto.dir/avsec/crypto/modes.cpp.o"
+  "CMakeFiles/avsec_crypto.dir/avsec/crypto/modes.cpp.o.d"
+  "CMakeFiles/avsec_crypto.dir/avsec/crypto/sha2.cpp.o"
+  "CMakeFiles/avsec_crypto.dir/avsec/crypto/sha2.cpp.o.d"
+  "CMakeFiles/avsec_crypto.dir/avsec/crypto/shamir.cpp.o"
+  "CMakeFiles/avsec_crypto.dir/avsec/crypto/shamir.cpp.o.d"
+  "CMakeFiles/avsec_crypto.dir/avsec/crypto/x25519.cpp.o"
+  "CMakeFiles/avsec_crypto.dir/avsec/crypto/x25519.cpp.o.d"
+  "libavsec_crypto.a"
+  "libavsec_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avsec_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

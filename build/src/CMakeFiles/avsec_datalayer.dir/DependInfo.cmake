@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avsec/datalayer/access_control.cpp" "src/CMakeFiles/avsec_datalayer.dir/avsec/datalayer/access_control.cpp.o" "gcc" "src/CMakeFiles/avsec_datalayer.dir/avsec/datalayer/access_control.cpp.o.d"
+  "/root/repo/src/avsec/datalayer/cloud.cpp" "src/CMakeFiles/avsec_datalayer.dir/avsec/datalayer/cloud.cpp.o" "gcc" "src/CMakeFiles/avsec_datalayer.dir/avsec/datalayer/cloud.cpp.o.d"
+  "/root/repo/src/avsec/datalayer/incidents.cpp" "src/CMakeFiles/avsec_datalayer.dir/avsec/datalayer/incidents.cpp.o" "gcc" "src/CMakeFiles/avsec_datalayer.dir/avsec/datalayer/incidents.cpp.o.d"
+  "/root/repo/src/avsec/datalayer/killchain.cpp" "src/CMakeFiles/avsec_datalayer.dir/avsec/datalayer/killchain.cpp.o" "gcc" "src/CMakeFiles/avsec_datalayer.dir/avsec/datalayer/killchain.cpp.o.d"
+  "/root/repo/src/avsec/datalayer/privacy.cpp" "src/CMakeFiles/avsec_datalayer.dir/avsec/datalayer/privacy.cpp.o" "gcc" "src/CMakeFiles/avsec_datalayer.dir/avsec/datalayer/privacy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/avsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

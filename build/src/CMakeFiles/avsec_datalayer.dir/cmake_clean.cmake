@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avsec_datalayer.dir/avsec/datalayer/access_control.cpp.o"
+  "CMakeFiles/avsec_datalayer.dir/avsec/datalayer/access_control.cpp.o.d"
+  "CMakeFiles/avsec_datalayer.dir/avsec/datalayer/cloud.cpp.o"
+  "CMakeFiles/avsec_datalayer.dir/avsec/datalayer/cloud.cpp.o.d"
+  "CMakeFiles/avsec_datalayer.dir/avsec/datalayer/incidents.cpp.o"
+  "CMakeFiles/avsec_datalayer.dir/avsec/datalayer/incidents.cpp.o.d"
+  "CMakeFiles/avsec_datalayer.dir/avsec/datalayer/killchain.cpp.o"
+  "CMakeFiles/avsec_datalayer.dir/avsec/datalayer/killchain.cpp.o.d"
+  "CMakeFiles/avsec_datalayer.dir/avsec/datalayer/privacy.cpp.o"
+  "CMakeFiles/avsec_datalayer.dir/avsec/datalayer/privacy.cpp.o.d"
+  "libavsec_datalayer.a"
+  "libavsec_datalayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avsec_datalayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avsec/ids/attestation.cpp" "src/CMakeFiles/avsec_ids.dir/avsec/ids/attestation.cpp.o" "gcc" "src/CMakeFiles/avsec_ids.dir/avsec/ids/attestation.cpp.o.d"
+  "/root/repo/src/avsec/ids/can_ids.cpp" "src/CMakeFiles/avsec_ids.dir/avsec/ids/can_ids.cpp.o" "gcc" "src/CMakeFiles/avsec_ids.dir/avsec/ids/can_ids.cpp.o.d"
+  "/root/repo/src/avsec/ids/correlation.cpp" "src/CMakeFiles/avsec_ids.dir/avsec/ids/correlation.cpp.o" "gcc" "src/CMakeFiles/avsec_ids.dir/avsec/ids/correlation.cpp.o.d"
+  "/root/repo/src/avsec/ids/firewall.cpp" "src/CMakeFiles/avsec_ids.dir/avsec/ids/firewall.cpp.o" "gcc" "src/CMakeFiles/avsec_ids.dir/avsec/ids/firewall.cpp.o.d"
+  "/root/repo/src/avsec/ids/response.cpp" "src/CMakeFiles/avsec_ids.dir/avsec/ids/response.cpp.o" "gcc" "src/CMakeFiles/avsec_ids.dir/avsec/ids/response.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/avsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_secproto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avsec_ids.dir/avsec/ids/attestation.cpp.o"
+  "CMakeFiles/avsec_ids.dir/avsec/ids/attestation.cpp.o.d"
+  "CMakeFiles/avsec_ids.dir/avsec/ids/can_ids.cpp.o"
+  "CMakeFiles/avsec_ids.dir/avsec/ids/can_ids.cpp.o.d"
+  "CMakeFiles/avsec_ids.dir/avsec/ids/correlation.cpp.o"
+  "CMakeFiles/avsec_ids.dir/avsec/ids/correlation.cpp.o.d"
+  "CMakeFiles/avsec_ids.dir/avsec/ids/firewall.cpp.o"
+  "CMakeFiles/avsec_ids.dir/avsec/ids/firewall.cpp.o.d"
+  "CMakeFiles/avsec_ids.dir/avsec/ids/response.cpp.o"
+  "CMakeFiles/avsec_ids.dir/avsec/ids/response.cpp.o.d"
+  "libavsec_ids.a"
+  "libavsec_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avsec_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

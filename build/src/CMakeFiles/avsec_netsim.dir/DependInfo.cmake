@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avsec/netsim/can.cpp" "src/CMakeFiles/avsec_netsim.dir/avsec/netsim/can.cpp.o" "gcc" "src/CMakeFiles/avsec_netsim.dir/avsec/netsim/can.cpp.o.d"
+  "/root/repo/src/avsec/netsim/ethernet.cpp" "src/CMakeFiles/avsec_netsim.dir/avsec/netsim/ethernet.cpp.o" "gcc" "src/CMakeFiles/avsec_netsim.dir/avsec/netsim/ethernet.cpp.o.d"
+  "/root/repo/src/avsec/netsim/t1s.cpp" "src/CMakeFiles/avsec_netsim.dir/avsec/netsim/t1s.cpp.o" "gcc" "src/CMakeFiles/avsec_netsim.dir/avsec/netsim/t1s.cpp.o.d"
+  "/root/repo/src/avsec/netsim/topology.cpp" "src/CMakeFiles/avsec_netsim.dir/avsec/netsim/topology.cpp.o" "gcc" "src/CMakeFiles/avsec_netsim.dir/avsec/netsim/topology.cpp.o.d"
+  "/root/repo/src/avsec/netsim/traffic.cpp" "src/CMakeFiles/avsec_netsim.dir/avsec/netsim/traffic.cpp.o" "gcc" "src/CMakeFiles/avsec_netsim.dir/avsec/netsim/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/avsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avsec_netsim.dir/avsec/netsim/can.cpp.o"
+  "CMakeFiles/avsec_netsim.dir/avsec/netsim/can.cpp.o.d"
+  "CMakeFiles/avsec_netsim.dir/avsec/netsim/ethernet.cpp.o"
+  "CMakeFiles/avsec_netsim.dir/avsec/netsim/ethernet.cpp.o.d"
+  "CMakeFiles/avsec_netsim.dir/avsec/netsim/t1s.cpp.o"
+  "CMakeFiles/avsec_netsim.dir/avsec/netsim/t1s.cpp.o.d"
+  "CMakeFiles/avsec_netsim.dir/avsec/netsim/topology.cpp.o"
+  "CMakeFiles/avsec_netsim.dir/avsec/netsim/topology.cpp.o.d"
+  "CMakeFiles/avsec_netsim.dir/avsec/netsim/traffic.cpp.o"
+  "CMakeFiles/avsec_netsim.dir/avsec/netsim/traffic.cpp.o.d"
+  "libavsec_netsim.a"
+  "libavsec_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avsec_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

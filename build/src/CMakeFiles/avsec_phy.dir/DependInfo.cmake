@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avsec/phy/attacks.cpp" "src/CMakeFiles/avsec_phy.dir/avsec/phy/attacks.cpp.o" "gcc" "src/CMakeFiles/avsec_phy.dir/avsec/phy/attacks.cpp.o.d"
+  "/root/repo/src/avsec/phy/collision_avoidance.cpp" "src/CMakeFiles/avsec_phy.dir/avsec/phy/collision_avoidance.cpp.o" "gcc" "src/CMakeFiles/avsec_phy.dir/avsec/phy/collision_avoidance.cpp.o.d"
+  "/root/repo/src/avsec/phy/pkes.cpp" "src/CMakeFiles/avsec_phy.dir/avsec/phy/pkes.cpp.o" "gcc" "src/CMakeFiles/avsec_phy.dir/avsec/phy/pkes.cpp.o.d"
+  "/root/repo/src/avsec/phy/ranging.cpp" "src/CMakeFiles/avsec_phy.dir/avsec/phy/ranging.cpp.o" "gcc" "src/CMakeFiles/avsec_phy.dir/avsec/phy/ranging.cpp.o.d"
+  "/root/repo/src/avsec/phy/uwb.cpp" "src/CMakeFiles/avsec_phy.dir/avsec/phy/uwb.cpp.o" "gcc" "src/CMakeFiles/avsec_phy.dir/avsec/phy/uwb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/avsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

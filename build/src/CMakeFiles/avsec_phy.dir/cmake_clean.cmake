@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avsec_phy.dir/avsec/phy/attacks.cpp.o"
+  "CMakeFiles/avsec_phy.dir/avsec/phy/attacks.cpp.o.d"
+  "CMakeFiles/avsec_phy.dir/avsec/phy/collision_avoidance.cpp.o"
+  "CMakeFiles/avsec_phy.dir/avsec/phy/collision_avoidance.cpp.o.d"
+  "CMakeFiles/avsec_phy.dir/avsec/phy/pkes.cpp.o"
+  "CMakeFiles/avsec_phy.dir/avsec/phy/pkes.cpp.o.d"
+  "CMakeFiles/avsec_phy.dir/avsec/phy/ranging.cpp.o"
+  "CMakeFiles/avsec_phy.dir/avsec/phy/ranging.cpp.o.d"
+  "CMakeFiles/avsec_phy.dir/avsec/phy/uwb.cpp.o"
+  "CMakeFiles/avsec_phy.dir/avsec/phy/uwb.cpp.o.d"
+  "libavsec_phy.a"
+  "libavsec_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avsec_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

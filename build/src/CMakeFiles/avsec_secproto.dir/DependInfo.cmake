@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avsec/secproto/canal.cpp" "src/CMakeFiles/avsec_secproto.dir/avsec/secproto/canal.cpp.o" "gcc" "src/CMakeFiles/avsec_secproto.dir/avsec/secproto/canal.cpp.o.d"
+  "/root/repo/src/avsec/secproto/cansec.cpp" "src/CMakeFiles/avsec_secproto.dir/avsec/secproto/cansec.cpp.o" "gcc" "src/CMakeFiles/avsec_secproto.dir/avsec/secproto/cansec.cpp.o.d"
+  "/root/repo/src/avsec/secproto/diag.cpp" "src/CMakeFiles/avsec_secproto.dir/avsec/secproto/diag.cpp.o" "gcc" "src/CMakeFiles/avsec_secproto.dir/avsec/secproto/diag.cpp.o.d"
+  "/root/repo/src/avsec/secproto/ipsec_lite.cpp" "src/CMakeFiles/avsec_secproto.dir/avsec/secproto/ipsec_lite.cpp.o" "gcc" "src/CMakeFiles/avsec_secproto.dir/avsec/secproto/ipsec_lite.cpp.o.d"
+  "/root/repo/src/avsec/secproto/macsec.cpp" "src/CMakeFiles/avsec_secproto.dir/avsec/secproto/macsec.cpp.o" "gcc" "src/CMakeFiles/avsec_secproto.dir/avsec/secproto/macsec.cpp.o.d"
+  "/root/repo/src/avsec/secproto/scenarios.cpp" "src/CMakeFiles/avsec_secproto.dir/avsec/secproto/scenarios.cpp.o" "gcc" "src/CMakeFiles/avsec_secproto.dir/avsec/secproto/scenarios.cpp.o.d"
+  "/root/repo/src/avsec/secproto/secoc.cpp" "src/CMakeFiles/avsec_secproto.dir/avsec/secproto/secoc.cpp.o" "gcc" "src/CMakeFiles/avsec_secproto.dir/avsec/secproto/secoc.cpp.o.d"
+  "/root/repo/src/avsec/secproto/tls_lite.cpp" "src/CMakeFiles/avsec_secproto.dir/avsec/secproto/tls_lite.cpp.o" "gcc" "src/CMakeFiles/avsec_secproto.dir/avsec/secproto/tls_lite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/avsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avsec_secproto.dir/avsec/secproto/canal.cpp.o"
+  "CMakeFiles/avsec_secproto.dir/avsec/secproto/canal.cpp.o.d"
+  "CMakeFiles/avsec_secproto.dir/avsec/secproto/cansec.cpp.o"
+  "CMakeFiles/avsec_secproto.dir/avsec/secproto/cansec.cpp.o.d"
+  "CMakeFiles/avsec_secproto.dir/avsec/secproto/diag.cpp.o"
+  "CMakeFiles/avsec_secproto.dir/avsec/secproto/diag.cpp.o.d"
+  "CMakeFiles/avsec_secproto.dir/avsec/secproto/ipsec_lite.cpp.o"
+  "CMakeFiles/avsec_secproto.dir/avsec/secproto/ipsec_lite.cpp.o.d"
+  "CMakeFiles/avsec_secproto.dir/avsec/secproto/macsec.cpp.o"
+  "CMakeFiles/avsec_secproto.dir/avsec/secproto/macsec.cpp.o.d"
+  "CMakeFiles/avsec_secproto.dir/avsec/secproto/scenarios.cpp.o"
+  "CMakeFiles/avsec_secproto.dir/avsec/secproto/scenarios.cpp.o.d"
+  "CMakeFiles/avsec_secproto.dir/avsec/secproto/secoc.cpp.o"
+  "CMakeFiles/avsec_secproto.dir/avsec/secproto/secoc.cpp.o.d"
+  "CMakeFiles/avsec_secproto.dir/avsec/secproto/tls_lite.cpp.o"
+  "CMakeFiles/avsec_secproto.dir/avsec/secproto/tls_lite.cpp.o.d"
+  "libavsec_secproto.a"
+  "libavsec_secproto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avsec_secproto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avsec/sos/graph.cpp" "src/CMakeFiles/avsec_sos.dir/avsec/sos/graph.cpp.o" "gcc" "src/CMakeFiles/avsec_sos.dir/avsec/sos/graph.cpp.o.d"
+  "/root/repo/src/avsec/sos/realtime.cpp" "src/CMakeFiles/avsec_sos.dir/avsec/sos/realtime.cpp.o" "gcc" "src/CMakeFiles/avsec_sos.dir/avsec/sos/realtime.cpp.o.d"
+  "/root/repo/src/avsec/sos/responsibility.cpp" "src/CMakeFiles/avsec_sos.dir/avsec/sos/responsibility.cpp.o" "gcc" "src/CMakeFiles/avsec_sos.dir/avsec/sos/responsibility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/avsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

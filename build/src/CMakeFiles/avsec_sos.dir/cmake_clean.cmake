@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avsec_sos.dir/avsec/sos/graph.cpp.o"
+  "CMakeFiles/avsec_sos.dir/avsec/sos/graph.cpp.o.d"
+  "CMakeFiles/avsec_sos.dir/avsec/sos/realtime.cpp.o"
+  "CMakeFiles/avsec_sos.dir/avsec/sos/realtime.cpp.o.d"
+  "CMakeFiles/avsec_sos.dir/avsec/sos/responsibility.cpp.o"
+  "CMakeFiles/avsec_sos.dir/avsec/sos/responsibility.cpp.o.d"
+  "libavsec_sos.a"
+  "libavsec_sos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avsec_sos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libavsec_sos.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avsec/ssi/did.cpp" "src/CMakeFiles/avsec_ssi.dir/avsec/ssi/did.cpp.o" "gcc" "src/CMakeFiles/avsec_ssi.dir/avsec/ssi/did.cpp.o.d"
+  "/root/repo/src/avsec/ssi/ota.cpp" "src/CMakeFiles/avsec_ssi.dir/avsec/ssi/ota.cpp.o" "gcc" "src/CMakeFiles/avsec_ssi.dir/avsec/ssi/ota.cpp.o.d"
+  "/root/repo/src/avsec/ssi/pki.cpp" "src/CMakeFiles/avsec_ssi.dir/avsec/ssi/pki.cpp.o" "gcc" "src/CMakeFiles/avsec_ssi.dir/avsec/ssi/pki.cpp.o.d"
+  "/root/repo/src/avsec/ssi/use_cases.cpp" "src/CMakeFiles/avsec_ssi.dir/avsec/ssi/use_cases.cpp.o" "gcc" "src/CMakeFiles/avsec_ssi.dir/avsec/ssi/use_cases.cpp.o.d"
+  "/root/repo/src/avsec/ssi/vc.cpp" "src/CMakeFiles/avsec_ssi.dir/avsec/ssi/vc.cpp.o" "gcc" "src/CMakeFiles/avsec_ssi.dir/avsec/ssi/vc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/avsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

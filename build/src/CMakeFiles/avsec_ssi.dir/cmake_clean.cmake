@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avsec_ssi.dir/avsec/ssi/did.cpp.o"
+  "CMakeFiles/avsec_ssi.dir/avsec/ssi/did.cpp.o.d"
+  "CMakeFiles/avsec_ssi.dir/avsec/ssi/ota.cpp.o"
+  "CMakeFiles/avsec_ssi.dir/avsec/ssi/ota.cpp.o.d"
+  "CMakeFiles/avsec_ssi.dir/avsec/ssi/pki.cpp.o"
+  "CMakeFiles/avsec_ssi.dir/avsec/ssi/pki.cpp.o.d"
+  "CMakeFiles/avsec_ssi.dir/avsec/ssi/use_cases.cpp.o"
+  "CMakeFiles/avsec_ssi.dir/avsec/ssi/use_cases.cpp.o.d"
+  "CMakeFiles/avsec_ssi.dir/avsec/ssi/vc.cpp.o"
+  "CMakeFiles/avsec_ssi.dir/avsec/ssi/vc.cpp.o.d"
+  "libavsec_ssi.a"
+  "libavsec_ssi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avsec_ssi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/collab/collab_test.cpp" "tests/CMakeFiles/collab_tests.dir/collab/collab_test.cpp.o" "gcc" "tests/CMakeFiles/collab_tests.dir/collab/collab_test.cpp.o.d"
+  "/root/repo/tests/collab/position_bias_test.cpp" "tests/CMakeFiles/collab_tests.dir/collab/position_bias_test.cpp.o" "gcc" "tests/CMakeFiles/collab_tests.dir/collab/position_bias_test.cpp.o.d"
+  "/root/repo/tests/collab/v2x_test.cpp" "tests/CMakeFiles/collab_tests.dir/collab/v2x_test.cpp.o" "gcc" "tests/CMakeFiles/collab_tests.dir/collab/v2x_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/avsec_collab.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

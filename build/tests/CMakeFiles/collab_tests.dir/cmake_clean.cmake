@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collab_tests.dir/collab/collab_test.cpp.o"
+  "CMakeFiles/collab_tests.dir/collab/collab_test.cpp.o.d"
+  "CMakeFiles/collab_tests.dir/collab/position_bias_test.cpp.o"
+  "CMakeFiles/collab_tests.dir/collab/position_bias_test.cpp.o.d"
+  "CMakeFiles/collab_tests.dir/collab/v2x_test.cpp.o"
+  "CMakeFiles/collab_tests.dir/collab/v2x_test.cpp.o.d"
+  "collab_tests"
+  "collab_tests.pdb"
+  "collab_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collab_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/aes_modes_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/aes_modes_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/aes_modes_test.cpp.o.d"
+  "/root/repo/tests/crypto/curve25519_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/curve25519_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/curve25519_test.cpp.o.d"
+  "/root/repo/tests/crypto/property_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/property_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/property_test.cpp.o.d"
+  "/root/repo/tests/crypto/sha2_hmac_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/sha2_hmac_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/sha2_hmac_test.cpp.o.d"
+  "/root/repo/tests/crypto/shamir_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/shamir_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/shamir_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/avsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

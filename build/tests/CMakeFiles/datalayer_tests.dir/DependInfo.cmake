@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/datalayer/access_control_test.cpp" "tests/CMakeFiles/datalayer_tests.dir/datalayer/access_control_test.cpp.o" "gcc" "tests/CMakeFiles/datalayer_tests.dir/datalayer/access_control_test.cpp.o.d"
+  "/root/repo/tests/datalayer/incidents_test.cpp" "tests/CMakeFiles/datalayer_tests.dir/datalayer/incidents_test.cpp.o" "gcc" "tests/CMakeFiles/datalayer_tests.dir/datalayer/incidents_test.cpp.o.d"
+  "/root/repo/tests/datalayer/killchain_test.cpp" "tests/CMakeFiles/datalayer_tests.dir/datalayer/killchain_test.cpp.o" "gcc" "tests/CMakeFiles/datalayer_tests.dir/datalayer/killchain_test.cpp.o.d"
+  "/root/repo/tests/datalayer/privacy_test.cpp" "tests/CMakeFiles/datalayer_tests.dir/datalayer/privacy_test.cpp.o" "gcc" "tests/CMakeFiles/datalayer_tests.dir/datalayer/privacy_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/avsec_datalayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

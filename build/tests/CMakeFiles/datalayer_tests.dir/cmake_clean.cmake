@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalayer_tests.dir/datalayer/access_control_test.cpp.o"
+  "CMakeFiles/datalayer_tests.dir/datalayer/access_control_test.cpp.o.d"
+  "CMakeFiles/datalayer_tests.dir/datalayer/incidents_test.cpp.o"
+  "CMakeFiles/datalayer_tests.dir/datalayer/incidents_test.cpp.o.d"
+  "CMakeFiles/datalayer_tests.dir/datalayer/killchain_test.cpp.o"
+  "CMakeFiles/datalayer_tests.dir/datalayer/killchain_test.cpp.o.d"
+  "CMakeFiles/datalayer_tests.dir/datalayer/privacy_test.cpp.o"
+  "CMakeFiles/datalayer_tests.dir/datalayer/privacy_test.cpp.o.d"
+  "datalayer_tests"
+  "datalayer_tests.pdb"
+  "datalayer_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalayer_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

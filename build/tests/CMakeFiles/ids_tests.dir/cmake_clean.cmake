@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_tests.dir/ids/attestation_firewall_test.cpp.o"
+  "CMakeFiles/ids_tests.dir/ids/attestation_firewall_test.cpp.o.d"
+  "CMakeFiles/ids_tests.dir/ids/correlation_test.cpp.o"
+  "CMakeFiles/ids_tests.dir/ids/correlation_test.cpp.o.d"
+  "CMakeFiles/ids_tests.dir/ids/flood_test.cpp.o"
+  "CMakeFiles/ids_tests.dir/ids/flood_test.cpp.o.d"
+  "CMakeFiles/ids_tests.dir/ids/ids_test.cpp.o"
+  "CMakeFiles/ids_tests.dir/ids/ids_test.cpp.o.d"
+  "CMakeFiles/ids_tests.dir/ids/silence_test.cpp.o"
+  "CMakeFiles/ids_tests.dir/ids/silence_test.cpp.o.d"
+  "ids_tests"
+  "ids_tests.pdb"
+  "ids_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

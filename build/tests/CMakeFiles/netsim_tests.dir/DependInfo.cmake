@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/netsim/busoff_test.cpp" "tests/CMakeFiles/netsim_tests.dir/netsim/busoff_test.cpp.o" "gcc" "tests/CMakeFiles/netsim_tests.dir/netsim/busoff_test.cpp.o.d"
+  "/root/repo/tests/netsim/can_test.cpp" "tests/CMakeFiles/netsim_tests.dir/netsim/can_test.cpp.o" "gcc" "tests/CMakeFiles/netsim_tests.dir/netsim/can_test.cpp.o.d"
+  "/root/repo/tests/netsim/ethernet_t1s_test.cpp" "tests/CMakeFiles/netsim_tests.dir/netsim/ethernet_t1s_test.cpp.o" "gcc" "tests/CMakeFiles/netsim_tests.dir/netsim/ethernet_t1s_test.cpp.o.d"
+  "/root/repo/tests/netsim/property_test.cpp" "tests/CMakeFiles/netsim_tests.dir/netsim/property_test.cpp.o" "gcc" "tests/CMakeFiles/netsim_tests.dir/netsim/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/avsec_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

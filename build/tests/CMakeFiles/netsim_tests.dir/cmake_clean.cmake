@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_tests.dir/netsim/busoff_test.cpp.o"
+  "CMakeFiles/netsim_tests.dir/netsim/busoff_test.cpp.o.d"
+  "CMakeFiles/netsim_tests.dir/netsim/can_test.cpp.o"
+  "CMakeFiles/netsim_tests.dir/netsim/can_test.cpp.o.d"
+  "CMakeFiles/netsim_tests.dir/netsim/ethernet_t1s_test.cpp.o"
+  "CMakeFiles/netsim_tests.dir/netsim/ethernet_t1s_test.cpp.o.d"
+  "CMakeFiles/netsim_tests.dir/netsim/property_test.cpp.o"
+  "CMakeFiles/netsim_tests.dir/netsim/property_test.cpp.o.d"
+  "netsim_tests"
+  "netsim_tests.pdb"
+  "netsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

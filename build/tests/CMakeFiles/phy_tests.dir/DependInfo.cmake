@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phy/collision_avoidance_test.cpp" "tests/CMakeFiles/phy_tests.dir/phy/collision_avoidance_test.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/collision_avoidance_test.cpp.o.d"
+  "/root/repo/tests/phy/pkes_test.cpp" "tests/CMakeFiles/phy_tests.dir/phy/pkes_test.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/pkes_test.cpp.o.d"
+  "/root/repo/tests/phy/uwb_ranging_test.cpp" "tests/CMakeFiles/phy_tests.dir/phy/uwb_ranging_test.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/uwb_ranging_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/avsec_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_tests.dir/phy/collision_avoidance_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/collision_avoidance_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/pkes_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/pkes_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/uwb_ranging_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/uwb_ranging_test.cpp.o.d"
+  "phy_tests"
+  "phy_tests.pdb"
+  "phy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/secproto/canal_tls_esp_test.cpp" "tests/CMakeFiles/secproto_tests.dir/secproto/canal_tls_esp_test.cpp.o" "gcc" "tests/CMakeFiles/secproto_tests.dir/secproto/canal_tls_esp_test.cpp.o.d"
+  "/root/repo/tests/secproto/diag_test.cpp" "tests/CMakeFiles/secproto_tests.dir/secproto/diag_test.cpp.o" "gcc" "tests/CMakeFiles/secproto_tests.dir/secproto/diag_test.cpp.o.d"
+  "/root/repo/tests/secproto/macsec_cansec_test.cpp" "tests/CMakeFiles/secproto_tests.dir/secproto/macsec_cansec_test.cpp.o" "gcc" "tests/CMakeFiles/secproto_tests.dir/secproto/macsec_cansec_test.cpp.o.d"
+  "/root/repo/tests/secproto/property_test.cpp" "tests/CMakeFiles/secproto_tests.dir/secproto/property_test.cpp.o" "gcc" "tests/CMakeFiles/secproto_tests.dir/secproto/property_test.cpp.o.d"
+  "/root/repo/tests/secproto/rekey_sync_test.cpp" "tests/CMakeFiles/secproto_tests.dir/secproto/rekey_sync_test.cpp.o" "gcc" "tests/CMakeFiles/secproto_tests.dir/secproto/rekey_sync_test.cpp.o.d"
+  "/root/repo/tests/secproto/scenarios_test.cpp" "tests/CMakeFiles/secproto_tests.dir/secproto/scenarios_test.cpp.o" "gcc" "tests/CMakeFiles/secproto_tests.dir/secproto/scenarios_test.cpp.o.d"
+  "/root/repo/tests/secproto/secoc_test.cpp" "tests/CMakeFiles/secproto_tests.dir/secproto/secoc_test.cpp.o" "gcc" "tests/CMakeFiles/secproto_tests.dir/secproto/secoc_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/avsec_secproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

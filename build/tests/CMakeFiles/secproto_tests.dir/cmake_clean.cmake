@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secproto_tests.dir/secproto/canal_tls_esp_test.cpp.o"
+  "CMakeFiles/secproto_tests.dir/secproto/canal_tls_esp_test.cpp.o.d"
+  "CMakeFiles/secproto_tests.dir/secproto/diag_test.cpp.o"
+  "CMakeFiles/secproto_tests.dir/secproto/diag_test.cpp.o.d"
+  "CMakeFiles/secproto_tests.dir/secproto/macsec_cansec_test.cpp.o"
+  "CMakeFiles/secproto_tests.dir/secproto/macsec_cansec_test.cpp.o.d"
+  "CMakeFiles/secproto_tests.dir/secproto/property_test.cpp.o"
+  "CMakeFiles/secproto_tests.dir/secproto/property_test.cpp.o.d"
+  "CMakeFiles/secproto_tests.dir/secproto/rekey_sync_test.cpp.o"
+  "CMakeFiles/secproto_tests.dir/secproto/rekey_sync_test.cpp.o.d"
+  "CMakeFiles/secproto_tests.dir/secproto/scenarios_test.cpp.o"
+  "CMakeFiles/secproto_tests.dir/secproto/scenarios_test.cpp.o.d"
+  "CMakeFiles/secproto_tests.dir/secproto/secoc_test.cpp.o"
+  "CMakeFiles/secproto_tests.dir/secproto/secoc_test.cpp.o.d"
+  "secproto_tests"
+  "secproto_tests.pdb"
+  "secproto_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secproto_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_tests.dir/sos/responsibility_test.cpp.o"
+  "CMakeFiles/sos_tests.dir/sos/responsibility_test.cpp.o.d"
+  "CMakeFiles/sos_tests.dir/sos/sos_test.cpp.o"
+  "CMakeFiles/sos_tests.dir/sos/sos_test.cpp.o.d"
+  "sos_tests"
+  "sos_tests.pdb"
+  "sos_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

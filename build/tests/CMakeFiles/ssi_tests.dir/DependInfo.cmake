@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ssi/did_vc_test.cpp" "tests/CMakeFiles/ssi_tests.dir/ssi/did_vc_test.cpp.o" "gcc" "tests/CMakeFiles/ssi_tests.dir/ssi/did_vc_test.cpp.o.d"
+  "/root/repo/tests/ssi/key_rotation_test.cpp" "tests/CMakeFiles/ssi_tests.dir/ssi/key_rotation_test.cpp.o" "gcc" "tests/CMakeFiles/ssi_tests.dir/ssi/key_rotation_test.cpp.o.d"
+  "/root/repo/tests/ssi/ota_test.cpp" "tests/CMakeFiles/ssi_tests.dir/ssi/ota_test.cpp.o" "gcc" "tests/CMakeFiles/ssi_tests.dir/ssi/ota_test.cpp.o.d"
+  "/root/repo/tests/ssi/pki_usecases_test.cpp" "tests/CMakeFiles/ssi_tests.dir/ssi/pki_usecases_test.cpp.o" "gcc" "tests/CMakeFiles/ssi_tests.dir/ssi/pki_usecases_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/avsec_ssi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/avsec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssi_tests.dir/ssi/did_vc_test.cpp.o"
+  "CMakeFiles/ssi_tests.dir/ssi/did_vc_test.cpp.o.d"
+  "CMakeFiles/ssi_tests.dir/ssi/key_rotation_test.cpp.o"
+  "CMakeFiles/ssi_tests.dir/ssi/key_rotation_test.cpp.o.d"
+  "CMakeFiles/ssi_tests.dir/ssi/ota_test.cpp.o"
+  "CMakeFiles/ssi_tests.dir/ssi/ota_test.cpp.o.d"
+  "CMakeFiles/ssi_tests.dir/ssi/pki_usecases_test.cpp.o"
+  "CMakeFiles/ssi_tests.dir/ssi/pki_usecases_test.cpp.o.d"
+  "ssi_tests"
+  "ssi_tests.pdb"
+  "ssi_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssi_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/crypto_tests[1]_include.cmake")
+include("/root/repo/build/tests/phy_tests[1]_include.cmake")
+include("/root/repo/build/tests/netsim_tests[1]_include.cmake")
+include("/root/repo/build/tests/secproto_tests[1]_include.cmake")
+include("/root/repo/build/tests/ssi_tests[1]_include.cmake")
+include("/root/repo/build/tests/datalayer_tests[1]_include.cmake")
+include("/root/repo/build/tests/sos_tests[1]_include.cmake")
+include("/root/repo/build/tests/collab_tests[1]_include.cmake")
+include("/root/repo/build/tests/ids_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
