@@ -84,7 +84,7 @@ void busoff_attack() {
   for (int attack_ms : {300, 600}) {
     core::Scheduler sim;
     netsim::CanBusConfig cfg;
-    cfg.fault_confinement = true;
+    cfg.auto_bus_off_recovery = false;
     netsim::CanBus bus(sim, cfg);
     const int victim = bus.attach("victim", nullptr);
     bus.attach("tap", nullptr);

@@ -1,0 +1,52 @@
+#include "avsec/fault/campaign.hpp"
+
+#include "avsec/core/rng.hpp"
+
+namespace avsec::fault {
+
+std::vector<std::uint64_t> CampaignReport::failing_seeds() const {
+  std::vector<std::uint64_t> seeds;
+  for (const RunOutcome& o : outcomes) {
+    if (!o.violated.empty()) seeds.push_back(o.seed);
+  }
+  return seeds;
+}
+
+Campaign& Campaign::require(std::string name, Check check) {
+  invariants_.emplace_back(std::move(name), std::move(check));
+  return *this;
+}
+
+std::uint64_t Campaign::seed_for_run(std::size_t i) const {
+  // One splitmix-derived draw per run index: stable under resizing the
+  // sweep and independent of evaluation order.
+  core::Rng rng(config_.base_seed);
+  std::uint64_t seed = 0;
+  for (std::size_t k = 0; k <= i; ++k) seed = rng.next();
+  return seed;
+}
+
+CampaignReport Campaign::sweep(const RunFn& run) const {
+  CampaignReport report;
+  report.runs = config_.runs;
+  core::Rng rng(config_.base_seed);
+  for (std::size_t i = 0; i < config_.runs; ++i) {
+    RunOutcome outcome;
+    outcome.seed = rng.next();
+    outcome.metrics = run(outcome.seed);
+    for (const auto& [key, value] : outcome.metrics) {
+      report.aggregate[key].add(value);
+    }
+    for (const auto& [name, check] : invariants_) {
+      if (!check(outcome.metrics)) {
+        outcome.violated.push_back(name);
+        ++report.violations[name];
+      }
+    }
+    if (!outcome.violated.empty()) ++report.failed_runs;
+    report.outcomes.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+}  // namespace avsec::fault

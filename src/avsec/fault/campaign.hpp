@@ -1,0 +1,72 @@
+// Fault-injection campaigns: sweep a scenario across seeded runs and
+// check user-supplied invariants on each run's metrics.
+//
+// A campaign is the executable form of a resilience claim: "under any
+// fault schedule drawn from this family, the bus recovers / the session
+// re-establishes / latency stays bounded." The runner derives one seed per
+// run from the base seed, calls the user's scenario function (which builds
+// a fresh world, arms a FaultPlan, runs the scheduler and returns named
+// metrics), and evaluates every invariant against those metrics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "avsec/core/stats.hpp"
+
+namespace avsec::fault {
+
+/// Named scalar results of one scenario run.
+using Metrics = std::map<std::string, double>;
+
+struct CampaignConfig {
+  std::size_t runs = 10;
+  std::uint64_t base_seed = 1;
+};
+
+struct RunOutcome {
+  std::uint64_t seed = 0;
+  Metrics metrics;
+  std::vector<std::string> violated;  // names of failed invariants
+};
+
+struct CampaignReport {
+  std::size_t runs = 0;
+  std::size_t failed_runs = 0;
+  /// Violation count per invariant name.
+  std::map<std::string, std::size_t> violations;
+  /// Streaming stats per metric across all runs.
+  std::map<std::string, core::Accumulator> aggregate;
+  std::vector<RunOutcome> outcomes;
+
+  bool all_passed() const { return failed_runs == 0; }
+  /// Seeds of failing runs, for replay.
+  std::vector<std::uint64_t> failing_seeds() const;
+};
+
+class Campaign {
+ public:
+  using RunFn = std::function<Metrics(std::uint64_t seed)>;
+  using Check = std::function<bool(const Metrics&)>;
+
+  explicit Campaign(CampaignConfig config = {}) : config_(config) {}
+
+  /// Adds an invariant every run must satisfy.
+  Campaign& require(std::string name, Check check);
+
+  /// Runs the sweep. Seeds are derived deterministically from base_seed,
+  /// so a failing seed can be replayed in isolation.
+  CampaignReport sweep(const RunFn& run) const;
+
+  /// The seed the sweep uses for run `i` (exposed for replay tooling).
+  std::uint64_t seed_for_run(std::size_t i) const;
+
+ private:
+  CampaignConfig config_;
+  std::vector<std::pair<std::string, Check>> invariants_;
+};
+
+}  // namespace avsec::fault

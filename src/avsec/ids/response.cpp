@@ -106,6 +106,170 @@ ResponseDecision ResponseEngine::decide(const Alert& alert,
   return best;
 }
 
+// --- DegradationManager ---
+
+const char* degradation_event_kind_name(DegradationEventKind k) {
+  switch (k) {
+    case DegradationEventKind::kServiceLost: return "service-lost";
+    case DegradationEventKind::kFailover: return "failover";
+    case DegradationEventKind::kFailback: return "failback";
+    case DegradationEventKind::kLimpHomeEntered: return "limp-home-entered";
+    case DegradationEventKind::kServiceRestored: return "service-restored";
+    case DegradationEventKind::kLimpHomeExited: return "limp-home-exited";
+  }
+  return "?";
+}
+
+DegradationManager::DegradationManager(DegradationConfig config,
+                                       ResponseEngineConfig engine_config)
+    : config_(config), engine_(engine_config) {}
+
+void DegradationManager::register_service(ServiceSpec spec) {
+  Service s;
+  s.spec = std::move(spec);
+  s.active = s.spec.providers.empty() ? "" : s.spec.providers.front();
+  services_[s.spec.name] = std::move(s);
+}
+
+void DegradationManager::map_provider_node(const std::string& provider,
+                                           int node) {
+  node_to_provider_[node] = provider;
+}
+
+void DegradationManager::emit(core::SimTime now, DegradationEventKind kind,
+                              const std::string& service,
+                              std::string detail) {
+  events_.push_back(
+      DegradationEvent{now, kind, service, std::move(detail)});
+}
+
+DegradationManager::Service* DegradationManager::service_by_id(
+    std::uint32_t can_id) {
+  for (auto& [name, s] : services_) {
+    if (s.spec.can_id == can_id) return &s;
+  }
+  return nullptr;
+}
+
+void DegradationManager::reselect_provider(Service& s, core::SimTime now) {
+  const std::string previous = s.active;
+  s.active.clear();
+  for (const std::string& p : s.spec.providers) {
+    if (s.down.count(p) == 0) {
+      s.active = p;
+      break;
+    }
+  }
+  if (s.active.empty()) {
+    if (!s.lost) {
+      s.lost = true;
+      emit(now, DegradationEventKind::kServiceLost, s.spec.name,
+           "no provider available (was " + previous + ")");
+      if (s.spec.criticality == Criticality::kSafety && !limp_home_) {
+        limp_home_ = true;
+        limp_home_since_ = now;
+        emit(now, DegradationEventKind::kLimpHomeEntered, s.spec.name,
+             "sole provider of a safety function lost");
+      }
+    }
+    return;
+  }
+  if (s.lost) {
+    s.lost = false;
+    emit(now, DegradationEventKind::kServiceRestored, s.spec.name,
+         "provider " + s.active);
+  }
+  if (!previous.empty() && s.active != previous) {
+    const bool to_primary =
+        !s.spec.providers.empty() && s.active == s.spec.providers.front();
+    emit(now,
+         to_primary ? DegradationEventKind::kFailback
+                    : DegradationEventKind::kFailover,
+         s.spec.name, previous + " -> " + s.active);
+  }
+}
+
+ResponseDecision DegradationManager::on_alert(const Alert& alert,
+                                              core::SimTime now) {
+  Service* s = service_by_id(alert.can_id);
+  const Criticality crit =
+      s ? s->spec.criticality : Criticality::kDriving;
+  const ResponseDecision decision = engine_.decide(alert, crit);
+
+  if (alert.type == AlertType::kUnexpectedSilence && s && !s->active.empty()) {
+    // The service's PDU went silent: its active provider is de facto down
+    // (bus-off attack, crashed ECU, severed harness).
+    on_provider_down(s->active, now);
+  } else if (decision.action == ResponseAction::kIsolateEcu) {
+    // Isolating the offending ECU removes it as a provider; if it was the
+    // sole provider of a safety function this cascades into limp-home.
+    const auto it = node_to_provider_.find(alert.observed_source);
+    if (it != node_to_provider_.end()) on_provider_down(it->second, now);
+  } else if (decision.action == ResponseAction::kLimpHomeMode &&
+             !limp_home_) {
+    limp_home_ = true;
+    limp_home_since_ = now;
+    emit(now, DegradationEventKind::kLimpHomeEntered,
+         s ? s->spec.name : "", "response engine selected limp-home");
+  }
+  poll(now);
+  return decision;
+}
+
+void DegradationManager::on_provider_down(const std::string& provider,
+                                          core::SimTime now) {
+  for (auto& [name, s] : services_) {
+    bool provides = false;
+    for (const std::string& p : s.spec.providers) provides |= p == provider;
+    if (!provides || s.down.count(provider)) continue;
+    s.down.insert(provider);
+    if (s.active == provider || s.active.empty()) reselect_provider(s, now);
+  }
+}
+
+void DegradationManager::on_provider_up(const std::string& provider,
+                                        core::SimTime now) {
+  for (auto& [name, s] : services_) {
+    if (s.down.erase(provider) == 0) continue;
+    reselect_provider(s, now);
+  }
+  poll(now);
+}
+
+void DegradationManager::on_service_heard(std::uint32_t can_id,
+                                          core::SimTime now) {
+  Service* s = service_by_id(can_id);
+  if (s == nullptr) return;
+  if (s->lost) {
+    // Traffic proves some provider is alive again; clear health state.
+    s->down.clear();
+    reselect_provider(*s, now);
+  }
+  poll(now);
+}
+
+void DegradationManager::poll(core::SimTime now) {
+  if (!limp_home_) return;
+  if (now - limp_home_since_ < config_.min_limp_home_duration) return;
+  for (const auto& [name, s] : services_) {
+    if (s.spec.criticality == Criticality::kSafety && s.lost) return;
+  }
+  limp_home_ = false;
+  emit(now, DegradationEventKind::kLimpHomeExited, "",
+       "all safety services restored");
+}
+
+bool DegradationManager::service_available(const std::string& service) const {
+  const auto it = services_.find(service);
+  return it != services_.end() && !it->second.lost;
+}
+
+std::string DegradationManager::active_provider(
+    const std::string& service) const {
+  const auto it = services_.find(service);
+  return it == services_.end() ? "" : it->second.active;
+}
+
 MasqueradeExperimentResult run_masquerade_experiment(
     const MasqueradeExperimentConfig& config) {
   core::Scheduler sim;

@@ -5,6 +5,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -56,6 +59,100 @@ class ResponseEngine {
 
  private:
   ResponseEngineConfig config_;
+};
+
+// --- Graceful degradation (fault-aware response) ---
+
+enum class DegradationEventKind : std::uint8_t {
+  kServiceLost,      // no provider of the service is available
+  kFailover,         // active provider switched to a backup
+  kFailback,         // active provider switched back to the primary
+  kLimpHomeEntered,  // a safety service has no provider: degrade globally
+  kServiceRestored,  // the service is being provided again
+  kLimpHomeExited,
+};
+
+const char* degradation_event_kind_name(DegradationEventKind k);
+
+/// Structured degradation event, emitted in order.
+struct DegradationEvent {
+  core::SimTime time = 0;
+  DegradationEventKind kind{};
+  std::string service;
+  std::string detail;
+};
+
+/// A vehicle function and the ECUs able to provide it. providers[0] is the
+/// primary; later entries are failover backups.
+struct ServiceSpec {
+  std::string name;
+  std::uint32_t can_id = 0;  // PDU that carries the service
+  Criticality criticality = Criticality::kDriving;
+  std::vector<std::string> providers;
+};
+
+struct DegradationConfig {
+  /// Limp-home is sticky: it is not exited before this much time has
+  /// passed since entry, even if the service recovers sooner.
+  core::SimTime min_limp_home_duration = core::milliseconds(50);
+};
+
+/// Tracks service -> provider health, selects failovers, and enters/exits
+/// limp-home mode when a safety function loses its last provider. Faults
+/// reach it three ways: IDS alerts (on_alert — e.g. unexpected silence of
+/// a service PDU, or an isolate-ECU response that removes a provider),
+/// explicit provider health transitions (on_provider_down/up — wired to
+/// fault-injection node crashes), and live traffic (on_service_heard).
+class DegradationManager {
+ public:
+  explicit DegradationManager(DegradationConfig config = {},
+                              ResponseEngineConfig engine_config = {});
+
+  void register_service(ServiceSpec spec);
+  /// Associates a bus node index with a provider name so alert sources can
+  /// be mapped back to providers.
+  void map_provider_node(const std::string& provider, int node);
+
+  /// Feeds an IDS alert: selects a response via the ResponseEngine using
+  /// the owning service's criticality, and applies its fault-relevant
+  /// consequences (silence -> provider down; isolate -> provider removed,
+  /// with failover or limp-home if it was the sole provider).
+  ResponseDecision on_alert(const Alert& alert, core::SimTime now);
+
+  void on_provider_down(const std::string& provider, core::SimTime now);
+  void on_provider_up(const std::string& provider, core::SimTime now);
+  /// A frame carrying `can_id` was seen: the service is provably alive.
+  void on_service_heard(std::uint32_t can_id, core::SimTime now);
+  /// Re-evaluates limp-home exit (call periodically or on any heartbeat).
+  void poll(core::SimTime now);
+
+  bool in_limp_home() const { return limp_home_; }
+  bool service_available(const std::string& service) const;
+  /// Currently active provider ("" if none).
+  std::string active_provider(const std::string& service) const;
+  const std::vector<DegradationEvent>& events() const { return events_; }
+  ResponseEngine& engine() { return engine_; }
+
+ private:
+  struct Service {
+    ServiceSpec spec;
+    std::set<std::string> down;  // providers currently unavailable
+    std::string active;          // "" when lost
+    bool lost = false;
+  };
+
+  void emit(core::SimTime now, DegradationEventKind kind,
+            const std::string& service, std::string detail);
+  void reselect_provider(Service& s, core::SimTime now);
+  Service* service_by_id(std::uint32_t can_id);
+
+  DegradationConfig config_;
+  ResponseEngine engine_;
+  std::map<std::string, Service> services_;
+  std::map<int, std::string> node_to_provider_;
+  std::vector<DegradationEvent> events_;
+  bool limp_home_ = false;
+  core::SimTime limp_home_since_ = 0;
 };
 
 /// End-to-end masquerade experiment on a CAN bus: train the IDS on clean

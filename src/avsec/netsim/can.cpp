@@ -31,6 +31,15 @@ bool can_frame_valid(const CanFrame& f) {
   return true;
 }
 
+const char* can_error_state_name(CanErrorState s) {
+  switch (s) {
+    case CanErrorState::kErrorActive: return "error-active";
+    case CanErrorState::kErrorPassive: return "error-passive";
+    case CanErrorState::kBusOff: return "bus-off";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Next valid CAN FD payload length for a requested size.
@@ -103,13 +112,34 @@ SimTime CanBus::frame_duration(const CanFrame& f) const {
          core::transmission_time(b.data_bits, config_.data_bitrate);
 }
 
+SimTime CanBus::bus_off_recovery_interval() const {
+  if (config_.bus_off_recovery_time > 0) return config_.bus_off_recovery_time;
+  return core::transmission_time(128 * 11, config_.nominal_bitrate);
+}
+
+SimTime CanBus::suspend_interval() const {
+  if (config_.suspend_transmission_time > 0) {
+    return config_.suspend_transmission_time;
+  }
+  return core::transmission_time(8, config_.nominal_bitrate);
+}
+
+SimTime CanBus::error_frame_duration() const {
+  return core::transmission_time(config_.error_frame_bits,
+                                 config_.nominal_bitrate);
+}
+
 void CanBus::send(int node, CanFrame frame) {
   assert(node >= 0 && node < static_cast<int>(nodes_.size()));
   if (!can_frame_valid(frame)) {
     throw std::invalid_argument("CanBus::send: invalid frame for protocol");
   }
-  nodes_[static_cast<std::size_t>(node)].queue.push_back(
-      Pending{std::move(frame), sim_.now(), 0});
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.bus_off || n.down) {
+    ++frames_dropped_;
+    return;
+  }
+  n.queue.push_back(Pending{std::move(frame), sim_.now(), 0});
   if (!busy_) try_start_transmission();
 }
 
@@ -117,32 +147,122 @@ std::size_t CanBus::queue_depth(int node) const {
   return nodes_.at(static_cast<std::size_t>(node)).queue.size();
 }
 
+const std::string& CanBus::node_name(int node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).name;
+}
+
 void CanBus::inject_errors_on(int node, int count) {
   nodes_.at(static_cast<std::size_t>(node)).forced_errors += count;
+}
+
+void CanBus::set_node_down(int node, bool down) {
+  Node& n = nodes_.at(static_cast<std::size_t>(node));
+  if (n.down == down) return;
+  n.down = down;
+  n.queue.clear();
+  if (down) {
+    // A crashed controller forgets its recovery sequence: cancel it so a
+    // restart starts from a clean error-active state.
+    sim_.cancel(n.recovery);
+    n.recovery = core::EventHandle{};
+  } else {
+    n.tec = 0;
+    n.rec = 0;
+    n.bus_off = false;
+    n.ready_at = sim_.now();
+    if (!busy_) try_start_transmission();
+  }
+}
+
+bool CanBus::is_down(int node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).down;
 }
 
 int CanBus::tec(int node) const {
   return nodes_.at(static_cast<std::size_t>(node)).tec;
 }
 
+int CanBus::rec(int node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).rec;
+}
+
+CanErrorState CanBus::error_state(int node) const {
+  const Node& n = nodes_.at(static_cast<std::size_t>(node));
+  if (n.bus_off) return CanErrorState::kBusOff;
+  if (n.tec >= config_.error_passive_threshold ||
+      n.rec >= config_.error_passive_threshold) {
+    return CanErrorState::kErrorPassive;
+  }
+  return CanErrorState::kErrorActive;
+}
+
 bool CanBus::is_bus_off(int node) const {
   return nodes_.at(static_cast<std::size_t>(node)).bus_off;
 }
 
+void CanBus::enter_bus_off(Node& node, int index) {
+  node.bus_off = true;
+  node.queue.clear();
+  ++bus_off_events_;
+  if (config_.auto_bus_off_recovery) {
+    node.recovery = sim_.schedule_in(
+        bus_off_recovery_interval(), [this, index] {
+          recover_from_bus_off(index);
+        });
+  }
+}
+
+void CanBus::recover_from_bus_off(int index) {
+  Node& node = nodes_[static_cast<std::size_t>(index)];
+  if (!node.bus_off || node.down) return;
+  node.bus_off = false;
+  node.tec = 0;
+  node.rec = 0;
+  node.ready_at = sim_.now();
+  node.recovery = core::EventHandle{};
+  ++bus_off_recoveries_;
+  if (!busy_) try_start_transmission();
+}
+
 void CanBus::try_start_transmission() {
   if (busy_) return;
-  // Ideal arbitration: lowest ID among heads of all node queues wins.
+  // Ideal arbitration: lowest ID among heads of all eligible node queues
+  // wins. Error-passive nodes whose suspend-transmission window has not
+  // elapsed are not eligible yet.
+  const SimTime now = sim_.now();
   int winner = -1;
   std::uint32_t best_id = 0;
+  SimTime earliest_blocked = -1;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].queue.empty() || nodes_[i].bus_off) continue;
-    const std::uint32_t id = nodes_[i].queue.front().frame.id;
+    const Node& n = nodes_[i];
+    if (n.queue.empty() || n.bus_off || n.down) continue;
+    if (n.ready_at > now) {
+      if (earliest_blocked < 0 || n.ready_at < earliest_blocked) {
+        earliest_blocked = n.ready_at;
+      }
+      continue;
+    }
+    const std::uint32_t id = n.queue.front().frame.id;
     if (winner < 0 || id < best_id) {
       winner = static_cast<int>(i);
       best_id = id;
     }
   }
-  if (winner < 0) return;
+  if (winner < 0) {
+    // Nothing eligible now; if suspended traffic is waiting, kick the
+    // arbitration again when the earliest node becomes ready.
+    if (earliest_blocked >= 0 &&
+        (!kick_pending_ || earliest_blocked < kick_time_)) {
+      if (kick_pending_) sim_.cancel(kick_handle_);
+      kick_pending_ = true;
+      kick_time_ = earliest_blocked;
+      kick_handle_ = sim_.schedule_at(earliest_blocked, [this] {
+        kick_pending_ = false;
+        try_start_transmission();
+      });
+    }
+    return;
+  }
 
   busy_ = true;
   Node& node = nodes_[static_cast<std::size_t>(winner)];
@@ -156,11 +276,18 @@ void CanBus::try_start_transmission() {
 
 void CanBus::finish_transmission(int node) {
   Node& sender = nodes_[static_cast<std::size_t>(node)];
-  assert(!sender.queue.empty());
+  if (sender.down || sender.queue.empty()) {
+    // The transmitter crashed mid-frame: the frame is aborted, the bus
+    // simply goes idle.
+    busy_ = false;
+    try_start_transmission();
+    return;
+  }
 
   // Bus-error model: with probability proportional to frame size — or
   // deterministically under targeted injection — all receivers reject
-  // (CRC/bit error) and the transmitter retries.
+  // (CRC/bit error), an error frame follows, and the transmitter
+  // re-arbitrates under TEC accounting.
   const Pending& p = sender.queue.front();
   const auto bits = p.frame.bit_budget();
   const double frame_error_prob =
@@ -175,25 +302,35 @@ void CanBus::finish_transmission(int node) {
     errored = true;
   }
   if (errored) {
-    if (config_.fault_confinement) {
-      sender.tec += 8;  // ISO 11898 transmit-error increment
-      if (sender.tec > 255) {
-        // Bus-off: the controller disconnects; pending traffic is dropped.
-        sender.bus_off = true;
-        sender.queue.clear();
-        busy_ = false;
-        try_start_transmission();
-        return;
+    ++error_frames_;
+    const SimTime err_dur = error_frame_duration();
+    busy_time_ += err_dur;
+    sender.tec += 8;  // ISO 11898 transmit-error increment
+    // Every listening node observes the error frame.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (static_cast<int>(i) == node) continue;
+      Node& rx = nodes_[i];
+      if (!rx.down && !rx.bus_off) ++rx.rec;
+    }
+    if (sender.tec >= config_.bus_off_threshold) {
+      enter_bus_off(sender, node);
+    } else {
+      ++frames_retransmitted_;
+      if (sender.tec >= config_.error_passive_threshold) {
+        // Error-passive transmitters must suspend before re-arbitrating.
+        sender.ready_at = sim_.now() + err_dur + suspend_interval();
       }
     }
-    if (p.attempts < 8 || config_.fault_confinement) {
-      ++frames_retransmitted_;
+    // The error frame occupies the bus before the next arbitration; the
+    // bus stays busy until it has been signaled.
+    sim_.schedule_in(err_dur, [this] {
       busy_ = false;
-      try_start_transmission();  // retransmission re-arbitrates immediately
-      return;
-    }
+      try_start_transmission();
+    });
+    return;
   }
-  if (config_.fault_confinement && sender.tec > 0) --sender.tec;
+  busy_ = false;
+  if (sender.tec > 0) --sender.tec;
 
   const CanFrame frame = p.frame;  // copy before pop
   sender.queue.erase(sender.queue.begin());
@@ -202,9 +339,11 @@ void CanBus::finish_transmission(int node) {
   const SimTime now = sim_.now();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (static_cast<int>(i) == node) continue;
-    if (nodes_[i].on_rx) nodes_[i].on_rx(node, frame, now);
+    Node& rx = nodes_[i];
+    if (rx.down || rx.bus_off) continue;
+    if (rx.rec > 0) --rx.rec;
+    if (rx.on_rx) rx.on_rx(node, frame, now);
   }
-  busy_ = false;
   try_start_transmission();
 }
 

@@ -5,6 +5,16 @@
 // phases that use bit stuffing). Arbitration is ideal CSMA/CR: when the bus
 // goes idle, the pending frame with the lowest arbitration ID wins; ties
 // between nodes are broken by node index (deterministic).
+//
+// Error confinement follows ISO 11898-1: every node carries a transmit
+// error counter (TEC, +8 per transmit error, -1 per success) and a receive
+// error counter (REC, +1 per observed error frame, -1 per good frame).
+// Counters drive the error-active -> error-passive -> bus-off state
+// machine; error-passive transmitters pay a suspend-transmission penalty
+// before re-entering arbitration, and bus-off nodes rejoin only after the
+// 128 x 11 recessive-bit recovery interval (modeled as idle time at the
+// nominal bitrate). A failed transmission emits an error frame that
+// occupies the bus, so persistent faults are visible in the bus load.
 #pragma once
 
 #include <cstdint>
@@ -52,19 +62,41 @@ struct CanFrame {
 /// Validates payload size against the protocol's limit.
 bool can_frame_valid(const CanFrame& f);
 
+/// ISO 11898 fault-confinement state of a node.
+enum class CanErrorState : std::uint8_t {
+  kErrorActive,   // normal operation
+  kErrorPassive,  // TEC or REC >= 128: penalized before retransmitting
+  kBusOff,        // TEC >= 256: disconnected until the recovery interval
+};
+
+const char* can_error_state_name(CanErrorState s);
+
 struct CanBusConfig {
   std::string name = "can0";
   std::int64_t nominal_bitrate = 500'000;  // arbitration phase
   std::int64_t data_bitrate = 2'000'000;   // FD/XL data phase
-  /// Probability that a delivered frame is hit by a bus error (CRC failure
-  /// detected by all receivers; transmitter re-arbitrates and retransmits).
+  /// Per-bit probability of a channel error. A hit frame is rejected by all
+  /// receivers (CRC failure), an error frame follows, and the transmitter
+  /// re-arbitrates — with full TEC/REC accounting, so a persistently faulty
+  /// bus drives the transmitter to bus-off instead of retrying forever.
   double bit_error_rate = 0.0;
   std::uint64_t error_seed = 1;
-  /// Enable ISO 11898 fault confinement: transmit error counters (+8 per
-  /// transmit error, -1 per success); a node whose TEC exceeds 255 goes
-  /// bus-off and stops transmitting. This is the state a *bus-off attack*
-  /// weaponizes against a victim ECU.
-  bool fault_confinement = false;
+  /// TEC/REC threshold for the error-passive transition.
+  int error_passive_threshold = 128;
+  /// TEC threshold for bus-off.
+  int bus_off_threshold = 256;
+  /// Whether a bus-off node automatically rejoins after the recovery
+  /// interval (TEC/REC reset to 0, as after a controller restart).
+  bool auto_bus_off_recovery = true;
+  /// Bus-off recovery interval; 0 derives the ISO 11898 value of
+  /// 128 x 11 bit times at the nominal bitrate.
+  SimTime bus_off_recovery_time = 0;
+  /// Suspend-transmission penalty paid by an error-passive node after a
+  /// transmit error before it may re-enter arbitration; 0 derives the
+  /// ISO 11898 value of 8 bit times.
+  SimTime suspend_transmission_time = 0;
+  /// On-wire size of an error frame (flag + echo + delimiter + IFS).
+  std::int64_t error_frame_bits = 20;
 };
 
 /// Shared CAN bus. Nodes attach with a receive callback; send() enqueues.
@@ -82,6 +114,8 @@ class CanBus {
   void set_rx(int node, RxCallback on_rx);
 
   /// Queues a frame for transmission from `node`. Throws on invalid frame.
+  /// Frames sent while the node is bus-off or powered down are dropped
+  /// (counted in frames_dropped()).
   void send(int node, CanFrame frame);
 
   /// Frame transmission duration on the wire.
@@ -93,20 +127,36 @@ class CanBus {
   /// forcing transmit errors that drive the victim's TEC to bus-off).
   void inject_errors_on(int node, int count);
 
+  /// Powers a node down (fault: ECU crash) or back up (restart). A crashed
+  /// node drops its queue, neither transmits nor receives, and any pending
+  /// bus-off recovery is cancelled; restart resets the error counters.
+  void set_node_down(int node, bool down);
+  bool is_down(int node) const;
+
   /// Transmit error counter of a node (fault confinement).
   int tec(int node) const;
-  /// True once the node has gone bus-off (never transmits again).
+  /// Receive error counter of a node.
+  int rec(int node) const;
+  /// Fault-confinement state derived from TEC/REC.
+  CanErrorState error_state(int node) const;
+  /// True while the node is bus-off (not yet recovered).
   bool is_bus_off(int node) const;
 
   // --- statistics ---
   std::uint64_t frames_delivered() const { return frames_delivered_; }
   std::uint64_t frames_retransmitted() const { return frames_retransmitted_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+  std::uint64_t error_frames() const { return error_frames_; }
+  std::uint64_t bus_off_events() const { return bus_off_events_; }
+  std::uint64_t bus_off_recoveries() const { return bus_off_recoveries_; }
   SimTime busy_time() const { return busy_time_; }
   /// Bus load in [0,1] measured against elapsed sim time.
   double bus_load() const;
   const core::Samples& arbitration_wait() const { return arbitration_wait_; }
   const std::string& name() const { return config_.name; }
   std::size_t queue_depth(int node) const;
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::string& node_name(int node) const;
 
  private:
   struct Pending {
@@ -119,10 +169,19 @@ class CanBus {
     RxCallback on_rx;
     std::vector<Pending> queue;  // FIFO per node
     int tec = 0;                 // transmit error counter
+    int rec = 0;                 // receive error counter
     bool bus_off = false;
+    bool down = false;           // crashed / powered off
+    SimTime ready_at = 0;        // suspend-transmission gate
     int forced_errors = 0;       // injected by inject_errors_on()
+    core::EventHandle recovery;  // pending bus-off recovery event
   };
 
+  SimTime bus_off_recovery_interval() const;
+  SimTime suspend_interval() const;
+  SimTime error_frame_duration() const;
+  void enter_bus_off(Node& node, int index);
+  void recover_from_bus_off(int index);
   void try_start_transmission();
   void finish_transmission(int node);
 
@@ -131,9 +190,16 @@ class CanBus {
   std::vector<Node> nodes_;
   bool busy_ = false;
   core::Rng error_rng_;
+  bool kick_pending_ = false;
+  SimTime kick_time_ = 0;
+  core::EventHandle kick_handle_;
 
   std::uint64_t frames_delivered_ = 0;
   std::uint64_t frames_retransmitted_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t error_frames_ = 0;
+  std::uint64_t bus_off_events_ = 0;
+  std::uint64_t bus_off_recoveries_ = 0;
   SimTime busy_time_ = 0;
   core::Samples arbitration_wait_;
 };

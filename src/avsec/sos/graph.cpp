@@ -1,5 +1,6 @@
 #include "avsec/sos/graph.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
 
@@ -81,6 +82,93 @@ PropagationResult propagate(const SosGraph& graph, int entry,
   result.mean_compromised_nodes =
       total_compromised / static_cast<double>(trials);
   return result;
+}
+
+CascadeTimeline propagate_with_recovery(const SosGraph& graph, int entry,
+                                        std::size_t rounds,
+                                        std::size_t trials,
+                                        std::uint64_t seed) {
+  assert(entry >= 0 && entry < static_cast<int>(graph.node_count()));
+  core::Rng rng(seed);
+  CascadeTimeline out;
+  out.mean_compromised_per_round.assign(rounds + 1, 0.0);
+  std::size_t safety_trials = 0;
+  std::size_t contained_trials = 0;
+  double containment_rounds = 0.0;
+
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::vector<bool> compromised(graph.node_count(), false);
+    std::size_t live = 0;
+    bool safety = false;
+    if (rng.chance(1.0 - graph.node(entry).posture)) {
+      compromised[std::size_t(entry)] = true;
+      live = 1;
+      safety = graph.node(entry).safety_critical;
+    }
+    out.mean_compromised_per_round[0] += static_cast<double>(live);
+    if (live == 0) ++contained_trials;  // entry attempt resisted: round 0
+
+    for (std::size_t r = 1; r <= rounds && live > 0; ++r) {
+      // Spread: every currently-compromised node probes its out-edges.
+      std::vector<bool> next = compromised;
+      for (std::size_t i = 0; i < compromised.size(); ++i) {
+        if (!compromised[i]) continue;
+        for (const SosEdge* e : graph.out_edges(static_cast<int>(i))) {
+          if (next[std::size_t(e->to)]) continue;
+          const double p = e->exposure * (1.0 - graph.node(e->to).posture);
+          if (rng.chance(p)) {
+            next[std::size_t(e->to)] = true;
+            safety |= graph.node(e->to).safety_critical;
+          }
+        }
+      }
+      // Recovery: incident response clears compromised nodes.
+      live = 0;
+      for (std::size_t i = 0; i < next.size(); ++i) {
+        if (!next[i]) continue;
+        if (rng.chance(graph.node(static_cast<int>(i)).recovery)) {
+          next[i] = false;
+        } else {
+          ++live;
+        }
+      }
+      compromised.swap(next);
+      out.mean_compromised_per_round[r] += static_cast<double>(live);
+      if (live == 0) {
+        ++contained_trials;
+        containment_rounds += static_cast<double>(r);
+        break;
+      }
+    }
+    safety_trials += safety;
+  }
+
+  for (double& v : out.mean_compromised_per_round) {
+    v /= static_cast<double>(trials);
+    out.peak_mean_compromised = std::max(out.peak_mean_compromised, v);
+  }
+  out.safety_critical_ever =
+      static_cast<double>(safety_trials) / static_cast<double>(trials);
+  out.contained_fraction =
+      static_cast<double>(contained_trials) / static_cast<double>(trials);
+  out.mean_rounds_to_containment =
+      contained_trials == 0
+          ? 0.0
+          : containment_rounds / static_cast<double>(contained_trials);
+  return out;
+}
+
+SosGraph with_recovery(const SosGraph& graph, double recovery_rate) {
+  SosGraph out;
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    SosNode n = graph.node(static_cast<int>(i));
+    n.recovery = recovery_rate;
+    out.add_node(std::move(n));
+  }
+  for (const auto& e : graph.edges()) {
+    out.add_edge(e.from, e.to, e.exposure, e.kind);
+  }
+  return out;
 }
 
 SosGraph build_maas_reference(int n_vehicles, double baseline_posture) {

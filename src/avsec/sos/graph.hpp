@@ -24,6 +24,10 @@ struct SosNode {
   int level = 0;  // 0 = whole platform ... 3 = in-vehicle function group
   double posture = 0.5;       // probability of resisting one attempt
   bool safety_critical = false;
+  /// Per-round probability that a compromised node is recovered (incident
+  /// response, re-imaging, failover). 0 = compromises are permanent, as in
+  /// the original single-shot propagate() model.
+  double recovery = 0.0;
 };
 
 struct SosEdge {
@@ -67,6 +71,34 @@ struct PropagationResult {
 /// compromised with probability (1 - its posture) per trial).
 PropagationResult propagate(const SosGraph& graph, int entry,
                             std::size_t trials, std::uint64_t seed);
+
+/// Round-based cascade with recovery: each round every compromised node
+/// attempts to spread along its out-edges, then recovers with its
+/// per-round recovery probability (recovered nodes can be re-compromised
+/// later). The tension this quantifies is containment vs cascade: does
+/// incident response outrun propagation, or does the compromise percolate
+/// to safety-critical functions first?
+struct CascadeTimeline {
+  /// Mean number of compromised nodes after each round (index 0 = after
+  /// the initial compromise attempt).
+  std::vector<double> mean_compromised_per_round;
+  double peak_mean_compromised = 0.0;
+  /// P(any safety-critical node was compromised at any point).
+  double safety_critical_ever = 0.0;
+  /// Fraction of trials where the cascade fully died out within the
+  /// horizon (zero compromised nodes).
+  double contained_fraction = 0.0;
+  /// Mean rounds until containment, among contained trials.
+  double mean_rounds_to_containment = 0.0;
+};
+
+CascadeTimeline propagate_with_recovery(const SosGraph& graph, int entry,
+                                        std::size_t rounds,
+                                        std::size_t trials,
+                                        std::uint64_t seed);
+
+/// Returns a copy of `graph` with every node's recovery rate set.
+SosGraph with_recovery(const SosGraph& graph, double recovery_rate);
 
 /// Builds the Fig. 9 reference MaaS architecture with `n_vehicles`
 /// level-1 autonomous vehicles. Returns the graph; well-known entry

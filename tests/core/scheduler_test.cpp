@@ -119,6 +119,86 @@ TEST(Scheduler, StepExecutesExactlyOne) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(Scheduler, CancelFromEarlierEventPreventsSameTimeFire) {
+  // An event that fires first at time T can cancel another event also
+  // scheduled at T (the watchdog-disarm pattern).
+  Scheduler sim;
+  bool late_ran = false;
+  EventHandle late = sim.schedule_at(nanoseconds(10), [&] { late_ran = true; });
+  sim.schedule_at(nanoseconds(5), [&] { EXPECT_TRUE(sim.cancel(late)); });
+  sim.run();
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Scheduler, CancelDuringRunSkipsLaterEvent) {
+  Scheduler sim;
+  std::vector<int> order;
+  EventHandle victim =
+      sim.schedule_at(nanoseconds(30), [&] { order.push_back(3); });
+  sim.schedule_at(nanoseconds(10), [&] {
+    order.push_back(1);
+    sim.cancel(victim);
+  });
+  sim.schedule_at(nanoseconds(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, SelfCancelInsideCallbackReturnsFalse) {
+  // By the time a callback runs, its own handle is already spent.
+  Scheduler sim;
+  EventHandle self;
+  bool result = true;
+  self = sim.schedule_in(nanoseconds(1), [&] { result = sim.cancel(self); });
+  sim.run();
+  EXPECT_FALSE(result);
+}
+
+TEST(Scheduler, PendingExcludesLazilyCancelledEvents) {
+  Scheduler sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(sim.schedule_at(nanoseconds(10 + i), [] {}));
+  }
+  EXPECT_EQ(sim.pending(), 10u);
+  for (int i = 0; i < 10; i += 2) sim.cancel(handles[i]);
+  // Cancelled events sit in the queue until popped, but pending() reports
+  // only live work.
+  EXPECT_EQ(sim.pending(), 5u);
+  EXPECT_EQ(sim.run(), 5u);  // run() counts only executed callbacks
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Scheduler, StaleHandleDoesNotCancelNewerEvent) {
+  // The cancel-then-rearm pattern (bus-off recovery, retransmit timers):
+  // a handle left over from a cancelled timer must never hit its
+  // replacement.
+  Scheduler sim;
+  int fired = 0;
+  EventHandle old_timer = sim.schedule_in(nanoseconds(10), [&] { ++fired; });
+  ASSERT_TRUE(sim.cancel(old_timer));
+  EventHandle new_timer = sim.schedule_in(nanoseconds(10), [&] { ++fired; });
+  EXPECT_FALSE(sim.cancel(old_timer));  // stale: ids are never reused
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.cancel(new_timer));  // already executed
+}
+
+TEST(Scheduler, CancelAllPendingThenRunExecutesNothing) {
+  Scheduler sim;
+  int fired = 0;
+  std::vector<EventHandle> handles;
+  for (int i = 1; i <= 5; ++i) {
+    handles.push_back(sim.schedule_at(nanoseconds(i), [&] { ++fired; }));
+  }
+  for (auto& h : handles) EXPECT_TRUE(sim.cancel(h));
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now(), 0);  // cancelled events do not advance the clock
+}
+
 TEST(Time, BitTimeRoundsToNearestPicosecond) {
   EXPECT_EQ(bit_time(1'000'000), 1'000'000);          // 1 Mbit/s -> 1 us
   EXPECT_EQ(bit_time(500'000), 2'000'000);            // 500 kbit/s -> 2 us

@@ -67,7 +67,9 @@ TEST(Silence, BusOffAttackEndToEnd) {
   // errors, IDS notices the silence.
   core::Scheduler sim;
   netsim::CanBusConfig cfg;
-  cfg.fault_confinement = true;
+  // The victim stays bus-off once attacked (no automatic rejoin), as a
+  // controller without a bus-off recovery handler would.
+  cfg.auto_bus_off_recovery = false;
   netsim::CanBus bus(sim, cfg);
   const int victim = bus.attach("victim", nullptr);
   const int monitor = bus.attach("ids-tap", nullptr);

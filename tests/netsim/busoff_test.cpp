@@ -1,3 +1,6 @@
+// ISO 11898 fault confinement: TEC/REC accounting, the error-active ->
+// error-passive -> bus-off state machine, timed bus-off recovery, and
+// bounded retransmission under persistent faults.
 #include <gtest/gtest.h>
 
 #include "avsec/netsim/can.hpp"
@@ -5,23 +8,25 @@
 namespace avsec::netsim {
 namespace {
 
-CanBusConfig fault_confined() {
+CanBusConfig no_recovery() {
   CanBusConfig cfg;
-  cfg.fault_confinement = true;
+  cfg.auto_bus_off_recovery = false;
   return cfg;
 }
 
-TEST(BusOff, TecStartsAtZero) {
+TEST(BusOff, CountersStartAtZeroErrorActive) {
   core::Scheduler sim;
-  CanBus bus(sim, fault_confined());
+  CanBus bus(sim, {});
   const int a = bus.attach("a", nullptr);
   EXPECT_EQ(bus.tec(a), 0);
+  EXPECT_EQ(bus.rec(a), 0);
+  EXPECT_EQ(bus.error_state(a), CanErrorState::kErrorActive);
   EXPECT_FALSE(bus.is_bus_off(a));
 }
 
 TEST(BusOff, SuccessfulTrafficKeepsTecLow) {
   core::Scheduler sim;
-  CanBus bus(sim, fault_confined());
+  CanBus bus(sim, {});
   const int a = bus.attach("a", nullptr);
   bus.attach("b", nullptr);
   CanFrame f;
@@ -33,11 +38,11 @@ TEST(BusOff, SuccessfulTrafficKeepsTecLow) {
   EXPECT_EQ(bus.frames_delivered(), 50u);
 }
 
-TEST(BusOff, InjectedErrorsRaiseTecByEight) {
+TEST(BusOff, InjectedErrorsRaiseTecByEightAndReceiversRec) {
   core::Scheduler sim;
-  CanBus bus(sim, fault_confined());
+  CanBus bus(sim, {});
   const int a = bus.attach("a", nullptr);
-  bus.attach("b", nullptr);
+  const int b = bus.attach("b", nullptr);
   bus.inject_errors_on(a, 3);
   CanFrame f;
   f.id = 0x10;
@@ -45,19 +50,38 @@ TEST(BusOff, InjectedErrorsRaiseTecByEight) {
   sim.run();
   // 3 errors (+24), then success path decrements once per delivery.
   EXPECT_EQ(bus.tec(a), 23);
+  // The receiver observed 3 error frames (+3) and one good frame (-1).
+  EXPECT_EQ(bus.rec(b), 2);
+  EXPECT_EQ(bus.frames_delivered(), 1u);
+  EXPECT_EQ(bus.error_frames(), 3u);
+}
+
+TEST(BusOff, ErrorPassiveTransitionAtThreshold) {
+  core::Scheduler sim;
+  CanBus bus(sim, no_recovery());
+  const int a = bus.attach("a", nullptr);
+  bus.attach("b", nullptr);
+  bus.inject_errors_on(a, 20);  // TEC 160, then one success -> 159
+  CanFrame f;
+  f.id = 0x10;
+  bus.send(a, f);
+  sim.run();
+  EXPECT_EQ(bus.tec(a), 159);
+  EXPECT_EQ(bus.error_state(a), CanErrorState::kErrorPassive);
+  EXPECT_FALSE(bus.is_bus_off(a));
   EXPECT_EQ(bus.frames_delivered(), 1u);
 }
 
 TEST(BusOff, SustainedAttackDrivesVictimBusOff) {
   core::Scheduler sim;
-  CanBus bus(sim, fault_confined());
+  CanBus bus(sim, no_recovery());
   const int victim = bus.attach("victim", nullptr);
   int delivered = 0;
   bus.attach("listener",
              [&](int, const CanFrame&, core::SimTime) { ++delivered; });
 
   // The attacker corrupts every frame the victim sends (dominant-bit
-  // overwrite); 32 consecutive transmit errors exceed TEC 255.
+  // overwrite); 32 consecutive transmit errors reach TEC 256.
   bus.inject_errors_on(victim, 100);
   CanFrame f;
   f.id = 0x20;
@@ -66,12 +90,14 @@ TEST(BusOff, SustainedAttackDrivesVictimBusOff) {
   sim.run();
 
   EXPECT_TRUE(bus.is_bus_off(victim));
+  EXPECT_EQ(bus.error_state(victim), CanErrorState::kBusOff);
+  EXPECT_EQ(bus.bus_off_events(), 1u);
   EXPECT_EQ(delivered, 0);  // the safety-critical sender is silenced
 }
 
-TEST(BusOff, BusOffNodeCannotTransmitAgain) {
+TEST(BusOff, BusOffNodeDropsNewFrames) {
   core::Scheduler sim;
-  CanBus bus(sim, fault_confined());
+  CanBus bus(sim, no_recovery());
   const int victim = bus.attach("victim", nullptr);
   int delivered = 0;
   bus.attach("listener",
@@ -83,14 +109,15 @@ TEST(BusOff, BusOffNodeCannotTransmitAgain) {
   sim.run();
   ASSERT_TRUE(bus.is_bus_off(victim));
 
-  bus.send(victim, f);  // queued but never transmitted
+  bus.send(victim, f);  // dropped, not queued
   sim.run();
   EXPECT_EQ(delivered, 0);
+  EXPECT_GE(bus.frames_dropped(), 1u);
 }
 
 TEST(BusOff, OtherNodesUnaffectedByVictimBusOff) {
   core::Scheduler sim;
-  CanBus bus(sim, fault_confined());
+  CanBus bus(sim, no_recovery());
   const int victim = bus.attach("victim", nullptr);
   const int healthy = bus.attach("healthy", nullptr);
   int delivered = 0;
@@ -114,7 +141,7 @@ TEST(BusOff, OtherNodesUnaffectedByVictimBusOff) {
 TEST(BusOff, RecoveryViaTecDecrement) {
   // Below the bus-off threshold, successful transmissions heal the TEC.
   core::Scheduler sim;
-  CanBus bus(sim, fault_confined());
+  CanBus bus(sim, {});
   const int a = bus.attach("a", nullptr);
   bus.attach("b", nullptr);
   bus.inject_errors_on(a, 4);  // TEC 32 after errors
@@ -126,18 +153,82 @@ TEST(BusOff, RecoveryViaTecDecrement) {
   EXPECT_FALSE(bus.is_bus_off(a));
 }
 
-TEST(BusOff, DisabledByDefault) {
+TEST(BusOff, TimedBusOffRecoveryRejoinsWithClearedCounters) {
   core::Scheduler sim;
-  CanBus bus(sim, {});  // fault confinement off
-  const int a = bus.attach("a", nullptr);
+  CanBusConfig cfg;  // auto recovery on by default
+  CanBus bus(sim, cfg);
+  const int victim = bus.attach("victim", nullptr);
+  int delivered = 0;
+  bus.attach("listener",
+             [&](int, const CanFrame&, core::SimTime) { ++delivered; });
+
+  bus.inject_errors_on(victim, 32);  // exactly enough for bus-off
+  CanFrame f;
+  f.id = 0x20;
+  bus.send(victim, f);
+  sim.run_until(core::milliseconds(6));
+  ASSERT_TRUE(bus.is_bus_off(victim));
+
+  // 128 x 11 bit times at 500 kbit/s = 2.816 ms after the bus-off instant.
+  sim.run_until(core::milliseconds(20));
+  EXPECT_FALSE(bus.is_bus_off(victim));
+  EXPECT_EQ(bus.tec(victim), 0);
+  EXPECT_EQ(bus.rec(victim), 0);
+  EXPECT_EQ(bus.bus_off_recoveries(), 1u);
+
+  // The recovered node transmits again.
+  bus.send(victim, f);
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(BusOff, CrashCancelsPendingRecovery) {
+  core::Scheduler sim;
+  CanBus bus(sim, {});
+  const int victim = bus.attach("victim", nullptr);
   bus.attach("b", nullptr);
-  bus.inject_errors_on(a, 100);
+  bus.inject_errors_on(victim, 32);
+  CanFrame f;
+  f.id = 0x20;
+  bus.send(victim, f);
+  sim.run_until(core::milliseconds(6));
+  ASSERT_TRUE(bus.is_bus_off(victim));
+
+  // Crash while the bus-off recovery timer is pending: the recovery event
+  // is cancelled, so the node does NOT silently rejoin.
+  bus.set_node_down(victim, true);
+  sim.run_until(core::milliseconds(50));
+  EXPECT_TRUE(bus.is_down(victim));
+  EXPECT_EQ(bus.bus_off_recoveries(), 0u);
+
+  // Restart brings it back clean.
+  bus.set_node_down(victim, false);
+  EXPECT_FALSE(bus.is_bus_off(victim));
+  EXPECT_EQ(bus.tec(victim), 0);
+}
+
+// Regression (satellite): a persistently faulty bus must not retransmit
+// forever — error confinement bounds the retransmissions and takes the
+// transmitter off the bus.
+TEST(BusOff, PersistentlyFaultyBusBoundsRetransmission) {
+  core::Scheduler sim;
+  CanBusConfig cfg = no_recovery();
+  cfg.bit_error_rate = 1.0;  // every frame is hit
+  CanBus bus(sim, cfg);
+  const int a = bus.attach("a", nullptr);
+  int delivered = 0;
+  bus.attach("b", [&](int, const CanFrame&, core::SimTime) { ++delivered; });
   CanFrame f;
   f.id = 0x10;
+  f.payload = Bytes(4, 9);
   bus.send(a, f);
-  sim.run();
-  EXPECT_FALSE(bus.is_bus_off(a));
-  EXPECT_EQ(bus.tec(a), 0);
+  const std::size_t executed = sim.run();  // must terminate
+  EXPECT_LT(executed, 200u);
+  EXPECT_TRUE(bus.is_bus_off(a));
+  EXPECT_EQ(delivered, 0);
+  // TEC 0 -> 256 in steps of +8 = 32 attempts: 1 initial + 31 retransmits.
+  EXPECT_EQ(bus.frames_retransmitted(), 31u);
+  EXPECT_EQ(bus.error_frames(), 32u);
 }
 
 }  // namespace

@@ -1,0 +1,233 @@
+// Satellite: deterministic sim-time test that a lost handshake message
+// triggers exactly the configured backoff sequence and the session gives
+// up after max retries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "avsec/secproto/session.hpp"
+
+namespace avsec::secproto {
+namespace {
+
+TlsCa test_ca() { return TlsCa(core::Bytes(32, 0x55)); }
+
+RobustSessionConfig no_jitter_config(int max_retries, bool auto_reconnect) {
+  RobustSessionConfig cfg;
+  cfg.retry.initial_timeout = core::milliseconds(10);
+  cfg.retry.backoff_factor = 2.0;
+  cfg.retry.max_timeout = core::seconds(2);
+  cfg.retry.jitter = 0.0;
+  cfg.retry.max_retries = max_retries;
+  cfg.auto_reconnect = auto_reconnect;
+  return cfg;
+}
+
+TEST(RetryPolicy, DeterministicExponentialSequence) {
+  RetryPolicy p;
+  p.initial_timeout = core::milliseconds(10);
+  p.backoff_factor = 2.0;
+  p.max_timeout = core::milliseconds(60);
+  p.jitter = 0.0;
+  EXPECT_EQ(p.timeout_for(0), core::milliseconds(10));
+  EXPECT_EQ(p.timeout_for(1), core::milliseconds(20));
+  EXPECT_EQ(p.timeout_for(2), core::milliseconds(40));
+  EXPECT_EQ(p.timeout_for(3), core::milliseconds(60));  // clamped
+  EXPECT_EQ(p.timeout_for(9), core::milliseconds(60));  // stays clamped
+}
+
+TEST(RetryPolicy, JitterStaysWithinBoundsAndIsSeeded) {
+  RetryPolicy p;
+  p.initial_timeout = core::milliseconds(100);
+  p.jitter = 0.25;
+  core::Rng r1(7), r2(7);
+  for (int a = 0; a < 5; ++a) {
+    const auto t1 = p.timeout_for(a, &r1);
+    const auto t2 = p.timeout_for(a, &r2);
+    EXPECT_EQ(t1, t2);  // same seed, same draw
+    const double base = 100e9 * std::pow(2.0, a);  // ms in picoseconds
+    EXPECT_GE(static_cast<double>(t1), 0.75 * base);
+    EXPECT_LE(static_cast<double>(t1),
+              std::min(1.25 * base, static_cast<double>(p.max_timeout)));
+  }
+}
+
+TEST(SessionBackoff, LostHelloFollowsExactBackoffScheduleThenGivesUp) {
+  core::Scheduler sim;
+  netsim::FlakyChannel link(sim, {});
+  link.set_partitioned(true);  // black-hole: nothing ever arrives
+
+  const auto ca = test_ca();
+  TlsResponder responder(sim, link, /*seed=*/2, ca, "server");
+  RobustTlsSession session(sim, link, /*seed=*/3, ca.public_key(),
+                           no_jitter_config(/*max_retries=*/3,
+                                            /*auto_reconnect=*/false));
+  session.connect();
+  sim.run();
+
+  // Initial send at t=0 (timeout 10ms), retransmits at 10, 30, 70 ms,
+  // give-up when the 80ms timer expires at t=150ms.
+  const auto& ev = session.events();
+  ASSERT_EQ(ev.size(), 5u);
+  EXPECT_EQ(ev[0].kind, SessionEventKind::kHelloSent);
+  EXPECT_EQ(ev[0].time, core::SimTime{0});
+  EXPECT_EQ(ev[0].timeout, core::milliseconds(10));
+  EXPECT_EQ(ev[1].kind, SessionEventKind::kRetransmit);
+  EXPECT_EQ(ev[1].time, core::milliseconds(10));
+  EXPECT_EQ(ev[1].timeout, core::milliseconds(20));
+  EXPECT_EQ(ev[2].kind, SessionEventKind::kRetransmit);
+  EXPECT_EQ(ev[2].time, core::milliseconds(30));
+  EXPECT_EQ(ev[2].timeout, core::milliseconds(40));
+  EXPECT_EQ(ev[3].kind, SessionEventKind::kRetransmit);
+  EXPECT_EQ(ev[3].time, core::milliseconds(70));
+  EXPECT_EQ(ev[3].timeout, core::milliseconds(80));
+  EXPECT_EQ(ev[4].kind, SessionEventKind::kGiveUp);
+  EXPECT_EQ(ev[4].time, core::milliseconds(150));
+
+  EXPECT_EQ(session.state(), SessionState::kFailed);
+  EXPECT_EQ(session.attempts(), 4);  // 1 initial + 3 retransmits, bounded
+  EXPECT_EQ(responder.hellos_seen(), 0u);
+}
+
+TEST(SessionBackoff, CleanChannelEstablishesOnFirstAttempt) {
+  core::Scheduler sim;
+  netsim::FlakyChannel link(sim, {});
+  const auto ca = test_ca();
+  TlsResponder responder(sim, link, 2, ca, "server");
+  RobustTlsSession session(sim, link, 3, ca.public_key(),
+                           no_jitter_config(3, false));
+  session.connect();
+  sim.run();
+
+  EXPECT_TRUE(session.established());
+  EXPECT_EQ(session.attempts(), 1);
+  EXPECT_EQ(responder.hellos_seen(), 1u);
+  EXPECT_EQ(session.handshakes_completed(), 1);
+
+  // Both sides derived matching record layers.
+  ASSERT_NE(session.session(), nullptr);
+  ASSERT_NE(responder.latest_session(), nullptr);
+  auto rec = session.session()->client_to_server->seal(
+      core::to_bytes("brake telemetry"));
+  const auto opened =
+      responder.latest_session()->client_to_server->open(rec);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, core::to_bytes("brake telemetry"));
+}
+
+TEST(SessionBackoff, LossyChannelRecoversViaRetransmission) {
+  core::Scheduler sim;
+  netsim::FlakyChannelConfig lcfg;
+  lcfg.drop_rate = 0.6;
+  lcfg.seed = 11;
+  netsim::FlakyChannel link(sim, lcfg);
+  const auto ca = test_ca();
+  TlsResponder responder(sim, link, 2, ca, "server");
+  RobustTlsSession session(sim, link, 3, ca.public_key(),
+                           no_jitter_config(/*max_retries=*/10, false));
+  session.connect();
+  sim.run();
+
+  EXPECT_TRUE(session.established());
+  EXPECT_GE(link.dropped(), 0u);
+  // A retransmitted hello must not create a divergent server session:
+  // every ServerHello the client saw came from the same cached response.
+  EXPECT_EQ(responder.handshakes_completed(), 1u);
+}
+
+TEST(SessionBackoff, GiveUpThenAutoReconnectAfterPartitionHeals) {
+  core::Scheduler sim;
+  netsim::FlakyChannel link(sim, {});
+  link.set_partitioned(true);
+  const auto ca = test_ca();
+  TlsResponder responder(sim, link, 2, ca, "server");
+  auto cfg = no_jitter_config(/*max_retries=*/2, /*auto_reconnect=*/true);
+  cfg.reconnect_delay = core::milliseconds(50);
+  cfg.max_reconnects = 8;
+  RobustTlsSession session(sim, link, 3, ca.public_key(), cfg);
+  session.connect();
+
+  // Heal the partition after the first give-up (at 10+20+40 = 70ms).
+  sim.schedule_at(core::milliseconds(100), [&] {
+    link.set_partitioned(false);
+  });
+  sim.run();
+
+  EXPECT_TRUE(session.established());
+  EXPECT_EQ(session.reconnects(), 1);
+  // The reconnect handshake is a fresh hello (new nonces): the responder
+  // sees it as a distinct handshake, not a cache replay.
+  EXPECT_EQ(responder.handshakes_completed(), 1u);
+  bool saw_giveup = false, saw_resched = false;
+  for (const auto& e : session.events()) {
+    saw_giveup |= e.kind == SessionEventKind::kGiveUp;
+    saw_resched |= e.kind == SessionEventKind::kReconnectScheduled;
+  }
+  EXPECT_TRUE(saw_giveup);
+  EXPECT_TRUE(saw_resched);
+}
+
+TEST(SessionBackoff, ReconnectAttemptsAreBounded) {
+  core::Scheduler sim;
+  netsim::FlakyChannel link(sim, {});
+  link.set_partitioned(true);  // never heals
+  const auto ca = test_ca();
+  TlsResponder responder(sim, link, 2, ca, "server");
+  auto cfg = no_jitter_config(/*max_retries=*/1, /*auto_reconnect=*/true);
+  cfg.reconnect_delay = core::milliseconds(10);
+  cfg.max_reconnects = 3;
+  RobustTlsSession session(sim, link, 3, ca.public_key(), cfg);
+  session.connect();
+  const std::size_t executed = sim.run();  // must terminate
+
+  EXPECT_EQ(session.state(), SessionState::kFailed);
+  EXPECT_EQ(session.reconnects(), 3);
+  EXPECT_LT(executed, 100u);
+}
+
+TEST(SessionBackoff, RekeyReplacesRecordLayerKeys) {
+  core::Scheduler sim;
+  netsim::FlakyChannel link(sim, {});
+  const auto ca = test_ca();
+  TlsResponder responder(sim, link, 2, ca, "server");
+  RobustTlsSession session(sim, link, 3, ca.public_key(),
+                           no_jitter_config(3, false));
+  session.connect();
+  sim.run();
+  ASSERT_TRUE(session.established());
+  const auto key_material_probe = [&] {
+    // Seal a fixed plaintext; different keys give a different ciphertext.
+    return session.session()->client_to_server->seal(core::to_bytes("probe"));
+  };
+  const auto before = key_material_probe();
+
+  session.rekey();
+  sim.run();
+  ASSERT_TRUE(session.established());
+  EXPECT_EQ(session.handshakes_completed(), 2);
+  EXPECT_EQ(responder.handshakes_completed(), 2u);
+  const auto after = key_material_probe();
+  EXPECT_NE(before, after);
+}
+
+TEST(SessionBackoff, CloseCancelsTimersAndStaysClosed) {
+  core::Scheduler sim;
+  netsim::FlakyChannel link(sim, {});
+  link.set_partitioned(true);
+  const auto ca = test_ca();
+  TlsResponder responder(sim, link, 2, ca, "server");
+  RobustTlsSession session(sim, link, 3, ca.public_key(),
+                           no_jitter_config(5, true));
+  session.connect();
+  sim.run_until(core::milliseconds(15));  // one retransmit in flight
+  session.close();
+  sim.run();
+
+  EXPECT_EQ(session.state(), SessionState::kClosed);
+  session.connect();  // closed sessions do not restart
+  sim.run();
+  EXPECT_EQ(session.state(), SessionState::kClosed);
+}
+
+}  // namespace
+}  // namespace avsec::secproto
