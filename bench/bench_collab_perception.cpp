@@ -1,6 +1,6 @@
 // COLLAB — paper §VII: security of collaborative perception (ghost
 // injection by credentialed insiders vs redundancy-based detection, with
-// the trust-decay ablation of DESIGN.md §6.5) and the "optimization
+// the trust-decay ablation of DESIGN.md §8.5) and the "optimization
 // battle" at a shared intersection.
 #include <cstdio>
 

@@ -2,7 +2,7 @@
 // measured series: ranging accuracy vs SNR for HRP and LRP, distance-
 // reduction attack success with and without the physical-layer integrity
 // checks, distance-enlargement detection (UWB-ED), and the STS-threshold
-// ablation (DESIGN.md §6.4).
+// ablation (DESIGN.md §8.4).
 #include <cmath>
 #include <cstdio>
 

@@ -1,7 +1,7 @@
 // FIG4/FIG5/FIG6 — reproduces the three IVN security-deployment scenarios
 // of paper Figs. 4-6 as a measured comparison: end-to-end latency, wire
 // overhead, gateway key storage, gateway crypto load, confidentiality,
-// and zone-bus load. Includes the CANAL carrier ablation (DESIGN.md §6.3)
+// and zone-bus load. Includes the CANAL carrier ablation (DESIGN.md §8.3)
 // and the MACsec end-to-end-vs-hop ablation (§6.2).
 #include <cstdio>
 

@@ -1,0 +1,193 @@
+// HEALTH — supervision latency under chaos: how long the watchdog takes to
+// declare a muted replica dead, and how long the supervisor takes to walk
+// back to NOMINAL once the fault clears, as the fault rate rises.
+//  a) fault rate sweep: mute windows at increasing density vs detection /
+//     recovery latency and supervisor escalation;
+//  b) watchdog tuning: deadline x miss budget vs measured detection
+//     latency against the analytic worst case.
+#include <cstdio>
+#include <vector>
+
+#include "avsec/core/table.hpp"
+#include "avsec/fault/fault.hpp"
+#include "avsec/health/replica.hpp"
+#include "avsec/health/supervisor.hpp"
+
+namespace {
+
+using namespace avsec;
+using core::Table;
+
+struct Latencies {
+  core::Samples detect_ms;    // fault applied -> monitor declares kDown
+  core::Samples recover_ms;   // fault reverted -> supervisor NOMINAL
+  std::uint64_t escalations = 0;
+  health::SafetyState final_state = health::SafetyState::kNominal;
+  std::size_t faults = 0;
+};
+
+// Three replicas publish every 10 ms; sequential mute windows of
+// `duration` land every `spacing`, rotating across the replicas.
+Latencies run(core::SimTime spacing, core::SimTime duration,
+              const health::HeartbeatConfig& hcfg, std::uint64_t seed) {
+  core::Scheduler sim;
+  core::Rng rng(seed);
+
+  health::VoterConfig vcfg;
+  vcfg.tolerance = 0.5;
+  vcfg.quorum = 2;
+  vcfg.max_age = core::milliseconds(25);
+  health::RedundancyVoter voter(vcfg, 3);
+  health::HeartbeatMonitor monitor(sim, hcfg);
+
+  health::SupervisorConfig scfg;
+  scfg.tick_period = core::milliseconds(10);
+  scfg.clear_after = core::milliseconds(50);
+  scfg.recovery_deadline = core::milliseconds(400);
+  health::SafetySupervisor supervisor(sim, scfg);
+  supervisor.set_restart_handler([](const std::string&) { return true; });
+  monitor.on_down([&](const std::string& s, core::SimTime t) {
+    supervisor.on_source_down(s, t);
+  });
+  monitor.on_recovered([&](const std::string& s, core::SimTime t) {
+    supervisor.on_source_recovered(s, t);
+  });
+
+  std::vector<health::ReplicaPort> ports;
+  std::vector<fault::ReplicaFault> targets;
+  ports.reserve(3);
+  targets.reserve(3);
+  for (int r = 0; r < 3; ++r) {
+    ports.emplace_back("replica-" + std::to_string(r), r);
+    monitor.register_source(ports.back().name());
+    ports.back().connect_voter(&voter);
+    ports.back().connect_monitor(&monitor);
+  }
+  for (int r = 0; r < 3; ++r) targets.emplace_back(ports[std::size_t(r)]);
+
+  monitor.start();
+  supervisor.start();
+
+  constexpr core::SimTime kEnd = core::seconds(4);
+  std::function<void()> tick = [&] {
+    for (auto& p : ports) p.publish(25.0 + rng.normal(0.0, 0.05), sim.now());
+    if (sim.now() < kEnd) sim.schedule_in(core::milliseconds(10), tick);
+  };
+  sim.schedule_at(0, tick);
+
+  fault::FaultInjector injector(sim);
+  for (int r = 0; r < 3; ++r) {
+    injector.add_target(ports[std::size_t(r)].name(), &targets[std::size_t(r)]);
+  }
+  fault::FaultPlan plan;
+  std::size_t faults = 0;
+  for (core::SimTime at = core::milliseconds(100); at + duration < kEnd;
+       at += spacing, ++faults) {
+    fault::FaultEvent ev;
+    ev.at = at;
+    ev.kind = fault::FaultKind::kReplicaMute;
+    ev.target = "replica-" + std::to_string(faults % 3);
+    ev.duration = duration;
+    plan.add(std::move(ev));
+  }
+  injector.arm(plan);
+  sim.schedule_at(kEnd + core::milliseconds(1), [&] {
+    monitor.stop();
+    supervisor.stop();
+  });
+  sim.run();
+
+  Latencies out;
+  out.faults = faults;
+  out.escalations = supervisor.escalations();
+  out.final_state = supervisor.state();
+  for (const auto& rec : injector.log()) {
+    if (!rec.applied && !rec.reverted) continue;
+    if (!rec.reverted) {
+      // Detection: first kDown for this source at/after the injection.
+      for (const auto& ev : monitor.events()) {
+        if (ev.kind == health::HeartbeatEventKind::kDown &&
+            ev.source == rec.event.target && ev.time >= rec.time) {
+          out.detect_ms.add(core::to_microseconds(ev.time - rec.time) /
+                            1000.0);
+          break;
+        }
+      }
+    } else {
+      // Recovery: first return to NOMINAL at/after the revert.
+      for (const auto& ev : supervisor.events()) {
+        if (ev.kind == health::SupervisorEventKind::kTransition &&
+            ev.to == health::SafetyState::kNominal && ev.time >= rec.time) {
+          out.recover_ms.add(core::to_microseconds(ev.time - rec.time) /
+                             1000.0);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void fault_rate_sweep() {
+  health::HeartbeatConfig hcfg;
+  hcfg.check_period = core::milliseconds(10);
+  hcfg.deadline = core::milliseconds(25);
+  hcfg.miss_budget = 2;
+
+  Table t({"Faults/s", "Windows", "Detected", "Detect mean (ms)",
+           "Detect p99 (ms)", "Recover mean (ms)", "Escalations",
+           "Final state"});
+  for (core::SimTime spacing :
+       {core::milliseconds(1000), core::milliseconds(500),
+        core::milliseconds(250), core::milliseconds(125)}) {
+    const auto r = run(spacing, core::milliseconds(60), hcfg, 7);
+    t.add_row({Table::num(1000.0 / (core::to_microseconds(spacing) / 1000.0),
+                          1),
+               std::to_string(r.faults),
+               std::to_string(r.detect_ms.count()) + "/" +
+                   std::to_string(r.faults),
+               Table::num(r.detect_ms.mean(), 1),
+               Table::num(r.detect_ms.quantile(0.99), 1),
+               r.recover_ms.count() ? Table::num(r.recover_ms.mean(), 1)
+                                    : "-",
+               std::to_string(r.escalations),
+               health::safety_state_name(r.final_state)});
+  }
+  t.print("HEALTHa: fault rate vs detection / recovery latency "
+          "(60 ms mutes, 3 replicas)");
+}
+
+void watchdog_tuning() {
+  Table t({"Deadline (ms)", "Miss budget", "Detect mean (ms)",
+           "Detect max (ms)", "Analytic worst (ms)", "Bound held"});
+  for (int deadline_ms : {15, 25, 40}) {
+    for (int budget : {1, 2, 3}) {
+      health::HeartbeatConfig hcfg;
+      hcfg.check_period = core::milliseconds(10);
+      hcfg.deadline = core::milliseconds(deadline_ms);
+      hcfg.miss_budget = budget;
+      const auto r = run(core::milliseconds(500), core::milliseconds(120),
+                         hcfg, 11);
+      // Worst case: the mute lands right after a beat, the first check past
+      // the deadline starts the miss count, and each further miss costs one
+      // check period; the declaring check may itself land a period late.
+      const double worst =
+          static_cast<double>(deadline_ms) + 10.0 * (budget + 1);
+      t.add_row({std::to_string(deadline_ms), std::to_string(budget),
+                 Table::num(r.detect_ms.mean(), 1),
+                 Table::num(r.detect_ms.max(), 1), Table::num(worst, 1),
+                 r.detect_ms.max() <= worst ? "yes" : "NO"});
+    }
+  }
+  t.print("HEALTHb: watchdog tuning vs analytic detection bound "
+          "(120 ms mutes)");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== HEALTH: supervision, detection & recovery latency ==\n");
+  fault_rate_sweep();
+  watchdog_tuning();
+  return 0;
+}

@@ -2,7 +2,7 @@
 // ISO-OSI layer for in-vehicle communication, measured on this
 // implementation: per-PDU byte overhead, per-PDU crypto cost on this host,
 // goodput ratio on the natural link type, and security properties.
-// Includes the SECOC MAC-truncation ablation (DESIGN.md §6.1).
+// Includes the SECOC MAC-truncation ablation (DESIGN.md §8.1).
 #include <chrono>
 #include <cstdio>
 #include <functional>

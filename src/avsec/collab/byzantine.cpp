@@ -1,0 +1,75 @@
+#include "avsec/collab/byzantine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace avsec::collab {
+
+double median_of(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return (n % 2 == 1) ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double mad_of(const std::vector<double>& xs, double med) {
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (double x : xs) dev.push_back(std::abs(x - med));
+  return 1.4826 * median_of(std::move(dev));
+}
+
+double trimmed_mean(std::vector<double> xs, int trim_each_side) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  const std::size_t trim = static_cast<std::size_t>(std::max(0, trim_each_side));
+  if (n < 2 * trim + 1) {
+    double sum = 0.0;
+    for (double x : xs) sum += x;
+    return sum / static_cast<double>(n);
+  }
+  double sum = 0.0;
+  for (std::size_t i = trim; i < n - trim; ++i) sum += xs[i];
+  return sum / static_cast<double>(n - 2 * trim);
+}
+
+FusionResult robust_fuse(const std::vector<SharedObject>& reports,
+                         const RobustFusionConfig& config) {
+  FusionResult out;
+  const int n = static_cast<int>(reports.size());
+  if (n == 0) return out;
+
+  std::vector<double> xs, ys;
+  xs.reserve(reports.size());
+  ys.reserve(reports.size());
+  for (const auto& r : reports) {
+    xs.push_back(r.position.x);
+    ys.push_back(r.position.y);
+  }
+
+  out.quorum_met = n >= 3 * config.f + 1;
+  out.fused = {trimmed_mean(xs, config.f), trimmed_mean(ys, config.f)};
+
+  // MAD rejection is diagnostic: it names suspects for the trust/IDS
+  // layer, but the fused value above does not depend on it (the trim
+  // alone carries the bound).
+  const double med_x = median_of(xs);
+  const double med_y = median_of(ys);
+  const double band_x =
+      config.mad_threshold * std::max(mad_of(xs, med_x), config.min_mad_m);
+  const double band_y =
+      config.mad_threshold * std::max(mad_of(ys, med_y), config.min_mad_m);
+  for (int i = 0; i < n; ++i) {
+    const bool outlier = std::abs(xs[std::size_t(i)] - med_x) > band_x ||
+                         std::abs(ys[std::size_t(i)] - med_y) > band_y;
+    if (outlier) {
+      out.rejected.push_back(i);
+    } else {
+      ++out.used;
+    }
+  }
+  return out;
+}
+
+}  // namespace avsec::collab

@@ -1,0 +1,66 @@
+// Byzantine-robust collaborative fusion (paper §VII-B, hardened): the
+// trust-score defense in perception.hpp learns who lies over many rounds;
+// this layer bounds the damage *within a single round*, with no history.
+//
+// Model: n peers report the position of the same object; at most f of
+// them are Byzantine (arbitrary, possibly colluding values). Defense:
+//  - quorum agreement: a fused estimate is only valid when n >= 3f+1
+//    reports are present (so the honest majority is overwhelming even
+//    after f values are discarded from each tail);
+//  - per-coordinate f-trimmed mean: sort, drop the f smallest and f
+//    largest, average the rest;
+//  - MAD outlier rejection (diagnostic): reports further than
+//    `mad_threshold` scaled-MADs from the coordinate-wise median are
+//    flagged as suspected-Byzantine for the trust/IDS layer.
+//
+// Bound (documented in DESIGN.md and asserted by tests): with at most f
+// Byzantine reports among n >= 2f+1, every value surviving the trim is
+// >= the (f+1)-th smallest and <= the (f+1)-th largest report, both of
+// which lie inside [min honest, max honest]. Hence per coordinate
+//   min(honest) <= fused <= max(honest)
+// and the Euclidean fusion error is at most sqrt(2) * max per-coordinate
+// honest error — no matter what the f liars report.
+#pragma once
+
+#include <vector>
+
+#include "avsec/collab/perception.hpp"
+
+namespace avsec::collab {
+
+struct RobustFusionConfig {
+  /// Byzantine peers tolerated. Quorum requires n >= 3f+1 reports.
+  int f = 1;
+  /// Reject reports with |x - median| > mad_threshold * scaled MAD.
+  double mad_threshold = 3.5;
+  /// MAD floor in metres: keeps the rejection band sane when honest
+  /// reports are nearly identical.
+  double min_mad_m = 0.2;
+};
+
+struct FusionResult {
+  /// n >= 3f+1 reports were present; the bound below holds.
+  bool quorum_met = false;
+  Vec2 fused;
+  /// Indices into the report list flagged by MAD rejection.
+  std::vector<int> rejected;
+  /// Reports that survived rejection (diagnostic; the trimmed mean is
+  /// always computed over all reports, which is what the bound needs).
+  int used = 0;
+};
+
+/// Median of `xs` (by copy; empty input returns 0).
+double median_of(std::vector<double> xs);
+
+/// Scaled median absolute deviation (1.4826 * MAD, sigma-consistent).
+double mad_of(const std::vector<double>& xs, double med);
+
+/// Mean of `xs` after dropping `trim_each_side` values from each tail.
+/// Falls back to the plain mean when fewer than 2*trim+1 values remain.
+double trimmed_mean(std::vector<double> xs, int trim_each_side);
+
+/// Fuses n reports of one object under the f-Byzantine model.
+FusionResult robust_fuse(const std::vector<SharedObject>& reports,
+                         const RobustFusionConfig& config);
+
+}  // namespace avsec::collab

@@ -17,6 +17,8 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kLinkPartition: return "link-partition";
     case FaultKind::kLinkHeal: return "link-heal";
     case FaultKind::kClockSkew: return "clock-skew";
+    case FaultKind::kByzantineValue: return "byzantine-value";
+    case FaultKind::kReplicaMute: return "replica-mute";
   }
   return "?";
 }
@@ -125,6 +127,34 @@ void ChannelFault::revert(const FaultEvent& ev) {
       break;
     case FaultKind::kLinkPartition:
       channel_.set_partitioned(false);
+      break;
+    default:
+      break;
+  }
+}
+
+// --- ReplicaFault ---
+
+bool ReplicaFault::apply(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::kByzantineValue:
+      port_.set_value_bias(ev.magnitude);
+      return true;
+    case FaultKind::kReplicaMute:
+      port_.set_muted(true);
+      return true;
+    default:
+      return false;
+  }
+}
+
+void ReplicaFault::revert(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::kByzantineValue:
+      port_.set_value_bias(0.0);
+      break;
+    case FaultKind::kReplicaMute:
+      port_.set_muted(false);
       break;
     default:
       break;

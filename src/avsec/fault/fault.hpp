@@ -24,6 +24,7 @@
 
 #include "avsec/core/rng.hpp"
 #include "avsec/core/scheduler.hpp"
+#include "avsec/health/replica.hpp"
 #include "avsec/netsim/can.hpp"
 #include "avsec/netsim/flaky.hpp"
 
@@ -39,7 +40,9 @@ enum class FaultKind : std::uint8_t {
   kLinkDelay,      // delta = added one-way delay
   kLinkPartition,  // both directions dead; duration > 0 auto-heals
   kLinkHeal,
-  kClockSkew,      // magnitude = ppm drift, delta = step offset
+  kClockSkew,        // magnitude = ppm drift, delta = step offset
+  kByzantineValue,   // replica publishes biased values (magnitude = bias)
+  kReplicaMute,      // replica publishes nothing: values and heartbeats stop
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -135,6 +138,22 @@ class SkewedClock {
   core::SimTime base_local_ = 0;
   double ppm_ = 0.0;
   core::SimTime offset_ = 0;
+};
+
+/// Adapter: faults against one replica's publication path
+/// (health::ReplicaPort). kByzantineValue biases every published value by
+/// `magnitude` while the heartbeat keeps beating — a lying replica the
+/// voter must mask; kReplicaMute silences values *and* heartbeats — a dead
+/// replica the watchdog must catch. Both revert to the pre-fault surface.
+class ReplicaFault : public FaultTarget {
+ public:
+  explicit ReplicaFault(health::ReplicaPort& port) : port_(port) {}
+
+  bool apply(const FaultEvent& ev) override;
+  void revert(const FaultEvent& ev) override;
+
+ private:
+  health::ReplicaPort& port_;
 };
 
 /// Adapter: kClockSkew against a SkewedClock.

@@ -1,0 +1,186 @@
+#include "avsec/health/supervisor.hpp"
+
+namespace avsec::health {
+
+const char* safety_state_name(SafetyState s) {
+  switch (s) {
+    case SafetyState::kNominal: return "nominal";
+    case SafetyState::kDegraded: return "degraded";
+    case SafetyState::kLimpHome: return "limp-home";
+    case SafetyState::kSafeStop: return "safe-stop";
+  }
+  return "?";
+}
+
+const char* supervisor_event_kind_name(SupervisorEventKind k) {
+  switch (k) {
+    case SupervisorEventKind::kTransition: return "transition";
+    case SupervisorEventKind::kRecoveryStarted: return "recovery-started";
+    case SupervisorEventKind::kRecoverySucceeded: return "recovery-succeeded";
+    case SupervisorEventKind::kRecoveryTimedOut: return "recovery-timed-out";
+    case SupervisorEventKind::kEscalated: return "escalated";
+  }
+  return "?";
+}
+
+SafetySupervisor::SafetySupervisor(core::Scheduler& sim,
+                                   SupervisorConfig config,
+                                   ids::DegradationManager* dm)
+    : sim_(sim), config_(config), dm_(dm) {}
+
+void SafetySupervisor::start() {
+  if (running_) return;
+  running_ = true;
+  tick_ = sim_.schedule_in(config_.tick_period, [this] { tick(); });
+}
+
+void SafetySupervisor::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(tick_);
+}
+
+void SafetySupervisor::emit(core::SimTime now, SupervisorEventKind kind,
+                            const std::string& detail) {
+  events_.push_back(SupervisorEvent{now, kind, state_, state_, detail});
+}
+
+void SafetySupervisor::transition(SafetyState to, core::SimTime now,
+                                  const std::string& detail) {
+  if (to == state_) return;
+  SupervisorEvent ev{now, SupervisorEventKind::kTransition, state_, to,
+                     detail};
+  state_ = to;
+  events_.push_back(std::move(ev));
+}
+
+void SafetySupervisor::trouble(core::SimTime now, const std::string& detail) {
+  last_trouble_ = now;
+  if (state_ == SafetyState::kNominal) {
+    transition(SafetyState::kDegraded, now, detail);
+  }
+}
+
+void SafetySupervisor::escalate(core::SimTime now, const std::string& detail) {
+  ++escalations_;
+  last_trouble_ = now;
+  switch (state_) {
+    case SafetyState::kNominal:
+    case SafetyState::kDegraded:
+      transition(SafetyState::kLimpHome, now, detail);
+      break;
+    case SafetyState::kLimpHome:
+      transition(SafetyState::kSafeStop, now, detail);
+      break;
+    case SafetyState::kSafeStop:
+      break;  // terminal
+  }
+}
+
+bool SafetySupervisor::recovery_pending() const {
+  for (const auto& [name, wd] : recovery_watchdogs_) {
+    if (wd->armed()) return true;
+  }
+  return false;
+}
+
+void SafetySupervisor::begin_recovery(const std::string& source,
+                                      core::SimTime now) {
+  // Escalate-on-repeat: recoveries clustering inside the window mean the
+  // restart is not actually fixing anything.
+  recovery_starts_.push_back(now);
+  while (!recovery_starts_.empty() &&
+         now - recovery_starts_.front() > config_.escalate_window) {
+    recovery_starts_.pop_front();
+  }
+  emit(now, SupervisorEventKind::kRecoveryStarted, source);
+  if (static_cast<int>(recovery_starts_.size()) >=
+          config_.repeats_to_escalate &&
+      state_ == SafetyState::kDegraded) {
+    emit(now, SupervisorEventKind::kEscalated,
+         "repeated recoveries within window");
+    escalate(now, "escalate-on-repeat: " + source);
+  }
+
+  if (restart_ && !restart_(source)) {
+    emit(now, SupervisorEventKind::kEscalated, "restart handler failed");
+    escalate(now, "restart failed: " + source);
+    return;
+  }
+
+  auto it = recovery_watchdogs_.find(source);
+  if (it == recovery_watchdogs_.end()) {
+    auto wd = std::make_unique<Watchdog>(
+        sim_, config_.recovery_deadline, [this, source](core::SimTime t) {
+          emit(t, SupervisorEventKind::kRecoveryTimedOut, source);
+          escalate(t, "recovery deadline expired: " + source);
+        });
+    it = recovery_watchdogs_.emplace(source, std::move(wd)).first;
+  }
+  it->second->arm();  // re-arms (extends) if a recovery was already running
+}
+
+void SafetySupervisor::on_source_down(const std::string& source,
+                                      core::SimTime now) {
+  if (state_ == SafetyState::kSafeStop) return;
+  unhealthy_.insert(source);
+  trouble(now, "source down: " + source);
+  if (dm_ != nullptr) dm_->on_provider_down(source, now);
+  begin_recovery(source, now);
+}
+
+void SafetySupervisor::on_source_recovered(const std::string& source,
+                                           core::SimTime now) {
+  if (unhealthy_.erase(source) == 0) return;
+  auto it = recovery_watchdogs_.find(source);
+  if (it != recovery_watchdogs_.end()) it->second->disarm();
+  ++recoveries_;
+  emit(now, SupervisorEventKind::kRecoverySucceeded, source);
+  if (dm_ != nullptr) dm_->on_provider_up(source, now);
+  last_trouble_ = now;  // the clear_after dwell starts from here
+}
+
+void SafetySupervisor::on_vote(const VoteOutcome& outcome, core::SimTime now) {
+  if (state_ == SafetyState::kSafeStop) return;
+  if (!outcome.quorum_met) {
+    consecutive_disagreements_ = 0;
+    trouble(now, "vote quorum lost");
+    return;
+  }
+  if (!outcome.minority.empty()) {
+    // Masked disagreement: redundancy is doing its job, so by default this
+    // only counts; persistent disagreement optionally degrades.
+    ++consecutive_disagreements_;
+    if (config_.disagreements_to_degrade > 0 &&
+        consecutive_disagreements_ >= config_.disagreements_to_degrade) {
+      trouble(now, "persistent voter disagreement");
+    }
+  } else {
+    consecutive_disagreements_ = 0;
+  }
+}
+
+void SafetySupervisor::on_ids_alert(const ids::Alert& alert,
+                                    core::SimTime now) {
+  if (state_ == SafetyState::kSafeStop) return;
+  if (alert.confidence < config_.alert_confidence_floor) return;
+  trouble(now, std::string("ids alert: ") + ids::alert_type_name(alert.type));
+}
+
+void SafetySupervisor::tick() {
+  const core::SimTime now = sim_.now();
+  const bool healthy = unhealthy_.empty() && !recovery_pending();
+  if (healthy && now - last_trouble_ >= config_.clear_after) {
+    if (state_ == SafetyState::kLimpHome) {
+      transition(SafetyState::kDegraded, now, "trouble-free dwell");
+      last_trouble_ = now;  // one dwell per step: no LIMP_HOME -> NOMINAL jump
+    } else if (state_ == SafetyState::kDegraded) {
+      transition(SafetyState::kNominal, now, "trouble-free dwell");
+    }
+  }
+  if (running_) {
+    tick_ = sim_.schedule_in(config_.tick_period, [this] { tick(); });
+  }
+}
+
+}  // namespace avsec::health

@@ -1,0 +1,129 @@
+// Byzantine-robust fusion: the f-trimmed mean of n >= 3f+1 reports stays
+// inside the honest reports' hull no matter what the f liars send.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "avsec/collab/byzantine.hpp"
+#include "avsec/core/rng.hpp"
+
+namespace avsec::collab {
+namespace {
+
+TEST(RobustStats, MedianAndMad) {
+  EXPECT_DOUBLE_EQ(median_of({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median_of({}), 0.0);
+  // Deviations from median 2 are {1,0,1}: MAD = 1, scaled 1.4826.
+  EXPECT_NEAR(mad_of({1.0, 2.0, 3.0}, 2.0), 1.4826, 1e-9);
+}
+
+TEST(RobustStats, TrimmedMeanDropsTails) {
+  // Sorted: 1 2 3 4 100; trim 1 each side -> mean(2,3,4) = 3.
+  EXPECT_DOUBLE_EQ(trimmed_mean({100.0, 3.0, 1.0, 4.0, 2.0}, 1), 3.0);
+  // Too few values for the trim: falls back to the plain mean.
+  EXPECT_DOUBLE_EQ(trimmed_mean({1.0, 3.0}, 1), 2.0);
+  EXPECT_DOUBLE_EQ(trimmed_mean({5.0}, 0), 5.0);
+}
+
+std::vector<SharedObject> make_reports(const std::vector<Vec2>& positions) {
+  std::vector<SharedObject> reports;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    reports.push_back(SharedObject{positions[i], static_cast<int>(i)});
+  }
+  return reports;
+}
+
+TEST(RobustFuse, QuorumRequiresThreeFPlusOne) {
+  RobustFusionConfig cfg;
+  cfg.f = 2;
+  std::vector<Vec2> six(6, Vec2{1.0, 1.0});
+  EXPECT_FALSE(robust_fuse(make_reports(six), cfg).quorum_met);
+  std::vector<Vec2> seven(7, Vec2{1.0, 1.0});
+  EXPECT_TRUE(robust_fuse(make_reports(seven), cfg).quorum_met);
+}
+
+TEST(RobustFuse, MadRejectionNamesTheLiars) {
+  RobustFusionConfig cfg;
+  cfg.f = 1;
+  std::vector<Vec2> pos = {{10.0, 10.0}, {10.2, 9.9}, {9.8, 10.1},
+                           {10.1, 10.0}, {500.0, -40.0}};
+  const FusionResult r = robust_fuse(make_reports(pos), cfg);
+  ASSERT_EQ(r.rejected.size(), 1u);
+  EXPECT_EQ(r.rejected[0], 4);
+  EXPECT_EQ(r.used, 4);
+}
+
+TEST(RobustFuse, FusedStaysInsideHonestHullAcrossSeeds) {
+  // Property sweep: n = 3f+1 = 7, f = 2 colluding liars placed both at
+  // extreme and at subtly-plausible offsets. The fused estimate must stay
+  // inside the honest per-coordinate range on every seed.
+  RobustFusionConfig cfg;
+  cfg.f = 2;
+  const int kHonest = 5;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    core::Rng rng(seed);
+    const Vec2 truth{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    std::vector<Vec2> pos;
+    double hx_lo = 1e18, hx_hi = -1e18, hy_lo = 1e18, hy_hi = -1e18;
+    for (int i = 0; i < kHonest; ++i) {
+      const Vec2 p{truth.x + rng.normal(0.0, 0.5),
+                   truth.y + rng.normal(0.0, 0.5)};
+      pos.push_back(p);
+      hx_lo = std::min(hx_lo, p.x);
+      hx_hi = std::max(hx_hi, p.x);
+      hy_lo = std::min(hy_lo, p.y);
+      hy_hi = std::max(hy_hi, p.y);
+    }
+    // Colluding liars: same adversarial offset, magnitude from subtle
+    // (2 m) to absurd (1e6 m).
+    const double mag = rng.uniform(2.0, 1e6);
+    const double ang = rng.uniform(0.0, 6.283185307179586);
+    const Vec2 lie{truth.x + mag * std::cos(ang),
+                   truth.y + mag * std::sin(ang)};
+    pos.push_back(lie);
+    pos.push_back(lie);
+
+    const FusionResult r = robust_fuse(make_reports(pos), cfg);
+    ASSERT_TRUE(r.quorum_met);
+    EXPECT_GE(r.fused.x, hx_lo - 1e-9) << "seed " << seed;
+    EXPECT_LE(r.fused.x, hx_hi + 1e-9) << "seed " << seed;
+    EXPECT_GE(r.fused.y, hy_lo - 1e-9) << "seed " << seed;
+    EXPECT_LE(r.fused.y, hy_hi + 1e-9) << "seed " << seed;
+    // Documented Euclidean bound: sqrt(2) * max per-coordinate honest
+    // deviation from the truth.
+    const double max_dev =
+        std::max({std::abs(hx_lo - truth.x), std::abs(hx_hi - truth.x),
+                  std::abs(hy_lo - truth.y), std::abs(hy_hi - truth.y)});
+    EXPECT_LE(dist(r.fused, truth), std::sqrt(2.0) * max_dev + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(RobustFuse, PlainMeanIsShiftedWhereTrimmedMeanIsNot) {
+  // Sanity contrast: the attack that moves the naive centroid arbitrarily
+  // far barely moves the robust estimate.
+  core::Rng rng(42);
+  const Vec2 truth{50.0, 50.0};
+  std::vector<Vec2> pos;
+  for (int i = 0; i < 5; ++i) {
+    pos.push_back({truth.x + rng.normal(0.0, 0.5),
+                   truth.y + rng.normal(0.0, 0.5)});
+  }
+  pos.push_back({truth.x + 1000.0, truth.y});
+  pos.push_back({truth.x + 1000.0, truth.y});
+
+  double mean_x = 0.0;
+  for (const auto& p : pos) mean_x += p.x;
+  mean_x /= static_cast<double>(pos.size());
+  EXPECT_GT(std::abs(mean_x - truth.x), 100.0);  // naive fusion hijacked
+
+  RobustFusionConfig cfg;
+  cfg.f = 2;
+  const FusionResult r = robust_fuse(make_reports(pos), cfg);
+  EXPECT_LT(dist(r.fused, truth), 2.0);
+}
+
+}  // namespace
+}  // namespace avsec::collab

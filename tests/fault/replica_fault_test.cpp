@@ -1,0 +1,146 @@
+// Satellite: ByzantineValue and ReplicaMute fault types — the adapters
+// that let campaigns target the redundancy voter and the watchdog.
+#include <gtest/gtest.h>
+
+#include "avsec/fault/fault.hpp"
+#include "avsec/health/replica.hpp"
+#include "avsec/health/voting.hpp"
+
+namespace avsec::fault {
+namespace {
+
+TEST(ReplicaFault, ByzantineValueBiasesPublishesAndReverts) {
+  core::Scheduler sim;
+  health::VoterConfig vcfg;
+  vcfg.tolerance = 0.5;
+  vcfg.quorum = 2;
+  health::RedundancyVoter voter(vcfg, 3);
+  health::ReplicaPort port0("replica-0", 0), port1("replica-1", 1),
+      port2("replica-2", 2);
+  for (health::ReplicaPort* p : {&port0, &port1, &port2}) {
+    p->connect_voter(&voter);
+  }
+
+  ReplicaFault target(port2);
+  FaultInjector injector(sim);
+  injector.add_target("replica-2", &target);
+  FaultPlan plan;
+  plan.add({core::milliseconds(50), FaultKind::kByzantineValue, "replica-2",
+            /*duration=*/core::milliseconds(100), /*magnitude=*/30.0});
+  injector.arm(plan);
+
+  std::vector<health::VoteOutcome> outcomes;
+  std::function<void()> tick = [&] {
+    port0.publish(25.0, sim.now());
+    port1.publish(25.1, sim.now());
+    port2.publish(25.2, sim.now());
+    outcomes.push_back(voter.vote(sim.now()));
+    if (sim.now() < core::milliseconds(250)) {
+      sim.schedule_in(core::milliseconds(10), tick);
+    }
+  };
+  sim.schedule_at(0, tick);
+  sim.run();
+
+  EXPECT_EQ(injector.applied(), 1u);
+  // Before the fault (t < 50): unanimous. During (50..150): replica 2 is
+  // outvoted but the fused value stays with the honest pair. After: clean.
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const core::SimTime t = core::milliseconds(10 * static_cast<int>(i));
+    const auto& out = outcomes[i];
+    ASSERT_TRUE(out.quorum_met) << "t=" << t;
+    EXPECT_NEAR(out.value, 25.05, 0.2) << "t=" << t;
+    if (t >= core::milliseconds(50) && t < core::milliseconds(150)) {
+      ASSERT_EQ(out.minority.size(), 1u) << "t=" << t;
+      EXPECT_EQ(out.minority[0], 2);
+    } else {
+      EXPECT_TRUE(out.minority.empty()) << "t=" << t;
+    }
+  }
+  EXPECT_EQ(port2.value_bias(), 0.0);  // reverted
+}
+
+TEST(ReplicaFault, MuteSilencesValueAndHeartbeatThenReverts) {
+  core::Scheduler sim;
+  health::HeartbeatConfig hcfg;
+  hcfg.check_period = core::milliseconds(10);
+  hcfg.deadline = core::milliseconds(25);
+  hcfg.miss_budget = 2;
+  health::HeartbeatMonitor monitor(sim, hcfg);
+  monitor.register_source("replica-0");
+  monitor.start();
+
+  health::ReplicaPort port("replica-0", 0);
+  port.connect_monitor(&monitor);
+
+  ReplicaFault target(port);
+  FaultInjector injector(sim);
+  injector.add_target("replica-0", &target);
+  FaultPlan plan;
+  plan.add({core::milliseconds(100), FaultKind::kReplicaMute, "replica-0",
+            core::milliseconds(80)});
+  injector.arm(plan);
+
+  std::vector<core::SimTime> down_at, up_at;
+  monitor.on_down(
+      [&](const std::string&, core::SimTime t) { down_at.push_back(t); });
+  monitor.on_recovered(
+      [&](const std::string&, core::SimTime t) { up_at.push_back(t); });
+
+  std::function<void()> tick = [&] {
+    port.publish(25.0, sim.now());
+    if (sim.now() < core::milliseconds(300)) {
+      sim.schedule_in(core::milliseconds(10), tick);
+    } else {
+      monitor.stop();
+    }
+  };
+  sim.schedule_at(0, tick);
+  sim.run();
+
+  EXPECT_GT(port.suppressed(), 0u);
+  ASSERT_EQ(down_at.size(), 1u);
+  // Mute lands at 100 ms, deadline 25 ms + 2-miss budget: down by 150 ms,
+  // and back within two checks of the 180 ms revert.
+  EXPECT_LE(down_at[0], core::milliseconds(150));
+  ASSERT_EQ(up_at.size(), 1u);
+  EXPECT_LE(up_at[0], core::milliseconds(200));
+  EXPECT_FALSE(port.muted());
+}
+
+TEST(ReplicaFault, RejectsUnrelatedKindsAndOtherTargetsRejectReplicaKinds) {
+  core::Scheduler sim;
+  health::ReplicaPort port("replica-0", 0);
+  ReplicaFault replica_target(port);
+  FaultEvent crash{0, FaultKind::kNodeCrash, "replica-0", 0, 1.0, 0};
+  EXPECT_FALSE(replica_target.apply(crash));
+
+  netsim::CanBus bus(sim, {});
+  const int node = bus.attach("ecu", nullptr);
+  CanNodeFault node_target(sim, bus, node);
+  FaultEvent byz{0, FaultKind::kByzantineValue, "ecu", 0, 5.0, 0};
+  EXPECT_FALSE(node_target.apply(byz));
+  netsim::FlakyChannel link(sim, {});
+  ChannelFault link_target(link);
+  FaultEvent mute{0, FaultKind::kReplicaMute, "link", 0, 0.0, 0};
+  EXPECT_FALSE(link_target.apply(mute));
+}
+
+TEST(ReplicaFault, RandomPlansCanDrawTheNewKinds) {
+  FaultPlan::RandomConfig rnd;
+  rnd.count = 16;
+  rnd.targets = {"replica-0", "replica-1"};
+  rnd.kinds = {FaultKind::kByzantineValue, FaultKind::kReplicaMute};
+  const FaultPlan plan = FaultPlan::random(rnd, 5);
+  ASSERT_EQ(plan.size(), 16u);
+  bool saw_byz = false, saw_mute = false;
+  for (const auto& ev : plan.events()) {
+    saw_byz |= ev.kind == FaultKind::kByzantineValue;
+    saw_mute |= ev.kind == FaultKind::kReplicaMute;
+  }
+  EXPECT_TRUE(saw_byz);
+  EXPECT_TRUE(saw_mute);
+}
+
+}  // namespace
+}  // namespace avsec::fault

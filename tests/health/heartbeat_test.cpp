@@ -1,0 +1,202 @@
+// Watchdog deadlines, heartbeat miss budgets, and challenge-response
+// probes — the liveness layer the SafetySupervisor consumes.
+#include <gtest/gtest.h>
+
+#include "avsec/health/heartbeat.hpp"
+
+namespace avsec::health {
+namespace {
+
+TEST(Watchdog, FiresOnceWhenNotKicked) {
+  core::Scheduler sim;
+  std::vector<core::SimTime> fired;
+  Watchdog wd(sim, core::milliseconds(50),
+              [&](core::SimTime now) { fired.push_back(now); });
+  wd.arm();
+  sim.run();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], core::milliseconds(50));
+  EXPECT_FALSE(wd.armed());
+  EXPECT_EQ(wd.expirations(), 1u);
+}
+
+TEST(Watchdog, KickRestartsTheCountdown) {
+  core::Scheduler sim;
+  std::vector<core::SimTime> fired;
+  Watchdog wd(sim, core::milliseconds(50),
+              [&](core::SimTime now) { fired.push_back(now); });
+  wd.arm();
+  // Kick at 30 and 60 ms: the deadline slides to 110 ms.
+  sim.schedule_at(core::milliseconds(30), [&] { wd.kick(); });
+  sim.schedule_at(core::milliseconds(60), [&] { wd.kick(); });
+  sim.run();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], core::milliseconds(110));
+}
+
+TEST(Watchdog, DisarmCancelsWithoutFiring) {
+  core::Scheduler sim;
+  int fired = 0;
+  Watchdog wd(sim, core::milliseconds(50), [&](core::SimTime) { ++fired; });
+  wd.arm();
+  sim.schedule_at(core::milliseconds(20), [&] { wd.disarm(); });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wd.expirations(), 0u);
+}
+
+TEST(HeartbeatMonitor, BeatingSourceStaysAlive) {
+  core::Scheduler sim;
+  HeartbeatConfig cfg;
+  cfg.check_period = core::milliseconds(10);
+  cfg.deadline = core::milliseconds(25);
+  cfg.miss_budget = 2;
+  HeartbeatMonitor monitor(sim, cfg);
+  monitor.register_source("lidar");
+  monitor.start();
+
+  std::function<void()> beat = [&] {
+    monitor.heartbeat("lidar");
+    if (sim.now() < core::milliseconds(200)) {
+      sim.schedule_in(core::milliseconds(10), beat);
+    } else {
+      monitor.stop();
+    }
+  };
+  sim.schedule_at(0, beat);
+  sim.run();
+
+  EXPECT_EQ(monitor.state("lidar"), SourceState::kAlive);
+  EXPECT_EQ(monitor.consecutive_misses("lidar"), 0);
+  for (const auto& ev : monitor.events()) {
+    EXPECT_NE(ev.kind, HeartbeatEventKind::kDown);
+  }
+}
+
+TEST(HeartbeatMonitor, MissBudgetThenDownThenRecovered) {
+  core::Scheduler sim;
+  HeartbeatConfig cfg;
+  cfg.check_period = core::milliseconds(10);
+  cfg.deadline = core::milliseconds(25);
+  cfg.miss_budget = 2;
+  HeartbeatMonitor monitor(sim, cfg);
+  monitor.register_source("lidar");
+  std::vector<core::SimTime> down_at, up_at;
+  monitor.on_down([&](const std::string&, core::SimTime t) {
+    down_at.push_back(t);
+  });
+  monitor.on_recovered([&](const std::string&, core::SimTime t) {
+    up_at.push_back(t);
+  });
+  monitor.start();
+
+  // Beat until 100 ms, silence until 200 ms, then resume.
+  std::function<void()> beat = [&] {
+    if (sim.now() <= core::milliseconds(100) ||
+        sim.now() >= core::milliseconds(200)) {
+      monitor.heartbeat("lidar");
+    }
+    if (sim.now() < core::milliseconds(300)) {
+      sim.schedule_in(core::milliseconds(10), beat);
+    } else {
+      monitor.stop();
+    }
+  };
+  sim.schedule_at(0, beat);
+  sim.run();
+
+  // Last beat at 100 ms; first miss at the 130 ms check, down at 140 ms.
+  ASSERT_EQ(down_at.size(), 1u);
+  EXPECT_EQ(down_at[0], core::milliseconds(140));
+  ASSERT_EQ(up_at.size(), 1u);
+  EXPECT_EQ(up_at[0], core::milliseconds(200));
+  EXPECT_EQ(monitor.state("lidar"), SourceState::kAlive);
+}
+
+TEST(HeartbeatMonitor, PerSourceDeadlinesAreIndependent) {
+  core::Scheduler sim;
+  HeartbeatConfig cfg;
+  cfg.check_period = core::milliseconds(10);
+  HeartbeatMonitor monitor(sim, cfg);
+  monitor.register_source("fast", core::milliseconds(15), 1);
+  monitor.register_source("slow", core::milliseconds(80), 1);
+  monitor.start();
+  sim.schedule_at(core::milliseconds(60), [&] { monitor.stop(); });
+  // Nobody ever beats: "fast" must go down well before "slow".
+  sim.run();
+  EXPECT_EQ(monitor.state("fast"), SourceState::kDown);
+  EXPECT_NE(monitor.state("slow"), SourceState::kDown);
+}
+
+TEST(HeartbeatMonitor, ProbeAnswerCountsAsProofOfLife) {
+  // The publisher wedges but the node still answers challenges: the probe
+  // keeps the source out of kDown.
+  core::Scheduler sim;
+  netsim::FlakyChannel probe_link(sim, {});
+  ChallengeResponder responder(probe_link);
+
+  HeartbeatConfig cfg;
+  cfg.check_period = core::milliseconds(10);
+  cfg.deadline = core::milliseconds(25);
+  cfg.miss_budget = 3;
+  HeartbeatMonitor monitor(sim, cfg);
+  monitor.register_source("camera");
+  monitor.attach_probe("camera", probe_link, /*seed=*/7);
+  int downs = 0;
+  monitor.on_down([&](const std::string&, core::SimTime) { ++downs; });
+  monitor.start();
+
+  // Beat until 50 ms, then the publisher wedges forever.
+  std::function<void()> beat = [&] {
+    monitor.heartbeat("camera");
+    if (sim.now() < core::milliseconds(50)) {
+      sim.schedule_in(core::milliseconds(10), beat);
+    }
+  };
+  sim.schedule_at(0, beat);
+  sim.schedule_at(core::milliseconds(400), [&] { monitor.stop(); });
+  sim.run();
+
+  EXPECT_EQ(downs, 0);
+  EXPECT_NE(monitor.state("camera"), SourceState::kDown);
+  EXPECT_GT(responder.challenges_answered(), 0u);
+  bool saw_sent = false, saw_answered = false;
+  for (const auto& ev : monitor.events()) {
+    saw_sent |= ev.kind == HeartbeatEventKind::kProbeSent;
+    saw_answered |= ev.kind == HeartbeatEventKind::kProbeAnswered;
+  }
+  EXPECT_TRUE(saw_sent);
+  EXPECT_TRUE(saw_answered);
+}
+
+TEST(HeartbeatMonitor, DeadNodeIgnoresProbesAndGoesDown) {
+  core::Scheduler sim;
+  netsim::FlakyChannel probe_link(sim, {});
+  ChallengeResponder responder(probe_link);
+
+  HeartbeatConfig cfg;
+  cfg.check_period = core::milliseconds(10);
+  cfg.deadline = core::milliseconds(25);
+  cfg.miss_budget = 3;
+  HeartbeatMonitor monitor(sim, cfg);
+  monitor.register_source("camera");
+  monitor.attach_probe("camera", probe_link, 7);
+  monitor.start();
+
+  std::function<void()> beat = [&] {
+    monitor.heartbeat("camera");
+    if (sim.now() < core::milliseconds(50)) {
+      sim.schedule_in(core::milliseconds(10), beat);
+    }
+  };
+  sim.schedule_at(0, beat);
+  // The node dies outright at 50 ms: no heartbeats, no challenge answers.
+  sim.schedule_at(core::milliseconds(50), [&] { responder.set_online(false); });
+  sim.schedule_at(core::milliseconds(300), [&] { monitor.stop(); });
+  sim.run();
+
+  EXPECT_EQ(monitor.state("camera"), SourceState::kDown);
+}
+
+}  // namespace
+}  // namespace avsec::health

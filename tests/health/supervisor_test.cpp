@@ -1,0 +1,243 @@
+// SafetySupervisor state machine: NOMINAL -> DEGRADED -> LIMP_HOME ->
+// SAFE_STOP, bounded-time recovery, escalate-on-repeat, and the
+// DegradationManager glue.
+#include <gtest/gtest.h>
+
+#include "avsec/health/supervisor.hpp"
+
+namespace avsec::health {
+namespace {
+
+SupervisorConfig fast_cfg() {
+  SupervisorConfig cfg;
+  cfg.tick_period = core::milliseconds(10);
+  cfg.clear_after = core::milliseconds(50);
+  cfg.recovery_deadline = core::milliseconds(100);
+  cfg.repeats_to_escalate = 3;
+  cfg.escalate_window = core::milliseconds(300);
+  return cfg;
+}
+
+TEST(SafetySupervisor, TransientDownRecoversToNominalWithinBoundedTicks) {
+  core::Scheduler sim;
+  SafetySupervisor sup(sim, fast_cfg());
+  std::vector<std::string> restarted;
+  sup.set_restart_handler([&](const std::string& s) {
+    restarted.push_back(s);
+    return true;
+  });
+  sup.start();
+
+  sim.schedule_at(core::milliseconds(100), [&] {
+    sup.on_source_down("lidar", sim.now());
+  });
+  sim.schedule_at(core::milliseconds(140), [&] {
+    sup.on_source_recovered("lidar", sim.now());
+  });
+  sim.schedule_at(core::milliseconds(400), [&] { sup.stop(); });
+  sim.run();
+
+  EXPECT_EQ(sup.state(), SafetyState::kNominal);
+  EXPECT_EQ(sup.recoveries(), 1u);
+  EXPECT_EQ(sup.escalations(), 0u);
+  ASSERT_EQ(restarted.size(), 1u);
+  EXPECT_EQ(restarted[0], "lidar");
+
+  // Bounded: back to NOMINAL at the first tick after clear_after dwell —
+  // recovered at 140 ms + 50 ms dwell -> the 190 ms tick.
+  core::SimTime nominal_at = -1;
+  for (const auto& ev : sup.events()) {
+    if (ev.kind == SupervisorEventKind::kTransition &&
+        ev.to == SafetyState::kNominal) {
+      nominal_at = ev.time;
+    }
+  }
+  EXPECT_EQ(nominal_at, core::milliseconds(190));
+}
+
+TEST(SafetySupervisor, RecoveryDeadlineExpiryEscalatesToLimpHome) {
+  core::Scheduler sim;
+  SafetySupervisor sup(sim, fast_cfg());
+  sup.start();
+  sim.schedule_at(core::milliseconds(50), [&] {
+    sup.on_source_down("lidar", sim.now());
+  });
+  // Never recovers: the 100 ms recovery watchdog fires at 150 ms.
+  sim.schedule_at(core::milliseconds(200), [&] { sup.stop(); });
+  sim.run_until(core::milliseconds(200));
+
+  EXPECT_EQ(sup.state(), SafetyState::kLimpHome);
+  EXPECT_EQ(sup.escalations(), 1u);
+  bool timed_out = false;
+  for (const auto& ev : sup.events()) {
+    timed_out |= ev.kind == SupervisorEventKind::kRecoveryTimedOut;
+  }
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(SafetySupervisor, RepeatedRecoveriesEscalateEvenWhenEachSucceeds) {
+  core::Scheduler sim;
+  SafetySupervisor sup(sim, fast_cfg());
+  sup.start();
+  // Three flaps 60 ms apart: all inside the 300 ms escalation window.
+  for (int k = 0; k < 3; ++k) {
+    const core::SimTime down = core::milliseconds(50 + 60 * k);
+    sim.schedule_at(down, [&] { sup.on_source_down("lidar", sim.now()); });
+    sim.schedule_at(down + core::milliseconds(20), [&] {
+      sup.on_source_recovered("lidar", sim.now());
+    });
+  }
+  // Stop before the post-recovery dwell can step back down from LIMP_HOME.
+  sim.schedule_at(core::milliseconds(220), [&] { sup.stop(); });
+  sim.run_until(core::milliseconds(220));
+
+  EXPECT_EQ(sup.state(), SafetyState::kLimpHome);
+  bool escalated = false;
+  for (const auto& ev : sup.events()) {
+    escalated |= ev.kind == SupervisorEventKind::kEscalated;
+  }
+  EXPECT_TRUE(escalated);
+}
+
+TEST(SafetySupervisor, LimpHomeStepsDownOneLevelPerDwell) {
+  core::Scheduler sim;
+  SafetySupervisor sup(sim, fast_cfg());
+  sup.start();
+  // Force limp-home via a recovery timeout, then let the source recover.
+  sim.schedule_at(core::milliseconds(50), [&] {
+    sup.on_source_down("lidar", sim.now());
+  });
+  sim.schedule_at(core::milliseconds(200), [&] {
+    sup.on_source_recovered("lidar", sim.now());
+  });
+  sim.schedule_at(core::milliseconds(500), [&] { sup.stop(); });
+  sim.run();
+
+  EXPECT_EQ(sup.state(), SafetyState::kNominal);
+  // The trace must contain LIMP_HOME -> DEGRADED -> NOMINAL with a full
+  // dwell between the steps, never a direct LIMP_HOME -> NOMINAL jump.
+  std::vector<std::pair<SafetyState, core::SimTime>> downsteps;
+  for (const auto& ev : sup.events()) {
+    if (ev.kind == SupervisorEventKind::kTransition &&
+        static_cast<int>(ev.to) < static_cast<int>(ev.from)) {
+      downsteps.push_back({ev.to, ev.time});
+    }
+  }
+  ASSERT_EQ(downsteps.size(), 2u);
+  EXPECT_EQ(downsteps[0].first, SafetyState::kDegraded);
+  EXPECT_EQ(downsteps[1].first, SafetyState::kNominal);
+  EXPECT_GE(downsteps[1].second - downsteps[0].second,
+            core::milliseconds(50));
+}
+
+TEST(SafetySupervisor, SecondTimeoutInLimpHomeIsSafeStopAndTerminal) {
+  core::Scheduler sim;
+  SafetySupervisor sup(sim, fast_cfg());
+  sup.start();
+  sim.schedule_at(core::milliseconds(50), [&] {
+    sup.on_source_down("lidar", sim.now());
+  });
+  // lidar never recovers: timeout #1 at 150 ms -> LIMP_HOME. A second
+  // source fails and also times out -> SAFE_STOP.
+  sim.schedule_at(core::milliseconds(200), [&] {
+    sup.on_source_down("radar", sim.now());
+  });
+  sim.schedule_at(core::milliseconds(400), [&] { sup.stop(); });
+  sim.run_until(core::milliseconds(400));
+
+  EXPECT_EQ(sup.state(), SafetyState::kSafeStop);
+  // Terminal: further recoveries do not leave SAFE_STOP.
+  sup.on_source_recovered("lidar", core::milliseconds(401));
+  sup.on_source_recovered("radar", core::milliseconds(401));
+  EXPECT_EQ(sup.state(), SafetyState::kSafeStop);
+}
+
+TEST(SafetySupervisor, RestartHandlerFailureEscalatesImmediately) {
+  core::Scheduler sim;
+  SafetySupervisor sup(sim, fast_cfg());
+  sup.set_restart_handler([](const std::string&) { return false; });
+  sup.start();
+  sim.schedule_at(core::milliseconds(50), [&] {
+    sup.on_source_down("lidar", sim.now());
+  });
+  sim.schedule_at(core::milliseconds(80), [&] { sup.stop(); });
+  sim.run_until(core::milliseconds(80));
+  EXPECT_EQ(sup.state(), SafetyState::kLimpHome);
+}
+
+TEST(SafetySupervisor, QuorumLossDegradesButMaskedDisagreementDoesNot) {
+  core::Scheduler sim;
+  SafetySupervisor sup(sim, fast_cfg());
+  sup.start();
+
+  VoteOutcome masked;
+  masked.quorum_met = true;
+  masked.votes = 2;
+  masked.minority = {2};
+  sim.schedule_at(core::milliseconds(30), [&] {
+    sup.on_vote(masked, sim.now());
+  });
+  sim.schedule_at(core::milliseconds(40), [&] {
+    EXPECT_EQ(sup.state(), SafetyState::kNominal);
+    VoteOutcome lost;
+    lost.quorum_met = false;
+    sup.on_vote(lost, sim.now());
+    EXPECT_EQ(sup.state(), SafetyState::kDegraded);
+  });
+  sim.schedule_at(core::milliseconds(150), [&] { sup.stop(); });
+  sim.run();
+  // No unhealthy sources: the dwell returns it to NOMINAL.
+  EXPECT_EQ(sup.state(), SafetyState::kNominal);
+}
+
+TEST(SafetySupervisor, HighConfidenceIdsAlertDegrades) {
+  core::Scheduler sim;
+  SafetySupervisor sup(sim, fast_cfg());
+  sup.start();
+  sim.schedule_at(core::milliseconds(30), [&] {
+    ids::Alert weak;
+    weak.type = ids::AlertType::kRateAnomaly;
+    weak.confidence = 0.3;
+    sup.on_ids_alert(weak, sim.now());
+    EXPECT_EQ(sup.state(), SafetyState::kNominal);
+
+    ids::Alert strong;
+    strong.type = ids::AlertType::kWrongSource;
+    strong.confidence = 0.95;
+    sup.on_ids_alert(strong, sim.now());
+    EXPECT_EQ(sup.state(), SafetyState::kDegraded);
+  });
+  sim.schedule_at(core::milliseconds(40), [&] { sup.stop(); });
+  sim.run();
+}
+
+TEST(SafetySupervisor, DrivesDegradationManagerFailover) {
+  core::Scheduler sim;
+  ids::DegradationManager dm;
+  dm.register_service({"steer-feed", 0x120, ids::Criticality::kSafety,
+                       {"primary-ecu", "backup-ecu"}});
+  SafetySupervisor sup(sim, fast_cfg(), &dm);
+  sup.start();
+
+  sim.schedule_at(core::milliseconds(50), [&] {
+    sup.on_source_down("primary-ecu", sim.now());
+  });
+  sim.schedule_at(core::milliseconds(80), [&] {
+    EXPECT_EQ(dm.active_provider("steer-feed"), "backup-ecu");
+    sup.on_source_recovered("primary-ecu", sim.now());
+  });
+  sim.schedule_at(core::milliseconds(200), [&] { sup.stop(); });
+  sim.run();
+
+  EXPECT_EQ(dm.active_provider("steer-feed"), "primary-ecu");
+  bool failover = false, failback = false;
+  for (const auto& ev : dm.events()) {
+    failover |= ev.kind == ids::DegradationEventKind::kFailover;
+    failback |= ev.kind == ids::DegradationEventKind::kFailback;
+  }
+  EXPECT_TRUE(failover);
+  EXPECT_TRUE(failback);
+}
+
+}  // namespace
+}  // namespace avsec::health

@@ -1,0 +1,151 @@
+// 2oo3 redundancy voting: exact / tolerance-band / median policies,
+// minority reporting, staleness, and the IDS correlation hook.
+#include <gtest/gtest.h>
+
+#include "avsec/health/voting.hpp"
+
+namespace avsec::health {
+namespace {
+
+VoterConfig tolerance_cfg() {
+  VoterConfig cfg;
+  cfg.policy = VotePolicy::kToleranceBand;
+  cfg.tolerance = 0.5;
+  cfg.quorum = 2;
+  cfg.max_age = core::milliseconds(50);
+  return cfg;
+}
+
+TEST(RedundancyVoter, ToleranceBandMasksSingleByzantineReplica) {
+  RedundancyVoter voter(tolerance_cfg(), 3);
+  voter.publish(0, 25.0, 0);
+  voter.publish(1, 25.2, 0);
+  voter.publish(2, 80.0, 0);  // the liar
+  const VoteOutcome out = voter.vote(0);
+  EXPECT_TRUE(out.quorum_met);
+  EXPECT_EQ(out.votes, 2);
+  EXPECT_NEAR(out.value, 25.1, 1e-9);
+  ASSERT_EQ(out.minority.size(), 1u);
+  EXPECT_EQ(out.minority[0], 2);
+  EXPECT_EQ(voter.suspect_counts()[2], 1u);
+  EXPECT_EQ(voter.suspect_counts()[0], 0u);
+}
+
+TEST(RedundancyVoter, ExactMatchMajority) {
+  VoterConfig cfg;
+  cfg.policy = VotePolicy::kExactMatch;
+  cfg.quorum = 2;
+  RedundancyVoter voter(cfg, 3);
+  voter.publish(0, 1.0, 0);
+  voter.publish(1, 2.0, 0);
+  voter.publish(2, 1.0, 0);
+  const VoteOutcome out = voter.vote(0);
+  EXPECT_TRUE(out.quorum_met);
+  EXPECT_EQ(out.value, 1.0);
+  EXPECT_EQ(out.votes, 2);
+  ASSERT_EQ(out.minority.size(), 1u);
+  EXPECT_EQ(out.minority[0], 1);
+}
+
+TEST(RedundancyVoter, ExactMatchAllDistinctLosesQuorum) {
+  VoterConfig cfg;
+  cfg.policy = VotePolicy::kExactMatch;
+  cfg.quorum = 2;
+  RedundancyVoter voter(cfg, 3);
+  voter.publish(0, 1.0, 0);
+  voter.publish(1, 2.0, 0);
+  voter.publish(2, 3.0, 0);
+  const VoteOutcome out = voter.vote(0);
+  EXPECT_FALSE(out.quorum_met);
+  EXPECT_EQ(out.votes, 1);
+}
+
+TEST(RedundancyVoter, MedianPolicyOutputsMedianAndFlagsOutlier) {
+  VoterConfig cfg;
+  cfg.policy = VotePolicy::kMedian;
+  cfg.tolerance = 2.0;
+  cfg.quorum = 2;
+  RedundancyVoter voter(cfg, 3);
+  voter.publish(0, 10.0, 0);
+  voter.publish(1, 11.0, 0);
+  voter.publish(2, 50.0, 0);
+  const VoteOutcome out = voter.vote(0);
+  EXPECT_TRUE(out.quorum_met);
+  EXPECT_EQ(out.value, 11.0);
+  EXPECT_EQ(out.votes, 2);
+  ASSERT_EQ(out.minority.size(), 1u);
+  EXPECT_EQ(out.minority[0], 2);
+}
+
+TEST(RedundancyVoter, StaleReplicaIsAbsentNotWrong) {
+  RedundancyVoter voter(tolerance_cfg(), 3);
+  voter.publish(0, 25.0, core::milliseconds(100));
+  voter.publish(1, 25.1, core::milliseconds(100));
+  voter.publish(2, 25.2, 0);  // stale: 100 ms old, max_age 50 ms
+  const VoteOutcome out = voter.vote(core::milliseconds(100));
+  EXPECT_TRUE(out.quorum_met);
+  EXPECT_EQ(out.present, 2);
+  ASSERT_EQ(out.absent.size(), 1u);
+  EXPECT_EQ(out.absent[0], 2);
+  EXPECT_TRUE(out.minority.empty());
+  // An absent replica is not a suspect — it may just be slow.
+  EXPECT_EQ(voter.suspect_counts()[2], 0u);
+}
+
+TEST(RedundancyVoter, SingleFreshReplicaCannotMeetQuorum) {
+  RedundancyVoter voter(tolerance_cfg(), 3);
+  voter.publish(0, 25.0, core::milliseconds(100));
+  const VoteOutcome out = voter.vote(core::milliseconds(100));
+  EXPECT_FALSE(out.quorum_met);
+  EXPECT_EQ(out.present, 1);
+  EXPECT_EQ(out.absent.size(), 2u);
+}
+
+TEST(RedundancyVoter, MinorityAndAbsenceReachTheCorrelationEngine) {
+  ids::AlertCorrelator correlator;
+  RedundancyVoter voter(tolerance_cfg(), 3);
+  voter.bind_correlator(&correlator, /*base_can_id=*/0x400);
+
+  // Replica 2 lies for several consecutive votes; replica 1 stops
+  // publishing after round 0 and ages past max_age around round 6.
+  for (int round = 0; round < 8; ++round) {
+    const core::SimTime now = core::milliseconds(10 * round);
+    voter.publish(0, 25.0, now);
+    if (round == 0) voter.publish(1, 25.1, now);
+    voter.publish(2, 80.0, now);
+    voter.vote(now);
+  }
+
+  bool liar_incident = false, silent_incident = false;
+  for (const auto& inc : correlator.incidents()) {
+    if (inc.can_id == 0x402 &&
+        inc.detector_types.count(ids::AlertType::kPayloadAnomaly)) {
+      liar_incident = true;
+    }
+    if (inc.can_id == 0x401 &&
+        inc.detector_types.count(ids::AlertType::kUnexpectedSilence)) {
+      silent_incident = true;
+    }
+  }
+  EXPECT_TRUE(liar_incident);
+  EXPECT_TRUE(silent_incident);
+  EXPECT_GE(voter.suspect_counts()[2], 3u);
+}
+
+TEST(RedundancyVoter, TwoAgainstTwoIsDeterministic) {
+  // 2-of-4 split: the first replica's band wins the tie, so the outcome
+  // never depends on map ordering or platform.
+  VoterConfig cfg = tolerance_cfg();
+  RedundancyVoter voter(cfg, 4);
+  voter.publish(0, 10.0, 0);
+  voter.publish(1, 10.1, 0);
+  voter.publish(2, 50.0, 0);
+  voter.publish(3, 50.1, 0);
+  const VoteOutcome out = voter.vote(0);
+  EXPECT_TRUE(out.quorum_met);
+  EXPECT_NEAR(out.value, 10.05, 1e-9);
+  EXPECT_EQ(out.minority.size(), 2u);
+}
+
+}  // namespace
+}  // namespace avsec::health

@@ -1,0 +1,101 @@
+// Satellite: DegradationManager limp-home re-entry under provider flaps
+// (recover -> crash -> recover). Sticky limp-home must be re-entered with
+// a fresh dwell, and a provider reported down twice must not be counted
+// twice.
+#include <gtest/gtest.h>
+
+#include "avsec/ids/response.hpp"
+
+namespace avsec::ids {
+namespace {
+
+DegradationManager make_dm() {
+  DegradationConfig cfg;
+  cfg.min_limp_home_duration = core::milliseconds(50);
+  return DegradationManager(cfg);
+}
+
+std::size_t count_events(const DegradationManager& dm,
+                         DegradationEventKind kind) {
+  std::size_t n = 0;
+  for (const auto& ev : dm.events()) {
+    if (ev.kind == kind) ++n;
+  }
+  return n;
+}
+
+TEST(DegradationFlap, ProviderFlapReentersStickyLimpHomeWithFreshDwell) {
+  DegradationManager dm = make_dm();
+  dm.register_service({"brake-feed", 0x100, Criticality::kSafety,
+                       {"brake-ecu"}});
+
+  // First outage: enter limp-home; exit is sticky for 50 ms after entry.
+  dm.on_provider_down("brake-ecu", core::milliseconds(0));
+  EXPECT_TRUE(dm.in_limp_home());
+  dm.on_provider_up("brake-ecu", core::milliseconds(10));
+  EXPECT_TRUE(dm.service_available("brake-feed"));
+  dm.poll(core::milliseconds(30));
+  EXPECT_TRUE(dm.in_limp_home()) << "exited before the sticky dwell";
+  dm.poll(core::milliseconds(60));
+  EXPECT_FALSE(dm.in_limp_home());
+
+  // Flap: crash again. Limp-home must re-enter and the dwell must restart
+  // from the *second* entry, not the first.
+  dm.on_provider_down("brake-ecu", core::milliseconds(70));
+  EXPECT_TRUE(dm.in_limp_home()) << "second outage did not re-enter";
+  dm.on_provider_up("brake-ecu", core::milliseconds(80));
+  dm.poll(core::milliseconds(100));  // 30 ms into the second dwell
+  EXPECT_TRUE(dm.in_limp_home()) << "second dwell not sticky";
+  dm.poll(core::milliseconds(125));
+  EXPECT_FALSE(dm.in_limp_home());
+
+  EXPECT_EQ(count_events(dm, DegradationEventKind::kLimpHomeEntered), 2u);
+  EXPECT_EQ(count_events(dm, DegradationEventKind::kLimpHomeExited), 2u);
+  EXPECT_EQ(count_events(dm, DegradationEventKind::kServiceLost), 2u);
+  EXPECT_EQ(count_events(dm, DegradationEventKind::kServiceRestored), 2u);
+}
+
+TEST(DegradationFlap, DoubleDownReportsDoNotDoubleCountProviders) {
+  DegradationManager dm = make_dm();
+  dm.register_service({"steer-feed", 0x120, Criticality::kSafety,
+                       {"primary", "backup"}});
+
+  // The same crash is reported twice (e.g. once by the watchdog, once by
+  // the IDS silence detector): one failover, not two, and a single
+  // recovery restores the primary.
+  dm.on_provider_down("primary", core::milliseconds(0));
+  dm.on_provider_down("primary", core::milliseconds(1));
+  EXPECT_EQ(dm.active_provider("steer-feed"), "backup");
+  EXPECT_EQ(count_events(dm, DegradationEventKind::kFailover), 1u);
+  EXPECT_FALSE(dm.in_limp_home());  // backup covers the safety function
+
+  dm.on_provider_up("primary", core::milliseconds(20));
+  EXPECT_EQ(dm.active_provider("steer-feed"), "primary");
+  EXPECT_EQ(count_events(dm, DegradationEventKind::kFailback), 1u);
+
+  // A second (stale) recovery report is a no-op.
+  dm.on_provider_up("primary", core::milliseconds(21));
+  EXPECT_EQ(count_events(dm, DegradationEventKind::kFailback), 1u);
+}
+
+TEST(DegradationFlap, FlapDuringStickyDwellExtendsFromSecondEntry) {
+  DegradationManager dm = make_dm();
+  dm.register_service({"brake-feed", 0x100, Criticality::kSafety,
+                       {"brake-ecu"}});
+
+  // Crash, recover at 10 ms, crash again at 20 ms — all inside the first
+  // dwell. The second entry must not be double-recorded (limp-home is
+  // already active), and recovery at 30 ms restarts nothing: the dwell
+  // still runs from the first entry because limp-home never exited.
+  dm.on_provider_down("brake-ecu", core::milliseconds(0));
+  dm.on_provider_up("brake-ecu", core::milliseconds(10));
+  dm.on_provider_down("brake-ecu", core::milliseconds(20));
+  dm.on_provider_up("brake-ecu", core::milliseconds(30));
+  EXPECT_EQ(count_events(dm, DegradationEventKind::kLimpHomeEntered), 1u);
+  dm.poll(core::milliseconds(55));
+  EXPECT_FALSE(dm.in_limp_home());
+  EXPECT_EQ(count_events(dm, DegradationEventKind::kLimpHomeExited), 1u);
+}
+
+}  // namespace
+}  // namespace avsec::ids

@@ -36,6 +36,43 @@ TEST(RetryPolicy, DeterministicExponentialSequence) {
   EXPECT_EQ(p.timeout_for(9), core::milliseconds(60));  // stays clamped
 }
 
+TEST(RetryPolicy, CapIsConfigurableAndHoldsForDeterministicSequence) {
+  // Regression: the configured max_timeout must be a hard cap, however
+  // aggressive the backoff factor and however deep the attempt counter —
+  // including attempts large enough to overflow the exponential into inf.
+  RetryPolicy p;
+  p.initial_timeout = core::milliseconds(5);
+  p.backoff_factor = 10.0;
+  p.max_timeout = core::milliseconds(120);
+  p.jitter = 0.0;
+  EXPECT_EQ(p.timeout_for(0), core::milliseconds(5));
+  EXPECT_EQ(p.timeout_for(1), core::milliseconds(50));
+  EXPECT_EQ(p.timeout_for(2), core::milliseconds(120));  // capped (500 -> 120)
+  EXPECT_EQ(p.timeout_for(3), core::milliseconds(120));
+  EXPECT_EQ(p.timeout_for(500), core::milliseconds(120));  // pow -> inf, capped
+
+  // A different cap takes effect without touching the pre-cap prefix.
+  p.max_timeout = core::milliseconds(60);
+  EXPECT_EQ(p.timeout_for(0), core::milliseconds(5));
+  EXPECT_EQ(p.timeout_for(1), core::milliseconds(50));
+  EXPECT_EQ(p.timeout_for(2), core::milliseconds(60));
+}
+
+TEST(RetryPolicy, JitterNeverExceedsCap) {
+  // Regression: jitter used to be applied *after* the clamp, so a +25%
+  // draw on an at-cap timeout overshot max_timeout by up to 25%.
+  RetryPolicy p;
+  p.initial_timeout = core::milliseconds(10);
+  p.backoff_factor = 2.0;
+  p.max_timeout = core::milliseconds(40);
+  p.jitter = 0.25;
+  core::Rng rng(13);
+  for (int a = 0; a < 12; ++a) {
+    EXPECT_LE(p.timeout_for(a, &rng), p.max_timeout)
+        << "attempt " << a << " overshot the cap";
+  }
+}
+
 TEST(RetryPolicy, JitterStaysWithinBoundsAndIsSeeded) {
   RetryPolicy p;
   p.initial_timeout = core::milliseconds(100);
