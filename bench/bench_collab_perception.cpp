@@ -1,6 +1,6 @@
 // COLLAB — paper §VII: security of collaborative perception (ghost
 // injection by credentialed insiders vs redundancy-based detection, with
-// the trust-decay ablation of DESIGN.md §8.5) and the "optimization
+// the trust-decay ablation of DESIGN.md §9.5) and the "optimization
 // battle" at a shared intersection.
 #include <cstdio>
 
@@ -8,6 +8,7 @@
 #include "avsec/collab/perception.hpp"
 #include "avsec/collab/v2x.hpp"
 #include "avsec/core/table.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -136,14 +137,15 @@ void pseudonym_privacy() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  avsec::bench::Harness h("collab_perception", argc, argv);
   std::printf("== COLLAB: collaborative perception & competition "
               "(paper Sec. VII) ==\n");
-  ghost_injection();
-  hiding_attack();
-  trust_decay_ablation();
-  position_bias_sweep();
-  pseudonym_privacy();
-  optimization_battle();
+  h.section("ghost_injection", ghost_injection);
+  h.section("hiding_attack", hiding_attack);
+  h.section("trust_decay_ablation", trust_decay_ablation);
+  h.section("position_bias_sweep", position_bias_sweep);
+  h.section("pseudonym_privacy", pseudonym_privacy);
+  h.section("optimization_battle", optimization_battle);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "avsec/crypto/modes.hpp"
 #include "avsec/crypto/sha2.hpp"
 #include "avsec/crypto/x25519.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -112,4 +113,19 @@ BENCHMARK(BM_CtrDrbg);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): wraps the google-benchmark run
+// in the shared harness so this binary also emits BENCH_crypto_primitives
+// .json and honours --smoke (via a short --benchmark_min_time).
+int main(int argc, char** argv) {
+  avsec::bench::Harness h("crypto_primitives", argc, argv);
+  std::vector<char*> bench_argv;
+  bench_argv.push_back(argv[0]);
+  char min_time[] = "--benchmark_min_time=0.001";
+  if (h.smoke()) bench_argv.push_back(min_time);
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  h.section("run_all_primitives",
+            [] { benchmark::RunSpecifiedBenchmarks(); });
+  benchmark::Shutdown();
+  return 0;
+}

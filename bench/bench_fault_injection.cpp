@@ -13,11 +13,14 @@
 #include "avsec/fault/fault.hpp"
 #include "avsec/secproto/session.hpp"
 #include "avsec/sos/graph.hpp"
+#include "harness.hpp"
 
 namespace {
 
 using namespace avsec;
 using core::Table;
+
+bool g_smoke = false;
 
 void babbler_confinement() {
   Table t({"Corrupt prob", "Bus-off at (ms)", "Babble frames", "Error frames",
@@ -74,7 +77,7 @@ void babbler_confinement() {
 }
 
 void session_vs_loss() {
-  constexpr int kTrials = 40;
+  const int kTrials = g_smoke ? 8 : 40;
   Table t({"Drop rate", "Established", "Mean attempts",
            "Mean time to establish (ms)"});
   for (double drop : {0.0, 0.3, 0.6, 0.8, 0.95}) {
@@ -162,7 +165,8 @@ void cascade_vs_recovery() {
            "Contained", "Mean rounds to containment"});
   for (double rate : {0.0, 0.1, 0.3, 0.5, 0.8}) {
     const auto timeline = sos::propagate_with_recovery(
-        sos::with_recovery(g, rate), entry, /*rounds=*/12, /*trials=*/20000,
+        sos::with_recovery(g, rate), entry, /*rounds=*/12,
+        /*trials=*/g_smoke ? 2000 : 20000,
         /*seed=*/11);
     t.add_row({Table::num(rate, 1),
                Table::num(timeline.peak_mean_compromised, 2),
@@ -178,7 +182,9 @@ void cascade_vs_recovery() {
 void campaign_sweep() {
   // Crash/restart campaign on a two-provider service: the backup must
   // cover every primary outage.
-  fault::Campaign campaign({/*runs=*/50, /*base_seed=*/99});
+  fault::Campaign campaign(
+      {/*runs=*/g_smoke ? std::size_t{10} : std::size_t{50},
+       /*base_seed=*/99});
   campaign.require("feed alive at end", [](const fault::Metrics& m) {
     return m.at("alive") == 1.0;
   });
@@ -226,12 +232,14 @@ void campaign_sweep() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  avsec::bench::Harness h("fault_injection", argc, argv);
+  g_smoke = h.smoke();
   std::printf("== FAULT: fault injection, confinement & recovery ==\n");
-  babbler_confinement();
-  session_vs_loss();
-  partition_reconnect();
-  cascade_vs_recovery();
-  campaign_sweep();
+  h.section("babbler_confinement", babbler_confinement);
+  h.section("session_vs_loss", session_vs_loss);
+  h.section("partition_reconnect", partition_reconnect);
+  h.section("cascade_vs_recovery", cascade_vs_recovery);
+  h.section("campaign_sweep", campaign_sweep);
   return 0;
 }

@@ -2,7 +2,7 @@
 // measured series: ranging accuracy vs SNR for HRP and LRP, distance-
 // reduction attack success with and without the physical-layer integrity
 // checks, distance-enlargement detection (UWB-ED), and the STS-threshold
-// ablation (DESIGN.md §8.4).
+// ablation (DESIGN.md §9.4).
 #include <cmath>
 #include <cstdio>
 
@@ -11,13 +11,14 @@
 #include "avsec/phy/attacks.hpp"
 #include "avsec/phy/collision_avoidance.hpp"
 #include "avsec/phy/pkes.hpp"
+#include "harness.hpp"
 
 namespace {
 
 using namespace avsec;
 using core::Table;
 
-constexpr int kSessions = 40;
+int kSessions = 40;  // shrunk under --smoke
 const core::Bytes kKey(16, 0x42);
 
 void ranging_accuracy() {
@@ -250,13 +251,15 @@ void collision_avoidance() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  avsec::bench::Harness h("fig2_uwb_ranging", argc, argv);
+  kSessions = static_cast<int>(h.iters(40, 8));
   std::printf("== FIG2: UWB secure ranging (paper Fig. 2, Sec. II) ==\n");
-  ranging_accuracy();
-  reduction_attacks();
-  enlargement_attacks();
-  sts_threshold_ablation();
-  pkes_summary();
-  collision_avoidance();
+  h.section("ranging_accuracy", ranging_accuracy);
+  h.section("reduction_attacks", reduction_attacks);
+  h.section("enlargement_attacks", enlargement_attacks);
+  h.section("sts_threshold_ablation", sts_threshold_ablation);
+  h.section("pkes_summary", pkes_summary);
+  h.section("collision_avoidance", collision_avoidance);
   return 0;
 }

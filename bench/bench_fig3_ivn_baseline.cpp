@@ -7,6 +7,7 @@
 #include "avsec/core/table.hpp"
 #include "avsec/netsim/topology.hpp"
 #include "avsec/netsim/traffic.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -132,10 +133,11 @@ void backbone() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  avsec::bench::Harness h("fig3_ivn_baseline", argc, argv);
   std::printf("== FIG3: zonal IVN baseline (paper Fig. 3) ==\n");
-  can_generations();
-  t1s_segment();
-  backbone();
+  h.section("can_generations", can_generations);
+  h.section("t1s_segment", t1s_segment);
+  h.section("backbone", backbone);
   return 0;
 }

@@ -1,12 +1,13 @@
 // FIG4/FIG5/FIG6 — reproduces the three IVN security-deployment scenarios
 // of paper Figs. 4-6 as a measured comparison: end-to-end latency, wire
 // overhead, gateway key storage, gateway crypto load, confidentiality,
-// and zone-bus load. Includes the CANAL carrier ablation (DESIGN.md §8.3)
+// and zone-bus load. Includes the CANAL carrier ablation (DESIGN.md §9.3)
 // and the MACsec end-to-end-vs-hop ablation (§6.2).
 #include <cstdio>
 
 #include "avsec/core/table.hpp"
 #include "avsec/secproto/scenarios.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -27,52 +28,59 @@ void add_report(Table& t, const secproto::ScenarioReport& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  avsec::bench::Harness h("fig456_scenarios", argc, argv);
   std::printf("== FIG4/5/6: IVN security scenarios (paper Figs. 4-6) ==\n");
 
   secproto::ScenarioConfig cfg;
-  cfg.pdu_count = 300;
+  cfg.pdu_count = h.smoke() ? 60 : 300;
 
-  Table t({"Scenario", "Delivered", "Latency mean (us)", "Latency p99 (us)",
-           "Overhead (B)", "GW keys", "GW crypto/PDU", "Conf.",
-           "Zone load"});
-  add_report(t, secproto::run_scenario_s1(cfg));
-  add_report(t, secproto::run_scenario_s2(cfg, /*end_to_end=*/true));
-  add_report(t, secproto::run_scenario_s2(cfg, /*end_to_end=*/false));
-  add_report(t, secproto::run_scenario_s3(cfg, netsim::CanProtocol::kFd));
-  add_report(t, secproto::run_scenario_s3(cfg, netsim::CanProtocol::kXl));
-  t.print("FIG4-6: scenario comparison (32-byte PDUs at 1 kHz)");
+  h.section("scenario_comparison", [&] {
+    Table t({"Scenario", "Delivered", "Latency mean (us)", "Latency p99 (us)",
+             "Overhead (B)", "GW keys", "GW crypto/PDU", "Conf.",
+             "Zone load"});
+    add_report(t, secproto::run_scenario_s1(cfg));
+    add_report(t, secproto::run_scenario_s2(cfg, /*end_to_end=*/true));
+    add_report(t, secproto::run_scenario_s2(cfg, /*end_to_end=*/false));
+    add_report(t, secproto::run_scenario_s3(cfg, netsim::CanProtocol::kFd));
+    add_report(t, secproto::run_scenario_s3(cfg, netsim::CanProtocol::kXl));
+    t.print("FIG4-6: scenario comparison (32-byte PDUs at 1 kHz)");
+  });
 
   // Ablation: how the SECOC software cost drives S1 (the paper calls the
   // AUTOSAR stack "heavy").
-  Table ab({"SECOC sw cost (us/op)", "S1 latency mean (us)",
-            "S2a latency mean (us)"});
-  for (int us : {5, 20, 50, 100}) {
-    secproto::ScenarioConfig c = cfg;
-    c.pdu_count = 100;
-    c.processing.secoc_protect = core::microseconds(us);
-    c.processing.secoc_verify = core::microseconds(us);
-    const auto s1 = secproto::run_scenario_s1(c);
-    const auto s2 = secproto::run_scenario_s2(c, true);
-    ab.add_row({std::to_string(us), Table::num(s1.latency_mean_us, 1),
-                Table::num(s2.latency_mean_us, 1)});
-  }
-  ab.print("FIG4 ablation: AUTOSAR SECOC software cost dominates S1");
+  h.section("secoc_cost_ablation", [&] {
+    Table ab({"SECOC sw cost (us/op)", "S1 latency mean (us)",
+              "S2a latency mean (us)"});
+    for (int us : {5, 20, 50, 100}) {
+      secproto::ScenarioConfig c = cfg;
+      c.pdu_count = 100;
+      c.processing.secoc_protect = core::microseconds(us);
+      c.processing.secoc_verify = core::microseconds(us);
+      const auto s1 = secproto::run_scenario_s1(c);
+      const auto s2 = secproto::run_scenario_s2(c, true);
+      ab.add_row({std::to_string(us), Table::num(s1.latency_mean_us, 1),
+                  Table::num(s2.latency_mean_us, 1)});
+    }
+    ab.print("FIG4 ablation: AUTOSAR SECOC software cost dominates S1");
+  });
 
   // Ablation: payload size vs CANAL segmentation (S3 on FD vs XL).
-  Table seg({"App payload (B)", "S3/FD latency (us)", "S3/XL latency (us)",
-             "S3/FD zone load", "S3/XL zone load"});
-  for (std::size_t payload : {16u, 64u, 256u, 1024u}) {
-    secproto::ScenarioConfig c = cfg;
-    c.pdu_count = 100;
-    c.app_payload = payload;
-    const auto fd = secproto::run_scenario_s3(c, netsim::CanProtocol::kFd);
-    const auto xl = secproto::run_scenario_s3(c, netsim::CanProtocol::kXl);
-    seg.add_row({std::to_string(payload), Table::num(fd.latency_mean_us, 1),
-                 Table::num(xl.latency_mean_us, 1),
-                 Table::pct(fd.zone_bus_load, 2),
-                 Table::pct(xl.zone_bus_load, 2)});
-  }
-  seg.print("FIG6 ablation: CANAL carrier (CAN FD vs CAN XL) vs PDU size");
+  h.section("canal_carrier_ablation", [&] {
+    Table seg({"App payload (B)", "S3/FD latency (us)", "S3/XL latency (us)",
+               "S3/FD zone load", "S3/XL zone load"});
+    for (std::size_t payload : {16u, 64u, 256u, 1024u}) {
+      secproto::ScenarioConfig c = cfg;
+      c.pdu_count = 100;
+      c.app_payload = payload;
+      const auto fd = secproto::run_scenario_s3(c, netsim::CanProtocol::kFd);
+      const auto xl = secproto::run_scenario_s3(c, netsim::CanProtocol::kXl);
+      seg.add_row({std::to_string(payload), Table::num(fd.latency_mean_us, 1),
+                   Table::num(xl.latency_mean_us, 1),
+                   Table::pct(fd.zone_bus_load, 2),
+                   Table::pct(xl.zone_bus_load, 2)});
+    }
+    seg.print("FIG6 ablation: CANAL carrier (CAN FD vs CAN XL) vs PDU size");
+  });
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "avsec/ssi/ota.hpp"
 #include "avsec/ssi/pki.hpp"
 #include "avsec/ssi/use_cases.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -246,12 +247,13 @@ void ota_pipeline() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  avsec::bench::Harness h("fig7_ssi_trust", argc, argv);
   std::printf("== FIG7: SDV trust relations, SSI vs PKI (paper Fig. 7) ==\n");
-  verification_cost();
-  interop_matrix();
-  offline_and_revocation();
-  reconfiguration();
-  ota_pipeline();
+  h.section("verification_cost", verification_cost);
+  h.section("interop_matrix", interop_matrix);
+  h.section("offline_and_revocation", offline_and_revocation);
+  h.section("reconfiguration", reconfiguration);
+  h.section("ota_pipeline", ota_pipeline);
   return 0;
 }

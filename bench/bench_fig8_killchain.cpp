@@ -12,6 +12,7 @@
 #include "avsec/datalayer/incidents.hpp"
 #include "avsec/datalayer/killchain.hpp"
 #include "avsec/datalayer/privacy.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -202,13 +203,14 @@ void geodata_minimization() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  avsec::bench::Harness h("fig8_killchain", argc, argv);
   std::printf("== FIG8: telemetry-breach kill chain (paper Fig. 8) ==\n");
-  stage_table();
-  full_ablation();
-  surface_correlation();
-  incident_iceberg();
-  owner_controlled_access();
-  geodata_minimization();
+  h.section("stage_table", stage_table);
+  h.section("full_ablation", full_ablation);
+  h.section("surface_correlation", surface_correlation);
+  h.section("incident_iceberg", incident_iceberg);
+  h.section("owner_controlled_access", owner_controlled_access);
+  h.section("geodata_minimization", geodata_minimization);
   return 0;
 }

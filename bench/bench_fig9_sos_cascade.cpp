@@ -9,6 +9,7 @@
 #include "avsec/sos/graph.hpp"
 #include "avsec/sos/realtime.hpp"
 #include "avsec/sos/responsibility.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -131,11 +132,12 @@ void governance_experiment() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  avsec::bench::Harness h("fig9_sos_cascade", argc, argv);
   std::printf("== FIG9: MaaS system-of-systems security (paper Fig. 9) ==\n");
-  cascade_by_entry();
-  hardening_experiment();
-  realtime_attacks();
-  governance_experiment();
+  h.section("cascade_by_entry", cascade_by_entry);
+  h.section("hardening_experiment", hardening_experiment);
+  h.section("realtime_attacks", realtime_attacks);
+  h.section("governance_experiment", governance_experiment);
   return 0;
 }

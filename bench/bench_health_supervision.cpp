@@ -12,6 +12,7 @@
 #include "avsec/fault/fault.hpp"
 #include "avsec/health/replica.hpp"
 #include "avsec/health/supervisor.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -185,9 +186,10 @@ void watchdog_tuning() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  avsec::bench::Harness h("health_supervision", argc, argv);
   std::printf("== HEALTH: supervision, detection & recovery latency ==\n");
-  fault_rate_sweep();
-  watchdog_tuning();
+  h.section("fault_rate_sweep", fault_rate_sweep);
+  h.section("watchdog_tuning", watchdog_tuning);
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "avsec/ids/firewall.hpp"
 #include "avsec/ids/response.hpp"
 #include "avsec/netsim/traffic.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -230,15 +231,16 @@ void correlation_table() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  avsec::bench::Harness h("ids_response", argc, argv);
   std::printf("== IDS: intrusion detection & autonomous response "
               "(paper Sec. VIII) ==\n");
-  detection_table();
-  response_matrix();
-  containment();
-  busoff_attack();
-  flood_attack();
-  attestation_table();
-  correlation_table();
+  h.section("detection_table", detection_table);
+  h.section("response_matrix", response_matrix);
+  h.section("containment", containment);
+  h.section("busoff_attack", busoff_attack);
+  h.section("flood_attack", flood_attack);
+  h.section("attestation_table", attestation_table);
+  h.section("correlation_table", correlation_table);
   return 0;
 }

@@ -2,7 +2,7 @@
 // ISO-OSI layer for in-vehicle communication, measured on this
 // implementation: per-PDU byte overhead, per-PDU crypto cost on this host,
 // goodput ratio on the natural link type, and security properties.
-// Includes the SECOC MAC-truncation ablation (DESIGN.md §8.1).
+// Includes the SECOC MAC-truncation ablation (DESIGN.md §9.1).
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -16,6 +16,7 @@
 #include "avsec/secproto/scenarios.hpp"
 #include "avsec/secproto/secoc.hpp"
 #include "avsec/secproto/tls_lite.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -226,10 +227,11 @@ void diagnostic_access() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  avsec::bench::Harness h("table1_protocols", argc, argv);
   std::printf("== TAB1: protocol stack options (paper Table I) ==\n");
-  protocol_matrix();
-  secoc_truncation_ablation();
-  diagnostic_access();
+  h.section("protocol_matrix", protocol_matrix);
+  h.section("secoc_truncation_ablation", secoc_truncation_ablation);
+  h.section("diagnostic_access", diagnostic_access);
   return 0;
 }

@@ -1,0 +1,152 @@
+// Shared bench harness: wall-clock section timing plus machine-readable
+// JSON output, so CI can track the perf trajectory instead of scraping
+// ASCII tables.
+//
+// Every bench binary constructs one Harness and wraps its workload in
+// section() / time() calls; on destruction the harness writes
+// BENCH_<name>.json into the current directory (or $AVSEC_BENCH_JSON_DIR).
+//
+// Flags understood by every bench that passes argc/argv through:
+//   --smoke        run a reduced workload (also: AVSEC_BENCH_SMOKE=1);
+//                  benches consult Harness::iters() to shrink loops
+//   --json-dir D   write BENCH_<name>.json under directory D
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace avsec::bench {
+
+inline double now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One timed entry in the JSON report.
+struct Result {
+  std::string name;
+  double ns = 0.0;     // total wall-clock time
+  double iters = 1.0;  // operations the time covers
+  std::map<std::string, double> extra;  // e.g. {"speedup_vs_serial": 3.2}
+
+  double ns_per_op() const { return iters > 0.0 ? ns / iters : 0.0; }
+  double ops_per_sec() const { return ns > 0.0 ? iters * 1e9 / ns : 0.0; }
+};
+
+class Harness {
+ public:
+  Harness(std::string name, int argc = 0, char** argv = nullptr)
+      : name_(std::move(name)) {
+    const char* env = std::getenv("AVSEC_BENCH_SMOKE");
+    smoke_ = env != nullptr && env[0] != '\0' && env[0] != '0';
+    const char* dir = std::getenv("AVSEC_BENCH_JSON_DIR");
+    if (dir != nullptr && dir[0] != '\0') json_dir_ = dir;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--smoke") == 0) smoke_ = true;
+      if (std::strcmp(argv[i], "--json-dir") == 0 && i + 1 < argc) {
+        json_dir_ = argv[i + 1];
+      }
+    }
+  }
+
+  ~Harness() { write_json(); }
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  bool smoke() const { return smoke_; }
+
+  /// Workload scaling: full size normally, the reduced size under --smoke.
+  std::size_t iters(std::size_t full, std::size_t smoke_iters) const {
+    return smoke_ ? smoke_iters : full;
+  }
+
+  /// Times one invocation of `fn` and records it as `iters` operations.
+  /// Returns the elapsed nanoseconds (for speedup math at the call site).
+  template <class F>
+  double time(const std::string& label, double iters, F&& fn) {
+    const double t0 = now_ns();
+    fn();
+    const double ns = now_ns() - t0;
+    Result r;
+    r.name = label;
+    r.ns = ns;
+    r.iters = iters;
+    results_.push_back(std::move(r));
+    return ns;
+  }
+
+  /// Times a whole bench section (one operation).
+  template <class F>
+  double section(const std::string& label, F&& fn) {
+    return time(label, 1.0, std::forward<F>(fn));
+  }
+
+  /// Records a pre-measured result (for manual timing / derived metrics).
+  Result& add(Result r) {
+    results_.push_back(std::move(r));
+    return results_.back();
+  }
+
+  /// Writes BENCH_<name>.json; called automatically on destruction.
+  void write_json() {
+    if (written_) return;
+    written_ = true;
+    const std::string path = json_dir_ + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench harness: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"smoke\": %s,\n",
+                 escape(name_).c_str(), smoke_ ? "true" : "false");
+    std::fprintf(f, "  \"results\": [");
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const Result& r = results_[i];
+      std::fprintf(f,
+                   "%s\n    {\"name\": \"%s\", \"ns\": %.0f, "
+                   "\"iters\": %.0f, \"ns_per_op\": %.3f, "
+                   "\"ops_per_sec\": %.3f",
+                   i ? "," : "", escape(r.name).c_str(), r.ns, r.iters,
+                   r.ns_per_op(), r.ops_per_sec());
+      for (const auto& [key, value] : r.extra) {
+        std::fprintf(f, ", \"%s\": %.6f", escape(key).c_str(), value);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("[bench json: %s]\n", path.c_str());
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';  // labels are ASCII; control chars never expected
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::string json_dir_ = ".";
+  bool smoke_ = false;
+  bool written_ = false;
+  std::vector<Result> results_;
+};
+
+}  // namespace avsec::bench

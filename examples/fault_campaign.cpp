@@ -12,9 +12,13 @@
 // Every run is derived from one base seed; a failing seed replays
 // bit-identically.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "avsec/core/table.hpp"
+#include "avsec/core/thread_pool.hpp"
 #include "avsec/fault/campaign.hpp"
 #include "avsec/fault/fault.hpp"
 #include "avsec/ids/response.hpp"
@@ -143,30 +147,59 @@ fault::Metrics run_scenario(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("avsec fault campaign: attacks and faults, co-simulated\n");
   std::printf("======================================================\n\n");
 
-  fault::Campaign campaign({/*runs=*/20, /*base_seed=*/2026});
-  campaign
-      .require("feed recovers by end of run",
-               [](const fault::Metrics& m) {
-                 return m.at("feed_ok_at_end") == 1.0;
-               })
-      .require("limp-home not stuck at end",
-               [](const fault::Metrics& m) {
-                 return m.at("limp_home_at_end") == 0.0;
-               })
-      .require("uplink session up at end",
-               [](const fault::Metrics& m) {
-                 return m.at("session_up_at_end") == 1.0;
-               })
-      .require("feed never silent > 1s",
-               [](const fault::Metrics& m) {
-                 return m.at("worst_feed_gap_ms") <= 1000.0;
-               });
+  std::size_t workers = core::ThreadPool::default_workers();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<std::size_t>(std::atoll(argv[++i]));
+      if (workers == 0) workers = core::ThreadPool::default_workers();
+    }
+  }
 
-  const auto report = campaign.sweep(run_scenario);
+  auto make_campaign = [&](std::size_t w) {
+    fault::Campaign campaign({/*runs=*/20, /*base_seed=*/2026, w});
+    campaign
+        .require("feed recovers by end of run",
+                 [](const fault::Metrics& m) {
+                   return m.at("feed_ok_at_end") == 1.0;
+                 })
+        .require("limp-home not stuck at end",
+                 [](const fault::Metrics& m) {
+                   return m.at("limp_home_at_end") == 0.0;
+                 })
+        .require("uplink session up at end",
+                 [](const fault::Metrics& m) {
+                   return m.at("session_up_at_end") == 1.0;
+                 })
+        .require("feed never silent > 1s",
+                 [](const fault::Metrics& m) {
+                   return m.at("worst_feed_gap_ms") <= 1000.0;
+                 });
+    return campaign;
+  };
+
+  // Serial reference first, then the parallel sweep: the reports must be
+  // byte-identical (the campaign determinism contract) and the wall-clock
+  // ratio shows the fan-out win.
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const auto serial_report = make_campaign(1).sweep(run_scenario);
+  const auto t1 = clock::now();
+  const auto report = make_campaign(workers).sweep(run_scenario);
+  const auto t2 = clock::now();
+
+  const double serial_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double parallel_ms =
+      std::chrono::duration<double, std::milli>(t2 - t1).count();
+  std::printf("sweep wall-clock: serial %.0f ms, %zu workers %.0f ms "
+              "(speedup %.2fx), reports identical: %s\n\n",
+              serial_ms, workers, parallel_ms,
+              parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0,
+              fault::identical(serial_report, report) ? "yes" : "NO");
 
   core::Table t({"Metric", "Mean", "Min", "Max"});
   for (const auto& [name, acc] : report.aggregate) {
@@ -193,5 +226,6 @@ int main() {
     std::printf("\nAll invariants held on every run (%zu/%zu passed).\n",
                 report.runs - report.failed_runs, report.runs);
   }
-  return report.all_passed() ? 0 : 1;
+  return report.all_passed() && fault::identical(serial_report, report) ? 0
+                                                                        : 1;
 }

@@ -11,11 +11,14 @@
 //    them) checking the resilience invariants: the voter masks every
 //    single-replica lie, the supervisor always walks back to NOMINAL, and
 //    nothing ever escalates to SAFE_STOP under transient single faults.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "avsec/core/table.hpp"
+#include "avsec/core/thread_pool.hpp"
 #include "avsec/fault/campaign.hpp"
 #include "avsec/fault/fault.hpp"
 #include "avsec/health/replica.hpp"
@@ -215,25 +218,59 @@ int main(int argc, char** argv) {
   std::printf("==================================================\n\n");
   escalation_ladder();
 
+  // Positional args (runs, base_seed) stay as-is for CI pinning; the
+  // --workers flag may appear anywhere.
+  std::size_t workers = core::ThreadPool::default_workers();
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<std::size_t>(std::atoll(argv[++i]));
+      if (workers == 0) workers = core::ThreadPool::default_workers();
+      continue;
+    }
+    positional.push_back(argv[i]);
+  }
   const std::size_t runs =
-      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 20;
+      positional.size() > 0
+          ? static_cast<std::size_t>(std::atoll(positional[0]))
+          : 20;
   const std::uint64_t base_seed =
-      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 2026;
+      positional.size() > 1
+          ? static_cast<std::uint64_t>(std::atoll(positional[1]))
+          : 2026;
 
-  fault::Campaign campaign({runs, base_seed});
-  campaign
-      .require("2oo3 voter masks single-replica faults",
-               [](const fault::Metrics& m) {
-                 return m.at("max_fused_err") <= 0.5;
-               })
-      .require("supervisor back to NOMINAL at end",
-               [](const fault::Metrics& m) {
-                 return m.at("nominal_at_end") == 1.0;
-               })
-      .require("no spurious SAFE_STOP",
-               [](const fault::Metrics& m) { return m.at("safe_stop") == 0.0; });
+  auto make_campaign = [&](std::size_t w) {
+    fault::Campaign campaign({runs, base_seed, w});
+    campaign
+        .require("2oo3 voter masks single-replica faults",
+                 [](const fault::Metrics& m) {
+                   return m.at("max_fused_err") <= 0.5;
+                 })
+        .require("supervisor back to NOMINAL at end",
+                 [](const fault::Metrics& m) {
+                   return m.at("nominal_at_end") == 1.0;
+                 })
+        .require("no spurious SAFE_STOP", [](const fault::Metrics& m) {
+          return m.at("safe_stop") == 0.0;
+        });
+    return campaign;
+  };
 
-  const auto report = campaign.sweep(run_chaos);
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const auto serial_report = make_campaign(1).sweep(run_chaos);
+  const auto t1 = clock::now();
+  const auto report = make_campaign(workers).sweep(run_chaos);
+  const auto t2 = clock::now();
+  const double serial_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double parallel_ms =
+      std::chrono::duration<double, std::milli>(t2 - t1).count();
+  std::printf("sweep wall-clock: serial %.0f ms, %zu workers %.0f ms "
+              "(speedup %.2fx), reports identical: %s\n\n",
+              serial_ms, workers, parallel_ms,
+              parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0,
+              fault::identical(serial_report, report) ? "yes" : "NO");
 
   core::Table t({"Metric", "Mean", "Min", "Max"});
   for (const auto& [name, acc] : report.aggregate) {
@@ -259,5 +296,6 @@ int main(int argc, char** argv) {
     std::printf("\nAll invariants held on every run (%zu/%zu passed).\n",
                 report.runs - report.failed_runs, report.runs);
   }
-  return report.all_passed() ? 0 : 1;
+  return report.all_passed() && fault::identical(serial_report, report) ? 0
+                                                                        : 1;
 }

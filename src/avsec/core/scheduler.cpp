@@ -13,37 +13,32 @@ EventHandle Scheduler::schedule_at(SimTime at, Callback cb) {
   ev.id = next_id_++;
   ev.cb = std::move(cb);
   EventHandle h(ev.id);
-  live_ids_.push_back(ev.id);
-  queue_.push(std::move(ev));
+  live_.insert(ev.id);
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   return h;
 }
 
 bool Scheduler::cancel(EventHandle h) {
   if (!h.valid()) return false;
   // Only genuinely pending events can be cancelled: a handle whose event
-  // already ran (or was already cancelled) is a no-op.
-  const auto live = std::find(live_ids_.begin(), live_ids_.end(), h.id_);
-  if (live == live_ids_.end()) return false;
-  live_ids_.erase(live);
+  // already ran (or was already cancelled) is a no-op. Erasing from the
+  // live set first makes double-cancel counted exactly once — the id can
+  // enter `cancelled_` at most once, so pending() never under-reports.
+  if (live_.erase(h.id_) == 0) return false;
   // Ids are unique and never reused, so recording the id suffices; the
-  // event body is dropped when it reaches the front of the queue.
-  cancelled_.push_back(h.id_);
-  ++cancelled_live_;
+  // event body is dropped when it reaches the front of the heap.
+  cancelled_.insert(h.id_);
   return true;
 }
 
 bool Scheduler::pop_one() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      --cancelled_live_;
-      continue;
-    }
-    const auto live = std::find(live_ids_.begin(), live_ids_.end(), ev.id);
-    if (live != live_ids_.end()) live_ids_.erase(live);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    if (cancelled_.erase(ev.id) != 0) continue;
+    live_.erase(ev.id);
     now_ = ev.time;
     ev.cb();
     return true;
@@ -59,7 +54,16 @@ std::size_t Scheduler::run() {
 
 std::size_t Scheduler::run_until(SimTime until) {
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().time <= until) {
+  for (;;) {
+    // Drop cancelled tombstones at the front first: the boundary check must
+    // see the earliest *live* event, otherwise a cancelled event inside the
+    // window would let pop_one() execute a live event beyond `until`.
+    while (!heap_.empty() && cancelled_.count(heap_.front().id) != 0) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      cancelled_.erase(heap_.back().id);
+      heap_.pop_back();
+    }
+    if (heap_.empty() || heap_.front().time > until) break;
     if (pop_one()) ++n;
   }
   now_ = std::max(now_, until);

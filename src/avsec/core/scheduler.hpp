@@ -1,13 +1,21 @@
 // Discrete-event simulation kernel.
 //
-// A Scheduler owns a priority queue of (time, sequence, callback) events.
+// A Scheduler owns a binary heap of (time, sequence, callback) events.
 // Events scheduled for the same instant fire in scheduling order, which
 // keeps runs bit-reproducible across platforms.
+//
+// Cancellation is lazy: cancel() only moves the event id from the live set
+// to the cancelled set (both O(1) hash-set operations — campaigns cancel
+// thousands of retransmit/watchdog timers per run, so the old linear scans
+// over the pending list dominated profiles); the event body is dropped when
+// it reaches the front of the heap. Popping moves the event out of the heap
+// storage instead of copying it, so a pop never copy-constructs the
+// std::function payload.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "avsec/core/time.hpp"
@@ -49,7 +57,8 @@ class Scheduler {
   }
 
   /// Cancels a pending event. Returns false if it already ran or was
-  /// cancelled. The callback is dropped lazily when popped.
+  /// cancelled. The callback is dropped lazily when popped; repeated
+  /// cancellation of the same handle is a counted-once no-op.
   bool cancel(EventHandle h);
 
   /// Runs events until the queue is empty. Returns the number executed.
@@ -61,8 +70,8 @@ class Scheduler {
   /// Executes exactly one event if any is pending. Returns true if one ran.
   bool step();
 
-  /// Number of events still pending (including cancelled-but-unpopped).
-  std::size_t pending() const { return queue_.size() - cancelled_live_; }
+  /// Number of genuinely pending events (cancelled-but-unpopped excluded).
+  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
 
  private:
   struct Event {
@@ -83,10 +92,9 @@ class Scheduler {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<std::uint64_t> live_ids_;   // ids of genuinely pending events
-  std::vector<std::uint64_t> cancelled_;  // ids awaiting lazy removal
-  std::size_t cancelled_live_ = 0;
+  std::vector<Event> heap_;  // std::push_heap/pop_heap with Later
+  std::unordered_set<std::uint64_t> live_;       // genuinely pending ids
+  std::unordered_set<std::uint64_t> cancelled_;  // awaiting lazy removal
 };
 
 }  // namespace avsec::core

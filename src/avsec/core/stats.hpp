@@ -25,6 +25,13 @@ class Accumulator {
   /// Merges another accumulator into this one.
   void merge(const Accumulator& other);
 
+  /// Exact (bitwise double) state equality; used to prove parallel sweeps
+  /// reproduce serial ones.
+  bool identical(const Accumulator& other) const {
+    return n_ == other.n_ && mean_ == other.mean_ && m2_ == other.m2_ &&
+           min_ == other.min_ && max_ == other.max_ && sum_ == other.sum_;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

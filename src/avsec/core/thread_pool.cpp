@@ -1,0 +1,94 @@
+#include "avsec/core/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace avsec::core {
+
+std::size_t ThreadPool::default_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = default_workers();
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::for_each_index(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // One pulling task per worker instead of one per index: the shared
+  // counter hands out indices dynamically and the queue sees O(workers)
+  // entries, not O(n).
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t pullers = std::min(size(), n);
+  for (std::size_t w = 0; w < pullers; ++w) {
+    submit([next, n, &fn] {
+      for (std::size_t i = next->fetch_add(1); i < n;
+           i = next->fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  wait();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (err && !first_error_) first_error_ = err;
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace avsec::core

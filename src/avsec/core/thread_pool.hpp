@@ -1,0 +1,67 @@
+// Fixed-size worker pool for fanning independent work across cores.
+//
+// The pool exists for embarrassingly parallel simulation workloads —
+// campaign sweeps where every run builds its own world, scheduler, and RNG
+// stream. Tasks must therefore not share mutable state unless they
+// synchronize it themselves; the pool provides no per-task locking.
+//
+// Exceptions thrown by tasks are captured and rethrown from wait() /
+// for_each_index() on the calling thread (first failure wins; the rest of
+// the batch still drains so workers never deadlock).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace avsec::core {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 means default_workers().
+  explicit ThreadPool(std::size_t workers = 0);
+
+  /// Joins all workers. Pending tasks are drained before destruction.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return threads_.size(); }
+
+  /// Enqueues a task for execution on some worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished, then rethrows
+  /// the first exception any of them raised (if any).
+  void wait();
+
+  /// Runs fn(i) for every i in [0, n) across the pool and blocks until all
+  /// calls returned. Work is handed out index-at-a-time from a shared
+  /// counter, so long and short items interleave without static partitioning
+  /// skew. Rethrows the first exception raised by any call.
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t default_workers();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+}  // namespace avsec::core

@@ -1,6 +1,9 @@
 #include "avsec/fault/campaign.hpp"
 
+#include <algorithm>
+
 #include "avsec/core/rng.hpp"
+#include "avsec/core/thread_pool.hpp"
 
 namespace avsec::fault {
 
@@ -10,6 +13,29 @@ std::vector<std::uint64_t> CampaignReport::failing_seeds() const {
     if (!o.violated.empty()) seeds.push_back(o.seed);
   }
   return seeds;
+}
+
+bool identical(const CampaignReport& a, const CampaignReport& b) {
+  if (a.runs != b.runs || a.failed_runs != b.failed_runs ||
+      a.violations != b.violations || a.outcomes.size() != b.outcomes.size() ||
+      a.aggregate.size() != b.aggregate.size()) {
+    return false;
+  }
+  for (auto ita = a.aggregate.begin(), itb = b.aggregate.begin();
+       ita != a.aggregate.end(); ++ita, ++itb) {
+    if (ita->first != itb->first || !ita->second.identical(itb->second)) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    const RunOutcome& oa = a.outcomes[i];
+    const RunOutcome& ob = b.outcomes[i];
+    if (oa.seed != ob.seed || oa.violated != ob.violated ||
+        oa.metrics != ob.metrics) {
+      return false;
+    }
+  }
+  return true;
 }
 
 Campaign& Campaign::require(std::string name, Check check) {
@@ -29,22 +55,44 @@ std::uint64_t Campaign::seed_for_run(std::size_t i) const {
 CampaignReport Campaign::sweep(const RunFn& run) const {
   CampaignReport report;
   report.runs = config_.runs;
+  report.outcomes.resize(config_.runs);
+
+  // Seeds are drawn up front in run order; each run then owns a private
+  // RNG stream, so execution order cannot leak between runs.
   core::Rng rng(config_.base_seed);
-  for (std::size_t i = 0; i < config_.runs; ++i) {
-    RunOutcome outcome;
-    outcome.seed = rng.next();
-    outcome.metrics = run(outcome.seed);
-    for (const auto& [key, value] : outcome.metrics) {
+  for (RunOutcome& o : report.outcomes) o.seed = rng.next();
+
+  // Per-run work: build the world, collect metrics, evaluate invariants.
+  // Everything here depends only on the run's own seed, so it can execute
+  // on any thread.
+  auto execute = [&](std::size_t i) {
+    RunOutcome& o = report.outcomes[i];
+    o.metrics = run(o.seed);
+    for (const auto& [name, check] : invariants_) {
+      if (!check(o.metrics)) o.violated.push_back(name);
+    }
+  };
+
+  std::size_t workers =
+      config_.workers == 0 ? core::ThreadPool::default_workers()
+                           : config_.workers;
+  workers = std::min(workers, config_.runs);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < config_.runs; ++i) execute(i);
+  } else {
+    core::ThreadPool pool(workers);
+    pool.for_each_index(config_.runs, execute);
+  }
+
+  // Fold in run order on this thread: the aggregate accumulators see the
+  // exact same sequence of floating-point adds as a serial sweep, which is
+  // what makes the report byte-identical across worker counts.
+  for (const RunOutcome& o : report.outcomes) {
+    for (const auto& [key, value] : o.metrics) {
       report.aggregate[key].add(value);
     }
-    for (const auto& [name, check] : invariants_) {
-      if (!check(outcome.metrics)) {
-        outcome.violated.push_back(name);
-        ++report.violations[name];
-      }
-    }
-    if (!outcome.violated.empty()) ++report.failed_runs;
-    report.outcomes.push_back(std::move(outcome));
+    for (const std::string& name : o.violated) ++report.violations[name];
+    if (!o.violated.empty()) ++report.failed_runs;
   }
   return report;
 }

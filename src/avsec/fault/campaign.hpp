@@ -7,6 +7,14 @@
 // run from the base seed, calls the user's scenario function (which builds
 // a fresh world, arms a FaultPlan, runs the scheduler and returns named
 // metrics), and evaluates every invariant against those metrics.
+//
+// Sweeps fan out across a core::ThreadPool when `workers > 1`. The runs
+// are independent worlds by construction (fresh scheduler, fresh RNG
+// stream, seed derived per run index), so the parallel sweep produces a
+// report byte-identical to the serial one: outcomes are stored by run
+// index and all aggregation folds in run order on the calling thread.
+// The scenario function must therefore be safe to call concurrently —
+// it must not touch shared mutable state.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +33,9 @@ using Metrics = std::map<std::string, double>;
 struct CampaignConfig {
   std::size_t runs = 10;
   std::uint64_t base_seed = 1;
+  /// Worker threads for the sweep: 1 = serial (default), 0 = one per
+  /// hardware thread. Any value yields the same report bit-for-bit.
+  std::size_t workers = 1;
 };
 
 struct RunOutcome {
@@ -47,6 +58,10 @@ struct CampaignReport {
   std::vector<std::uint64_t> failing_seeds() const;
 };
 
+/// Exact equality of two reports (bitwise on all doubles). Parallel and
+/// serial sweeps of the same campaign must satisfy this.
+bool identical(const CampaignReport& a, const CampaignReport& b);
+
 class Campaign {
  public:
   using RunFn = std::function<Metrics(std::uint64_t seed)>;
@@ -57,8 +72,10 @@ class Campaign {
   /// Adds an invariant every run must satisfy.
   Campaign& require(std::string name, Check check);
 
-  /// Runs the sweep. Seeds are derived deterministically from base_seed,
-  /// so a failing seed can be replayed in isolation.
+  /// Runs the sweep, serially or across config.workers threads. Seeds are
+  /// derived deterministically from base_seed, so a failing seed can be
+  /// replayed in isolation; the report does not depend on worker count.
+  /// An exception thrown by any run aborts the sweep and propagates.
   CampaignReport sweep(const RunFn& run) const;
 
   /// The seed the sweep uses for run `i` (exposed for replay tooling).

@@ -15,28 +15,36 @@ double pulse_sample(int k, int half_width) {
   return -t * std::exp(0.5 * (1.0 - t * t));
 }
 
+/// Precomputed matched-filter taps for one PulseShape: the integrity checks
+/// demodulate thousands of pulses per call, and evaluating exp() per sample
+/// dominated their runtime. Taps and total energy come from a single pass.
+struct PulseTemplate {
+  int half_width = 0;
+  std::vector<double> taps;  // taps[j] = pulse_sample(j - 2*half_width)
+  double energy = 0.0;
+
+  explicit PulseTemplate(const PulseShape& shape)
+      : half_width(shape.pulse_half_width),
+        taps(static_cast<std::size_t>(4 * shape.pulse_half_width + 1)) {
+    for (int k = -2 * half_width; k <= 2 * half_width; ++k) {
+      const double v = pulse_sample(k, half_width);
+      taps[static_cast<std::size_t>(k + 2 * half_width)] = v;
+      energy += v * v;
+    }
+  }
+};
+
 /// Matched-filter output for a single pulse centered at `center`.
 double pulse_demod(const Signal& rx, std::ptrdiff_t center,
-                   const PulseShape& shape) {
+                   const PulseTemplate& tmpl) {
   double acc = 0.0;
-  for (int k = -2 * shape.pulse_half_width; k <= 2 * shape.pulse_half_width;
-       ++k) {
+  for (int k = -2 * tmpl.half_width; k <= 2 * tmpl.half_width; ++k) {
     const std::ptrdiff_t idx = center + k;
     if (idx < 0 || idx >= static_cast<std::ptrdiff_t>(rx.size())) continue;
     acc += rx[static_cast<std::size_t>(idx)] *
-           pulse_sample(k, shape.pulse_half_width);
+           tmpl.taps[static_cast<std::size_t>(k + 2 * tmpl.half_width)];
   }
   return acc;
-}
-
-double pulse_energy(const PulseShape& shape) {
-  double e = 0.0;
-  for (int k = -2 * shape.pulse_half_width; k <= 2 * shape.pulse_half_width;
-       ++k) {
-    const double v = pulse_sample(k, shape.pulse_half_width);
-    e += v * v;
-  }
-  return e;
 }
 
 std::size_t chip_center(std::size_t chip_index, const PulseShape& shape) {
@@ -45,17 +53,28 @@ std::size_t chip_center(std::size_t chip_index, const PulseShape& shape) {
 
 }  // namespace
 
-std::vector<double> correlate(const Signal& rx, const Signal& tmpl,
-                              std::size_t max_offset) {
-  std::vector<double> out(max_offset + 1, 0.0);
+void correlate_into(const Signal& rx, const Signal& tmpl,
+                    std::size_t max_offset, std::vector<double>& out) {
+  out.assign(max_offset + 1, 0.0);
+  const std::size_t rx_size = rx.size();
+  const std::size_t tmpl_size = tmpl.size();
+  const double* rx_data = rx.data();
+  const double* tmpl_data = tmpl.data();
   for (std::size_t k = 0; k <= max_offset; ++k) {
+    const std::size_t n = std::min(tmpl_size, rx_size - std::min(rx_size, k));
     double acc = 0.0;
-    const std::size_t n = std::min(tmpl.size(), rx.size() - std::min(rx.size(), k));
+    const double* shifted = rx_data + k;
     for (std::size_t i = 0; i < n; ++i) {
-      acc += rx[k + i] * tmpl[i];
+      acc += shifted[i] * tmpl_data[i];
     }
     out[k] = acc;
   }
+}
+
+std::vector<double> correlate(const Signal& rx, const Signal& tmpl,
+                              std::size_t max_offset) {
+  std::vector<double> out;
+  correlate_into(rx, tmpl, max_offset, out);
   return out;
 }
 
@@ -95,10 +114,10 @@ namespace {
 
 /// Worst (minimum) per-segment normalized score at one candidate alignment.
 double min_segment_score_at(const Signal& rx, const ChipCode& code,
-                            const PulseShape& shape, std::ptrdiff_t toa,
+                            const PulseShape& shape,
+                            const PulseTemplate& tmpl, std::ptrdiff_t toa,
                             std::size_t segments) {
   const std::size_t per_segment = code.size() / segments;
-  const double e_pulse = pulse_energy(shape);
   double worst = std::numeric_limits<double>::infinity();
   for (std::size_t s = 0; s < segments; ++s) {
     double score = 0.0;
@@ -106,10 +125,10 @@ double min_segment_score_at(const Signal& rx, const ChipCode& code,
       score += code.chips[i] *
                pulse_demod(rx, toa + static_cast<std::ptrdiff_t>(
                                          chip_center(i, shape)),
-                           shape);
+                           tmpl);
     }
     worst = std::min(worst,
-                     score / (static_cast<double>(per_segment) * e_pulse));
+                     score / (static_cast<double>(per_segment) * tmpl.energy));
   }
   return worst;
 }
@@ -120,6 +139,7 @@ bool sts_consistency_check(const Signal& rx, const ChipCode& code,
                            const PulseShape& shape, std::size_t claimed_toa,
                            const StsCheckConfig& config) {
   if (code.size() / config.segments == 0) return false;
+  const PulseTemplate tmpl(shape);  // hoisted out of the alignment scan
   // Re-align within the tolerance window: a genuine path scores ~1 at its
   // true alignment; a blind injection scores at chance at *every*
   // alignment, because the per-segment signs stay random.
@@ -127,7 +147,7 @@ bool sts_consistency_check(const Signal& rx, const ChipCode& code,
   for (int d = -config.alignment_tolerance; d <= config.alignment_tolerance;
        ++d) {
     best = std::max(best, min_segment_score_at(
-                              rx, code, shape,
+                              rx, code, shape, tmpl,
                               static_cast<std::ptrdiff_t>(claimed_toa) + d,
                               config.segments));
   }
@@ -139,6 +159,7 @@ bool distance_commitment_check(const Signal& rx, const LrpCode& code,
                                std::size_t claimed_toa,
                                const CommitmentCheckConfig& config) {
   if (code.positions.empty()) return false;
+  const PulseTemplate tmpl(shape);
   double best_ber = 1.0;
   for (int d = -config.alignment_tolerance; d <= config.alignment_tolerance;
        ++d) {
@@ -149,7 +170,7 @@ bool distance_commitment_check(const Signal& rx, const LrpCode& code,
           static_cast<std::ptrdiff_t>(claimed_toa) + d +
               static_cast<std::ptrdiff_t>(
                   chip_center(code.positions[i], shape)),
-          shape);
+          tmpl);
       const int bit = q >= 0.0 ? 1 : -1;
       if (bit != code.polarities[i]) ++errors;
     }
@@ -185,21 +206,21 @@ HrpRanging::HrpRanging(core::BytesView key16, TwrConfig config)
 
 TwrResult HrpRanging::measure(double true_distance_m, std::uint64_t session,
                               const AttackHook& attack) {
-  const ChipCode code = make_sts(key_, session, config_.sts_chips);
-  const Signal tx = render_chips(code, config_.shape);
+  make_sts_into(key_, session, config_.sts_chips, code_);
+  render_chips_into(code_, config_.shape, tx_);
 
   ChannelConfig ch_cfg = config_.channel;
   ch_cfg.seed = config_.channel.seed * 0x9E3779B9ULL + session;
   Channel channel(ch_cfg);
-  const std::size_t rx_len = tx.size() + config_.search_samples;
-  Signal rx = channel.propagate(tx, true_distance_m, rx_len);
+  const std::size_t rx_len = tx_.size() + config_.search_samples;
+  channel.propagate_into(tx_, true_distance_m, rx_len, rx_);
 
   const auto true_toa = static_cast<std::size_t>(
       std::lround(distance_to_samples(true_distance_m)));
-  if (attack) attack(rx, true_toa, tx);
+  if (attack) attack(rx_, true_toa, tx_);
 
-  const auto corr = correlate(rx, tx, config_.search_samples);
-  const auto est = estimate_toa(corr, config_.toa);
+  correlate_into(rx_, tx_, config_.search_samples, corr_);
+  const auto est = estimate_toa(corr_, config_.toa);
 
   TwrResult result;
   result.measured_distance_m = samples_to_distance(
@@ -208,10 +229,10 @@ TwrResult HrpRanging::measure(double true_distance_m, std::uint64_t session,
       static_cast<double>(est.first_path) -
       distance_to_samples(true_distance_m);
   result.sts_check_passed =
-      sts_consistency_check(rx, code, config_.shape, est.first_path);
+      sts_consistency_check(rx_, code_, config_.shape, est.first_path);
   const double noise_sigma = std::pow(10.0, -config_.channel.snr_db / 20.0);
   result.enlargement_flagged =
-      enlargement_detected(rx, est.first_path, noise_sigma);
+      enlargement_detected(rx_, est.first_path, noise_sigma);
   return result;
 }
 
@@ -224,21 +245,21 @@ TwrResult LrpRanging::measure(double true_distance_m, std::uint64_t session,
   // matches the HRP chip count so both modes span similar airtime.
   const std::size_t n_slots = config_.sts_chips;
   const std::size_t n_pulses = std::max<std::size_t>(8, n_slots / 8);
-  const LrpCode code = make_lrp_code(key_, session, n_slots, n_pulses);
-  const Signal tx = render_lrp(code, config_.shape);
+  make_lrp_code_into(key_, session, n_slots, n_pulses, code_);
+  render_lrp_into(code_, config_.shape, tx_);
 
   ChannelConfig ch_cfg = config_.channel;
   ch_cfg.seed = config_.channel.seed * 0xC2B2AE35ULL + session;
   Channel channel(ch_cfg);
-  const std::size_t rx_len = tx.size() + config_.search_samples;
-  Signal rx = channel.propagate(tx, true_distance_m, rx_len);
+  const std::size_t rx_len = tx_.size() + config_.search_samples;
+  channel.propagate_into(tx_, true_distance_m, rx_len, rx_);
 
   const auto true_toa = static_cast<std::size_t>(
       std::lround(distance_to_samples(true_distance_m)));
-  if (attack) attack(rx, true_toa, tx);
+  if (attack) attack(rx_, true_toa, tx_);
 
-  const auto corr = correlate(rx, tx, config_.search_samples);
-  const auto est = estimate_toa(corr, config_.toa);
+  correlate_into(rx_, tx_, config_.search_samples, corr_);
+  const auto est = estimate_toa(corr_, config_.toa);
 
   TwrResult result;
   result.measured_distance_m =
@@ -246,10 +267,10 @@ TwrResult LrpRanging::measure(double true_distance_m, std::uint64_t session,
   result.toa_error_samples = static_cast<double>(est.first_path) -
                              distance_to_samples(true_distance_m);
   result.commitment_passed =
-      distance_commitment_check(rx, code, config_.shape, est.first_path);
+      distance_commitment_check(rx_, code_, config_.shape, est.first_path);
   const double noise_sigma = std::pow(10.0, -config_.channel.snr_db / 20.0);
   result.enlargement_flagged =
-      enlargement_detected(rx, est.first_path, noise_sigma);
+      enlargement_detected(rx_, est.first_path, noise_sigma);
   return result;
 }
 

@@ -21,6 +21,12 @@ namespace avsec::phy {
 std::vector<double> correlate(const Signal& rx, const Signal& tmpl,
                               std::size_t max_offset);
 
+/// Scratch-reusing variant: `out` is resized to max_offset + 1 and
+/// overwritten. This is the ranging hot path — campaigns call it once per
+/// session, and the output buffer's capacity survives across calls.
+void correlate_into(const Signal& rx, const Signal& tmpl,
+                    std::size_t max_offset, std::vector<double>& out);
+
 struct ToaConfig {
   /// Leading-edge threshold relative to the correlation peak.
   double edge_threshold = 0.25;
@@ -128,6 +134,12 @@ class HrpRanging {
  private:
   core::Bytes key_;
   TwrConfig config_;
+  // Scratch reused across measure() calls (session loops ran tens of
+  // thousands of sessions allocating four large vectors each).
+  ChipCode code_;
+  Signal tx_;
+  Signal rx_;
+  std::vector<double> corr_;
 };
 
 /// LRP ranging with distance commitment (sparse secret pulse pattern).
@@ -147,6 +159,11 @@ class LrpRanging {
  private:
   core::Bytes key_;
   TwrConfig config_;
+  // Scratch reused across measure() calls; see HrpRanging.
+  LrpCode code_;
+  Signal tx_;
+  Signal rx_;
+  std::vector<double> corr_;
 };
 
 }  // namespace avsec::phy

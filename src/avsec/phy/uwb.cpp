@@ -9,25 +9,32 @@ namespace avsec::phy {
 double distance_to_samples(double meters) { return meters / kMetersPerSample; }
 double samples_to_distance(double samples) { return samples * kMetersPerSample; }
 
-ChipCode make_sts(core::BytesView key16, std::uint64_t counter,
-                  std::size_t n_chips) {
+void make_sts_into(core::BytesView key16, std::uint64_t counter,
+                   std::size_t n_chips, ChipCode& out) {
   crypto::Aes::Block iv{};
   for (int i = 0; i < 8; ++i) {
     iv[8 + i] = static_cast<std::uint8_t>(counter >> (56 - 8 * i));
   }
   crypto::AesCtr ctr(key16, iv);
   const core::Bytes stream = ctr.keystream((n_chips + 7) / 8);
-  ChipCode code;
-  code.chips.reserve(n_chips);
+  out.chips.clear();
+  out.chips.reserve(n_chips);
   for (std::size_t i = 0; i < n_chips; ++i) {
     const bool bit = (stream[i / 8] >> (i % 8)) & 1;
-    code.chips.push_back(bit ? 1 : -1);
+    out.chips.push_back(bit ? 1 : -1);
   }
+}
+
+ChipCode make_sts(core::BytesView key16, std::uint64_t counter,
+                  std::size_t n_chips) {
+  ChipCode code;
+  make_sts_into(key16, counter, n_chips, code);
   return code;
 }
 
-LrpCode make_lrp_code(core::BytesView key16, std::uint64_t counter,
-                      std::size_t n_slots, std::size_t n_pulses) {
+void make_lrp_code_into(core::BytesView key16, std::uint64_t counter,
+                        std::size_t n_slots, std::size_t n_pulses,
+                        LrpCode& out) {
   assert(n_pulses <= n_slots);
   crypto::Aes::Block iv{};
   iv[0] = 0x4C;  // domain-separate from STS
@@ -48,13 +55,20 @@ LrpCode make_lrp_code(core::BytesView key16, std::uint64_t counter,
     const std::size_t j = i + next_u32() % (n_slots - i);
     std::swap(slots[i], slots[j]);
   }
-  LrpCode code;
-  code.positions.assign(slots.begin(), slots.begin() + n_pulses);
-  std::sort(code.positions.begin(), code.positions.end());
+  out.positions.assign(slots.begin(), slots.begin() + n_pulses);
+  std::sort(out.positions.begin(), out.positions.end());
+  out.polarities.clear();
+  out.polarities.reserve(n_pulses);
   const core::Bytes pol = ctr.keystream((n_pulses + 7) / 8);
   for (std::size_t i = 0; i < n_pulses; ++i) {
-    code.polarities.push_back(((pol[i / 8] >> (i % 8)) & 1) ? 1 : -1);
+    out.polarities.push_back(((pol[i / 8] >> (i % 8)) & 1) ? 1 : -1);
   }
+}
+
+LrpCode make_lrp_code(core::BytesView key16, std::uint64_t counter,
+                      std::size_t n_slots, std::size_t n_pulses) {
+  LrpCode code;
+  make_lrp_code_into(key16, counter, n_slots, n_pulses, code);
   return code;
 }
 
@@ -80,28 +94,42 @@ void place_pulse(Signal& s, std::size_t center, int polarity,
 
 }  // namespace
 
-Signal render_chips(const ChipCode& code, const PulseShape& shape) {
-  Signal s(code.size() * shape.chip_spacing_samples +
-           4 * shape.pulse_half_width + 1);
+void render_chips_into(const ChipCode& code, const PulseShape& shape,
+                       Signal& out) {
+  out.assign(code.size() * shape.chip_spacing_samples +
+                 4 * shape.pulse_half_width + 1,
+             0.0);
   for (std::size_t i = 0; i < code.size(); ++i) {
-    place_pulse(s, i * shape.chip_spacing_samples + 2 * shape.pulse_half_width,
+    place_pulse(out,
+                i * shape.chip_spacing_samples + 2 * shape.pulse_half_width,
                 code.chips[i], shape);
   }
+}
+
+Signal render_chips(const ChipCode& code, const PulseShape& shape) {
+  Signal s;
+  render_chips_into(code, shape, s);
   return s;
 }
 
-Signal render_lrp(const LrpCode& code, const PulseShape& shape) {
+void render_lrp_into(const LrpCode& code, const PulseShape& shape,
+                     Signal& out) {
   const std::size_t n_slots =
       code.positions.empty() ? 0 : code.positions.back() + 1;
-  Signal s(n_slots * shape.chip_spacing_samples + 4 * shape.pulse_half_width +
-           1);
+  out.assign(n_slots * shape.chip_spacing_samples +
+                 4 * shape.pulse_half_width + 1,
+             0.0);
   for (std::size_t i = 0; i < code.positions.size(); ++i) {
-    place_pulse(
-        s,
-        code.positions[i] * shape.chip_spacing_samples +
-            2 * shape.pulse_half_width,
-        code.polarities[i], shape);
+    place_pulse(out,
+                code.positions[i] * shape.chip_spacing_samples +
+                    2 * shape.pulse_half_width,
+                code.polarities[i], shape);
   }
+}
+
+Signal render_lrp(const LrpCode& code, const PulseShape& shape) {
+  Signal s;
+  render_lrp_into(code, shape, s);
   return s;
 }
 
@@ -110,7 +138,14 @@ Channel::Channel(ChannelConfig config)
 
 Signal Channel::propagate(const Signal& tx, double distance_m,
                           std::size_t rx_length) {
-  Signal rx(rx_length, 0.0);
+  Signal rx;
+  propagate_into(tx, distance_m, rx_length, rx);
+  return rx;
+}
+
+void Channel::propagate_into(const Signal& tx, double distance_m,
+                             std::size_t rx_length, Signal& rx) {
+  rx.assign(rx_length, 0.0);
   const auto delay =
       static_cast<std::ptrdiff_t>(std::lround(distance_to_samples(distance_m)));
   mix_into(rx, tx, delay, 1.0);
@@ -128,7 +163,6 @@ Signal Channel::propagate(const Signal& tx, double distance_m,
   // AWGN sized against unit pulse amplitude.
   const double noise_sigma = std::pow(10.0, -config_.snr_db / 20.0);
   for (double& v : rx) v += rng_.normal(0.0, noise_sigma);
-  return rx;
 }
 
 void mix_into(Signal& target, const Signal& addend, std::ptrdiff_t offset,

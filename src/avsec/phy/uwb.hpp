@@ -40,6 +40,11 @@ struct ChipCode {
 ChipCode make_sts(core::BytesView key16, std::uint64_t counter,
                   std::size_t n_chips);
 
+/// Scratch-reusing variant: overwrites `out` (capacity is retained across
+/// calls, so per-session code derivation stops allocating).
+void make_sts_into(core::BytesView key16, std::uint64_t counter,
+                   std::size_t n_chips, ChipCode& out);
+
 /// LRP pulse pattern: `n_pulses` pulses at secret positions within a frame
 /// of `n_slots` chip slots, each with a secret polarity.
 struct LrpCode {
@@ -49,6 +54,11 @@ struct LrpCode {
 
 LrpCode make_lrp_code(core::BytesView key16, std::uint64_t counter,
                       std::size_t n_slots, std::size_t n_pulses);
+
+/// Scratch-reusing variant of make_lrp_code.
+void make_lrp_code_into(core::BytesView key16, std::uint64_t counter,
+                        std::size_t n_slots, std::size_t n_pulses,
+                        LrpCode& out);
 
 /// Waveform synthesis parameters.
 struct PulseShape {
@@ -61,6 +71,12 @@ Signal render_chips(const ChipCode& code, const PulseShape& shape);
 
 /// Renders an LRP pattern (pulses only at coded positions).
 Signal render_lrp(const LrpCode& code, const PulseShape& shape);
+
+/// Scratch-reusing render variants: `out` is resized and overwritten.
+void render_chips_into(const ChipCode& code, const PulseShape& shape,
+                       Signal& out);
+void render_lrp_into(const LrpCode& code, const PulseShape& shape,
+                     Signal& out);
 
 /// Multipath + AWGN channel.
 struct ChannelConfig {
@@ -80,6 +96,11 @@ class Channel {
   /// The output is `rx_length` samples long.
   Signal propagate(const Signal& tx, double distance_m,
                    std::size_t rx_length);
+
+  /// Scratch-reusing variant: `rx` is resized to `rx_length`, zeroed, and
+  /// filled; the RNG draws are identical to propagate().
+  void propagate_into(const Signal& tx, double distance_m,
+                      std::size_t rx_length, Signal& rx);
 
   core::Rng& rng() { return rng_; }
 

@@ -4,7 +4,7 @@
 // explicit sequence numbers.
 //
 // This is NOT an RFC 8446 implementation: alerts, resumption, cipher
-// negotiation and the full state machine are out of scope (DESIGN.md §9).
+// negotiation and the full state machine are out of scope (DESIGN.md §10).
 #pragma once
 
 #include <cstdint>

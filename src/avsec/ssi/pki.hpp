@@ -3,7 +3,7 @@
 // CRLs; path validation walks issuer links up to a configured trust root.
 //
 // Chain semantics (path building, expiry, revocation) are faithful; the
-// encoding is our canonical byte format, not ASN.1 DER (DESIGN.md §9).
+// encoding is our canonical byte format, not ASN.1 DER (DESIGN.md §10).
 #pragma once
 
 #include <cstdint>

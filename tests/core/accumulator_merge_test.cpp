@@ -1,0 +1,97 @@
+// Satellite of the parallel campaign engine: merging per-worker
+// accumulators in run order must reproduce serial accumulation. min/max/
+// count/identity properties are exact; mean/variance use the parallel
+// Chan-et-al. update, which agrees with Welford to floating-point noise.
+#include "avsec/core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "avsec/core/rng.hpp"
+
+namespace avsec::core {
+namespace {
+
+constexpr double kRelTol = 1e-12;
+
+void expect_close(double a, double b) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  EXPECT_NEAR(a, b, kRelTol * scale);
+}
+
+TEST(AccumulatorMerge, BlockMergeInRunOrderMatchesSerial) {
+  Rng rng(42);
+  std::vector<double> xs(997);  // deliberately not a multiple of any block
+  for (double& x : xs) x = rng.normal(10.0, 3.0);
+
+  Accumulator serial;
+  for (double x : xs) serial.add(x);
+
+  for (std::size_t workers : {1u, 2u, 3u, 8u}) {
+    // Contiguous blocks in run order, exactly how a parallel sweep would
+    // partition per-worker accumulators.
+    std::vector<Accumulator> parts(workers);
+    const std::size_t per = (xs.size() + workers - 1) / workers;
+    for (std::size_t i = 0; i < xs.size(); ++i) parts[i / per].add(xs[i]);
+
+    Accumulator merged;
+    for (const Accumulator& p : parts) merged.merge(p);
+
+    EXPECT_EQ(merged.count(), serial.count());
+    EXPECT_EQ(merged.min(), serial.min());  // order-free, exact
+    EXPECT_EQ(merged.max(), serial.max());
+    expect_close(merged.sum(), serial.sum());
+    expect_close(merged.mean(), serial.mean());
+    expect_close(merged.variance(), serial.variance());
+    expect_close(merged.stddev(), serial.stddev());
+  }
+}
+
+TEST(AccumulatorMerge, MergingEmptyIsIdentity) {
+  Accumulator a;
+  a.add(1.0);
+  a.add(2.0);
+  const Accumulator before = a;
+  a.merge(Accumulator{});
+  EXPECT_TRUE(a.identical(before));
+
+  Accumulator empty;
+  empty.merge(before);
+  EXPECT_TRUE(empty.identical(before));
+}
+
+TEST(AccumulatorMerge, SingleSampleMergesEqualSequentialAdds) {
+  // Per-run accumulators hold one sample each; merging them in run order
+  // must agree with streaming adds (this is the campaign fold contract).
+  Rng rng(7);
+  Accumulator streaming, folded;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    streaming.add(x);
+    Accumulator one;
+    one.add(x);
+    folded.merge(one);
+  }
+  EXPECT_EQ(folded.count(), streaming.count());
+  EXPECT_EQ(folded.min(), streaming.min());
+  EXPECT_EQ(folded.max(), streaming.max());
+  expect_close(folded.mean(), streaming.mean());
+  expect_close(folded.variance(), streaming.variance());
+}
+
+TEST(AccumulatorMerge, IdenticalDetectsExactStateOnly) {
+  Accumulator a, b;
+  for (double x : {1.0, 2.0, 3.0}) {
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_TRUE(a.identical(b));
+  b.add(3.0000001);
+  EXPECT_FALSE(a.identical(b));
+}
+
+}  // namespace
+}  // namespace avsec::core

@@ -199,6 +199,74 @@ TEST(Scheduler, CancelAllPendingThenRunExecutesNothing) {
   EXPECT_EQ(sim.now(), 0);  // cancelled events do not advance the clock
 }
 
+TEST(Scheduler, RepeatedCancelCannotDoubleCountPending) {
+  // Regression: cancelling the same handle twice (or after the event fired)
+  // must count the cancellation at most once, or pending() under-reports
+  // and run_until() terminates early.
+  Scheduler sim;
+  auto a = sim.schedule_at(nanoseconds(10), [] {});
+  sim.schedule_at(nanoseconds(20), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_TRUE(sim.cancel(a));
+  EXPECT_EQ(sim.pending(), 1u);
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(sim.cancel(a));
+  EXPECT_EQ(sim.pending(), 1u);  // still exactly one live event
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Scheduler, CancelAfterFireDoesNotCorruptPending) {
+  Scheduler sim;
+  auto a = sim.schedule_at(nanoseconds(1), [] {});
+  sim.run();
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(sim.cancel(a));
+  sim.schedule_at(nanoseconds(5), [] {});
+  sim.schedule_at(nanoseconds(6), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Scheduler, RunUntilIgnoresCancelledTombstoneInsideWindow) {
+  // A cancelled event inside the window must not let run_until execute a
+  // live event scheduled beyond the boundary.
+  Scheduler sim;
+  int fired = 0;
+  auto victim = sim.schedule_at(nanoseconds(10), [&] { ++fired; });
+  sim.schedule_at(nanoseconds(30), [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(victim));
+  EXPECT_EQ(sim.run_until(nanoseconds(20)), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now(), nanoseconds(20));
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, ManyCancellationsStayConsistentUnderChurn) {
+  // Mixed schedule/cancel/run churn: pending() must always equal the count
+  // of events that eventually fire.
+  Scheduler sim;
+  int fired = 0;
+  std::vector<EventHandle> handles;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      handles.push_back(
+          sim.schedule_in(nanoseconds(1 + (round * 10 + i) % 7), [&] { ++fired; }));
+    }
+    // Cancel every third handle, some of them twice.
+    for (std::size_t i = 0; i < handles.size(); i += 3) {
+      sim.cancel(handles[i]);
+      sim.cancel(handles[i]);
+    }
+    const std::size_t live = sim.pending();
+    EXPECT_EQ(sim.run(), live);
+    handles.clear();
+  }
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_GT(fired, 0);
+}
+
 TEST(Time, BitTimeRoundsToNearestPicosecond) {
   EXPECT_EQ(bit_time(1'000'000), 1'000'000);          // 1 Mbit/s -> 1 us
   EXPECT_EQ(bit_time(500'000), 2'000'000);            // 500 kbit/s -> 2 us

@@ -1,0 +1,111 @@
+#include "avsec/core/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace avsec::core {
+namespace {
+
+TEST(ThreadPool, DefaultWorkersIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_workers(), 1u);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::default_workers());
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();
+  pool.wait();
+}
+
+TEST(ThreadPool, ForEachIndexCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(500);
+  pool.for_each_index(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ForEachIndexZeroIsNoOp) {
+  ThreadPool pool(2);
+  pool.for_each_index(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ForEachIndexWithMoreWorkersThanItems) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.for_each_index(3, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.for_each_index(20, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesFromWait) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The pool stays usable after a failed batch.
+  std::atomic<int> count{0};
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ForEachIndexPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.for_each_index(50,
+                          [&](std::size_t i) {
+                            if (i == 7) throw std::runtime_error("index 7");
+                          }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) pool.submit([&] { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  std::vector<double> xs(1000);
+  std::iota(xs.begin(), xs.end(), 1.0);
+  std::vector<double> squares(xs.size(), 0.0);
+  ThreadPool pool(4);
+  pool.for_each_index(xs.size(), [&](std::size_t i) {
+    squares[i] = xs[i] * xs[i];  // disjoint writes, no sync needed
+  });
+  double parallel = 0.0;
+  for (double s : squares) parallel += s;
+  double serial = 0.0;
+  for (double x : xs) serial += x * x;
+  EXPECT_EQ(parallel, serial);
+}
+
+}  // namespace
+}  // namespace avsec::core

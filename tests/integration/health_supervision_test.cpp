@@ -249,5 +249,40 @@ TEST(HealthSupervisionAcceptance, CampaignInvariantsHoldAcross24Seeds) {
   EXPECT_GT(report.aggregate.at("suspect_incidents").max(), 0.0);
 }
 
+TEST(HealthSupervisionAcceptance, ParallelSweepIsByteIdenticalToSerial) {
+  // The determinism contract of the parallel campaign engine, checked on
+  // the real chaos scenario: every run builds a private world (scheduler,
+  // RNG stream, replicas), so worker count must not change a single bit of
+  // the report — failing seeds, violation counts, or aggregate stats.
+  auto make = [](std::size_t workers) {
+    fault::Campaign campaign({/*runs=*/12, /*base_seed=*/2026, workers});
+    campaign
+        .require("2oo3 voter masks single Byzantine replica",
+                 [](const fault::Metrics& m) {
+                   return m.at("max_fused_err") <= kVoteTolerance;
+                 })
+        .require("supervisor nominal at end",
+                 [](const fault::Metrics& m) {
+                   return m.at("nominal_at_end") == 1.0;
+                 })
+        .require("no spurious safe-stop", [](const fault::Metrics& m) {
+          return m.at("safe_stop") == 0.0;
+        });
+    return campaign;
+  };
+
+  const auto serial = make(1).sweep(run_scenario);
+  for (std::size_t workers : {2u, 8u}) {
+    const auto parallel = make(workers).sweep(run_scenario);
+    EXPECT_TRUE(fault::identical(serial, parallel))
+        << "report diverged at " << workers << " workers";
+    EXPECT_EQ(parallel.failing_seeds(), serial.failing_seeds());
+    EXPECT_EQ(parallel.violations, serial.violations);
+    for (const auto& [name, acc] : serial.aggregate) {
+      EXPECT_TRUE(parallel.aggregate.at(name).identical(acc)) << name;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace avsec

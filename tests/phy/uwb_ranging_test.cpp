@@ -253,5 +253,52 @@ TEST(Toa, BackSearchWindowLimitsReach) {
   EXPECT_EQ(est.first_path, 250u);
 }
 
+TEST(Ranging, CorrelateIntoMatchesCorrelateAndReusesCapacity) {
+  core::Rng rng(5);
+  Signal rx(600), tmpl(128);
+  for (double& v : rx) v = rng.normal(0.0, 1.0);
+  for (double& v : tmpl) v = rng.normal(0.0, 1.0);
+
+  const auto reference = correlate(rx, tmpl, 300);
+  std::vector<double> scratch(7, -1.0);  // stale content must be overwritten
+  correlate_into(rx, tmpl, 300, scratch);
+  ASSERT_EQ(scratch.size(), reference.size());
+  for (std::size_t k = 0; k < reference.size(); ++k) {
+    EXPECT_EQ(scratch[k], reference[k]) << "offset " << k;
+  }
+  // Second call with a smaller window reuses (and shrinks into) the buffer.
+  correlate_into(rx, tmpl, 50, scratch);
+  const auto small = correlate(rx, tmpl, 50);
+  ASSERT_EQ(scratch.size(), 51u);
+  for (std::size_t k = 0; k < small.size(); ++k) {
+    EXPECT_EQ(scratch[k], small[k]);
+  }
+}
+
+TEST(Ranging, ScratchReuseKeepsMeasurementsBitStable) {
+  // The scratch-buffer fast path must not leak state between sessions: a
+  // fresh object and a warm object must produce identical measurements.
+  const core::Bytes key(16, 0x42);
+  TwrConfig cfg;
+  HrpRanging warm(key, cfg);
+  for (int s = 0; s < 3; ++s) warm.measure(12.0 + s, std::uint64_t(s));
+  for (int s = 0; s < 3; ++s) {
+    HrpRanging fresh(key, cfg);
+    const auto a = fresh.measure(17.5, std::uint64_t(100 + s));
+    const auto b = warm.measure(17.5, std::uint64_t(100 + s));
+    EXPECT_EQ(a.measured_distance_m, b.measured_distance_m);
+    EXPECT_EQ(a.toa_error_samples, b.toa_error_samples);
+    EXPECT_EQ(a.sts_check_passed, b.sts_check_passed);
+    EXPECT_EQ(a.enlargement_flagged, b.enlargement_flagged);
+  }
+  LrpRanging warm_lrp(key, cfg);
+  for (int s = 0; s < 3; ++s) warm_lrp.measure(12.0 + s, std::uint64_t(s));
+  LrpRanging fresh_lrp(key, cfg);
+  const auto a = fresh_lrp.measure(22.0, 77);
+  const auto b = warm_lrp.measure(22.0, 77);
+  EXPECT_EQ(a.measured_distance_m, b.measured_distance_m);
+  EXPECT_EQ(a.commitment_passed, b.commitment_passed);
+}
+
 }  // namespace
 }  // namespace avsec::phy
