@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "avsec/core/stats.hpp"
+
 namespace avsec::collab {
 
 double median_of(std::vector<double> xs) {
@@ -24,14 +26,15 @@ double trimmed_mean(std::vector<double> xs, int trim_each_side) {
   std::sort(xs.begin(), xs.end());
   const std::size_t n = xs.size();
   const std::size_t trim = static_cast<std::size_t>(std::max(0, trim_each_side));
+  // Fold through core::Accumulator (R3): the fused value reaches campaign
+  // reports, so the reduction must stay bit-stable and mergeable.
+  core::Accumulator acc;
   if (n < 2 * trim + 1) {
-    double sum = 0.0;
-    for (double x : xs) sum += x;
-    return sum / static_cast<double>(n);
+    for (double x : xs) acc.add(x);
+    return acc.sum() / static_cast<double>(n);
   }
-  double sum = 0.0;
-  for (std::size_t i = trim; i < n - trim; ++i) sum += xs[i];
-  return sum / static_cast<double>(n - 2 * trim);
+  for (std::size_t i = trim; i < n - trim; ++i) acc.add(xs[i]);
+  return acc.sum() / static_cast<double>(n - 2 * trim);
 }
 
 FusionResult robust_fuse(const std::vector<SharedObject>& reports,

@@ -1,0 +1,64 @@
+// Clang thread-safety analysis annotations.
+//
+// These macros expand to clang's capability attributes when the compiler
+// supports them and to nothing elsewhere, so annotated code builds
+// unchanged under gcc while CI's clang job compiles the tree with
+// `-Wthread-safety -Werror` and rejects any lock-discipline violation at
+// compile time (see DESIGN.md "Static analysis & determinism
+// invariants").
+//
+// Use the `avsec::core::Mutex` / `MutexLock` / `CondVar` wrappers from
+// core/sync.hpp rather than std::mutex directly: the std types carry no
+// capability attributes on libstdc++, so only the wrappers give the
+// analysis anything to check.
+//
+// This header is macro-only on purpose — it is safe to include from any
+// header without dragging in <mutex> or <thread>.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define AVSEC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define AVSEC_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex wrapper).
+#define AVSEC_CAPABILITY(x) AVSEC_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define AVSEC_SCOPED_CAPABILITY AVSEC_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define AVSEC_GUARDED_BY(x) AVSEC_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose pointee is guarded by the given capability.
+#define AVSEC_PT_GUARDED_BY(x) AVSEC_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability to be held by the caller.
+#define AVSEC_REQUIRES(...) \
+  AVSEC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define AVSEC_ACQUIRE(...) \
+  AVSEC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define AVSEC_RELEASE(...) \
+  AVSEC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning the given value.
+#define AVSEC_TRY_ACQUIRE(...) \
+  AVSEC_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention).
+#define AVSEC_EXCLUDES(...) \
+  AVSEC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define AVSEC_RETURN_CAPABILITY(x) AVSEC_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot model; pair every use with a
+/// comment explaining why it is safe.
+#define AVSEC_NO_THREAD_SAFETY_ANALYSIS \
+  AVSEC_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -6,6 +6,7 @@
 namespace avsec::core {
 
 EventHandle Scheduler::schedule_at(SimTime at, Callback cb) {
+  affinity_.check();
   assert(at >= now_ && "cannot schedule into the past");
   Event ev;
   ev.time = std::max(at, now_);
@@ -20,6 +21,7 @@ EventHandle Scheduler::schedule_at(SimTime at, Callback cb) {
 }
 
 bool Scheduler::cancel(EventHandle h) {
+  affinity_.check();
   if (!h.valid()) return false;
   // Only genuinely pending events can be cancelled: a handle whose event
   // already ran (or was already cancelled) is a no-op. Erasing from the
@@ -33,6 +35,7 @@ bool Scheduler::cancel(EventHandle h) {
 }
 
 bool Scheduler::pop_one() {
+  affinity_.check();
   while (!heap_.empty()) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     Event ev = std::move(heap_.back());
@@ -53,6 +56,7 @@ std::size_t Scheduler::run() {
 }
 
 std::size_t Scheduler::run_until(SimTime until) {
+  affinity_.check();
   std::size_t n = 0;
   for (;;) {
     // Drop cancelled tombstones at the front first: the boundary check must

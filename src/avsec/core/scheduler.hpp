@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "avsec/core/sync.hpp"
 #include "avsec/core/time.hpp"
 
 namespace avsec::core {
@@ -41,6 +42,14 @@ class EventHandle {
 ///   Scheduler sim;
 ///   sim.schedule_in(nanoseconds(10), [&]{ ... });
 ///   sim.run();
+///
+/// Thread confinement: a Scheduler is not a shared object — campaign
+/// sweeps give every run its own Scheduler on its own pool thread, and
+/// that confinement (not a lock) is the thread-safety story. The embedded
+/// ThreadAffinity checker enforces it in debug / AVSEC_AFFINITY_CHECKS
+/// builds: the scheduler binds to the first thread that mutates it and
+/// aborts if a second thread ever does. Use rebind_thread() for the
+/// build-on-one-thread / run-on-another handoff pattern.
 class Scheduler {
  public:
   using Callback = std::function<void()>;
@@ -73,6 +82,9 @@ class Scheduler {
   /// Number of genuinely pending events (cancelled-but-unpopped excluded).
   std::size_t pending() const { return heap_.size() - cancelled_.size(); }
 
+  /// Transfers thread-confinement ownership to the calling thread.
+  void rebind_thread() { affinity_.rebind(); }
+
  private:
   struct Event {
     SimTime time = 0;
@@ -89,6 +101,7 @@ class Scheduler {
 
   bool pop_one();
 
+  ThreadAffinity affinity_;  // single-thread confinement (see class docs)
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_id_ = 1;

@@ -1,5 +1,6 @@
 #include "avsec/core/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <utility>
@@ -21,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   work_ready_.notify_all();
@@ -30,20 +31,20 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
   work_ready_.notify_one();
 }
 
 void ThreadPool::wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  batch_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr err = std::exchange(first_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(err);
+  std::exception_ptr err;
+  {
+    MutexLock lock(mu_);
+    while (!queue_.empty() || in_flight_ != 0) batch_done_.wait(mu_);
+    err = std::exchange(first_error_, nullptr);
   }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::for_each_index(std::size_t n,
@@ -69,8 +70,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) work_ready_.wait(mu_);
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -83,7 +84,7 @@ void ThreadPool::worker_loop() {
       err = std::current_exception();
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (err && !first_error_) first_error_ = err;
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) batch_done_.notify_all();

@@ -10,14 +10,15 @@
 // the batch still drains so workers never deadlock).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "avsec/core/annotations.hpp"
+#include "avsec/core/sync.hpp"
 
 namespace avsec::core {
 
@@ -54,14 +55,16 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable batch_done_;
-  std::deque<std::function<void()>> queue_;
+  // All mutable pool state is guarded by mu_; the clang -Wthread-safety CI
+  // build rejects any access outside a MutexLock scope at compile time.
+  Mutex mu_;
+  CondVar work_ready_;
+  CondVar batch_done_;
+  std::deque<std::function<void()>> queue_ AVSEC_GUARDED_BY(mu_);
   std::vector<std::thread> threads_;
-  std::size_t in_flight_ = 0;
-  std::exception_ptr first_error_;
-  bool stopping_ = false;
+  std::size_t in_flight_ AVSEC_GUARDED_BY(mu_) = 0;
+  std::exception_ptr first_error_ AVSEC_GUARDED_BY(mu_);
+  bool stopping_ AVSEC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace avsec::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "avsec/core/stats.hpp"
+
 namespace avsec::datalayer {
 
 int DefenseConfig::enabled_count() const {
@@ -170,16 +172,19 @@ std::optional<AccessKey> CloudService::mint_key(const AccessKey& with) {
 
 double attack_surface_score(const CloudService& service,
                             const DefenseConfig& defenses) {
-  double score = 0.0;
+  // Endpoint severity tally folds through Accumulator (R3): the score is a
+  // reported metric, and the fold stays mergeable if scoring ever shards.
+  core::Accumulator endpoint_score;
   for (const auto& ep : service.endpoints()) {
     if (ep.rfind("/actuator", 0) == 0) {
-      score += 10.0;  // debug/management endpoints dominate exposure
+      endpoint_score.add(10.0);  // debug/management endpoints dominate
     } else if (ep.rfind("/api", 0) == 0) {
-      score += 3.0;
+      endpoint_score.add(3.0);
     } else {
-      score += 1.0;
+      endpoint_score.add(1.0);
     }
   }
+  double score = endpoint_score.sum();
   if (!defenses.secret_hygiene) score += 8.0;     // credentials in memory
   if (!defenses.least_privilege_iam) score += 6.0;  // over-powered key
   if (!defenses.waf_rate_limiting) score += 2.0;

@@ -3,9 +3,39 @@
 #include <algorithm>
 
 #include "avsec/core/rng.hpp"
+#include "avsec/core/sync.hpp"
 #include "avsec/core/thread_pool.hpp"
 
 namespace avsec::fault {
+namespace {
+
+// The campaign aggregation state (violation counters, accumulators,
+// failed-run tally) is confined to the sweeping thread: workers own
+// disjoint RunOutcome slots during the parallel phase, and only after the
+// pool barrier does the calling thread fold them in run order — that
+// serial fold is what makes the report byte-identical at any worker
+// count. Binding the affinity at construction turns the confinement into
+// a machine-checked invariant: a future refactor that folds from inside a
+// worker aborts immediately in affinity-checked builds instead of
+// silently breaking byte-identity.
+class ReportFolder {
+ public:
+  ReportFolder() { affinity_.rebind(); }
+
+  void fold(CampaignReport& report, const RunOutcome& o) {
+    affinity_.check();
+    for (const auto& [key, value] : o.metrics) {
+      report.aggregate[key].add(value);
+    }
+    for (const std::string& name : o.violated) ++report.violations[name];
+    if (!o.violated.empty()) ++report.failed_runs;
+  }
+
+ private:
+  core::ThreadAffinity affinity_;
+};
+
+}  // namespace
 
 std::vector<std::uint64_t> CampaignReport::failing_seeds() const {
   std::vector<std::uint64_t> seeds;
@@ -56,6 +86,7 @@ CampaignReport Campaign::sweep(const RunFn& run) const {
   CampaignReport report;
   report.runs = config_.runs;
   report.outcomes.resize(config_.runs);
+  ReportFolder folder;  // binds aggregation to this thread, pre-fan-out
 
   // Seeds are drawn up front in run order; each run then owns a private
   // RNG stream, so execution order cannot leak between runs.
@@ -87,13 +118,7 @@ CampaignReport Campaign::sweep(const RunFn& run) const {
   // Fold in run order on this thread: the aggregate accumulators see the
   // exact same sequence of floating-point adds as a serial sweep, which is
   // what makes the report byte-identical across worker counts.
-  for (const RunOutcome& o : report.outcomes) {
-    for (const auto& [key, value] : o.metrics) {
-      report.aggregate[key].add(value);
-    }
-    for (const std::string& name : o.violated) ++report.violations[name];
-    if (!o.violated.empty()) ++report.failed_runs;
-  }
+  for (const RunOutcome& o : report.outcomes) folder.fold(report, o);
   return report;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "avsec/core/stats.hpp"
+
 namespace avsec::health {
 
 const char* vote_policy_name(VotePolicy p) {
@@ -116,16 +118,18 @@ VoteOutcome RedundancyVoter::fuse(const std::vector<int>& fresh,
           best = i;
         }
       }
-      double sum = 0.0;
+      // R3: the agreed value feeds supervisor/IDS reports, so the mean of
+      // the agreeing set folds through core::Accumulator.
+      core::Accumulator agree;
       for (std::size_t i = 0; i < n; ++i) {
         if (std::abs(values[i] - values[best]) <= config_.tolerance) {
-          sum += values[i];
+          agree.add(values[i]);
         } else {
           out.minority.push_back(fresh[i]);
         }
       }
       out.votes = best_count;
-      out.value = sum / best_count;
+      out.value = agree.sum() / best_count;
       break;
     }
     case VotePolicy::kMedian: {

@@ -174,7 +174,7 @@ class CanBus {
     bool down = false;           // crashed / powered off
     SimTime ready_at = 0;        // suspend-transmission gate
     int forced_errors = 0;       // injected by inject_errors_on()
-    core::EventHandle recovery;  // pending bus-off recovery event
+    core::EventHandle recovery{};  // pending bus-off recovery event
   };
 
   SimTime bus_off_recovery_interval() const;

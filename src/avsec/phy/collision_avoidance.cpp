@@ -21,7 +21,7 @@ AebOutcome run_aeb_scenario(const AebScenarioConfig& config) {
   std::uint64_t session = 0;
 
   for (double t = 0.0; t < 60.0; t += dt) {
-    since_ranging += dt;
+    since_ranging += dt;  // AVSEC-LINT-ALLOW(R3): fixed-step sim time, not a reduction
     if (since_ranging >= config.ranging_period_s && gap > 0.5) {
       since_ranging = 0.0;
       HrpRanging::AttackHook hook;

@@ -38,7 +38,8 @@ PropagationResult propagate(const SosGraph& graph, int entry,
   core::Rng rng(seed);
   std::vector<std::size_t> hits(graph.node_count(), 0);
   std::size_t safety_hits = 0;
-  double total_compromised = 0.0;
+  // R3: trial means are reported metrics; fold them through Accumulator.
+  core::Accumulator total_compromised;
 
   for (std::size_t t = 0; t < trials; ++t) {
     std::vector<bool> compromised(graph.node_count(), false);
@@ -68,7 +69,7 @@ PropagationResult propagate(const SosGraph& graph, int entry,
       safety |= graph.node(static_cast<int>(i)).safety_critical;
     }
     safety_hits += safety;
-    total_compromised += static_cast<double>(count);
+    total_compromised.add(static_cast<double>(count));
   }
 
   PropagationResult result;
@@ -80,7 +81,7 @@ PropagationResult propagate(const SosGraph& graph, int entry,
   result.safety_critical_reached =
       static_cast<double>(safety_hits) / static_cast<double>(trials);
   result.mean_compromised_nodes =
-      total_compromised / static_cast<double>(trials);
+      total_compromised.sum() / static_cast<double>(trials);
   return result;
 }
 
@@ -94,7 +95,7 @@ CascadeTimeline propagate_with_recovery(const SosGraph& graph, int entry,
   out.mean_compromised_per_round.assign(rounds + 1, 0.0);
   std::size_t safety_trials = 0;
   std::size_t contained_trials = 0;
-  double containment_rounds = 0.0;
+  core::Accumulator containment_rounds;  // R3: reported mean, fold stably
 
   for (std::size_t t = 0; t < trials; ++t) {
     std::vector<bool> compromised(graph.node_count(), false);
@@ -136,7 +137,7 @@ CascadeTimeline propagate_with_recovery(const SosGraph& graph, int entry,
       out.mean_compromised_per_round[r] += static_cast<double>(live);
       if (live == 0) {
         ++contained_trials;
-        containment_rounds += static_cast<double>(r);
+        containment_rounds.add(static_cast<double>(r));
         break;
       }
     }
@@ -154,7 +155,7 @@ CascadeTimeline propagate_with_recovery(const SosGraph& graph, int entry,
   out.mean_rounds_to_containment =
       contained_trials == 0
           ? 0.0
-          : containment_rounds / static_cast<double>(contained_trials);
+          : containment_rounds.sum() / static_cast<double>(contained_trials);
   return out;
 }
 

@@ -20,8 +20,8 @@ BrakingOutcome run_braking_scenario(const BrakingScenarioConfig& config) {
   for (double t = 0.0; t < 120.0; t += dt) {
     // Perception messages at the configured period, possibly dropped or
     // biased by the attacker.
-    since_perception += dt;
-    last_update_age += dt;
+    since_perception += dt;  // AVSEC-LINT-ALLOW(R3): fixed-step sim time
+    last_update_age += dt;   // AVSEC-LINT-ALLOW(R3): fixed-step sim time
     if (since_perception >= config.perception_period_s) {
       since_perception = 0.0;
       if (!rng.chance(config.drop_probability)) {

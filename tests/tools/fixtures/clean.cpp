@@ -1,0 +1,24 @@
+// Fixture: legal constructs that must NOT be flagged under any label.
+#include <map>
+#include <string>
+namespace core {
+inline long time(long x) { return x; }  // project helper, not libc time()
+}
+struct SkewedClock {
+  explicit SkewedClock(int) {}
+};
+long project_call(long bits) { return core::time(bits); }
+long shadowed(long transmission_time) { return transmission_time + 1; }
+void declaration_not_call() {
+  SkewedClock clock(3);
+  (void)clock;
+}
+const char* in_string() { return "std::rand() steady_clock time( R2"; }
+// comment mentioning std::random_device and system_clock is fine
+double ordered_fold(const std::map<std::string, double>& m) {
+  double out = 0.0;
+  for (const auto& kv : m) out = out + kv.second;
+  int hits = 0;
+  for (int i = 0; i < 3; ++i) hits += i;
+  return out + hits;
+}

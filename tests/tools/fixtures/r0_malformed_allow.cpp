@@ -1,0 +1,7 @@
+// Fixture: a suppression without a reason is itself a finding and does
+// not silence the violation it sits on.
+// Expected: R0 at line 5, R1 at line 6.
+void f(long* out) {
+  // AVSEC-LINT-ALLOW(R1):
+  *out = time(nullptr);
+}

@@ -1,0 +1,12 @@
+// Fixture: R1 nondeterminism sources, one per line.
+// Expected findings (lines asserted exactly by lint_rules_test.cpp):
+//   line  8: std::rand()        line  9: std::random_device
+//   line 10: steady_clock       line 11: time(nullptr)
+//   line 12: __DATE__
+#include <chrono>
+#include <random>
+int bad_rand() { return std::rand(); }
+unsigned bad_device() { std::random_device rd; return rd(); }
+auto bad_clock() { return std::chrono::steady_clock::now(); }
+long bad_time() { return time(nullptr); }
+const char* bad_date() { return __DATE__; }

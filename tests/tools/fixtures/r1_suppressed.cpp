@@ -1,0 +1,7 @@
+// Fixture: every R1 hit carries a well-formed suppression, so the file
+// must lint clean (and demonstrates both comment placements).
+long ok_time() {
+  // AVSEC-LINT-ALLOW(R1): fixture demonstrates the comment-above form
+  return time(nullptr);
+}
+int ok_rand() { return std::rand(); }  // AVSEC-LINT-ALLOW(R1): same-line form

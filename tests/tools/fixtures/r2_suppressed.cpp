@@ -1,0 +1,10 @@
+// Fixture: R2 hit with a valid suppression; must lint clean under a
+// fault/ label.
+#include <string>
+#include <unordered_map>
+double tally(const std::unordered_map<std::string, int>& counts) {
+  double out = 0.0;
+  // AVSEC-LINT-ALLOW(R2): order-independent sum, never rendered as a list
+  for (const auto& kv : counts) out = out + kv.second;
+  return out;
+}

@@ -1,0 +1,14 @@
+// Fixture: R2 unordered-container iteration in an aggregation path
+// (linted under a fault/ label). Expected findings:
+//   line  9: range-for over unordered_map
+//   line 11: iterator walk via .begin()
+#include <string>
+#include <unordered_map>
+double aggregate(const std::unordered_map<std::string, double>& totals) {
+  double out = 0.0;
+  for (const auto& kv : totals) out = out + kv.second;
+  double again = 0.0;
+  for (auto it = totals.begin(); it != totals.end(); ++it)
+    again = again + it->second;
+  return out + again;
+}

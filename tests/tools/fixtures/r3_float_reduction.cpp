@@ -1,0 +1,19 @@
+// Fixture: R3 raw floating-point reductions (linted under a src/ label).
+// Expected findings:
+//   line  7: for-loop reduction      line 12: while-loop reduction
+// The integer tally at line 17 must NOT be flagged.
+double total(const double* xs, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += xs[i];
+  double frac = 0.5;
+  {
+    int k = 0;
+    while (k < n) {
+      frac += xs[k];
+      ++k;
+    }
+  }
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += 1;
+  return sum + frac + hits;
+}

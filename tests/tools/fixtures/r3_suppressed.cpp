@@ -1,0 +1,15 @@
+// Fixture: R3 hits with valid suppressions (one wrapped over two comment
+// lines, one trailing); must lint clean under a src/ label.
+double integrate(const double* xs, int n) {
+  double state = 0.0;
+  for (int i = 0; i < n; ++i) {
+    // AVSEC-LINT-ALLOW(R3): fixed-step state integration, not a fold —
+    // wrapped comment still covers the next code line
+    state += xs[i];
+  }
+  double energy = 0.0;
+  for (int i = 0; i < n; ++i) {
+    energy += xs[i] * xs[i];  // AVSEC-LINT-ALLOW(R3): hot-loop fixture case
+  }
+  return state + energy;
+}

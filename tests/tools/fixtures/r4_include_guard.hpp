@@ -1,0 +1,6 @@
+// Fixture: classic include guard instead of #pragma once.
+// Expected: R4 at line 3.
+#ifndef AVSEC_TESTS_TOOLS_FIXTURES_R4_INCLUDE_GUARD_HPP
+#define AVSEC_TESTS_TOOLS_FIXTURES_R4_INCLUDE_GUARD_HPP
+inline int fixture_value() { return 4; }
+#endif

@@ -1,0 +1,5 @@
+// Fixture: #pragma once exists but is not the first directive.
+// Expected: R4 at line 3.
+#include <cstdint>
+#pragma once
+inline std::uint8_t fixture_byte() { return 4; }

@@ -1,0 +1,3 @@
+// Fixture: well-formed header; must lint clean.
+#pragma once
+inline int fixture_ok() { return 0; }

@@ -1,0 +1,171 @@
+// avsec-lint rule-engine tests: every rule R1-R4 is demonstrated by a
+// fixture file that fails with the exact rule id and line number, plus a
+// suppression fixture that lints clean and a negatives fixture that must
+// never fire. Fixtures live in tests/tools/fixtures/ (excluded from the
+// whole-tree avsec_lint_tree scan precisely because they violate on
+// purpose).
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "avsec-lint/rules.hpp"
+
+namespace {
+
+using avsec::lint::Finding;
+using avsec::lint::lint_source;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(AVSEC_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// (rule, line) pairs in report order, for exact comparisons.
+std::vector<std::pair<std::string, int>> rule_lines(
+    const std::vector<Finding>& findings) {
+  std::vector<std::pair<std::string, int>> out;
+  for (const Finding& f : findings) out.emplace_back(f.rule, f.line);
+  return out;
+}
+
+TEST(LintR1, FlagsEveryNondeterminismSourceAtExactLines) {
+  const auto findings =
+      lint_source("tests/some/r1.cpp", read_fixture("r1_nondeterminism.cpp"));
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"R1", 8}, {"R1", 9}, {"R1", 10}, {"R1", 11}, {"R1", 12}};
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
+TEST(LintR1, ExemptPathsAreNotScanned) {
+  const std::string src = read_fixture("r1_nondeterminism.cpp");
+  EXPECT_TRUE(lint_source("bench/harness_fixture.cpp", src).empty());
+  EXPECT_TRUE(lint_source("src/avsec/core/rng.cpp", src).empty());
+}
+
+TEST(LintR1, SuppressionsSilenceFindings) {
+  EXPECT_TRUE(
+      lint_source("tests/some/r1.cpp", read_fixture("r1_suppressed.cpp"))
+          .empty());
+}
+
+TEST(LintR2, FlagsUnorderedIterationInAggregationPaths) {
+  const auto findings = lint_source(
+      "lib/fault/agg.cpp", read_fixture("r2_unordered_iteration.cpp"));
+  const std::vector<std::pair<std::string, int>> expected = {{"R2", 9},
+                                                             {"R2", 11}};
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
+TEST(LintR2, OnlyAppliesToAggregationPaths) {
+  // The same source under a non-aggregation label is legal.
+  EXPECT_TRUE(lint_source("lib/netsim/agg.cpp",
+                          read_fixture("r2_unordered_iteration.cpp"))
+                  .empty());
+}
+
+TEST(LintR2, SuppressionsSilenceFindings) {
+  EXPECT_TRUE(
+      lint_source("lib/health/tally.cpp", read_fixture("r2_suppressed.cpp"))
+          .empty());
+}
+
+TEST(LintR3, FlagsFloatReductionLoopsInSrc) {
+  const auto findings = lint_source("src/avsec/collab/fold.cpp",
+                                    read_fixture("r3_float_reduction.cpp"));
+  const std::vector<std::pair<std::string, int>> expected = {{"R3", 7},
+                                                             {"R3", 12}};
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
+TEST(LintR3, AccumulatorHomeAndNonSrcAreExempt) {
+  const std::string src = read_fixture("r3_float_reduction.cpp");
+  EXPECT_TRUE(lint_source("src/avsec/core/stats.cpp", src).empty());
+  EXPECT_TRUE(lint_source("tests/core/fold_test.cpp", src).empty());
+}
+
+TEST(LintR3, SuppressionsCoverWrappedAndTrailingComments) {
+  EXPECT_TRUE(
+      lint_source("src/avsec/phy/dsp.cpp", read_fixture("r3_suppressed.cpp"))
+          .empty());
+}
+
+TEST(LintR4, IncludeGuardHeaderIsFlagged) {
+  const auto findings = lint_source("src/avsec/x/guard.hpp",
+                                    read_fixture("r4_include_guard.hpp"));
+  const std::vector<std::pair<std::string, int>> expected = {{"R4", 3}};
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
+TEST(LintR4, LatePragmaIsFlagged) {
+  const auto findings = lint_source("src/avsec/x/late.hpp",
+                                    read_fixture("r4_late_pragma.hpp"));
+  const std::vector<std::pair<std::string, int>> expected = {{"R4", 3}};
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
+TEST(LintR4, WellFormedHeaderAndNonHeaderPass) {
+  EXPECT_TRUE(
+      lint_source("src/avsec/x/ok.hpp", read_fixture("r4_ok.hpp")).empty());
+  // The same guard-style content in a .cpp is not R4's business.
+  EXPECT_TRUE(lint_source("src/avsec/x/guard.cpp",
+                          read_fixture("r4_include_guard.hpp"))
+                  .empty());
+}
+
+TEST(LintR0, MalformedSuppressionIsReportedAndDoesNotSuppress) {
+  const auto findings = lint_source("tests/some/bad_allow.cpp",
+                                    read_fixture("r0_malformed_allow.cpp"));
+  const std::vector<std::pair<std::string, int>> expected = {{"R0", 5},
+                                                             {"R1", 6}};
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
+TEST(LintNegatives, CleanFixtureIsCleanUnderEveryLabel) {
+  const std::string src = read_fixture("clean.cpp");
+  for (const char* label :
+       {"lib/fault/clean.cpp", "src/avsec/collab/clean.cpp",
+        "tests/ids/clean.cpp", "src/avsec/health/clean.cpp"}) {
+    const auto findings = lint_source(label, src);
+    EXPECT_TRUE(findings.empty())
+        << label << ": " << (findings.empty() ? "" : format(findings[0]));
+  }
+}
+
+TEST(LintReport, FormatIsDiffFriendly) {
+  Finding f;
+  f.file = "src/avsec/x/y.cpp";
+  f.line = 12;
+  f.rule = "R1";
+  f.message = "nondeterminism";
+  f.excerpt = "std::rand();";
+  EXPECT_EQ(format(f),
+            "src/avsec/x/y.cpp:12: [R1] nondeterminism\n    | std::rand();");
+}
+
+TEST(LintFindings, OrderedByFileLineRule) {
+  Finding a, b, c;
+  a.file = "a.cpp";
+  a.line = 9;
+  a.rule = "R3";
+  b.file = "a.cpp";
+  b.line = 2;
+  b.rule = "R1";
+  c.file = "b.cpp";
+  c.line = 1;
+  c.rule = "R1";
+  std::vector<Finding> v = {c, a, b};
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v[0].line, 2);
+  EXPECT_EQ(v[1].line, 9);
+  EXPECT_EQ(v[2].file, "b.cpp");
+}
+
+}  // namespace

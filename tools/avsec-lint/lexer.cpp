@@ -1,0 +1,262 @@
+#include "avsec-lint/lexer.hpp"
+
+#include <cctype>
+
+namespace avsec::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Encoding prefixes that can precede a raw string literal.
+bool is_raw_string_prefix(std::string_view id) {
+  return id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+// Two-character operators the rules care about. `>>` is deliberately
+// absent: lexing it as two `>` tokens makes template-argument balancing
+// trivial, and no rule needs to distinguish shifts.
+constexpr std::string_view kTwoCharOps[] = {
+    "::", "->", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", "<<", "<=", ">=", "==", "!=", "&&", "||", "++", "--",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    bool line_start = true;  // only whitespace seen since the last newline
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        line_start = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+      } else if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+      } else if (c == '#' && line_start) {
+        lex_preprocessor();
+      } else if (c == '"') {
+        lex_string();
+      } else if (c == '\'') {
+        lex_char();
+      } else if (is_ident_start(c)) {
+        lex_identifier();
+      } else if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+        lex_number();
+      } else {
+        lex_punct();
+      }
+      line_start = false;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void emit(TokKind kind, std::size_t begin, int start_line) {
+    Token t;
+    t.kind = kind;
+    t.text.assign(src_.substr(begin, pos_ - begin));
+    t.line = start_line;
+    t.end_line = line_;
+    out_.push_back(std::move(t));
+  }
+
+  void lex_line_comment() {
+    const std::size_t begin = pos_;
+    const int start = line_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    emit(TokKind::kComment, begin, start);
+  }
+
+  void lex_block_comment() {
+    const std::size_t begin = pos_;
+    const int start = line_;
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        pos_ += 2;
+        break;
+      }
+      ++pos_;
+    }
+    emit(TokKind::kComment, begin, start);
+  }
+
+  // A directive runs to end of line; backslash-newline continues it.
+  // Trailing // and /* */ comments are left inside the directive text —
+  // R4 only inspects the leading `#pragma once`.
+  void lex_preprocessor() {
+    const std::size_t begin = pos_;
+    const int start = line_;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && peek(1) == '\n') {
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;  // newline itself handled by run()
+      ++pos_;
+    }
+    emit(TokKind::kPreprocessor, begin, start);
+  }
+
+  void lex_string() {
+    const std::size_t begin = pos_;
+    const int start = line_;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '\n') ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') ++line_;  // unterminated; keep going, stay robust
+      ++pos_;
+      if (c == '"') break;
+    }
+    emit(TokKind::kString, begin, start);
+  }
+
+  // Called when an identifier token with a raw-string prefix was just
+  // emitted and the current char is '"'. Replaces that identifier with a
+  // single raw-string token: R"delim( ... )delim".
+  void lex_raw_string_body() {
+    Token prefix = std::move(out_.back());
+    out_.pop_back();
+    const int start = prefix.line;
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(' && src_[pos_] != '\n' &&
+           delim.size() < 16) {
+      delim.push_back(src_[pos_++]);
+    }
+    const std::string close = ")" + delim + "\"";
+    const std::size_t body = pos_;
+    std::size_t end = src_.find(close, body);
+    if (end == std::string_view::npos) end = src_.size();
+    for (std::size_t i = body; i < end && i < src_.size(); ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    pos_ = end == src_.size() ? end : end + close.size();
+    Token t;
+    t.kind = TokKind::kString;
+    t.text = prefix.text + "\"...\"";  // body is opaque to every rule
+    t.line = start;
+    t.end_line = line_;
+    out_.push_back(std::move(t));
+  }
+
+  void lex_char() {
+    const std::size_t begin = pos_;
+    const int start = line_;
+    ++pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') break;  // unterminated char literal; bail at EOL
+      ++pos_;
+      if (c == '\'') break;
+    }
+    emit(TokKind::kChar, begin, start);
+  }
+
+  void lex_identifier() {
+    const std::size_t begin = pos_;
+    const int start = line_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+    emit(TokKind::kIdentifier, begin, start);
+    if (is_raw_string_prefix(out_.back().text) && peek() == '"') {
+      lex_raw_string_body();
+    }
+  }
+
+  void lex_number() {
+    const std::size_t begin = pos_;
+    const int start = line_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (is_ident_char(c) || c == '\'' || c == '.') {
+        ++pos_;
+        continue;
+      }
+      // Exponent signs: 1e-5, 0x1p+3.
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char p = src_[pos_ - 1];
+        if (p == 'e' || p == 'E' || p == 'p' || p == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    emit(TokKind::kNumber, begin, start);
+  }
+
+  void lex_punct() {
+    const std::size_t begin = pos_;
+    const int start = line_;
+    if (pos_ + 1 < src_.size()) {
+      const std::string_view two = src_.substr(pos_, 2);
+      for (std::string_view op : kTwoCharOps) {
+        if (two == op) {
+          pos_ += 2;
+          emit(TokKind::kPunct, begin, start);
+          return;
+        }
+      }
+    }
+    ++pos_;
+    emit(TokKind::kPunct, begin, start);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  std::vector<Token> out_;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) { return Lexer(src).run(); }
+
+std::vector<std::string> split_lines(std::string_view src) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= src.size(); ++i) {
+    if (i == src.size() || src[i] == '\n') {
+      std::string line(src.substr(start, i - start));
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      lines.push_back(std::move(line));
+      start = i + 1;
+    }
+  }
+  return lines;
+}
+
+}  // namespace avsec::lint

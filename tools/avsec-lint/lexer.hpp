@@ -1,0 +1,46 @@
+// Minimal C++ tokenizer for avsec-lint.
+//
+// The linter's rules operate on token streams, not text, so substring
+// traps ("transmission_time" containing "time", banned names inside
+// string literals or comments) cannot produce false positives. The lexer
+// is deliberately not a full C++ lexer: it only has to be exact about
+// the things the rules look at — identifiers, a handful of multi-char
+// operators, comments (kept, because suppressions live there) and
+// preprocessor directives (kept, because R4 checks `#pragma once`).
+//
+// Malformed input never throws: unterminated comments, strings or raw
+// strings simply run to end of file and lexing continues. A linter that
+// dies on the file it is criticising is useless.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace avsec::lint {
+
+enum class TokKind {
+  kIdentifier,    // foo, std, unordered_map, __DATE__
+  kNumber,        // 0x1F, 1'000, 3.5e-2
+  kString,        // "..." including raw strings; body is opaque
+  kChar,          // '...'
+  kPunct,         // single char or one of the combined operators (::, ->, +=)
+  kComment,       // // ... or /* ... */, full text preserved
+  kPreprocessor,  // whole directive line(s), continuations joined
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 1;      // line the token starts on (1-based)
+  int end_line = 1;  // line it ends on (differs for block comments etc.)
+};
+
+/// Lexes `src` into tokens. Whitespace is dropped; everything else is kept.
+std::vector<Token> lex(std::string_view src);
+
+/// Physical source lines (1-based access via lines[i - 1]); used for
+/// report excerpts.
+std::vector<std::string> split_lines(std::string_view src);
+
+}  // namespace avsec::lint

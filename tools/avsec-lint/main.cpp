@@ -1,0 +1,148 @@
+// avsec-lint CLI: scans the given files/directories (default: src tests
+// bench examples under --root) and prints findings in a diff-friendly
+// `file:line: [Rn] message` format. Exit status 0 = clean, 1 = findings,
+// 2 = usage/IO error.
+//
+// Typical invocations:
+//   avsec-lint --root . src tests bench examples
+//   avsec-lint src/avsec/fault/campaign.cpp
+//   avsec-lint --list-rules
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "avsec-lint/rules.hpp"
+
+namespace fs = std::filesystem;
+using avsec::lint::Finding;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: avsec-lint [--root DIR] [--list-rules] [path...]\n"
+    "  Scans C++ sources for determinism/hygiene violations (R1-R4).\n"
+    "  Paths are files or directories (recursed); default: src tests\n"
+    "  bench examples. Fixture trees (tests/tools/fixtures) and build\n"
+    "  directories are skipped.\n";
+
+constexpr const char* kRules =
+    "R1  nondeterminism source (std::rand, random_device, wall clocks,\n"
+    "    __DATE__/__TIME__) outside core/rng and bench/\n"
+    "R2  iteration over unordered_{map,set} in aggregation/reporting\n"
+    "    paths (fault/, core/stats, health/, ids/correlation)\n"
+    "R3  raw floating-point '+=' reduction loop in src/ outside\n"
+    "    core/stats (use core::Accumulator)\n"
+    "R4  header does not open with '#pragma once'\n"
+    "\n"
+    "Suppress with: // AVSEC-LINT-ALLOW(<rule>): <reason>\n";
+
+bool has_lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".hh" || ext == ".hxx" ||
+         ext == ".cpp" || ext == ".cc" || ext == ".cxx";
+}
+
+// Fixture files contain violations on purpose; build trees contain
+// generated and third-party code.
+bool is_skipped_path(const std::string& label) {
+  if (label.find("tests/tools/fixtures") != std::string::npos) return true;
+  if (label.find(".git/") != std::string::npos) return true;
+  for (const char* dir : {"build", "build-asan", "build-release"}) {
+    if (label.rfind(std::string(dir) + "/", 0) == 0 ||
+        label.find("/" + std::string(dir) + "/") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string label_for(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  std::string label = (ec || rel.empty()) ? p.string() : rel.string();
+  std::replace(label.begin(), label.end(), '\\', '/');
+  return label;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      std::fputs(kRules, stdout);
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fputs("avsec-lint: --root needs an argument\n", stderr);
+        return 2;
+      }
+      root = argv[++i];
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "avsec-lint: unknown flag '%s'\n%s", arg.c_str(),
+                   kUsage);
+      return 2;
+    }
+    inputs.push_back(arg);
+  }
+  if (inputs.empty()) inputs = {"src", "tests", "bench", "examples"};
+
+  // Expand inputs into a sorted, de-duplicated file list so the report is
+  // byte-stable regardless of directory enumeration order.
+  std::vector<fs::path> files;
+  for (const std::string& in : inputs) {
+    fs::path p = fs::path(in).is_absolute() ? fs::path(in) : root / in;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file(ec) && has_lintable_extension(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "avsec-lint: cannot read '%s'\n", p.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  std::size_t scanned = 0;
+  for (const fs::path& f : files) {
+    const std::string label = label_for(f, root);
+    if (is_skipped_path(label)) continue;
+    if (!avsec::lint::lint_file(f.string(), label, findings)) {
+      std::fprintf(stderr, "avsec-lint: cannot read '%s'\n",
+                   f.string().c_str());
+      return 2;
+    }
+    ++scanned;
+  }
+
+  std::sort(findings.begin(), findings.end());
+  for (const Finding& f : findings) {
+    std::printf("%s\n", avsec::lint::format(f).c_str());
+  }
+  std::printf("avsec-lint: %zu finding%s in %zu file%s scanned\n",
+              findings.size(), findings.size() == 1 ? "" : "s", scanned,
+              scanned == 1 ? "" : "s");
+  return findings.empty() ? 0 : 1;
+}
