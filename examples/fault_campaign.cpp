@@ -22,6 +22,7 @@
 #include "avsec/fault/campaign.hpp"
 #include "avsec/fault/fault.hpp"
 #include "avsec/ids/response.hpp"
+#include "avsec/obs/obs.hpp"
 #include "avsec/secproto/session.hpp"
 
 using namespace avsec;
@@ -152,15 +153,26 @@ int main(int argc, char** argv) {
   std::printf("======================================================\n\n");
 
   std::size_t workers = core::ThreadPool::default_workers();
+  const char* trace_path = nullptr;  // --trace <file.json>: Perfetto export
+  bool trace_failing = false;        // --trace-failing: capture failing runs
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = static_cast<std::size_t>(std::atoll(argv[++i]));
       if (workers == 0) workers = core::ThreadPool::default_workers();
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-failing") == 0) {
+      trace_failing = true;
     }
   }
 
   auto make_campaign = [&](std::size_t w) {
-    fault::Campaign campaign({/*runs=*/20, /*base_seed=*/2026, w});
+    fault::CampaignConfig cfg;
+    cfg.runs = 20;
+    cfg.base_seed = 2026;
+    cfg.workers = w;
+    if (trace_failing) cfg.trace = fault::TraceCapture::kFailingRuns;
+    fault::Campaign campaign(cfg);
     campaign
         .require("feed recovers by end of run",
                  [](const fault::Metrics& m) {
@@ -226,6 +238,47 @@ int main(int argc, char** argv) {
   } else {
     std::printf("\nAll invariants held on every run (%zu/%zu passed).\n",
                 report.runs - report.failed_runs, report.runs);
+  }
+
+  if (trace_failing) {
+    std::size_t written = 0;
+    for (const auto& o : report.outcomes) {
+      if (o.violated.empty()) continue;
+      const std::string path =
+          "campaign-trace-" + std::to_string(o.seed) + ".txt";
+      if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+        std::fwrite(o.trace.data(), 1, o.trace.size(), f);
+        std::fclose(f);
+        std::printf("wrote failing-run trace %s (%zu bytes)\n", path.c_str(),
+                    o.trace.size());
+        ++written;
+      }
+    }
+    if (written == 0) {
+      std::printf("--trace-failing: no run failed, nothing captured\n");
+    }
+  }
+
+  if (trace_path != nullptr) {
+    // Replay one run — the first failing seed if any, else run 0 — with an
+    // ambient recorder and export a Perfetto-loadable timeline.
+    const auto failing = report.failing_seeds();
+    const std::uint64_t seed =
+        failing.empty() ? report.outcomes.front().seed : failing.front();
+    obs::TraceRecorder rec;
+    {
+      obs::TraceScope scope(rec);
+      run_scenario(seed);
+    }
+    if (obs::write_chrome_trace(rec, trace_path)) {
+      std::printf("wrote Perfetto trace of seed %llu to %s "
+                  "(%zu events retained, %llu dropped)\n",
+                  static_cast<unsigned long long>(seed), trace_path,
+                  rec.size(), static_cast<unsigned long long>(rec.dropped()));
+    } else {
+      std::printf("failed to write trace to %s\n", trace_path);
+      return 1;
+    }
   }
   return report.all_passed() && fault::identical(serial_report, report) ? 0
                                                                         : 1;

@@ -43,6 +43,8 @@ bool Scheduler::pop_one() {
     if (cancelled_.erase(ev.id) != 0) continue;
     live_.erase(ev.id);
     now_ = ev.time;
+    ++dispatched_;
+    if (observer_ != nullptr) observer_->on_dispatch(now_, dispatched_);
     ev.cb();
     return true;
   }

@@ -54,6 +54,24 @@ class Scheduler {
  public:
   using Callback = std::function<void()>;
 
+  /// Telemetry tap on event dispatch (implemented by avsec::obs — core
+  /// cannot depend on obs, so the scheduler only sees this interface).
+  /// on_dispatch fires immediately before each event body executes, so
+  /// trace events emitted inside the body appear after the dispatch mark.
+  class DispatchObserver {
+   public:
+    virtual ~DispatchObserver() = default;
+    virtual void on_dispatch(SimTime now, std::uint64_t dispatched) = 0;
+  };
+
+  /// Installs (or, with nullptr, removes) the dispatch observer.
+  void set_dispatch_observer(DispatchObserver* observer) {
+    observer_ = observer;
+  }
+
+  /// Total events executed over the scheduler's lifetime.
+  std::uint64_t dispatched() const { return dispatched_; }
+
   /// Current simulation time. Starts at 0.
   SimTime now() const { return now_; }
 
@@ -102,6 +120,8 @@ class Scheduler {
   bool pop_one();
 
   ThreadAffinity affinity_;  // single-thread confinement (see class docs)
+  DispatchObserver* observer_ = nullptr;
+  std::uint64_t dispatched_ = 0;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_id_ = 1;

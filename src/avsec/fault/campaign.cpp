@@ -5,6 +5,7 @@
 #include "avsec/core/rng.hpp"
 #include "avsec/core/sync.hpp"
 #include "avsec/core/thread_pool.hpp"
+#include "avsec/obs/export.hpp"
 
 namespace avsec::fault {
 namespace {
@@ -61,7 +62,7 @@ bool identical(const CampaignReport& a, const CampaignReport& b) {
     const RunOutcome& oa = a.outcomes[i];
     const RunOutcome& ob = b.outcomes[i];
     if (oa.seed != ob.seed || oa.violated != ob.violated ||
-        oa.metrics != ob.metrics) {
+        oa.metrics != ob.metrics || oa.trace != ob.trace) {
       return false;
     }
   }
@@ -98,7 +99,25 @@ CampaignReport Campaign::sweep(const RunFn& run) const {
   // on any thread.
   auto execute = [&](std::size_t i) {
     RunOutcome& o = report.outcomes[i];
-    o.metrics = run(o.seed);
+    if (config_.trace == TraceCapture::kOff) {
+      o.metrics = run(o.seed);
+    } else {
+      // A private recorder per run, installed only on this worker thread:
+      // the scenario's instrumentation captures the run's own timeline
+      // with no cross-run or cross-thread sharing.
+      obs::TraceRecorder rec(config_.trace_capacity);
+      {
+        obs::TraceScope scope(rec);
+        o.metrics = run(o.seed);
+      }
+      for (const auto& [name, check] : invariants_) {
+        if (!check(o.metrics)) o.violated.push_back(name);
+      }
+      if (config_.trace == TraceCapture::kAllRuns || !o.violated.empty()) {
+        o.trace = obs::text_dump(rec);
+      }
+      return;
+    }
     for (const auto& [name, check] : invariants_) {
       if (!check(o.metrics)) o.violated.push_back(name);
     }

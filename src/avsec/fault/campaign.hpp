@@ -24,11 +24,21 @@
 #include <vector>
 
 #include "avsec/core/stats.hpp"
+#include "avsec/obs/trace.hpp"
 
 namespace avsec::fault {
 
 /// Named scalar results of one scenario run.
 using Metrics = std::map<std::string, double>;
+
+/// Per-run trace capture policy for a sweep. Capture installs an ambient
+/// obs::TraceRecorder around each run (scoped to the worker thread), so
+/// the scenario's instrumentation lands in a private per-run ring.
+enum class TraceCapture : std::uint8_t {
+  kOff,          // no recorder installed (default; zero overhead)
+  kFailingRuns,  // record every run, keep the dump only when it fails
+  kAllRuns,      // keep every run's dump
+};
 
 struct CampaignConfig {
   std::size_t runs = 10;
@@ -36,12 +46,19 @@ struct CampaignConfig {
   /// Worker threads for the sweep: 1 = serial (default), 0 = one per
   /// hardware thread. Any value yields the same report bit-for-bit.
   std::size_t workers = 1;
+  /// Per-run trace capture (auto-records the failing seed's forensics).
+  TraceCapture trace = TraceCapture::kOff;
+  /// Ring capacity of the per-run recorder when capture is on.
+  std::size_t trace_capacity = obs::TraceRecorder::kDefaultCapacity;
 };
 
 struct RunOutcome {
   std::uint64_t seed = 0;
   Metrics metrics;
   std::vector<std::string> violated;  // names of failed invariants
+  /// Sorted text dump of the run's trace (empty unless captured). A pure
+  /// function of the seed, so byte-identical at any worker count.
+  std::string trace;
 };
 
 struct CampaignReport {

@@ -246,15 +246,25 @@ void FaultInjector::fire(const FaultEvent& ev) {
   FaultTarget* target = targets_.at(ev.target);
   const bool ok = target->apply(ev);
   log_.push_back(InjectionRecord{sim_.now(), ev, false, ok});
+  AVSEC_TRACE_INSTANT(obs::Category::kFault,
+                      ok ? "inject" : "inject-rejected", obs_track_,
+                      sim_.now(), static_cast<std::int64_t>(ev.kind),
+                      ev.duration, ev.target);
   if (!ok) {
     ++rejected_;
+    AVSEC_METRIC_INC("fault.rejected", 1);
     return;
   }
   ++applied_;
+  AVSEC_METRIC_INC("fault.applied", 1);
   if (ev.duration > 0) {
     pending_.push_back(sim_.schedule_in(ev.duration, [this, ev, target] {
       target->revert(ev);
       log_.push_back(InjectionRecord{sim_.now(), ev, true, true});
+      AVSEC_TRACE_INSTANT(obs::Category::kFault, "revert", obs_track_,
+                          sim_.now(), static_cast<std::int64_t>(ev.kind), 0,
+                          ev.target);
+      AVSEC_METRIC_INC("fault.reverted", 1);
     }));
   }
 }

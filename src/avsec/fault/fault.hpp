@@ -26,6 +26,7 @@
 #include "avsec/core/scheduler.hpp"
 #include "avsec/health/replica.hpp"
 #include "avsec/netsim/can.hpp"
+#include "avsec/obs/trace.hpp"
 #include "avsec/netsim/flaky.hpp"
 
 namespace avsec::fault {
@@ -207,7 +208,9 @@ struct InjectionRecord {
 /// Binds targets and arms plans on the scheduler.
 class FaultInjector {
  public:
-  explicit FaultInjector(core::Scheduler& sim) : sim_(sim) {}
+  explicit FaultInjector(core::Scheduler& sim) : sim_(sim) {
+    AVSEC_OBS_REGISTER_TRACK(obs_track_, "fault-injector");
+  }
 
   /// Registers a target (non-owning) under `name`.
   void add_target(const std::string& name, FaultTarget* target);
@@ -227,6 +230,7 @@ class FaultInjector {
   void fire(const FaultEvent& ev);
 
   core::Scheduler& sim_;
+  obs::TrackId obs_track_ = 0;  // virtual trace track for the injector
   std::map<std::string, FaultTarget*> targets_;
   std::vector<core::EventHandle> pending_;
   std::vector<InjectionRecord> log_;

@@ -26,7 +26,9 @@ const char* supervisor_event_kind_name(SupervisorEventKind k) {
 SafetySupervisor::SafetySupervisor(core::Scheduler& sim,
                                    SupervisorConfig config,
                                    ids::DegradationManager* dm)
-    : sim_(sim), config_(config), dm_(dm) {}
+    : sim_(sim), config_(config), dm_(dm) {
+  AVSEC_OBS_REGISTER_TRACK(obs_track_, "supervisor");
+}
 
 void SafetySupervisor::start() {
   if (running_) return;
@@ -43,6 +45,9 @@ void SafetySupervisor::stop() {
 void SafetySupervisor::emit(core::SimTime now, SupervisorEventKind kind,
                             const std::string& detail) {
   events_.push_back(SupervisorEvent{now, kind, state_, state_, detail});
+  AVSEC_TRACE_INSTANT(obs::Category::kHealth,
+                      supervisor_event_kind_name(kind), obs_track_, now, 0, 0,
+                      detail);
 }
 
 void SafetySupervisor::transition(SafetyState to, core::SimTime now,
@@ -50,6 +55,12 @@ void SafetySupervisor::transition(SafetyState to, core::SimTime now,
   if (to == state_) return;
   SupervisorEvent ev{now, SupervisorEventKind::kTransition, state_, to,
                      detail};
+  AVSEC_TRACE_INSTANT(obs::Category::kHealth, "transition", obs_track_, now,
+                      static_cast<std::int64_t>(state_),
+                      static_cast<std::int64_t>(to), safety_state_name(to));
+  AVSEC_TRACE_COUNTER(obs::Category::kHealth, "safety-state", obs_track_,
+                      now, static_cast<double>(static_cast<int>(to)));
+  AVSEC_METRIC_INC("health.transitions", 1);
   state_ = to;
   events_.push_back(std::move(ev));
 }

@@ -31,6 +31,7 @@
 #include "avsec/health/heartbeat.hpp"
 #include "avsec/health/voting.hpp"
 #include "avsec/ids/response.hpp"
+#include "avsec/obs/trace.hpp"
 
 namespace avsec::health {
 
@@ -117,6 +118,7 @@ class SafetySupervisor {
   core::Scheduler& sim_;
   SupervisorConfig config_;
   ids::DegradationManager* dm_;
+  obs::TrackId obs_track_ = 0;  // virtual trace track for the supervisor
   RestartFn restart_;
   SafetyState state_ = SafetyState::kNominal;
   std::set<std::string> unhealthy_;

@@ -4,10 +4,16 @@
 
 namespace avsec::ids {
 
-AlertCorrelator::AlertCorrelator(CorrelatorConfig config) : config_(config) {}
+AlertCorrelator::AlertCorrelator(CorrelatorConfig config) : config_(config) {
+  AVSEC_OBS_REGISTER_TRACK(obs_track_, "ids-correlator");
+}
 
 std::size_t AlertCorrelator::ingest(const Alert& alert) {
   ++alerts_seen_;
+  AVSEC_TRACE_INSTANT(obs::Category::kIds, "alert", obs_track_, alert.time,
+                      alert.can_id, static_cast<std::int64_t>(alert.type),
+                      alert_type_name(alert.type));
+  AVSEC_METRIC_INC("ids.alerts", 1);
   // Join the most recent open incident for this ID within the window.
   for (std::size_t i = incidents_.size(); i-- > 0;) {
     Incident& inc = incidents_[i];
@@ -33,6 +39,10 @@ std::size_t AlertCorrelator::ingest(const Alert& alert) {
   inc.alert_count = 1;
   inc.confidence = alert.confidence;
   incidents_.push_back(std::move(inc));
+  AVSEC_TRACE_INSTANT(obs::Category::kIds, "incident-open", obs_track_,
+                      alert.time, alert.can_id,
+                      static_cast<std::int64_t>(incidents_.size() - 1));
+  AVSEC_METRIC_INC("ids.incidents", 1);
   return incidents_.size() - 1;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "avsec/ids/can_ids.hpp"
+#include "avsec/obs/trace.hpp"
 
 namespace avsec::ids {
 
@@ -50,6 +51,7 @@ class AlertCorrelator {
 
  private:
   CorrelatorConfig config_;
+  obs::TrackId obs_track_ = 0;  // virtual trace track for the correlator
   std::vector<Incident> incidents_;
   std::size_t alerts_seen_ = 0;
 };

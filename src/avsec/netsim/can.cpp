@@ -95,7 +95,9 @@ CanFrame::BitBudget CanFrame::bit_budget() const {
 }
 
 CanBus::CanBus(core::Scheduler& sim, CanBusConfig config)
-    : sim_(sim), config_(std::move(config)), error_rng_(config_.error_seed) {}
+    : sim_(sim), config_(std::move(config)), error_rng_(config_.error_seed) {
+  AVSEC_OBS_REGISTER_TRACK(obs_track_, config_.name);
+}
 
 int CanBus::attach(std::string name, RxCallback on_rx) {
   nodes_.push_back(Node{std::move(name), std::move(on_rx), {}});
@@ -137,6 +139,9 @@ void CanBus::send(int node, CanFrame frame) {
   Node& n = nodes_[static_cast<std::size_t>(node)];
   if (n.bus_off || n.down) {
     ++frames_dropped_;
+    AVSEC_TRACE_INSTANT(obs::Category::kCan, "tx-drop", obs_track_,
+                        sim_.now(), frame.id, node, n.name);
+    AVSEC_METRIC_INC("can.frames_dropped", 1);
     return;
   }
   n.queue.push_back(Pending{std::move(frame), sim_.now(), 0});
@@ -204,6 +209,9 @@ void CanBus::enter_bus_off(Node& node, int index) {
   node.bus_off = true;
   node.queue.clear();
   ++bus_off_events_;
+  AVSEC_TRACE_INSTANT(obs::Category::kCan, "bus-off", obs_track_, sim_.now(),
+                      index, node.tec, node.name);
+  AVSEC_METRIC_INC("can.bus_off_events", 1);
   if (config_.auto_bus_off_recovery) {
     node.recovery = sim_.schedule_in(
         bus_off_recovery_interval(), [this, index] {
@@ -221,6 +229,9 @@ void CanBus::recover_from_bus_off(int index) {
   node.ready_at = sim_.now();
   node.recovery = core::EventHandle{};
   ++bus_off_recoveries_;
+  AVSEC_TRACE_INSTANT(obs::Category::kCan, "bus-off-recovery", obs_track_,
+                      sim_.now(), index, 0, node.name);
+  AVSEC_METRIC_INC("can.bus_off_recoveries", 1);
   if (!busy_) try_start_transmission();
 }
 
@@ -270,6 +281,10 @@ void CanBus::try_start_transmission() {
   ++p.attempts;
   const SimTime duration = frame_duration(p.frame);
   busy_time_ += duration;
+  AVSEC_TRACE_BEGIN(obs::Category::kCan, "frame", obs_track_, now,
+                    static_cast<std::int64_t>(best_id), winner, node.name);
+  AVSEC_METRIC_OBSERVE("can.arbitration_wait_us",
+                       core::to_microseconds(sim_.now() - p.enqueued_at));
   arbitration_wait_.add(core::to_microseconds(sim_.now() - p.enqueued_at));
   sim_.schedule_in(duration, [this, winner] { finish_transmission(winner); });
 }
@@ -279,6 +294,9 @@ void CanBus::finish_transmission(int node) {
   if (sender.down || sender.queue.empty()) {
     // The transmitter crashed mid-frame: the frame is aborted, the bus
     // simply goes idle.
+    AVSEC_TRACE_END(obs::Category::kCan, "frame", obs_track_, sim_.now());
+    AVSEC_TRACE_INSTANT(obs::Category::kCan, "tx-abort", obs_track_,
+                        sim_.now(), node);
     busy_ = false;
     try_start_transmission();
     return;
@@ -306,6 +324,10 @@ void CanBus::finish_transmission(int node) {
     const SimTime err_dur = error_frame_duration();
     busy_time_ += err_dur;
     sender.tec += 8;  // ISO 11898 transmit-error increment
+    AVSEC_TRACE_END(obs::Category::kCan, "frame", obs_track_, sim_.now());
+    AVSEC_TRACE_INSTANT(obs::Category::kCan, "error-frame", obs_track_,
+                        sim_.now(), node, sender.tec, sender.name);
+    AVSEC_METRIC_INC("can.error_frames", 1);
     // Every listening node observes the error frame.
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       if (static_cast<int>(i) == node) continue;
@@ -335,6 +357,8 @@ void CanBus::finish_transmission(int node) {
   const CanFrame frame = p.frame;  // copy before pop
   sender.queue.erase(sender.queue.begin());
   ++frames_delivered_;
+  AVSEC_TRACE_END(obs::Category::kCan, "frame", obs_track_, sim_.now());
+  AVSEC_METRIC_INC("can.frames_delivered", 1);
 
   const SimTime now = sim_.now();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {

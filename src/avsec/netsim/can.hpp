@@ -27,6 +27,7 @@
 #include "avsec/core/rng.hpp"
 #include "avsec/core/scheduler.hpp"
 #include "avsec/core/stats.hpp"
+#include "avsec/obs/trace.hpp"
 
 namespace avsec::netsim {
 
@@ -187,6 +188,7 @@ class CanBus {
 
   core::Scheduler& sim_;
   CanBusConfig config_;
+  obs::TrackId obs_track_ = 0;  // one virtual trace track per bus
   std::vector<Node> nodes_;
   bool busy_ = false;
   core::Rng error_rng_;

@@ -110,7 +110,9 @@ void EthNic::on_frame(const EthFrame& frame, SimTime now) {
 EthSwitch::EthSwitch(core::Scheduler& sim, std::string name,
                      SimTime forwarding_latency)
     : sim_(sim), name_(std::move(name)),
-      forwarding_latency_(forwarding_latency) {}
+      forwarding_latency_(forwarding_latency) {
+  AVSEC_OBS_REGISTER_TRACK(obs_track_, name_);
+}
 
 EthSink* EthSwitch::add_port(EthLink* link) {
   ports_.push_back(
@@ -128,12 +130,18 @@ void EthSwitch::handle(int in_port, const EthFrame& frame) {
   if (!is_broadcast(frame.dst) && it != fdb_.end()) {
     if (it->second != in_port) {
       ++forwarded_;
+      AVSEC_TRACE_INSTANT(obs::Category::kEthernet, "forward", obs_track_,
+                          sim_.now(), in_port, it->second);
+      AVSEC_METRIC_INC("eth.forwarded", 1);
       emit(it->second, frame);
     }
     return;
   }
   // Unknown destination or broadcast: flood all other ports.
   ++flooded_;
+  AVSEC_TRACE_INSTANT(obs::Category::kEthernet, "flood", obs_track_,
+                      sim_.now(), in_port, frame.ethertype);
+  AVSEC_METRIC_INC("eth.flooded", 1);
   for (std::size_t i = 0; i < ports_.size(); ++i) {
     if (static_cast<int>(i) != in_port) emit(static_cast<int>(i), frame);
   }

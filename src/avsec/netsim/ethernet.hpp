@@ -17,6 +17,7 @@
 #include "avsec/core/bytes.hpp"
 #include "avsec/core/scheduler.hpp"
 #include "avsec/core/stats.hpp"
+#include "avsec/obs/trace.hpp"
 
 namespace avsec::netsim {
 
@@ -148,6 +149,7 @@ class EthSwitch {
   core::Scheduler& sim_;
   std::string name_;
   SimTime forwarding_latency_;
+  obs::TrackId obs_track_ = 0;  // one virtual trace track per switch
   std::vector<std::unique_ptr<Port>> ports_;
   std::map<MacAddress, int> fdb_;  // MAC -> port
   std::uint64_t forwarded_ = 0;

@@ -5,7 +5,9 @@
 namespace avsec::netsim {
 
 T1sBus::T1sBus(core::Scheduler& sim, T1sConfig config)
-    : sim_(sim), config_(std::move(config)) {}
+    : sim_(sim), config_(std::move(config)) {
+  AVSEC_OBS_REGISTER_TRACK(obs_track_, config_.name);
+}
 
 int T1sBus::attach(std::string name, RxCallback on_rx) {
   assert(!started_ && "attach all nodes before start()");
@@ -45,10 +47,19 @@ void T1sBus::run_cycle_step() {
     busy_time_ += duration;
     access_latency_.add(core::to_microseconds(sim_.now() - p.enqueued_at));
     ++frames_delivered_;
+    AVSEC_TRACE_BEGIN(obs::Category::kEthernet, "t1s-frame", obs_track_,
+                      sim_.now(), static_cast<std::int64_t>(current_),
+                      static_cast<std::int64_t>(holder.queue.size()),
+                      holder.name);
+    AVSEC_METRIC_OBSERVE("t1s.access_latency_us",
+                         core::to_microseconds(sim_.now() - p.enqueued_at));
 
     const int src = static_cast<int>(current_);
     const EthFrame frame = std::move(p.frame);
     sim_.schedule_in(duration, [this, src, frame] {
+      AVSEC_TRACE_END(obs::Category::kEthernet, "t1s-frame", obs_track_,
+                      sim_.now());
+      AVSEC_METRIC_INC("t1s.frames_delivered", 1);
       for (std::size_t i = 0; i < nodes_.size(); ++i) {
         if (static_cast<int>(i) == src) continue;
         if (nodes_[i].on_rx) nodes_[i].on_rx(src, frame, sim_.now());

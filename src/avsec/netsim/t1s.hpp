@@ -16,6 +16,7 @@
 #include "avsec/core/scheduler.hpp"
 #include "avsec/core/stats.hpp"
 #include "avsec/netsim/ethernet.hpp"
+#include "avsec/obs/trace.hpp"
 
 namespace avsec::netsim {
 
@@ -66,6 +67,7 @@ class T1sBus {
 
   core::Scheduler& sim_;
   T1sConfig config_;
+  obs::TrackId obs_track_ = 0;  // one virtual trace track per segment
   std::vector<Node> nodes_;
   bool started_ = false;
   std::size_t current_ = 0;  // node holding the transmit opportunity

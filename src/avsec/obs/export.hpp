@@ -1,0 +1,32 @@
+// Trace exporters.
+//
+// Two formats, both deterministic functions of the recorded events:
+//   - Chrome trace-event JSON, loadable in Perfetto / chrome://tracing:
+//     every registered track renders as a named virtual thread, spans as
+//     B/E pairs, instants as thread-scoped "i" markers, counters as "C"
+//     series. Timestamps are microseconds with picosecond fraction,
+//     printed from integer SimTime (never through a double), so the same
+//     run always serializes to the same bytes.
+//   - a sorted, diff-friendly text dump (one event per line, stable field
+//     order) used by tests to assert byte-identical traces for the same
+//     seed at any campaign worker count.
+#pragma once
+
+#include <string>
+
+#include "avsec/obs/trace.hpp"
+
+namespace avsec::obs {
+
+/// Renders the retained events as Chrome trace-event JSON.
+std::string chrome_trace_json(const TraceRecorder& rec);
+
+/// Writes chrome_trace_json() to `path`; returns false on I/O failure.
+bool write_chrome_trace(const TraceRecorder& rec, const std::string& path);
+
+/// Renders the retained events as a sorted text dump: a `# track` header
+/// per registered track, then one line per event in (ts, seq) order,
+/// then the metrics registry. Byte-identical for byte-identical runs.
+std::string text_dump(const TraceRecorder& rec);
+
+}  // namespace avsec::obs

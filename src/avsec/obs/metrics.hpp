@@ -1,0 +1,58 @@
+// Named counters, gauges and value series for the observability layer.
+//
+// All aggregation folds through core::Accumulator (bit-stable Welford
+// merges, lint rule R3) and every container is ordered (std::map, lint
+// rule R2), so a registry dump is deterministic: same seed, same bytes,
+// at any campaign worker count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "avsec/core/stats.hpp"
+
+namespace avsec::obs {
+
+/// Deterministic metrics registry: monotonic counters, last-write gauges,
+/// and Accumulator-backed value series keyed by name.
+class MetricsRegistry {
+ public:
+  void inc(std::string_view name, std::uint64_t n = 1);
+  void set_gauge(std::string_view name, double value);
+  void observe(std::string_view name, double value);
+
+  /// Counter value; 0 when the name was never incremented.
+  std::uint64_t counter(std::string_view name) const;
+  /// Gauge value; `fallback` when the name was never set.
+  double gauge(std::string_view name, double fallback = 0.0) const;
+  /// Value series; nullptr when the name was never observed.
+  const core::Accumulator* series(std::string_view name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && series_.empty();
+  }
+
+  /// Folds `other` into this registry: counters add, gauges overwrite,
+  /// series merge through core::Accumulator (bit-stable).
+  void merge(const MetricsRegistry& other);
+
+  /// Flattens everything to name -> double (counters as-is; gauges as-is;
+  /// series expanded to name.count/.mean/.min/.max/.sum) — the shape
+  /// fault::Metrics consumes.
+  std::map<std::string, double> flatten() const;
+
+  /// Sorted, diff-friendly text rendering (one metric per line).
+  std::string text_dump() const;
+
+  /// Exact equality (bitwise on doubles), for determinism assertions.
+  bool identical(const MetricsRegistry& other) const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, core::Accumulator, std::less<>> series_;
+};
+
+}  // namespace avsec::obs

@@ -1,0 +1,34 @@
+// Scheduler dispatch tracing: a core::Scheduler::DispatchObserver that
+// samples the kernel's event-dispatch rate onto the ambient recorder as a
+// "dispatched" counter track — the backbone timeline every other layer's
+// spans hang off in Perfetto.
+#pragma once
+
+#include <cstdint>
+
+#include "avsec/core/scheduler.hpp"
+#include "avsec/obs/trace.hpp"
+
+namespace avsec::obs {
+
+/// RAII observer: attaches to `sim` on construction, detaches on
+/// destruction. Emits a counter event every `stride` dispatches (stride 1
+/// marks every event; campaigns use a larger stride so the scheduler
+/// track does not crowd the ring out of layer events).
+class SchedulerTracer : public core::Scheduler::DispatchObserver {
+ public:
+  explicit SchedulerTracer(core::Scheduler& sim, std::uint64_t stride = 1);
+  ~SchedulerTracer() override;
+
+  SchedulerTracer(const SchedulerTracer&) = delete;
+  SchedulerTracer& operator=(const SchedulerTracer&) = delete;
+
+  void on_dispatch(core::SimTime now, std::uint64_t dispatched) override;
+
+ private:
+  core::Scheduler& sim_;
+  std::uint64_t stride_;
+  TrackId track_ = 0;
+};
+
+}  // namespace avsec::obs

@@ -94,10 +94,14 @@ RobustTlsSession::RobustTlsSession(core::Scheduler& sim,
                 [this](const core::Bytes& data, core::SimTime) {
                   on_datagram(data);
                 });
+  AVSEC_OBS_REGISTER_TRACK(obs_track_, "tls-session");
 }
 
 void RobustTlsSession::record(SessionEventKind kind, core::SimTime timeout) {
   events_.push_back(SessionEvent{sim_.now(), kind, attempt_, timeout});
+  AVSEC_TRACE_INSTANT(obs::Category::kSecproto, session_event_kind_name(kind),
+                      obs_track_, sim_.now(), attempt_, timeout);
+  AVSEC_METRIC_INC("secproto.session_events", 1);
 }
 
 void RobustTlsSession::connect() {
@@ -117,12 +121,18 @@ void RobustTlsSession::rekey() {
 void RobustTlsSession::close() {
   sim_.cancel(timer_);
   timer_ = core::EventHandle{};
+  if (state_ == SessionState::kHandshaking) {
+    AVSEC_TRACE_END(obs::Category::kSecproto, "handshake", obs_track_,
+                    sim_.now());
+  }
   session_.reset();
   state_ = SessionState::kClosed;
   record(SessionEventKind::kClosed);
 }
 
 void RobustTlsSession::start_handshake() {
+  AVSEC_TRACE_BEGIN(obs::Category::kSecproto, "handshake", obs_track_,
+                    sim_.now(), reconnects_);
   state_ = SessionState::kHandshaking;
   client_ = std::make_unique<TlsClient>(rng_.next(), ca_key_);
   hello_bytes_ = client_->hello().serialize();
@@ -147,6 +157,8 @@ void RobustTlsSession::on_timeout() {
     return;
   }
   // Bounded retries exhausted: tear the session down.
+  AVSEC_TRACE_END(obs::Category::kSecproto, "handshake", obs_track_,
+                  sim_.now());
   record(SessionEventKind::kGiveUp);
   client_.reset();
   session_.reset();
@@ -176,6 +188,9 @@ void RobustTlsSession::on_datagram(const core::Bytes& data) {
   client_.reset();
   state_ = SessionState::kEstablished;
   ++handshakes_;
+  AVSEC_TRACE_END(obs::Category::kSecproto, "handshake", obs_track_,
+                  sim_.now());
+  AVSEC_METRIC_INC("secproto.handshakes", 1);
   record(SessionEventKind::kEstablished);
 }
 

@@ -22,6 +22,7 @@
 #include "avsec/core/rng.hpp"
 #include "avsec/core/scheduler.hpp"
 #include "avsec/netsim/flaky.hpp"
+#include "avsec/obs/trace.hpp"
 #include "avsec/secproto/tls_lite.hpp"
 
 namespace avsec::secproto {
@@ -152,6 +153,7 @@ class RobustTlsSession {
   core::Rng rng_;
   std::array<std::uint8_t, 32> ca_key_;
   RobustSessionConfig config_;
+  obs::TrackId obs_track_ = 0;  // virtual trace track for this session
 
   SessionState state_ = SessionState::kIdle;
   std::unique_ptr<TlsClient> client_;

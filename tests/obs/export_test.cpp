@@ -1,0 +1,235 @@
+// Exporter contracts: the Chrome trace-event JSON must parse as strict
+// JSON with per-track monotonically non-decreasing timestamps, and the
+// text dump must be sorted, complete, and diff-friendly.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "avsec/obs/export.hpp"
+#include "avsec/obs/trace.hpp"
+
+namespace avsec::obs {
+namespace {
+
+// Minimal strict JSON validator (objects, arrays, strings, numbers,
+// true/false/null) — enough to prove the exporter emits well-formed JSON
+// without needing a JSON library in the image.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;  // escaped char
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TraceRecorder make_populated_recorder() {
+  TraceRecorder rec(64);
+  const TrackId can = rec.register_track("can0");
+  const TrackId eth = rec.register_track("eth \"switch\"\\0");
+  rec.begin(Category::kCan, "frame", can, 1000, 0x123, 1, "ecu-a");
+  rec.instant(Category::kEthernet, "flood", eth, 1500, 2, 0x88E5);
+  rec.end(Category::kCan, "frame", can, 2000);
+  rec.counter(Category::kScheduler, "dispatched", 0, 2500, 3.0);
+  rec.counter(Category::kHealth, "safety-state", 0, 2600, 0.1 + 0.2);
+  rec.instant(Category::kCan, "bus-off", can, -250, 4, 0);  // negative ts
+  rec.metrics().inc("can.frames_delivered", 1);
+  rec.metrics().observe("lat_us", 12.5);
+  return rec;
+}
+
+TEST(ChromeTraceJson, IsStrictlyValidJson) {
+  const TraceRecorder rec = make_populated_recorder();
+  const std::string json = chrome_trace_json(rec);
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  // Track metadata is present for every registered track.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("can0"), std::string::npos);
+  // Instants carry thread scope, counters their value.
+  EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": "), std::string::npos);
+}
+
+TEST(ChromeTraceJson, TimestampsNonDecreasingPerTrack) {
+  const TraceRecorder rec = make_populated_recorder();
+  const std::string json = chrome_trace_json(rec);
+  // The exporter emits one record per line; skip metadata ("M") records
+  // and check ts ordering within each tid.
+  std::map<int, double> last_ts;
+  std::size_t events = 0;
+  std::size_t start = 0;
+  while (start < json.size()) {
+    std::size_t nl = json.find('\n', start);
+    if (nl == std::string::npos) nl = json.size();
+    const std::string line = json.substr(start, nl - start);
+    start = nl + 1;
+    if (line.find("\"ph\": \"M\"") != std::string::npos) continue;
+    const std::size_t tid_pos = line.find("\"tid\": ");
+    const std::size_t ts_pos = line.find("\"ts\": ");
+    if (tid_pos == std::string::npos || ts_pos == std::string::npos) continue;
+    const int tid = std::stoi(line.substr(tid_pos + 7));
+    const double ts = std::stod(line.substr(ts_pos + 6));
+    ++events;
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second) << "track " << tid;
+    }
+    last_ts[tid] = ts;
+  }
+  EXPECT_GE(events, 6u);
+}
+
+TEST(ChromeTraceJson, NegativeAndSubMicrosecondTimestampsRoundTrip) {
+  TraceRecorder rec(8);
+  rec.instant(Category::kApp, "early", 0, -1'234'567);  // -1.234567 us
+  rec.instant(Category::kApp, "tiny", 0, 42);           // 42 ps
+  const std::string json = chrome_trace_json(rec);
+  EXPECT_NE(json.find("\"ts\": -1.234567"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\": 0.000042"), std::string::npos) << json;
+}
+
+TEST(WriteChromeTrace, WritesLoadableFile) {
+  const TraceRecorder rec = make_populated_recorder();
+  const std::string path = ::testing::TempDir() + "avsec_obs_export_test.json";
+  ASSERT_TRUE(write_chrome_trace(rec, path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(content, chrome_trace_json(rec));
+  JsonChecker checker(content);
+  EXPECT_TRUE(checker.valid());
+}
+
+TEST(TextDump, SortedCompleteAndStable) {
+  const TraceRecorder rec = make_populated_recorder();
+  const std::string dump = text_dump(rec);
+  // Header + track table + events + metrics.
+  EXPECT_NE(dump.find("# avsec trace: retained=6 recorded=6 dropped=0"),
+            std::string::npos);
+  EXPECT_NE(dump.find("# track 0 main"), std::string::npos);
+  EXPECT_NE(dump.find("# track 1 can0"), std::string::npos);
+  EXPECT_NE(dump.find("counter can.frames_delivered 1"), std::string::npos);
+  // Events come out in (ts, seq) order: the negative-ts event leads.
+  const std::size_t first_event = dump.find("\nts=");
+  ASSERT_NE(first_event, std::string::npos);
+  EXPECT_EQ(dump.substr(first_event + 1, 8), "ts=-250 ");
+  // Byte-stable across repeated dumps of the same recorder.
+  EXPECT_EQ(dump, text_dump(rec));
+}
+
+TEST(TextDump, WrappedRingReportsDropCount) {
+  TraceRecorder rec(2);
+  for (int i = 0; i < 5; ++i) rec.instant(Category::kApp, "t", 0, i);
+  const std::string dump = text_dump(rec);
+  EXPECT_NE(dump.find("retained=2 recorded=5 dropped=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace avsec::obs

@@ -1,0 +1,47 @@
+// Compiled with -DAVSEC_OBS_COMPILED_OUT: every instrumentation macro
+// must expand to nothing — no recorder writes, no metric folds, no track
+// registration — even with a recorder installed and enabled. This is the
+// zero-cost contract production IVN builds rely on.
+#include <gtest/gtest.h>
+
+#ifndef AVSEC_OBS_COMPILED_OUT
+#error "this test must be built with AVSEC_OBS_COMPILED_OUT defined"
+#endif
+
+#include "avsec/obs/obs.hpp"
+
+namespace avsec::obs {
+namespace {
+
+TEST(ObsCompiledOut, MacrosExpandToNothing) {
+  TraceRecorder rec;
+  TraceScope scope(rec);
+  ASSERT_EQ(current(), &rec);
+  ASSERT_TRUE(rec.enabled());
+
+  TrackId slot = 0;
+  AVSEC_OBS_REGISTER_TRACK(slot, "would-be-track");
+  AVSEC_TRACE_BEGIN(Category::kCan, "frame", slot, 100, 1, 2, "detail");
+  AVSEC_TRACE_INSTANT(Category::kIds, "alert", slot, 200);
+  AVSEC_TRACE_COUNTER(Category::kHealth, "state", slot, 300, 1.0);
+  AVSEC_TRACE_END(Category::kCan, "frame", slot, 400);
+  AVSEC_METRIC_INC("counter", 5);
+  AVSEC_METRIC_OBSERVE("series", 2.5);
+
+  EXPECT_EQ(slot, 0);  // registration compiled out
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_TRUE(rec.metrics().empty());
+  EXPECT_EQ(rec.track_names().size(), 1u);  // only the implicit "main"
+}
+
+TEST(ObsCompiledOut, DirectApiStillWorks) {
+  // Compiling out the macros removes instrumentation *sites*; the library
+  // itself stays usable (exporters, replay tooling).
+  TraceRecorder rec(8);
+  rec.instant(Category::kApp, "manual", 0, 1);
+  EXPECT_EQ(rec.recorded(), 1u);
+}
+
+}  // namespace
+}  // namespace avsec::obs

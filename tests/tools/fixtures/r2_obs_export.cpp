@@ -1,0 +1,15 @@
+// Fixture: R2 unordered-container iteration in an obs exporter
+// (linted under an obs/ label). Expected findings:
+//   line 10: range-for over the track-name unordered_map
+//   line 12: iterator walk via .begin()
+#include <string>
+#include <unordered_map>
+std::string dump_tracks(
+    const std::unordered_map<int, std::string>& tracks) {
+  std::string out;
+  for (const auto& kv : tracks) out += kv.second + "\n";
+  std::string names;
+  for (auto it = tracks.begin(); it != tracks.end(); ++it)
+    names += it->second;
+  return out + names;
+}

@@ -1,0 +1,11 @@
+// Fixture: R3 raw floating-point reduction in an obs metrics fold
+// (linted under a src/.../obs/ label). Expected findings:
+//   line  7: for-loop accumulation of counter samples
+// The integer event tally at line 9 must NOT be flagged.
+double fold_counters(const double* samples, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += samples[i];
+  int events = 0;
+  for (int i = 0; i < n; ++i) events += 1;
+  return sum + events;
+}

@@ -97,6 +97,30 @@ TEST(LintR3, SuppressionsCoverWrappedAndTrailingComments) {
           .empty());
 }
 
+TEST(LintObs, ExporterUnorderedIterationIsFlagged) {
+  const auto findings = lint_source("src/avsec/obs/export.cpp",
+                                    read_fixture("r2_obs_export.cpp"));
+  const std::vector<std::pair<std::string, int>> expected = {{"R2", 10},
+                                                             {"R2", 12}};
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
+TEST(LintObs, MetricsFoldRawReductionIsFlagged) {
+  const auto findings = lint_source("src/avsec/obs/metrics_fold.cpp",
+                                    read_fixture("r3_obs_fold.cpp"));
+  const std::vector<std::pair<std::string, int>> expected = {{"R3", 7}};
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
+TEST(LintObs, ObsScopeCoversTestPathsAndSparesOtherModules) {
+  const std::string src = read_fixture("r2_obs_export.cpp");
+  // tests/obs/ dumps feed the byte-identical determinism assertions, so
+  // the R2 aggregation scope covers them too...
+  EXPECT_FALSE(lint_source("tests/obs/export_test.cpp", src).empty());
+  // ...while the same source under a non-aggregation module stays legal.
+  EXPECT_TRUE(lint_source("src/avsec/netsim/export.cpp", src).empty());
+}
+
 TEST(LintR4, IncludeGuardHeaderIsFlagged) {
   const auto findings = lint_source("src/avsec/x/guard.hpp",
                                     read_fixture("r4_include_guard.hpp"));
