@@ -32,6 +32,10 @@ namespace {
 // One full world per run: build, fault, simulate, measure.
 fault::Metrics run_scenario(std::uint64_t seed) {
   core::Scheduler sim;
+  // Opt in to campaign supervision: inside a supervised sweep this chains
+  // the run's event budget / deadline guard onto the scheduler; standalone
+  // (replay, tracing) it is a no-op.
+  fault::supervise(sim);
 
   // --- zonal CAN segment: sensor feed + a latent babbling idiot ---
   netsim::CanBus bus(sim, {});
@@ -155,6 +159,8 @@ int main(int argc, char** argv) {
   std::size_t workers = core::ThreadPool::default_workers();
   const char* trace_path = nullptr;  // --trace <file.json>: Perfetto export
   bool trace_failing = false;        // --trace-failing: capture failing runs
+  const char* manifest_path = nullptr;  // --manifest <f>: journal the sweep
+  const char* resume_path = nullptr;    // --resume <f>: resume from journal
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = static_cast<std::size_t>(std::atoll(argv[++i]));
@@ -163,15 +169,27 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-failing") == 0) {
       trace_failing = true;
+    } else if (std::strcmp(argv[i], "--manifest") == 0 && i + 1 < argc) {
+      manifest_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
+      resume_path = argv[++i];
     }
   }
 
-  auto make_campaign = [&](std::size_t w) {
+  auto make_campaign = [&](std::size_t w, const char* manifest) {
     fault::CampaignConfig cfg;
     cfg.runs = 20;
     cfg.base_seed = 2026;
     cfg.workers = w;
     if (trace_failing) cfg.trace = fault::TraceCapture::kFailingRuns;
+    // Supervision on: a crashing or runaway seed becomes a quarantined
+    // outcome instead of taking the whole sweep down. The event budget is
+    // far above any legitimate run; the wall deadline stays off so the
+    // report is a pure function of the seeds.
+    cfg.supervision.enabled = true;
+    cfg.supervision.max_events = 50'000'000;
+    cfg.supervision.retry.max_retries = 1;
+    if (manifest != nullptr) cfg.manifest_path = manifest;
     fault::Campaign campaign(cfg);
     campaign
         .require("feed recovers by end of run",
@@ -199,20 +217,38 @@ int main(int argc, char** argv) {
   // AVSEC-LINT-ALLOW(R1): wall-clock speedup report for --workers, not sim state
   using clock = std::chrono::steady_clock;
   const auto t0 = clock::now();
-  const auto serial_report = make_campaign(1).sweep(run_scenario);
+  const auto serial_report = make_campaign(1, nullptr).sweep(run_scenario);
   const auto t1 = clock::now();
-  const auto report = make_campaign(workers).sweep(run_scenario);
+  fault::ResumeStats resume_stats;
+  const auto report =
+      resume_path != nullptr
+          ? make_campaign(workers, nullptr)
+                .resume(run_scenario, resume_path, &resume_stats)
+          : make_campaign(workers, manifest_path).sweep(run_scenario);
   const auto t2 = clock::now();
 
   const double serial_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
   const double parallel_ms =
       std::chrono::duration<double, std::milli>(t2 - t1).count();
+  const bool reports_identical = fault::identical(serial_report, report);
   std::printf("sweep wall-clock: serial %.0f ms, %zu workers %.0f ms "
-              "(speedup %.2fx), reports identical: %s\n\n",
+              "(speedup %.2fx), reports identical: %s\n",
               serial_ms, workers, parallel_ms,
               parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0,
-              fault::identical(serial_report, report) ? "yes" : "NO");
+              reports_identical ? "yes" : "NO");
+  if (resume_path != nullptr) {
+    std::printf("resumed from %s: %zu runs loaded, %zu re-run, "
+                "%zu torn/corrupt lines dropped; resumed report %s fresh "
+                "sweep\n",
+                resume_path, resume_stats.loaded, resume_stats.reran,
+                resume_stats.dropped_lines,
+                reports_identical ? "IDENTICAL to" : "DIFFERS from");
+  } else if (manifest_path != nullptr) {
+    std::printf("sweep journaled to %s (resume with --resume %s)\n",
+                manifest_path, manifest_path);
+  }
+  std::printf("\n");
 
   core::Table t({"Metric", "Mean", "Min", "Max"});
   for (const auto& [name, acc] : report.aggregate) {
@@ -238,6 +274,17 @@ int main(int argc, char** argv) {
   } else {
     std::printf("\nAll invariants held on every run (%zu/%zu passed).\n",
                 report.runs - report.failed_runs, report.runs);
+  }
+  if (report.quarantined_runs > 0) {
+    std::printf("quarantined seeds (%zu runs failed every attempt):",
+                report.quarantined_runs);
+    for (auto s : report.quarantined_seeds()) {
+      std::printf(" %llu", static_cast<unsigned long long>(s));
+    }
+    std::printf("\n");
+  }
+  if (report.runs_retried > 0) {
+    std::printf("%zu runs needed retries\n", report.runs_retried);
   }
 
   if (trace_failing) {
@@ -280,6 +327,5 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  return report.all_passed() && fault::identical(serial_report, report) ? 0
-                                                                        : 1;
+  return report.all_passed() && reports_identical ? 0 : 1;
 }

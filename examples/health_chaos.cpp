@@ -148,6 +148,9 @@ void escalation_ladder() {
 
 fault::Metrics run_chaos(std::uint64_t seed) {
   World w;
+  // Chain the campaign's supervision guard (if any) onto this world's
+  // scheduler; a no-op when the scenario runs standalone.
+  fault::supervise(w.sim);
   core::Rng rng(seed);
   constexpr core::SimTime kEnd = core::seconds(2);
 
@@ -224,6 +227,8 @@ int main(int argc, char** argv) {
   std::size_t workers = core::ThreadPool::default_workers();
   const char* trace_path = nullptr;  // --trace <file.json>: Perfetto export
   bool trace_failing = false;        // --trace-failing: capture failing runs
+  const char* manifest_path = nullptr;  // --manifest <f>: journal the sweep
+  const char* resume_path = nullptr;    // --resume <f>: resume from journal
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
@@ -239,6 +244,14 @@ int main(int argc, char** argv) {
       trace_failing = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--manifest") == 0 && i + 1 < argc) {
+      manifest_path = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
+      resume_path = argv[++i];
+      continue;
+    }
     positional.push_back(argv[i]);
   }
   const std::size_t runs =
@@ -250,12 +263,18 @@ int main(int argc, char** argv) {
           ? static_cast<std::uint64_t>(std::atoll(positional[1]))
           : 2026;
 
-  auto make_campaign = [&](std::size_t w) {
+  auto make_campaign = [&](std::size_t w, const char* manifest) {
     fault::CampaignConfig cfg;
     cfg.runs = runs;
     cfg.base_seed = base_seed;
     cfg.workers = w;
     if (trace_failing) cfg.trace = fault::TraceCapture::kFailingRuns;
+    // Supervised sweep: crashing/runaway seeds are quarantined instead of
+    // aborting the chaos campaign. Wall deadline off for determinism.
+    cfg.supervision.enabled = true;
+    cfg.supervision.max_events = 50'000'000;
+    cfg.supervision.retry.max_retries = 1;
+    if (manifest != nullptr) cfg.manifest_path = manifest;
     fault::Campaign campaign(cfg);
     campaign
         .require("2oo3 voter masks single-replica faults",
@@ -275,19 +294,37 @@ int main(int argc, char** argv) {
   // AVSEC-LINT-ALLOW(R1): wall-clock speedup report for --workers, not sim state
   using clock = std::chrono::steady_clock;
   const auto t0 = clock::now();
-  const auto serial_report = make_campaign(1).sweep(run_chaos);
+  const auto serial_report = make_campaign(1, nullptr).sweep(run_chaos);
   const auto t1 = clock::now();
-  const auto report = make_campaign(workers).sweep(run_chaos);
+  fault::ResumeStats resume_stats;
+  const auto report =
+      resume_path != nullptr
+          ? make_campaign(workers, nullptr)
+                .resume(run_chaos, resume_path, &resume_stats)
+          : make_campaign(workers, manifest_path).sweep(run_chaos);
   const auto t2 = clock::now();
   const double serial_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
   const double parallel_ms =
       std::chrono::duration<double, std::milli>(t2 - t1).count();
+  const bool reports_identical = fault::identical(serial_report, report);
   std::printf("sweep wall-clock: serial %.0f ms, %zu workers %.0f ms "
-              "(speedup %.2fx), reports identical: %s\n\n",
+              "(speedup %.2fx), reports identical: %s\n",
               serial_ms, workers, parallel_ms,
               parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0,
-              fault::identical(serial_report, report) ? "yes" : "NO");
+              reports_identical ? "yes" : "NO");
+  if (resume_path != nullptr) {
+    std::printf("resumed from %s: %zu runs loaded, %zu re-run, "
+                "%zu torn/corrupt lines dropped; resumed report %s fresh "
+                "sweep\n",
+                resume_path, resume_stats.loaded, resume_stats.reran,
+                resume_stats.dropped_lines,
+                reports_identical ? "IDENTICAL to" : "DIFFERS from");
+  } else if (manifest_path != nullptr) {
+    std::printf("sweep journaled to %s (resume with --resume %s)\n",
+                manifest_path, manifest_path);
+  }
+  std::printf("\n");
 
   core::Table t({"Metric", "Mean", "Min", "Max"});
   for (const auto& [name, acc] : report.aggregate) {
@@ -312,6 +349,14 @@ int main(int argc, char** argv) {
   } else {
     std::printf("\nAll invariants held on every run (%zu/%zu passed).\n",
                 report.runs - report.failed_runs, report.runs);
+  }
+  if (report.quarantined_runs > 0) {
+    std::printf("quarantined seeds (%zu runs failed every attempt):",
+                report.quarantined_runs);
+    for (auto s : report.quarantined_seeds()) {
+      std::printf(" %llu", static_cast<unsigned long long>(s));
+    }
+    std::printf("\n");
   }
 
   if (trace_failing) {
@@ -354,6 +399,5 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  return report.all_passed() && fault::identical(serial_report, report) ? 0
-                                                                        : 1;
+  return report.all_passed() && reports_identical ? 0 : 1;
 }

@@ -1,0 +1,20 @@
+#include "avsec/core/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace avsec::core {
+
+SimTime RetryPolicy::timeout_for(int attempt, Rng* rng) const {
+  double t = static_cast<double>(initial_timeout) *
+             std::pow(backoff_factor, static_cast<double>(attempt));
+  if (jitter > 0.0 && rng != nullptr) {
+    t *= rng->uniform(1.0 - jitter, 1.0 + jitter);
+  }
+  // Cap after jitter: max_timeout is a hard bound on the armed timer, so
+  // jitter may shorten the capped value but never push past it.
+  t = std::min(t, static_cast<double>(max_timeout));
+  return std::max<SimTime>(1, static_cast<SimTime>(t));
+}
+
+}  // namespace avsec::core

@@ -1,0 +1,32 @@
+// Exponential backoff with bounded retries.
+//
+// Grown out of the secproto session layer (DTLS-style handshake
+// retransmission) and promoted to core once campaign run-supervision
+// needed the same schedule: one policy type now drives both in-sim
+// retransmission timers and wall-clock retry pacing for supervised
+// campaign runs. secproto::RetryPolicy remains as an alias.
+#pragma once
+
+#include "avsec/core/rng.hpp"
+#include "avsec/core/time.hpp"
+
+namespace avsec::core {
+
+/// Exponential backoff with bounded retries.
+struct RetryPolicy {
+  SimTime initial_timeout = milliseconds(10);
+  double backoff_factor = 2.0;
+  SimTime max_timeout = seconds(2);
+  /// Multiplicative jitter: the timeout is scaled by a factor drawn
+  /// uniformly from [1 - jitter, 1 + jitter]. 0 = deterministic.
+  double jitter = 0.0;
+  /// Retransmissions after the initial send (or retries after the first
+  /// run attempt) before giving up.
+  int max_retries = 5;
+
+  /// Timeout armed after send attempt `attempt` (0 = initial send).
+  /// Deterministic when jitter == 0; otherwise `rng` supplies the draw.
+  SimTime timeout_for(int attempt, Rng* rng = nullptr) const;
+};
+
+}  // namespace avsec::core

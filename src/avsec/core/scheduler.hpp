@@ -69,6 +69,11 @@ class Scheduler {
     observer_ = observer;
   }
 
+  /// Currently installed dispatch observer (nullptr when none). Observers
+  /// that want to stack — e.g. a run-supervision guard over a tracer —
+  /// read the current one and forward to it from their own on_dispatch.
+  DispatchObserver* dispatch_observer() const { return observer_; }
+
   /// Total events executed over the scheduler's lifetime.
   std::uint64_t dispatched() const { return dispatched_; }
 

@@ -1,14 +1,21 @@
 #include "avsec/fault/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
 
 #include "avsec/core/rng.hpp"
 #include "avsec/core/sync.hpp"
 #include "avsec/core/thread_pool.hpp"
+#include "avsec/fault/manifest.hpp"
 #include "avsec/obs/export.hpp"
 
 namespace avsec::fault {
 namespace {
+
+using Invariants = std::vector<std::pair<std::string, Campaign::Check>>;
 
 // The campaign aggregation state (violation counters, accumulators,
 // failed-run tally) is confined to the sweeping thread: workers own
@@ -30,11 +37,241 @@ class ReportFolder {
     }
     for (const std::string& name : o.violated) ++report.violations[name];
     if (!o.violated.empty()) ++report.failed_runs;
+    if (is_quarantined(o.status)) ++report.quarantined_runs;
+    if (o.attempts > 1) ++report.runs_retried;
   }
 
  private:
   core::ThreadAffinity affinity_;
 };
+
+// One execution attempt: build the world, collect metrics, evaluate
+// invariants, capture the trace per policy. Pure function of the seed.
+void attempt_once(const CampaignConfig& config, const Invariants& invariants,
+                  const Campaign::RunFn& run, RunOutcome& o) {
+  o.metrics.clear();
+  o.violated.clear();
+  o.trace.clear();
+  o.error.clear();
+  if (config.trace == TraceCapture::kOff) {
+    o.metrics = run(o.seed);
+    for (const auto& [name, check] : invariants) {
+      if (!check(o.metrics)) o.violated.push_back(name);
+    }
+  } else {
+    // A private recorder per run, installed only on this worker thread:
+    // the scenario's instrumentation captures the run's own timeline
+    // with no cross-run or cross-thread sharing.
+    obs::TraceRecorder rec(config.trace_capacity);
+    {
+      obs::TraceScope scope(rec);
+      o.metrics = run(o.seed);
+    }
+    for (const auto& [name, check] : invariants) {
+      if (!check(o.metrics)) o.violated.push_back(name);
+    }
+    if (config.trace == TraceCapture::kAllRuns || !o.violated.empty()) {
+      o.trace = obs::text_dump(rec);
+    }
+  }
+  o.status =
+      o.violated.empty() ? RunStatus::kPassed : RunStatus::kViolated;
+}
+
+// Supervised execution: attempts under a RunGuard until one completes or
+// the retry budget is spent. Never throws — every failure mode becomes a
+// structured status on the outcome. The backoff sleep between attempts is
+// wall-clock (it paces retries, it does not touch the result), so the
+// outcome itself stays a pure function of the seed.
+void execute_supervised(const CampaignConfig& config,
+                        const Invariants& invariants,
+                        const Campaign::RunFn& run, RunOutcome& o) {
+  const SupervisionConfig& sup = config.supervision;
+  const int max_attempts = std::max(sup.retry.max_retries, 0) + 1;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      RunGuard guard(sup);
+      GuardScope scope(guard);  // scenario's supervise(sim) finds it
+      attempt_once(config, invariants, run, o);
+      o.attempts = static_cast<std::uint32_t>(attempt + 1);
+      return;
+    } catch (const RunAborted& e) {
+      o.status = e.kind();
+      o.error = e.what();
+    } catch (const std::exception& e) {
+      o.status = RunStatus::kCrashed;
+      o.error = e.what();
+    } catch (...) {
+      o.status = RunStatus::kCrashed;
+      o.error = "unknown exception";
+    }
+    o.metrics.clear();
+    o.violated.clear();
+    o.trace.clear();
+    o.attempts = static_cast<std::uint32_t>(attempt + 1);
+    if (attempt + 1 >= max_attempts) return;  // quarantined
+    // Backoff before the retry. RetryPolicy durations are SimTime
+    // (picoseconds); read here as a wall-clock pause, capped.
+    std::int64_t pause_ns = sup.retry.timeout_for(attempt) / 1000;
+    const std::int64_t cap_ns = sup.max_backoff_ms * 1'000'000;
+    if (cap_ns > 0) pause_ns = std::min(pause_ns, cap_ns);
+    if (pause_ns > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(pause_ns));
+    }
+  }
+}
+
+ManifestHeader header_for(const CampaignConfig& config,
+                          const Invariants& invariants) {
+  ManifestHeader h;
+  h.runs = config.runs;
+  h.base_seed = config.base_seed;
+  h.trace = static_cast<int>(config.trace);
+  h.invariants.reserve(invariants.size());
+  for (const auto& [name, check] : invariants) h.invariants.push_back(name);
+  return h;
+}
+
+// The one sweep engine behind both sweep() and resume(): executes every
+// index not satisfied by `loaded`, journals completions to `writer`, and
+// folds loaded and fresh outcomes interleaved in run order — which is
+// exactly why a resumed report is byte-identical to an uninterrupted one.
+CampaignReport execute_sweep(const CampaignConfig& config,
+                             const Invariants& invariants,
+                             const Campaign::RunFn& run,
+                             const std::map<std::size_t, RunOutcome>* loaded,
+                             ManifestWriter* writer, ResumeStats* stats) {
+  CampaignReport report;
+  report.runs = config.runs;
+  ReportFolder folder;  // binds aggregation to this thread, pre-fan-out
+
+  // Seeds are drawn up front in run order; each run then owns a private
+  // RNG stream, so execution order cannot leak between runs.
+  std::vector<RunOutcome> outcomes(config.runs);
+  core::Rng rng(config.base_seed);
+  for (RunOutcome& o : outcomes) o.seed = rng.next();
+
+  // Adopt loaded outcomes that completed (produced metrics); quarantined
+  // and missing runs go on the work list. Violations and status are
+  // re-derived from the loaded metrics under the *current* invariants, so
+  // a loaded run folds exactly as if it had just executed.
+  std::vector<std::size_t> todo;
+  todo.reserve(config.runs);
+  for (std::size_t i = 0; i < config.runs; ++i) {
+    const RunOutcome* prior = nullptr;
+    if (loaded != nullptr) {
+      const auto it = loaded->find(i);
+      if (it != loaded->end() && it->second.seed == outcomes[i].seed &&
+          !is_quarantined(it->second.status)) {
+        prior = &it->second;
+      }
+    }
+    if (prior == nullptr) {
+      todo.push_back(i);
+      continue;
+    }
+    RunOutcome o = *prior;
+    o.violated.clear();
+    for (const auto& [name, check] : invariants) {
+      if (!check(o.metrics)) o.violated.push_back(name);
+    }
+    o.status = o.violated.empty() ? RunStatus::kPassed : RunStatus::kViolated;
+    outcomes[i] = std::move(o);
+  }
+  if (stats != nullptr) {
+    stats->loaded = config.runs - todo.size();
+    stats->reran = todo.size();
+  }
+
+  // Per-run work. Everything here depends only on the run's own seed, so
+  // it can execute on any thread; the manifest append is the only shared
+  // touch and the writer serializes it internally.
+  auto execute = [&](std::size_t i) {
+    RunOutcome& o = outcomes[i];
+    if (config.supervision.enabled) {
+      execute_supervised(config, invariants, run, o);
+    } else {
+      attempt_once(config, invariants, run, o);
+      o.attempts = 1;
+    }
+    if (writer != nullptr) writer->append(i, o);
+  };
+
+  std::size_t workers = config.workers == 0
+                            ? core::ThreadPool::default_workers()
+                            : config.workers;
+  workers = std::min(workers, todo.size());
+  if (workers <= 1) {
+    for (const std::size_t i : todo) execute(i);
+  } else {
+    core::ThreadPool pool(workers);
+    if (config.supervision.enabled) {
+      // Drain mode: execute() already converts scenario failures into
+      // structured outcomes, so anything landing in an error slot is
+      // supervision bookkeeping itself failing. Record it as a crash of
+      // that run rather than letting one slot abandon the others.
+      std::vector<std::exception_ptr> errors;
+      pool.for_each_index(
+          todo.size(), [&](std::size_t k) { execute(todo[k]); }, &errors);
+      for (std::size_t k = 0; k < errors.size(); ++k) {
+        if (!errors[k]) continue;
+        RunOutcome& o = outcomes[todo[k]];
+        o.metrics.clear();
+        o.violated.clear();
+        o.trace.clear();
+        o.status = RunStatus::kCrashed;
+        o.attempts = std::max(o.attempts, 1u);
+        try {
+          std::rethrow_exception(errors[k]);
+        } catch (const std::exception& e) {
+          o.error = e.what();
+        } catch (...) {
+          o.error = "unknown exception";
+        }
+        if (writer != nullptr) writer->append(todo[k], o);
+      }
+    } else {
+      // First-error mode: preserves the pre-resilience contract that an
+      // unsupervised throwing run aborts the sweep and propagates.
+      pool.for_each_index(todo.size(),
+                          [&](std::size_t k) { execute(todo[k]); });
+    }
+  }
+
+  // Fold in run order on this thread: the aggregate accumulators see the
+  // exact same sequence of floating-point adds as a serial sweep, which is
+  // what makes the report byte-identical across worker counts. Outcomes
+  // move into the report (they carry metrics maps and trace dumps that
+  // would be expensive to copy); the fold reads each one first.
+  report.outcomes.reserve(config.runs);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    RunOutcome& o = outcomes[i];
+    folder.fold(report, o);
+    if (is_quarantined(o.status)) {
+      AVSEC_TRACE_INSTANT(obs::Category::kFault, "campaign.quarantine",
+                          /*track=*/0, /*ts=*/0,
+                          static_cast<std::int64_t>(i),
+                          static_cast<std::int64_t>(o.attempts),
+                          run_status_name(o.status));
+    } else if (o.attempts > 1) {
+      AVSEC_TRACE_INSTANT(obs::Category::kFault, "campaign.retry-recovered",
+                          /*track=*/0, /*ts=*/0,
+                          static_cast<std::int64_t>(i),
+                          static_cast<std::int64_t>(o.attempts));
+    }
+    report.outcomes.push_back(std::move(o));
+  }
+  if (report.runs_retried > 0) {
+    AVSEC_METRIC_INC("campaign.runs_retried", report.runs_retried);
+  }
+  if (report.quarantined_runs > 0) {
+    AVSEC_METRIC_INC("campaign.runs_quarantined", report.quarantined_runs);
+  }
+  if (stats != nullptr && stats->loaded > 0) {
+    AVSEC_METRIC_INC("campaign.resume_skipped", stats->loaded);
+  }
+  return report;
+}
 
 }  // namespace
 
@@ -46,9 +283,19 @@ std::vector<std::uint64_t> CampaignReport::failing_seeds() const {
   return seeds;
 }
 
+std::vector<std::uint64_t> CampaignReport::quarantined_seeds() const {
+  std::vector<std::uint64_t> seeds;
+  for (const RunOutcome& o : outcomes) {
+    if (is_quarantined(o.status)) seeds.push_back(o.seed);
+  }
+  return seeds;
+}
+
 bool identical(const CampaignReport& a, const CampaignReport& b) {
   if (a.runs != b.runs || a.failed_runs != b.failed_runs ||
-      a.violations != b.violations || a.outcomes.size() != b.outcomes.size() ||
+      a.quarantined_runs != b.quarantined_runs ||
+      a.runs_retried != b.runs_retried || a.violations != b.violations ||
+      a.outcomes.size() != b.outcomes.size() ||
       a.aggregate.size() != b.aggregate.size()) {
     return false;
   }
@@ -61,8 +308,10 @@ bool identical(const CampaignReport& a, const CampaignReport& b) {
   for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
     const RunOutcome& oa = a.outcomes[i];
     const RunOutcome& ob = b.outcomes[i];
-    if (oa.seed != ob.seed || oa.violated != ob.violated ||
-        oa.metrics != ob.metrics || oa.trace != ob.trace) {
+    if (oa.seed != ob.seed || oa.status != ob.status ||
+        oa.attempts != ob.attempts || oa.error != ob.error ||
+        oa.violated != ob.violated || oa.metrics != ob.metrics ||
+        oa.trace != ob.trace) {
       return false;
     }
   }
@@ -83,62 +332,60 @@ std::uint64_t Campaign::seed_for_run(std::size_t i) const {
   return seed;
 }
 
+std::vector<std::string> Campaign::invariant_names() const {
+  std::vector<std::string> names;
+  names.reserve(invariants_.size());
+  for (const auto& [name, check] : invariants_) names.push_back(name);
+  return names;
+}
+
 CampaignReport Campaign::sweep(const RunFn& run) const {
-  CampaignReport report;
-  report.runs = config_.runs;
-  report.outcomes.resize(config_.runs);
-  ReportFolder folder;  // binds aggregation to this thread, pre-fan-out
-
-  // Seeds are drawn up front in run order; each run then owns a private
-  // RNG stream, so execution order cannot leak between runs.
-  core::Rng rng(config_.base_seed);
-  for (RunOutcome& o : report.outcomes) o.seed = rng.next();
-
-  // Per-run work: build the world, collect metrics, evaluate invariants.
-  // Everything here depends only on the run's own seed, so it can execute
-  // on any thread.
-  auto execute = [&](std::size_t i) {
-    RunOutcome& o = report.outcomes[i];
-    if (config_.trace == TraceCapture::kOff) {
-      o.metrics = run(o.seed);
-    } else {
-      // A private recorder per run, installed only on this worker thread:
-      // the scenario's instrumentation captures the run's own timeline
-      // with no cross-run or cross-thread sharing.
-      obs::TraceRecorder rec(config_.trace_capacity);
-      {
-        obs::TraceScope scope(rec);
-        o.metrics = run(o.seed);
-      }
-      for (const auto& [name, check] : invariants_) {
-        if (!check(o.metrics)) o.violated.push_back(name);
-      }
-      if (config_.trace == TraceCapture::kAllRuns || !o.violated.empty()) {
-        o.trace = obs::text_dump(rec);
-      }
-      return;
-    }
-    for (const auto& [name, check] : invariants_) {
-      if (!check(o.metrics)) o.violated.push_back(name);
-    }
-  };
-
-  std::size_t workers =
-      config_.workers == 0 ? core::ThreadPool::default_workers()
-                           : config_.workers;
-  workers = std::min(workers, config_.runs);
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < config_.runs; ++i) execute(i);
-  } else {
-    core::ThreadPool pool(workers);
-    pool.for_each_index(config_.runs, execute);
+  ManifestWriter writer;
+  ManifestWriter* journal = nullptr;
+  if (!config_.manifest_path.empty() &&
+      writer.open_fresh(config_.manifest_path,
+                        header_for(config_, invariants_),
+                        config_.manifest_fsync_chunk)) {
+    journal = &writer;
   }
+  return execute_sweep(config_, invariants_, run, nullptr, journal, nullptr);
+}
 
-  // Fold in run order on this thread: the aggregate accumulators see the
-  // exact same sequence of floating-point adds as a serial sweep, which is
-  // what makes the report byte-identical across worker counts.
-  for (const RunOutcome& o : report.outcomes) folder.fold(report, o);
-  return report;
+CampaignReport Campaign::resume(const RunFn& run,
+                                const std::string& manifest_path,
+                                ResumeStats* stats) const {
+  ManifestData data = read_manifest(manifest_path);
+  ResumeStats local;
+  ResumeStats& st = stats != nullptr ? *stats : local;
+  st = {};
+  st.dropped_lines = data.dropped_lines;
+
+  ManifestWriter writer;
+  if (!data.header_ok) {
+    // Nothing trustworthy on disk: degrade to a fresh sweep that rewrites
+    // the manifest, so the next interruption has a journal to resume from.
+    ManifestWriter* journal =
+        writer.open_fresh(manifest_path, header_for(config_, invariants_),
+                          config_.manifest_fsync_chunk)
+            ? &writer
+            : nullptr;
+    return execute_sweep(config_, invariants_, run, nullptr, journal, &st);
+  }
+  if (data.header != header_for(config_, invariants_)) {
+    throw std::invalid_argument(
+        "campaign manifest does not match this campaign "
+        "(runs/base_seed/trace/invariants differ): " +
+        manifest_path);
+  }
+  // Valid manifest for this exact campaign: append re-executed runs to it
+  // (a rerun's line supersedes by position — the reader keeps the last
+  // valid record per index).
+  ManifestWriter* journal =
+      writer.open_append(manifest_path, config_.manifest_fsync_chunk)
+          ? &writer
+          : nullptr;
+  return execute_sweep(config_, invariants_, run, &data.outcomes, journal,
+                       &st);
 }
 
 }  // namespace avsec::fault

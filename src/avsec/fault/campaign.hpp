@@ -15,6 +15,16 @@
 // index and all aggregation folds in run order on the calling thread.
 // The scenario function must therefore be safe to call concurrently —
 // it must not touch shared mutable state.
+//
+// With `config.supervision.enabled`, each run executes under a
+// fault::RunGuard: a throwing run becomes a structured RunOutcome
+// (kCrashed / kTimedOut / kBudgetExhausted) instead of aborting the
+// sweep, failing runs are retried on the policy's backoff schedule, and
+// seeds that fail every attempt are quarantined — enumerated in the
+// report, never dropped. With `config.manifest_path` set, the sweep
+// journals every completed run to a crash-tolerant manifest that
+// Campaign::resume() uses to re-run only the missing or quarantined
+// runs; the merged report is byte-identical to an uninterrupted sweep.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +34,7 @@
 #include <vector>
 
 #include "avsec/core/stats.hpp"
+#include "avsec/fault/resilience.hpp"
 #include "avsec/obs/trace.hpp"
 
 namespace avsec::fault {
@@ -50,10 +61,27 @@ struct CampaignConfig {
   TraceCapture trace = TraceCapture::kOff;
   /// Ring capacity of the per-run recorder when capture is on.
   std::size_t trace_capacity = obs::TraceRecorder::kDefaultCapacity;
+  /// Run-level supervision (budgets, crash capture, retry, quarantine).
+  /// Disabled by default: an unsupervised sweep behaves exactly like the
+  /// pre-resilience engine — a throwing run aborts the sweep.
+  SupervisionConfig supervision;
+  /// When non-empty, sweep() journals every completed run to this
+  /// newline-JSON manifest (atomic per-line appends, fsync every
+  /// `manifest_fsync_chunk` runs), and resume() reads it back.
+  std::string manifest_path;
+  /// Runs appended between fsyncs of the manifest; 1 = fsync every run.
+  std::size_t manifest_fsync_chunk = 8;
 };
 
 struct RunOutcome {
   std::uint64_t seed = 0;
+  /// Terminal classification; crash-family statuses mean `metrics` is
+  /// empty and the seed is quarantined.
+  RunStatus status = RunStatus::kPassed;
+  /// Execution attempts consumed (1 = first try; > 1 means retried).
+  std::uint32_t attempts = 1;
+  /// what() of the final failing attempt (empty unless crash-family).
+  std::string error;
   Metrics metrics;
   std::vector<std::string> violated;  // names of failed invariants
   /// Sorted text dump of the run's trace (empty unless captured). A pure
@@ -64,19 +92,34 @@ struct RunOutcome {
 struct CampaignReport {
   std::size_t runs = 0;
   std::size_t failed_runs = 0;
+  /// Runs whose seed failed every allowed attempt (crash-family status).
+  std::size_t quarantined_runs = 0;
+  /// Runs that needed more than one attempt (including quarantined ones).
+  std::size_t runs_retried = 0;
   /// Violation count per invariant name.
   std::map<std::string, std::size_t> violations;
   /// Streaming stats per metric across all runs.
   std::map<std::string, core::Accumulator> aggregate;
   std::vector<RunOutcome> outcomes;
 
-  bool all_passed() const { return failed_runs == 0; }
-  /// Seeds of failing runs, for replay.
+  bool all_passed() const { return failed_runs == 0 && quarantined_runs == 0; }
+  /// Seeds of invariant-violating runs, for replay.
   std::vector<std::uint64_t> failing_seeds() const;
+  /// Seeds quarantined after exhausting their attempts, for replay.
+  std::vector<std::uint64_t> quarantined_seeds() const;
+};
+
+/// What resume() skipped vs re-executed. Kept outside CampaignReport so a
+/// resumed report stays byte-identical to an uninterrupted sweep's.
+struct ResumeStats {
+  std::size_t loaded = 0;         // completed runs taken from the manifest
+  std::size_t reran = 0;          // missing/quarantined runs re-executed
+  std::size_t dropped_lines = 0;  // torn/corrupt manifest lines discarded
 };
 
 /// Exact equality of two reports (bitwise on all doubles). Parallel and
-/// serial sweeps of the same campaign must satisfy this.
+/// serial sweeps — and resumed vs uninterrupted sweeps — of the same
+/// campaign must satisfy this.
 bool identical(const CampaignReport& a, const CampaignReport& b);
 
 class Campaign {
@@ -92,11 +135,27 @@ class Campaign {
   /// Runs the sweep, serially or across config.workers threads. Seeds are
   /// derived deterministically from base_seed, so a failing seed can be
   /// replayed in isolation; the report does not depend on worker count.
-  /// An exception thrown by any run aborts the sweep and propagates.
+  /// Unsupervised, an exception thrown by any run aborts the sweep and
+  /// propagates; supervised, it becomes a structured outcome.
   CampaignReport sweep(const RunFn& run) const;
+
+  /// Re-runs only the runs a previous sweep's manifest is missing (or
+  /// quarantined), merging loaded and fresh outcomes into a report
+  /// byte-identical to an uninterrupted sweep. Newly executed runs are
+  /// appended to the same manifest. A manifest whose header does not
+  /// match this campaign (runs / base_seed / invariant names) throws
+  /// std::invalid_argument; a missing or headerless manifest degrades to
+  /// a fresh sweep that rewrites it.
+  CampaignReport resume(const RunFn& run, const std::string& manifest_path,
+                        ResumeStats* stats = nullptr) const;
 
   /// The seed the sweep uses for run `i` (exposed for replay tooling).
   std::uint64_t seed_for_run(std::size_t i) const;
+
+  const CampaignConfig& config() const { return config_; }
+  /// Invariant names in registration order (the manifest header records
+  /// them so resume can refuse a mismatched campaign).
+  std::vector<std::string> invariant_names() const;
 
  private:
   CampaignConfig config_;

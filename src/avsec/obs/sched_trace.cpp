@@ -7,13 +7,15 @@ namespace avsec::obs {
 SchedulerTracer::SchedulerTracer(core::Scheduler& sim, std::uint64_t stride)
     : sim_(sim), stride_(std::max<std::uint64_t>(stride, 1)) {
   AVSEC_OBS_REGISTER_TRACK(track_, "scheduler");
+  next_ = sim_.dispatch_observer();
   sim_.set_dispatch_observer(this);
 }
 
-SchedulerTracer::~SchedulerTracer() { sim_.set_dispatch_observer(nullptr); }
+SchedulerTracer::~SchedulerTracer() { sim_.set_dispatch_observer(next_); }
 
 void SchedulerTracer::on_dispatch(core::SimTime now,
                                   std::uint64_t dispatched) {
+  if (next_ != nullptr) next_->on_dispatch(now, dispatched);
   if (dispatched % stride_ != 0) return;
   AVSEC_TRACE_COUNTER(Category::kScheduler, "dispatched", track_, now,
                       static_cast<double>(dispatched));

@@ -15,6 +15,10 @@ namespace avsec::obs {
 /// destruction. Emits a counter event every `stride` dispatches (stride 1
 /// marks every event; campaigns use a larger stride so the scheduler
 /// track does not crowd the ring out of layer events).
+///
+/// Stacks with other observers: whatever was installed before (e.g. a
+/// fault::RunGuard supervising the run) keeps seeing every dispatch, and
+/// is restored when the tracer detaches.
 class SchedulerTracer : public core::Scheduler::DispatchObserver {
  public:
   explicit SchedulerTracer(core::Scheduler& sim, std::uint64_t stride = 1);
@@ -27,6 +31,7 @@ class SchedulerTracer : public core::Scheduler::DispatchObserver {
 
  private:
   core::Scheduler& sim_;
+  core::Scheduler::DispatchObserver* next_ = nullptr;  // stacked-under observer
   std::uint64_t stride_;
   TrackId track_ = 0;
 };

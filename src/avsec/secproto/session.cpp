@@ -5,18 +5,6 @@
 
 namespace avsec::secproto {
 
-core::SimTime RetryPolicy::timeout_for(int attempt, core::Rng* rng) const {
-  double t = static_cast<double>(initial_timeout) *
-             std::pow(backoff_factor, static_cast<double>(attempt));
-  if (jitter > 0.0 && rng != nullptr) {
-    t *= rng->uniform(1.0 - jitter, 1.0 + jitter);
-  }
-  // Cap after jitter: max_timeout is a hard bound on the armed timer, so
-  // jitter may shorten the capped value but never push past it.
-  t = std::min(t, static_cast<double>(max_timeout));
-  return std::max<core::SimTime>(1, static_cast<core::SimTime>(t));
-}
-
 const char* session_state_name(SessionState s) {
   switch (s) {
     case SessionState::kIdle: return "idle";

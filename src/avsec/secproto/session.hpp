@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "avsec/core/retry.hpp"
 #include "avsec/core/rng.hpp"
 #include "avsec/core/scheduler.hpp"
 #include "avsec/netsim/flaky.hpp"
@@ -28,20 +29,9 @@
 namespace avsec::secproto {
 
 /// Exponential backoff with bounded retries, shared by handshake and rekey.
-struct RetryPolicy {
-  core::SimTime initial_timeout = core::milliseconds(10);
-  double backoff_factor = 2.0;
-  core::SimTime max_timeout = core::seconds(2);
-  /// Multiplicative jitter: the timeout is scaled by a factor drawn
-  /// uniformly from [1 - jitter, 1 + jitter]. 0 = deterministic.
-  double jitter = 0.0;
-  /// Retransmissions after the initial send before giving up.
-  int max_retries = 5;
-
-  /// Timeout armed after send attempt `attempt` (0 = initial send).
-  /// Deterministic when jitter == 0; otherwise `rng` supplies the draw.
-  core::SimTime timeout_for(int attempt, core::Rng* rng = nullptr) const;
-};
+/// Lives in core (core/retry.hpp) since the campaign supervision layer
+/// reuses the same schedule; the alias keeps existing secproto users.
+using RetryPolicy = core::RetryPolicy;
 
 enum class SessionState : std::uint8_t {
   kIdle,         // never connected

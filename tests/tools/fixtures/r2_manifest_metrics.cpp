@@ -1,0 +1,19 @@
+// Fixture: R2 unordered-container iteration in a manifest serialization
+// path (linted under a fault/manifest label). Manifest lines are part of
+// the resume byte-identity contract, so field order must be stable.
+// Expected findings:
+//   line 13: range-for over unordered_map while rendering metrics
+//   line 15: iterator walk over unordered_set of violated invariants
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+std::string render_metrics(const std::unordered_map<std::string, double>& m,
+                           const std::unordered_set<std::string>& violated) {
+  std::string line = "{";
+  for (const auto& kv : m) line += kv.first;
+  line += "}[";
+  for (auto it = violated.begin(); it != violated.end(); ++it) {
+    line += *it;
+  }
+  return line + "]";
+}

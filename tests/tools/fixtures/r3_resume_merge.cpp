@@ -1,0 +1,19 @@
+// Fixture: R3 raw floating-point reduction in a resume merge path
+// (linted under a src/ label). Merging loaded and re-executed outcomes
+// must fold through core::Accumulator, or the resumed aggregate drifts
+// from the uninterrupted sweep's bytes. Expected findings:
+//   line 11: += over loaded metric values
+//   line 14: += over re-executed metric values
+// The int tally at line 17 must NOT be flagged.
+double merge_aggregate(const double* loaded, int n_loaded,
+                       const double* fresh, int n_fresh) {
+  double total = 0.0;
+  for (int i = 0; i < n_loaded; ++i) total += loaded[i];
+  {
+    int k = 0;
+    while (k < n_fresh) total += fresh[k++];
+  }
+  int runs = 0;
+  for (int i = 0; i < n_loaded + n_fresh; ++i) runs += 1;
+  return total + runs;
+}

@@ -121,6 +121,41 @@ TEST(LintObs, ObsScopeCoversTestPathsAndSparesOtherModules) {
   EXPECT_TRUE(lint_source("src/avsec/netsim/export.cpp", src).empty());
 }
 
+TEST(LintResilience, ManifestSerializationUnorderedIterationIsFlagged) {
+  // The manifest writer lives in fault/ — already an R2 aggregation path —
+  // and its line bytes feed the resume byte-identity contract, so hash
+  // order reaching a manifest line is exactly the bug R2 exists to stop.
+  const auto findings = lint_source("src/avsec/fault/manifest.cpp",
+                                    read_fixture("r2_manifest_metrics.cpp"));
+  const std::vector<std::pair<std::string, int>> expected = {{"R2", 13},
+                                                             {"R2", 15}};
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
+TEST(LintResilience, ManifestScopeCoversTestsAndToolsReplayPaths) {
+  const std::string src = read_fixture("r2_manifest_metrics.cpp");
+  // Resume tests compare manifest bytes, so fault/ test paths are in scope.
+  EXPECT_FALSE(lint_source("tests/fault/manifest_resume_test.cpp", src)
+                   .empty());
+  // A non-aggregation module rendering the same shape stays legal.
+  EXPECT_TRUE(lint_source("src/avsec/netsim/summary.cpp", src).empty());
+}
+
+TEST(LintResilience, ResumeMergeRawReductionIsFlagged) {
+  const auto findings = lint_source("src/avsec/fault/campaign.cpp",
+                                    read_fixture("r3_resume_merge.cpp"));
+  const std::vector<std::pair<std::string, int>> expected = {{"R3", 11},
+                                                             {"R3", 14}};
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
+TEST(LintResilience, ResumeMergeReductionExemptInAccumulatorHome) {
+  const std::string src = read_fixture("r3_resume_merge.cpp");
+  EXPECT_TRUE(lint_source("src/avsec/core/stats.cpp", src).empty());
+  EXPECT_TRUE(lint_source("bench/bench_campaign_resilience.cpp", src)
+                  .empty());
+}
+
 TEST(LintR4, IncludeGuardHeaderIsFlagged) {
   const auto findings = lint_source("src/avsec/x/guard.hpp",
                                     read_fixture("r4_include_guard.hpp"));
