@@ -16,8 +16,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -53,6 +55,21 @@ class Harness {
       if (std::strcmp(argv[i], "--smoke") == 0) smoke_ = true;
       if (std::strcmp(argv[i], "--json-dir") == 0 && i + 1 < argc) {
         json_dir_ = argv[i + 1];
+      }
+    }
+    // Validate the output directory up front: a bad --json-dir must fail
+    // loudly at startup, not as a silent fopen failure after minutes of
+    // measurement.
+    if (json_dir_ != ".") {
+      std::error_code ec;
+      std::filesystem::create_directories(json_dir_, ec);
+      if (ec || !std::filesystem::is_directory(json_dir_)) {
+        std::fprintf(stderr,
+                     "bench harness: --json-dir '%s' is not a directory and "
+                     "could not be created%s%s\n",
+                     json_dir_.c_str(), ec ? ": " : "",
+                     ec ? ec.message().c_str() : "");
+        std::exit(2);
       }
     }
   }

@@ -2,9 +2,9 @@
 //
 // Grown out of the secproto session layer (DTLS-style handshake
 // retransmission) and promoted to core once campaign run-supervision
-// needed the same schedule: one policy type now drives both in-sim
-// retransmission timers and wall-clock retry pacing for supervised
-// campaign runs. secproto::RetryPolicy remains as an alias.
+// needed the same schedule: one policy type now drives in-sim
+// retransmission timers, wall-clock retry pacing for supervised campaign
+// runs, and the serve layer's retry-with-backoff before quarantine.
 #pragma once
 
 #include "avsec/core/rng.hpp"

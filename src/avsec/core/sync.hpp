@@ -15,7 +15,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -79,6 +81,19 @@ class CondVar {
     std::unique_lock<std::mutex> inner(mu.native_handle(), std::adopt_lock);
     cv_.wait(inner);
     inner.release();
+  }
+
+  /// Timed wait: like wait(), but returns after at most `timeout_ns`
+  /// wall-clock nanoseconds. Returns false on timeout, true when notified
+  /// (spurious wakeups report true; loop on the condition either way).
+  /// Wall-clock by necessity — serving deadlines live in the host clock
+  /// domain, never in simulation time.
+  bool wait_for(Mutex& mu, std::int64_t timeout_ns) AVSEC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> inner(mu.native_handle(), std::adopt_lock);
+    const std::cv_status st =
+        cv_.wait_for(inner, std::chrono::nanoseconds(timeout_ns));
+    inner.release();
+    return st == std::cv_status::no_timeout;
   }
 
   void notify_one() { cv_.notify_one(); }

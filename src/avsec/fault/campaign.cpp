@@ -379,9 +379,12 @@ CampaignReport Campaign::resume(const RunFn& run,
   }
   // Valid manifest for this exact campaign: append re-executed runs to it
   // (a rerun's line supersedes by position — the reader keeps the last
-  // valid record per index).
+  // valid record per index). The validated overload re-checks the header
+  // at open time, so a file replaced since read_manifest() is refused
+  // rather than appended to.
   ManifestWriter* journal =
-      writer.open_append(manifest_path, config_.manifest_fsync_chunk)
+      writer.open_append(manifest_path, header_for(config_, invariants_),
+                         config_.manifest_fsync_chunk)
           ? &writer
           : nullptr;
   return execute_sweep(config_, invariants_, run, &data.outcomes, journal,

@@ -411,6 +411,17 @@ bool ManifestWriter::open_append(const std::string& path,
   return true;
 }
 
+bool ManifestWriter::open_append(const std::string& path,
+                                 const ManifestHeader& expected,
+                                 std::size_t fsync_chunk) {
+  // Re-read right before opening: a zero-byte file, a header-only file
+  // with the wrong identity, or a header swapped in since the caller last
+  // looked must all be refused rather than silently adopted.
+  const ManifestData data = read_manifest(path);
+  if (!data.header_ok || !(data.header == expected)) return false;
+  return open_append(path, fsync_chunk);
+}
+
 bool ManifestWriter::valid() const {
   core::MutexLock lock(mu_);
   return fd_ >= 0;

@@ -83,6 +83,14 @@ class ManifestWriter {
   /// header. False on I/O failure.
   bool open_append(const std::string& path, std::size_t fsync_chunk = 8);
 
+  /// Validated append: re-reads the manifest immediately before opening
+  /// and refuses (returns false, writer stays invalid, file untouched)
+  /// unless the on-disk header parses and equals `expected`. Appending to
+  /// a manifest whose header drifted between validation and open would
+  /// adopt another campaign's journal — this overload closes that window.
+  bool open_append(const std::string& path, const ManifestHeader& expected,
+                   std::size_t fsync_chunk = 8);
+
   bool valid() const;
 
   /// Appends one completed run's line; fsyncs every `fsync_chunk` lines.

@@ -28,11 +28,6 @@
 
 namespace avsec::secproto {
 
-/// Exponential backoff with bounded retries, shared by handshake and rekey.
-/// Lives in core (core/retry.hpp) since the campaign supervision layer
-/// reuses the same schedule; the alias keeps existing secproto users.
-using RetryPolicy = core::RetryPolicy;
-
 enum class SessionState : std::uint8_t {
   kIdle,         // never connected
   kHandshaking,  // hello in flight (initial or rekey)
@@ -93,7 +88,10 @@ class TlsResponder {
 };
 
 struct RobustSessionConfig {
-  RetryPolicy retry;
+  /// Exponential backoff with bounded retries, shared by handshake and
+  /// rekey (core/retry.hpp — the same schedule the campaign supervision
+  /// layer uses for wall-clock retry pacing).
+  core::RetryPolicy retry;
   /// After a give-up, schedule a fresh handshake attempt automatically.
   bool auto_reconnect = true;
   core::SimTime reconnect_delay = core::milliseconds(50);

@@ -1,0 +1,10 @@
+// Umbrella header for the avsec::serve scenario service: request/reply
+// wire types (request.hpp), the scenario registry (registry.hpp), the
+// load-shedding ladder (ladder.hpp), and the Server/ServeClient pipeline
+// (server.hpp). See DESIGN.md §14 for the serving model.
+#pragma once
+
+#include "avsec/serve/ladder.hpp"
+#include "avsec/serve/registry.hpp"
+#include "avsec/serve/request.hpp"
+#include "avsec/serve/server.hpp"

@@ -24,7 +24,7 @@ RobustSessionConfig no_jitter_config(int max_retries, bool auto_reconnect) {
 }
 
 TEST(RetryPolicy, DeterministicExponentialSequence) {
-  RetryPolicy p;
+  core::RetryPolicy p;
   p.initial_timeout = core::milliseconds(10);
   p.backoff_factor = 2.0;
   p.max_timeout = core::milliseconds(60);
@@ -40,7 +40,7 @@ TEST(RetryPolicy, CapIsConfigurableAndHoldsForDeterministicSequence) {
   // Regression: the configured max_timeout must be a hard cap, however
   // aggressive the backoff factor and however deep the attempt counter —
   // including attempts large enough to overflow the exponential into inf.
-  RetryPolicy p;
+  core::RetryPolicy p;
   p.initial_timeout = core::milliseconds(5);
   p.backoff_factor = 10.0;
   p.max_timeout = core::milliseconds(120);
@@ -61,7 +61,7 @@ TEST(RetryPolicy, CapIsConfigurableAndHoldsForDeterministicSequence) {
 TEST(RetryPolicy, JitterNeverExceedsCap) {
   // Regression: jitter used to be applied *after* the clamp, so a +25%
   // draw on an at-cap timeout overshot max_timeout by up to 25%.
-  RetryPolicy p;
+  core::RetryPolicy p;
   p.initial_timeout = core::milliseconds(10);
   p.backoff_factor = 2.0;
   p.max_timeout = core::milliseconds(40);
@@ -74,7 +74,7 @@ TEST(RetryPolicy, JitterNeverExceedsCap) {
 }
 
 TEST(RetryPolicy, JitterStaysWithinBoundsAndIsSeeded) {
-  RetryPolicy p;
+  core::RetryPolicy p;
   p.initial_timeout = core::milliseconds(100);
   p.jitter = 0.25;
   core::Rng r1(7), r2(7);

@@ -1,0 +1,67 @@
+// LoadLadder: hysteresis and one-rung-at-a-time movement.
+#include "avsec/serve/ladder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace avsec::serve;
+
+LadderConfig fast_config() {
+  LadderConfig c;
+  c.degrade_ratio = 0.5;
+  c.shed_ratio = 0.85;
+  c.escalate_polls = 2;
+  c.recover_polls = 3;
+  return c;
+}
+
+TEST(LoadLadder, EscalatesAfterSustainedPressureOnly) {
+  LoadLadder ladder(fast_config());
+  EXPECT_EQ(ladder.state(), LoadState::kNominal);
+  EXPECT_EQ(ladder.observe(0.6), LoadState::kNominal);  // streak 1
+  EXPECT_EQ(ladder.observe(0.6), LoadState::kDegraded);  // streak 2: climb
+  EXPECT_EQ(ladder.escalations(), 1u);
+}
+
+TEST(LoadLadder, ClimbsOneRungAtATime) {
+  LoadLadder ladder(fast_config());
+  // Saturated immediately, but SHED still takes two escalations.
+  EXPECT_EQ(ladder.observe(1.0), LoadState::kNominal);
+  EXPECT_EQ(ladder.observe(1.0), LoadState::kDegraded);
+  EXPECT_EQ(ladder.observe(1.0), LoadState::kDegraded);
+  EXPECT_EQ(ladder.observe(1.0), LoadState::kShed);
+  EXPECT_EQ(ladder.escalations(), 2u);
+}
+
+TEST(LoadLadder, RecoversSlowerThanItEscalates) {
+  LoadLadder ladder(fast_config());
+  ladder.observe(0.6);
+  ladder.observe(0.6);
+  ASSERT_EQ(ladder.state(), LoadState::kDegraded);
+  EXPECT_EQ(ladder.observe(0.0), LoadState::kDegraded);  // streak 1
+  EXPECT_EQ(ladder.observe(0.0), LoadState::kDegraded);  // streak 2
+  EXPECT_EQ(ladder.observe(0.0), LoadState::kNominal);   // streak 3: descend
+  EXPECT_EQ(ladder.recoveries(), 1u);
+}
+
+TEST(LoadLadder, FlappingLoadDoesNotEscalate) {
+  LoadLadder ladder(fast_config());
+  for (int i = 0; i < 10; ++i) {
+    ladder.observe(0.6);  // one poll of pressure...
+    ladder.observe(0.1);  // ...resets the streak
+  }
+  EXPECT_EQ(ladder.state(), LoadState::kNominal);
+  EXPECT_EQ(ladder.escalations(), 0u);
+}
+
+TEST(LoadLadder, SteadyMidbandHoldsDegraded) {
+  LoadLadder ladder(fast_config());
+  for (int i = 0; i < 10; ++i) ladder.observe(0.6);
+  // 0.6 is above degrade, below shed: settles at DEGRADED and stays.
+  EXPECT_EQ(ladder.state(), LoadState::kDegraded);
+  EXPECT_EQ(ladder.escalations(), 1u);
+  EXPECT_EQ(ladder.recoveries(), 0u);
+}
+
+}  // namespace

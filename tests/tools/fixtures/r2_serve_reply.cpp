@@ -1,0 +1,15 @@
+// Fixture: R2 unordered-container iteration in a serve reply-rendering
+// path (linted under a serve/ label). Expected findings:
+//   line 10: range-for over the per-metric unordered_map
+//   line 12: iterator walk via .begin()
+#include <string>
+#include <unordered_map>
+std::string render_aggregate(
+    const std::unordered_map<std::string, double>& agg) {
+  std::string out;
+  for (const auto& kv : agg) out += kv.first + "\n";
+  std::string keys;
+  for (auto it = agg.begin(); it != agg.end(); ++it)
+    keys += it->first;
+  return out + keys;
+}

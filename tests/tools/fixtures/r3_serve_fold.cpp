@@ -1,0 +1,10 @@
+// Fixture: R3 raw floating-point reduction while folding per-seed metrics
+// into a reply aggregate (linted under a src/ label). Expected findings:
+//   line 7: mean_sum += inside the seed loop
+double fold_seed_means(const double* vals, int n) {
+  double mean_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    mean_sum += vals[i];
+  }
+  return mean_sum / static_cast<double>(n);
+}

@@ -121,6 +121,34 @@ TEST(LintObs, ObsScopeCoversTestPathsAndSparesOtherModules) {
   EXPECT_TRUE(lint_source("src/avsec/netsim/export.cpp", src).empty());
 }
 
+TEST(LintServe, ReplyRenderUnorderedIterationIsFlagged) {
+  // render_reply() is the byte-identity surface of the serving determinism
+  // contract (DESIGN.md §14): hash order reaching a rendered reply is the
+  // exact bug R2 exists to stop, so serve/ is an R2 aggregation path.
+  const auto findings = lint_source("src/avsec/serve/request.cpp",
+                                    read_fixture("r2_serve_reply.cpp"));
+  const std::vector<std::pair<std::string, int>> expected = {{"R2", 10},
+                                                             {"R2", 12}};
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
+TEST(LintServe, ServeScopeCoversTestPathsAndSparesOtherModules) {
+  const std::string src = read_fixture("r2_serve_reply.cpp");
+  // Serve tests diff rendered replies across worker counts — in scope.
+  EXPECT_FALSE(lint_source("tests/serve/server_test.cpp", src).empty());
+  // The same shape under a non-aggregation module stays legal.
+  EXPECT_TRUE(lint_source("src/avsec/netsim/render.cpp", src).empty());
+}
+
+TEST(LintServe, AggregateFoldRawReductionIsFlagged) {
+  // Reply aggregates must fold through core::Accumulator so they stay
+  // bit-stable at any worker count; a raw += fold is flagged by R3.
+  const auto findings = lint_source("src/avsec/serve/server.cpp",
+                                    read_fixture("r3_serve_fold.cpp"));
+  const std::vector<std::pair<std::string, int>> expected = {{"R3", 7}};
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
 TEST(LintResilience, ManifestSerializationUnorderedIterationIsFlagged) {
   // The manifest writer lives in fault/ — already an R2 aggregation path —
   // and its line bytes feed the resume byte-identity contract, so hash

@@ -476,7 +476,8 @@ PathClass classify_path(std::string_view label) {
                  contains(norm, "core/rng.");
   pc.r2_applies = contains(norm, "fault/") || contains(norm, "core/stats") ||
                   contains(norm, "health/") ||
-                  contains(norm, "ids/correlation") || contains(norm, "obs/");
+                  contains(norm, "ids/correlation") || contains(norm, "obs/") ||
+                  contains(norm, "serve/");
   pc.r3_applies = (starts_with(norm, "src/") || contains(norm, "/src/")) &&
                   !contains(norm, "core/stats");
   pc.header = ends_with(norm, ".hpp") || ends_with(norm, ".h") ||
