@@ -1,16 +1,23 @@
 // PARALLEL — campaign-engine throughput: the PR 2 health chaos scenario
-// swept serially and across core::ThreadPool workers. Two claims are
-// checked and measured:
-//  a) determinism: the parallel CampaignReport is byte-identical to the
-//     serial one for every worker count (seed-per-run isolation);
-//  b) throughput: sweep wall-clock scales with workers (reported as
-//     speedup vs serial; on a single-core host this stays ~1).
+// swept serially and across core::ThreadPool workers, in both engine
+// modes. Claims checked and measured:
+//  a) determinism: the CampaignReport is byte-identical between serial
+//     and parallel sweeps at every worker count, AND between the
+//     fresh-world path and the pooled-SimContext path (arena-backed
+//     scheduler, reset between seeds);
+//  b) allocator: raw scheduler event churn on an arena vs the global
+//     heap (the micro-win the EventArena exists for);
+//  c) throughput: sweep wall-clock scales with workers (speedup vs the
+//     same-mode serial arm; ~1 on a single-core host — the JSON header
+//     records hardware_concurrency so the number is interpretable).
 #include <cmath>
 #include <cstdio>
 
+#include "avsec/core/arena.hpp"
 #include "avsec/core/table.hpp"
 #include "avsec/core/thread_pool.hpp"
 #include "avsec/fault/campaign.hpp"
+#include "avsec/fault/context.hpp"
 #include "avsec/fault/fault.hpp"
 #include "avsec/health/replica.hpp"
 #include "avsec/health/supervisor.hpp"
@@ -25,9 +32,10 @@ constexpr core::SimTime kRunEnd = core::seconds(2);
 
 // One replicated-sensor chaos world per seed: three replicas behind a 2oo3
 // voter, heartbeat watchdog, safety supervisor, and a seeded schedule of
-// lying / mute replicas (the PR 2 health chaos campaign scenario).
-fault::Metrics run_chaos(std::uint64_t seed) {
-  core::Scheduler sim;
+// lying / mute replicas (the PR 2 health chaos campaign scenario). Builds
+// on the scheduler it is handed, so the fresh-world and warm-context
+// entry points share one body.
+fault::Metrics run_chaos_on(core::Scheduler& sim, std::uint64_t seed) {
   core::Rng rng(seed);
 
   health::VoterConfig vcfg;
@@ -133,6 +141,15 @@ fault::Metrics run_chaos(std::uint64_t seed) {
   return m;
 }
 
+fault::Metrics run_chaos(std::uint64_t seed) {
+  core::Scheduler sim;
+  return run_chaos_on(sim, seed);
+}
+
+fault::Metrics run_chaos_ctx(fault::SimContext& ctx, std::uint64_t seed) {
+  return run_chaos_on(ctx.sim(), seed);
+}
+
 fault::Campaign make_campaign(std::size_t runs, std::size_t workers) {
   fault::Campaign campaign({runs, /*base_seed=*/2026, workers});
   campaign
@@ -146,6 +163,21 @@ fault::Campaign make_campaign(std::size_t runs, std::size_t workers) {
   return campaign;
 }
 
+// Raw scheduler event churn (schedule + cancel half + drain): the
+// allocation pattern a campaign run hammers, isolated from simulated
+// work. `sim` is either a fresh global-heap scheduler per rep or one
+// arena-backed scheduler reset between reps.
+void churn(core::Scheduler& sim, std::size_t events) {
+  std::vector<core::EventHandle> handles;
+  handles.reserve(events);
+  for (std::size_t i = 0; i < events; ++i) {
+    handles.push_back(
+        sim.schedule_at(static_cast<core::SimTime>(i), [] {}));
+  }
+  for (std::size_t i = 0; i < events; i += 2) sim.cancel(handles[i]);
+  sim.run();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -155,24 +187,77 @@ int main(int argc, char** argv) {
   const std::size_t runs = h.iters(48, 8);
   const std::size_t hw = core::ThreadPool::default_workers();
 
-  fault::CampaignReport serial_report;
-  const double serial_ns =
+  // --- allocator micro-arm: arena vs global heap event churn -----------
+  const std::size_t reps = h.iters(200, 20);
+  const std::size_t events = 1000;
+  const double churn_ops = static_cast<double>(reps * events);
+  const double global_ns = h.time("scheduler_churn_global", churn_ops, [&] {
+    for (std::size_t r = 0; r < reps; ++r) {
+      core::Scheduler sim;
+      churn(sim, events);
+    }
+  });
+  core::EventArena arena;
+  core::Scheduler warm(&arena);
+  const double arena_ns = h.time("scheduler_churn_arena", churn_ops, [&] {
+    for (std::size_t r = 0; r < reps; ++r) {
+      warm.reset();
+      arena.reset();
+      churn(warm, events);
+    }
+  });
+  h.add({"scheduler_churn_arena_speedup", arena_ns, churn_ops,
+         {{"speedup_vs_global", arena_ns > 0.0 ? global_ns / arena_ns : 0.0},
+          {"arena_reserved_bytes",
+           static_cast<double>(arena.reserved_bytes())},
+          {"arena_pool_hit_rate",
+           arena.allocations() > 0
+               ? static_cast<double>(arena.pool_hits()) /
+                     static_cast<double>(arena.allocations())
+               : 0.0}}});
+  std::printf("scheduler churn: global %.0f ns/op, arena %.0f ns/op "
+              "(%.2fx), arena high-water %zu bytes\n",
+              global_ns / churn_ops, arena_ns / churn_ops,
+              arena_ns > 0.0 ? global_ns / arena_ns : 0.0,
+              arena.reserved_bytes());
+
+  // --- engine-mode arms: fresh worlds vs pooled contexts, serial -------
+  fault::CampaignReport fresh_report;
+  const double fresh_ns =
       h.time("sweep_serial", static_cast<double>(runs), [&] {
-        serial_report = make_campaign(runs, 1).sweep(run_chaos);
+        fresh_report = make_campaign(runs, 1).sweep(run_chaos);
       });
+  fault::CampaignReport serial_report;  // pooled-context serial baseline
+  const double serial_ns =
+      h.time("sweep_serial_reuse", static_cast<double>(runs), [&] {
+        serial_report = make_campaign(runs, 1).sweep(
+            fault::Campaign::CtxRunFn(run_chaos_ctx));
+      });
+  bool all_identical = fault::identical(fresh_report, serial_report);
+  h.add({"sweep_serial_reuse_speedup", serial_ns, static_cast<double>(runs),
+         {{"speedup_vs_fresh", serial_ns > 0.0 ? fresh_ns / serial_ns : 0.0}}});
 
   core::Table t({"Workers", "Wall (ms)", "Runs/sec", "Speedup", "Identical"});
-  t.add_row({"1 (serial)", core::Table::num(serial_ns / 1e6, 1),
+  t.add_row({"1 (fresh worlds)", core::Table::num(fresh_ns / 1e6, 1),
+             core::Table::num(runs * 1e9 / fresh_ns, 1),
+             core::Table::num(fresh_ns / serial_ns, 2),
+             all_identical ? "yes" : "NO"});
+  t.add_row({"1 (ctx reuse)", core::Table::num(serial_ns / 1e6, 1),
              core::Table::num(runs * 1e9 / serial_ns, 1), "1.00", "-"});
 
-  bool all_identical = true;
+  // --- scaling arms: pooled contexts at 2/4/8 workers ------------------
+  // Speedup is measured against the same-mode serial arm; byte-identity
+  // is asserted against BOTH the serial ctx report and the fresh-world
+  // report, so the whole matrix collapses to one canonical report.
   for (std::size_t workers : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
     fault::CampaignReport report;
     const std::string label = "sweep_workers_" + std::to_string(workers);
     const double ns = h.time(label, static_cast<double>(runs), [&] {
-      report = make_campaign(runs, workers).sweep(run_chaos);
+      report = make_campaign(runs, workers)
+                   .sweep(fault::Campaign::CtxRunFn(run_chaos_ctx));
     });
-    const bool same = fault::identical(serial_report, report);
+    const bool same = fault::identical(serial_report, report) &&
+                      fault::identical(fresh_report, report);
     all_identical &= same;
     const double speedup = ns > 0.0 ? serial_ns / ns : 0.0;
     h.add({label + "_speedup", ns, static_cast<double>(runs),
@@ -182,15 +267,17 @@ int main(int argc, char** argv) {
                core::Table::num(speedup, 2), same ? "yes" : "NO"});
   }
   t.print("PARALLELa: " + std::to_string(runs) +
-          "-run chaos campaign, serial vs thread-pool sweep (host has " +
+          "-run chaos campaign, fresh worlds vs pooled contexts vs "
+          "thread-pool sweep (host has " +
           std::to_string(hw) + " hardware threads)");
 
   if (!all_identical) {
-    std::printf("FAIL: parallel report differs from serial report\n");
+    std::printf("FAIL: reports differ across engine modes / worker counts\n");
     return 1;
   }
-  std::printf("all parallel reports byte-identical to serial; "
-              "invariant results unchanged (%zu/%zu runs passed)\n",
+  std::printf("all reports byte-identical (fresh vs pooled, serial vs "
+              "parallel); invariant results unchanged (%zu/%zu runs "
+              "passed)\n",
               serial_report.runs - serial_report.failed_runs,
               serial_report.runs);
   return 0;

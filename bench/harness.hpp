@@ -20,6 +20,7 @@
 #include <map>
 #include <string>
 #include <system_error>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -123,8 +124,18 @@ class Harness {
       std::fprintf(stderr, "bench harness: cannot write %s\n", path.c_str());
       return;
     }
+    // Host/build header: speedup numbers are only interpretable next to
+    // the thread count and build type they were measured on (a committed
+    // 1.0x at hardware_concurrency=1 is expected, not a regression).
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"smoke\": %s,\n",
                  escape(name_).c_str(), smoke_ ? "true" : "false");
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+#if defined(NDEBUG)
+    std::fprintf(f, "  \"build\": \"release\",\n");
+#else
+    std::fprintf(f, "  \"build\": \"debug\",\n");
+#endif
     std::fprintf(f, "  \"results\": [");
     for (std::size_t i = 0; i < results_.size(); ++i) {
       const Result& r = results_[i];

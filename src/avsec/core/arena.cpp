@@ -1,0 +1,93 @@
+#include "avsec/core/arena.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace avsec::core {
+
+EventArena::EventArena(std::size_t first_block_bytes) {
+  next_block_ = std::max(round_up(first_block_bytes), kGranule);
+}
+
+void* EventArena::allocate(std::size_t bytes, std::size_t align) {
+  assert(align <= kGranule && "EventArena supports alignment <= 16 only");
+  (void)align;
+  const std::size_t need = round_up(bytes);
+  ++allocations_;
+
+  // Exact-size recycling first: the same container growth sequence recurs
+  // every run, so after the first seed nearly everything lands here. The
+  // dominant case — node-sized chunks — is one indexed load.
+  if (need <= kSmallLimit) {
+    FreeNode*& head = small_[need / kGranule];
+    if (head != nullptr) {
+      FreeNode* node = head;
+      head = node->next;
+      ++pool_hits_;
+      return node;
+    }
+  } else {
+    const auto it = std::lower_bound(
+        free_lists_.begin(), free_lists_.end(), need,
+        [](const auto& entry, std::size_t key) { return entry.first < key; });
+    if (it != free_lists_.end() && it->first == need &&
+        it->second != nullptr) {
+      FreeNode* node = it->second;
+      it->second = node->next;
+      ++pool_hits_;
+      return node;
+    }
+  }
+
+  if (cur_ >= blocks_.size() || used_ + need > blocks_[cur_].size) grow(need);
+  std::byte* p = blocks_[cur_].mem.get() + used_;
+  used_ += need;
+  return p;
+}
+
+void EventArena::deallocate(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  const std::size_t need = round_up(bytes);
+  auto* node = static_cast<FreeNode*>(p);
+  if (need <= kSmallLimit) {
+    FreeNode*& head = small_[need / kGranule];
+    node->next = head;
+    head = node;
+    return;
+  }
+  auto it = std::lower_bound(
+      free_lists_.begin(), free_lists_.end(), need,
+      [](const auto& entry, std::size_t key) { return entry.first < key; });
+  if (it == free_lists_.end() || it->first != need) {
+    it = free_lists_.insert(it, {need, nullptr});
+  }
+  node->next = it->second;
+  it->second = node;
+}
+
+void EventArena::reset() noexcept {
+  for (FreeNode*& head : small_) head = nullptr;
+  for (auto& [size, head] : free_lists_) head = nullptr;
+  cur_ = 0;
+  used_ = 0;
+}
+
+void EventArena::grow(std::size_t need) {
+  // Finish the current block and advance through already-mapped blocks
+  // (reset() rewound us to 0) before reserving anything new.
+  while (cur_ + 1 < blocks_.size()) {
+    ++cur_;
+    used_ = 0;
+    if (need <= blocks_[cur_].size) return;
+  }
+  Block b;
+  b.size = std::max(need, next_block_);
+  b.mem = std::make_unique<std::byte[]>(b.size);
+  reserved_ += b.size;
+  next_block_ = std::min(b.size * 2, kMaxBlockBytes);
+  blocks_.push_back(std::move(b));
+  cur_ = blocks_.size() - 1;
+  used_ = 0;
+}
+
+}  // namespace avsec::core

@@ -78,4 +78,20 @@ std::size_t Scheduler::run_until(SimTime until) {
 
 bool Scheduler::step() { return pop_one(); }
 
+void Scheduler::reset() {
+  affinity_.rebind();
+  // Move-assign empty containers so the old storage is deallocated into the
+  // arena's free lists now, not at destruction — the owning SimContext
+  // resets the arena immediately after this call, and the arena contract
+  // requires no container to still hold arena memory at that point.
+  heap_ = std::vector<Event, EventAlloc>(EventAlloc(arena_));
+  live_ = IdSet(IdAlloc(arena_));
+  cancelled_ = IdSet(IdAlloc(arena_));
+  observer_ = nullptr;
+  dispatched_ = 0;
+  now_ = 0;
+  next_seq_ = 1;
+  next_id_ = 1;
+}
+
 }  // namespace avsec::core

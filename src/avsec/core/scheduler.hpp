@@ -11,6 +11,15 @@
 // it reaches the front of the heap. Popping moves the event out of the heap
 // storage instead of copying it, so a pop never copy-constructs the
 // std::function payload.
+//
+// Allocation: a Scheduler constructed over a core::EventArena serves its
+// heap storage and live/tombstone set nodes from that arena instead of
+// the global allocator — the per-worker allocation domain that lets
+// parallel campaign sweeps scale (see DESIGN.md §8). The default
+// constructor keeps the global heap, so existing call sites are
+// unchanged. reset() restores the exact freshly-constructed state (and
+// returns arena memory first), which is what makes pooled-context reuse
+// byte-identical to building a new scheduler per run.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +27,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "avsec/core/arena.hpp"
 #include "avsec/core/sync.hpp"
 #include "avsec/core/time.hpp"
 
@@ -53,6 +63,19 @@ class EventHandle {
 class Scheduler {
  public:
   using Callback = std::function<void()>;
+
+  /// Global-heap scheduler (the default; behavior unchanged).
+  Scheduler() : Scheduler(nullptr) {}
+
+  /// Arena-backed scheduler: heap storage and live/tombstone nodes come
+  /// from `arena` (nullptr degrades to the global heap). The arena must
+  /// outlive the scheduler and must not be reset while the scheduler
+  /// still holds events — reset() this scheduler first.
+  explicit Scheduler(EventArena* arena)
+      : arena_(arena),
+        heap_(EventAlloc(arena)),
+        live_(IdAlloc(arena)),
+        cancelled_(IdAlloc(arena)) {}
 
   /// Telemetry tap on event dispatch (implemented by avsec::obs — core
   /// cannot depend on obs, so the scheduler only sees this interface).
@@ -108,6 +131,15 @@ class Scheduler {
   /// Transfers thread-confinement ownership to the calling thread.
   void rebind_thread() { affinity_.rebind(); }
 
+  /// Restores the exact freshly-constructed state: queue emptied, clocks
+  /// and counters rewound, observer removed, affinity rebound to the
+  /// calling thread. Containers are move-assigned fresh so their storage
+  /// returns to the arena *before* the owning SimContext resets it.
+  void reset();
+
+  /// Arena this scheduler allocates from (nullptr = global heap).
+  EventArena* arena() const { return arena_; }
+
  private:
   struct Event {
     SimTime time = 0;
@@ -124,15 +156,21 @@ class Scheduler {
 
   bool pop_one();
 
+  using EventAlloc = ArenaAllocator<Event>;
+  using IdAlloc = ArenaAllocator<std::uint64_t>;
+  using IdSet = std::unordered_set<std::uint64_t, std::hash<std::uint64_t>,
+                                   std::equal_to<std::uint64_t>, IdAlloc>;
+
   ThreadAffinity affinity_;  // single-thread confinement (see class docs)
   DispatchObserver* observer_ = nullptr;
   std::uint64_t dispatched_ = 0;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_id_ = 1;
-  std::vector<Event> heap_;  // std::push_heap/pop_heap with Later
-  std::unordered_set<std::uint64_t> live_;       // genuinely pending ids
-  std::unordered_set<std::uint64_t> cancelled_;  // awaiting lazy removal
+  EventArena* arena_ = nullptr;
+  std::vector<Event, EventAlloc> heap_;  // std::push_heap/pop_heap with Later
+  IdSet live_;       // genuinely pending ids
+  IdSet cancelled_;  // awaiting lazy removal
 };
 
 }  // namespace avsec::core

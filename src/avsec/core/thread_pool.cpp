@@ -100,6 +100,27 @@ void ThreadPool::for_each_index(std::size_t n,
   wait();
 }
 
+void ThreadPool::for_each_chunk(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t slot, std::size_t lo,
+                             std::size_t hi)>& fn) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  const std::size_t pullers = std::min(size(), chunks);
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  for (std::size_t w = 0; w < pullers; ++w) {
+    submit([next, n, chunk, w, &fn] {
+      for (std::size_t c = next->fetch_add(1); c * chunk < n;
+           c = next->fetch_add(1)) {
+        const std::size_t lo = c * chunk;
+        fn(w, lo, std::min(lo + chunk, n));
+      }
+    });
+  }
+  wait();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

@@ -68,6 +68,21 @@ class ThreadPool {
   void for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn,
                       std::vector<std::exception_ptr>* errors);
 
+  /// Chunked fan-out: partitions [0, n) into contiguous ranges of `chunk`
+  /// indices that pulling tasks claim from a shared counter, calling
+  /// fn(slot, lo, hi) once per claimed range ([lo, hi) never empty).
+  /// `slot` identifies the pulling task — stable per task, dense in
+  /// [0, min(size(), ceil(n/chunk))) — which lets callers keep per-worker
+  /// state (e.g. a warm simulation context) without thread-local storage.
+  /// Contiguous ranges mean neighboring result slots are written by one
+  /// worker (no false sharing) and dispatch cost amortizes per chunk, not
+  /// per index. First-error semantics: a throw kills that pulling task and
+  /// wait() rethrows; callers needing drain semantics catch inside fn.
+  void for_each_chunk(
+      std::size_t n, std::size_t chunk,
+      const std::function<void(std::size_t slot, std::size_t lo,
+                               std::size_t hi)>& fn);
+
   /// std::thread::hardware_concurrency with a floor of 1.
   static std::size_t default_workers();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -17,46 +18,129 @@ namespace {
 
 using Invariants = std::vector<std::pair<std::string, Campaign::Check>>;
 
-// The campaign aggregation state (violation counters, accumulators,
-// failed-run tally) is confined to the sweeping thread: workers own
-// disjoint RunOutcome slots during the parallel phase, and only after the
-// pool barrier does the calling thread fold them in run order — that
-// serial fold is what makes the report byte-identical at any worker
-// count. Binding the affinity at construction turns the confinement into
-// a machine-checked invariant: a future refactor that folds from inside a
-// worker aborts immediately in affinity-checked builds instead of
-// silently breaking byte-identity.
-class ReportFolder {
- public:
-  ReportFolder() { affinity_.rebind(); }
+// Either scenario flavor behind one call signature. A context-aware
+// scenario runs inside the worker's pooled SimContext; a plain one
+// ignores it (the context, when pooled, still provides recorder reuse).
+struct RunAdapter {
+  const Campaign::RunFn* plain = nullptr;
+  const Campaign::CtxRunFn* with_ctx = nullptr;
 
-  void fold(CampaignReport& report, const RunOutcome& o) {
-    affinity_.check();
-    for (const auto& [key, value] : o.metrics) {
-      report.aggregate[key].add(value);
-    }
-    for (const std::string& name : o.violated) ++report.violations[name];
-    if (!o.violated.empty()) ++report.failed_runs;
-    if (is_quarantined(o.status)) ++report.quarantined_runs;
-    if (o.attempts > 1) ++report.runs_retried;
+  bool needs_ctx() const { return with_ctx != nullptr; }
+
+  Metrics operator()(SimContext* ctx, std::uint64_t seed) const {
+    if (with_ctx != nullptr) return (*with_ctx)(*ctx, seed);
+    return (*plain)(seed);
   }
-
- private:
-  core::ThreadAffinity affinity_;
 };
 
-// One execution attempt: build the world, collect metrics, evaluate
-// invariants, capture the trace per policy. Pure function of the seed.
+// --- merge-tree aggregation ---------------------------------------------
+//
+// Aggregation folds through fixed-size blocks of consecutive runs, then a
+// pairwise merge tree over the blocks (core::Accumulator's Chan et al.
+// block-merge discipline). Block boundaries are a function of this
+// constant and the run count ONLY — never of workers or chunk size — so
+// the floating-point operation order, and therefore the report bytes, are
+// identical at any worker count. Blocks read disjoint outcome ranges, so
+// they fold in parallel; the tree itself is O(metrics · blocks) scalar
+// merges, done on the calling thread.
+constexpr std::size_t kFoldBlockRuns = 32;
+
+struct FoldBlock {
+  std::map<std::string, core::Accumulator> aggregate;
+  std::map<std::string, std::size_t> violations;
+  std::size_t failed = 0;
+  std::size_t quarantined = 0;
+  std::size_t retried = 0;
+};
+
+void fold_block(FoldBlock& b, const std::vector<RunOutcome>& outcomes,
+                std::size_t lo, std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    const RunOutcome& o = outcomes[i];
+    for (const auto& [key, value] : o.metrics) b.aggregate[key].add(value);
+    for (const std::string& name : o.violated) ++b.violations[name];
+    if (!o.violated.empty()) ++b.failed;
+    if (is_quarantined(o.status)) ++b.quarantined;
+    if (o.attempts > 1) ++b.retried;
+  }
+}
+
+void merge_block(FoldBlock& into, const FoldBlock& from) {
+  for (const auto& [key, acc] : from.aggregate) into.aggregate[key].merge(acc);
+  for (const auto& [name, n] : from.violations) into.violations[name] += n;
+  into.failed += from.failed;
+  into.quarantined += from.quarantined;
+  into.retried += from.retried;
+}
+
+// Folds every outcome into the report: parallel block folds (when a pool
+// is supplied), then a deterministic pairwise reduction. The reduction is
+// confined to the calling thread — the affinity check turns that into a
+// machine-checked invariant, as the old serial ReportFolder did.
+void fold_report(CampaignReport& report,
+                 const std::vector<RunOutcome>& outcomes,
+                 core::ThreadPool* pool) {
+  if (outcomes.empty()) return;
+  core::ThreadAffinity affinity;
+  affinity.rebind();
+  const std::size_t nblocks =
+      (outcomes.size() + kFoldBlockRuns - 1) / kFoldBlockRuns;
+  std::vector<FoldBlock> blocks(nblocks);
+  auto fold_one = [&](std::size_t b) {
+    const std::size_t lo = b * kFoldBlockRuns;
+    const std::size_t hi = std::min(lo + kFoldBlockRuns, outcomes.size());
+    fold_block(blocks[b], outcomes, lo, hi);
+  };
+  if (pool != nullptr && nblocks > 1) {
+    pool->for_each_index(nblocks, fold_one);
+  } else {
+    for (std::size_t b = 0; b < nblocks; ++b) fold_one(b);
+  }
+  // Pairwise reduction in a fixed shape: at stride s, block i absorbs
+  // block i+s. Same tree for serial and parallel sweeps by construction.
+  affinity.check();
+  for (std::size_t span = 1; span < nblocks; span *= 2) {
+    for (std::size_t i = 0; i + span < nblocks; i += 2 * span) {
+      merge_block(blocks[i], blocks[i + span]);
+    }
+  }
+  report.aggregate = std::move(blocks[0].aggregate);
+  report.violations = std::move(blocks[0].violations);
+  report.failed_runs = blocks[0].failed;
+  report.quarantined_runs = blocks[0].quarantined;
+  report.runs_retried = blocks[0].retried;
+}
+
+// One execution attempt: build (or reset) the world, collect metrics,
+// evaluate invariants, capture the trace per policy. Pure function of
+// the seed whether or not a pooled context is supplied.
 void attempt_once(const CampaignConfig& config, const Invariants& invariants,
-                  const Campaign::RunFn& run, RunOutcome& o) {
+                  const RunAdapter& run, SimContext* ctx, RunOutcome& o) {
   o.metrics.clear();
   o.violated.clear();
   o.trace.clear();
   o.error.clear();
+  // Every attempt starts from the reset-determinism baseline: scheduler
+  // and arena rewound, recorder emptied (retries included).
+  if (ctx != nullptr) ctx->reset();
   if (config.trace == TraceCapture::kOff) {
-    o.metrics = run(o.seed);
+    o.metrics = run(ctx, o.seed);
     for (const auto& [name, check] : invariants) {
       if (!check(o.metrics)) o.violated.push_back(name);
+    }
+  } else if (ctx != nullptr) {
+    // Pooled capture: the context's recorder — ring and intern table
+    // already warm from the previous seed — was emptied by reset() above,
+    // so its dump is byte-identical to a fresh recorder's.
+    {
+      obs::TraceScope scope(ctx->recorder());
+      o.metrics = run(ctx, o.seed);
+    }
+    for (const auto& [name, check] : invariants) {
+      if (!check(o.metrics)) o.violated.push_back(name);
+    }
+    if (config.trace == TraceCapture::kAllRuns || !o.violated.empty()) {
+      o.trace = obs::text_dump(ctx->recorder());
     }
   } else {
     // A private recorder per run, installed only on this worker thread:
@@ -65,7 +149,7 @@ void attempt_once(const CampaignConfig& config, const Invariants& invariants,
     obs::TraceRecorder rec(config.trace_capacity);
     {
       obs::TraceScope scope(rec);
-      o.metrics = run(o.seed);
+      o.metrics = run(ctx, o.seed);
     }
     for (const auto& [name, check] : invariants) {
       if (!check(o.metrics)) o.violated.push_back(name);
@@ -84,15 +168,15 @@ void attempt_once(const CampaignConfig& config, const Invariants& invariants,
 // wall-clock (it paces retries, it does not touch the result), so the
 // outcome itself stays a pure function of the seed.
 void execute_supervised(const CampaignConfig& config,
-                        const Invariants& invariants,
-                        const Campaign::RunFn& run, RunOutcome& o) {
+                        const Invariants& invariants, const RunAdapter& run,
+                        SimContext* ctx, RunOutcome& o) {
   const SupervisionConfig& sup = config.supervision;
   const int max_attempts = std::max(sup.retry.max_retries, 0) + 1;
   for (int attempt = 0;; ++attempt) {
     try {
       RunGuard guard(sup);
       GuardScope scope(guard);  // scenario's supervise(sim) finds it
-      attempt_once(config, invariants, run, o);
+      attempt_once(config, invariants, run, ctx, o);
       o.attempts = static_cast<std::uint32_t>(attempt + 1);
       return;
     } catch (const RunAborted& e) {
@@ -138,12 +222,11 @@ ManifestHeader header_for(const CampaignConfig& config,
 // exactly why a resumed report is byte-identical to an uninterrupted one.
 CampaignReport execute_sweep(const CampaignConfig& config,
                              const Invariants& invariants,
-                             const Campaign::RunFn& run,
-                             const std::map<std::size_t, RunOutcome>* loaded,
+                             const RunAdapter& run,
+                             std::map<std::size_t, RunOutcome>* loaded,
                              ManifestWriter* writer, ResumeStats* stats) {
   CampaignReport report;
   report.runs = config.runs;
-  ReportFolder folder;  // binds aggregation to this thread, pre-fan-out
 
   // Seeds are drawn up front in run order; each run then owns a private
   // RNG stream, so execution order cannot leak between runs.
@@ -154,11 +237,13 @@ CampaignReport execute_sweep(const CampaignConfig& config,
   // Adopt loaded outcomes that completed (produced metrics); quarantined
   // and missing runs go on the work list. Violations and status are
   // re-derived from the loaded metrics under the *current* invariants, so
-  // a loaded run folds exactly as if it had just executed.
+  // a loaded run folds exactly as if it had just executed. Adoption moves
+  // out of the manifest map — a loaded run can carry a multi-KB trace
+  // dump, and the map is dead after this loop.
   std::vector<std::size_t> todo;
   todo.reserve(config.runs);
   for (std::size_t i = 0; i < config.runs; ++i) {
-    const RunOutcome* prior = nullptr;
+    RunOutcome* prior = nullptr;
     if (loaded != nullptr) {
       const auto it = loaded->find(i);
       if (it != loaded->end() && it->second.seed == outcomes[i].seed &&
@@ -170,13 +255,13 @@ CampaignReport execute_sweep(const CampaignConfig& config,
       todo.push_back(i);
       continue;
     }
-    RunOutcome o = *prior;
+    RunOutcome& o = outcomes[i];
+    o = std::move(*prior);
     o.violated.clear();
     for (const auto& [name, check] : invariants) {
       if (!check(o.metrics)) o.violated.push_back(name);
     }
     o.status = o.violated.empty() ? RunStatus::kPassed : RunStatus::kViolated;
-    outcomes[i] = std::move(o);
   }
   if (stats != nullptr) {
     stats->loaded = config.runs - todo.size();
@@ -186,12 +271,12 @@ CampaignReport execute_sweep(const CampaignConfig& config,
   // Per-run work. Everything here depends only on the run's own seed, so
   // it can execute on any thread; the manifest append is the only shared
   // touch and the writer serializes it internally.
-  auto execute = [&](std::size_t i) {
+  auto execute = [&](std::size_t i, SimContext* ctx) {
     RunOutcome& o = outcomes[i];
     if (config.supervision.enabled) {
-      execute_supervised(config, invariants, run, o);
+      execute_supervised(config, invariants, run, ctx, o);
     } else {
-      attempt_once(config, invariants, run, o);
+      attempt_once(config, invariants, run, ctx, o);
       o.attempts = 1;
     }
     if (writer != nullptr) writer->append(i, o);
@@ -200,53 +285,94 @@ CampaignReport execute_sweep(const CampaignConfig& config,
   std::size_t workers = config.workers == 0
                             ? core::ThreadPool::default_workers()
                             : config.workers;
-  workers = std::min(workers, todo.size());
-  if (workers <= 1) {
-    for (const std::size_t i : todo) execute(i);
-  } else {
-    core::ThreadPool pool(workers);
-    if (config.supervision.enabled) {
-      // Drain mode: execute() already converts scenario failures into
-      // structured outcomes, so anything landing in an error slot is
-      // supervision bookkeeping itself failing. Record it as a crash of
-      // that run rather than letting one slot abandon the others.
-      std::vector<std::exception_ptr> errors;
-      pool.for_each_index(
-          todo.size(), [&](std::size_t k) { execute(todo[k]); }, &errors);
-      for (std::size_t k = 0; k < errors.size(); ++k) {
-        if (!errors[k]) continue;
-        RunOutcome& o = outcomes[todo[k]];
-        o.metrics.clear();
-        o.violated.clear();
-        o.trace.clear();
-        o.status = RunStatus::kCrashed;
-        o.attempts = std::max(o.attempts, 1u);
-        try {
-          std::rethrow_exception(errors[k]);
-        } catch (const std::exception& e) {
-          o.error = e.what();
-        } catch (...) {
-          o.error = "unknown exception";
-        }
-        if (writer != nullptr) writer->append(todo[k], o);
-      }
-    } else {
-      // First-error mode: preserves the pre-resilience contract that an
-      // unsupervised throwing run aborts the sweep and propagates.
-      pool.for_each_index(todo.size(),
-                          [&](std::size_t k) { execute(todo[k]); });
+  workers = std::min(workers, std::max<std::size_t>(todo.size(), 1));
+
+  // One warm SimContext per worker slot when the scenario takes one (or
+  // the reuse knob is on — which gives even plain scenarios recorder
+  // reuse). Contexts are built here on the sweeping thread; the first
+  // reset() inside attempt_once hands confinement to the worker.
+  std::vector<std::unique_ptr<SimContext>> contexts;
+  if (run.needs_ctx() || config.reuse_contexts) {
+    contexts.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      contexts.push_back(std::make_unique<SimContext>(config.trace_capacity));
     }
   }
+  auto context_for = [&](std::size_t slot) -> SimContext* {
+    return contexts.empty() ? nullptr : contexts[slot].get();
+  };
 
-  // Fold in run order on this thread: the aggregate accumulators see the
-  // exact same sequence of floating-point adds as a serial sweep, which is
-  // what makes the report byte-identical across worker counts. Outcomes
-  // move into the report (they carry metrics maps and trace dumps that
-  // would be expensive to copy); the fold reads each one first.
+  // Workers claim contiguous chunks of the work list (amortized dispatch,
+  // one writer per neighborhood of outcome slots). Chunk size shapes only
+  // scheduling, never results.
+  const std::size_t chunk =
+      config.chunk != 0
+          ? config.chunk
+          : std::clamp<std::size_t>(todo.size() / (workers * 4),
+                                    std::size_t{1}, std::size_t{64});
+
+  std::unique_ptr<core::ThreadPool> pool;
+  if (workers > 1) pool = std::make_unique<core::ThreadPool>(workers);
+
+  if (pool == nullptr) {
+    for (const std::size_t i : todo) execute(i, context_for(0));
+  } else if (config.supervision.enabled) {
+    // Drain mode: execute() already converts scenario failures into
+    // structured outcomes, so anything landing in an error slot is
+    // supervision bookkeeping itself failing. Record it as a crash of
+    // that run rather than letting one slot abandon its chunk (or the
+    // other chunks).
+    std::vector<std::exception_ptr> errors(todo.size());
+    pool->for_each_chunk(
+        todo.size(), chunk,
+        [&](std::size_t slot, std::size_t lo, std::size_t hi) {
+          SimContext* ctx = context_for(slot);
+          for (std::size_t k = lo; k < hi; ++k) {
+            try {
+              execute(todo[k], ctx);
+            } catch (...) {
+              errors[k] = std::current_exception();
+            }
+          }
+        });
+    for (std::size_t k = 0; k < errors.size(); ++k) {
+      if (!errors[k]) continue;
+      RunOutcome& o = outcomes[todo[k]];
+      o.metrics.clear();
+      o.violated.clear();
+      o.trace.clear();
+      o.status = RunStatus::kCrashed;
+      o.attempts = std::max(o.attempts, 1u);
+      try {
+        std::rethrow_exception(errors[k]);
+      } catch (const std::exception& e) {
+        o.error = e.what();
+      } catch (...) {
+        o.error = "unknown exception";
+      }
+      if (writer != nullptr) writer->append(todo[k], o);
+    }
+  } else {
+    // First-error mode: preserves the pre-resilience contract that an
+    // unsupervised throwing run aborts the sweep and propagates.
+    pool->for_each_chunk(todo.size(), chunk,
+                         [&](std::size_t slot, std::size_t lo,
+                             std::size_t hi) {
+                           SimContext* ctx = context_for(slot);
+                           for (std::size_t k = lo; k < hi; ++k) {
+                             execute(todo[k], ctx);
+                           }
+                         });
+  }
+
+  // Aggregate through the merge tree (parallel block folds over disjoint
+  // outcome ranges, deterministic pairwise reduction — see fold_report),
+  // then move outcomes into the report: they carry metrics maps and trace
+  // dumps that would be expensive to copy.
+  fold_report(report, outcomes, pool.get());
   report.outcomes.reserve(config.runs);
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     RunOutcome& o = outcomes[i];
-    folder.fold(report, o);
     if (is_quarantined(o.status)) {
       AVSEC_TRACE_INSTANT(obs::Category::kFault, "campaign.quarantine",
                           /*track=*/0, /*ts=*/0,
@@ -271,6 +397,59 @@ CampaignReport execute_sweep(const CampaignConfig& config,
     AVSEC_METRIC_INC("campaign.resume_skipped", stats->loaded);
   }
   return report;
+}
+
+CampaignReport sweep_impl(const CampaignConfig& config,
+                          const Invariants& invariants,
+                          const RunAdapter& run) {
+  ManifestWriter writer;
+  ManifestWriter* journal = nullptr;
+  if (!config.manifest_path.empty() &&
+      writer.open_fresh(config.manifest_path, header_for(config, invariants),
+                        config.manifest_fsync_chunk)) {
+    journal = &writer;
+  }
+  return execute_sweep(config, invariants, run, nullptr, journal, nullptr);
+}
+
+CampaignReport resume_impl(const CampaignConfig& config,
+                           const Invariants& invariants, const RunAdapter& run,
+                           const std::string& manifest_path,
+                           ResumeStats* stats) {
+  ManifestData data = read_manifest(manifest_path);
+  ResumeStats local;
+  ResumeStats& st = stats != nullptr ? *stats : local;
+  st = {};
+  st.dropped_lines = data.dropped_lines;
+
+  ManifestWriter writer;
+  if (!data.header_ok) {
+    // Nothing trustworthy on disk: degrade to a fresh sweep that rewrites
+    // the manifest, so the next interruption has a journal to resume from.
+    ManifestWriter* journal =
+        writer.open_fresh(manifest_path, header_for(config, invariants),
+                          config.manifest_fsync_chunk)
+            ? &writer
+            : nullptr;
+    return execute_sweep(config, invariants, run, nullptr, journal, &st);
+  }
+  if (data.header != header_for(config, invariants)) {
+    throw std::invalid_argument(
+        "campaign manifest does not match this campaign "
+        "(runs/base_seed/trace/invariants differ): " +
+        manifest_path);
+  }
+  // Valid manifest for this exact campaign: append re-executed runs to it
+  // (a rerun's line supersedes by position — the reader keeps the last
+  // valid record per index). The validated overload re-checks the header
+  // at open time, so a file replaced since read_manifest() is refused
+  // rather than appended to.
+  ManifestWriter* journal =
+      writer.open_append(manifest_path, header_for(config, invariants),
+                         config.manifest_fsync_chunk)
+          ? &writer
+          : nullptr;
+  return execute_sweep(config, invariants, run, &data.outcomes, journal, &st);
 }
 
 }  // namespace
@@ -340,55 +519,31 @@ std::vector<std::string> Campaign::invariant_names() const {
 }
 
 CampaignReport Campaign::sweep(const RunFn& run) const {
-  ManifestWriter writer;
-  ManifestWriter* journal = nullptr;
-  if (!config_.manifest_path.empty() &&
-      writer.open_fresh(config_.manifest_path,
-                        header_for(config_, invariants_),
-                        config_.manifest_fsync_chunk)) {
-    journal = &writer;
-  }
-  return execute_sweep(config_, invariants_, run, nullptr, journal, nullptr);
+  RunAdapter adapter;
+  adapter.plain = &run;
+  return sweep_impl(config_, invariants_, adapter);
+}
+
+CampaignReport Campaign::sweep(const CtxRunFn& run) const {
+  RunAdapter adapter;
+  adapter.with_ctx = &run;
+  return sweep_impl(config_, invariants_, adapter);
 }
 
 CampaignReport Campaign::resume(const RunFn& run,
                                 const std::string& manifest_path,
                                 ResumeStats* stats) const {
-  ManifestData data = read_manifest(manifest_path);
-  ResumeStats local;
-  ResumeStats& st = stats != nullptr ? *stats : local;
-  st = {};
-  st.dropped_lines = data.dropped_lines;
+  RunAdapter adapter;
+  adapter.plain = &run;
+  return resume_impl(config_, invariants_, adapter, manifest_path, stats);
+}
 
-  ManifestWriter writer;
-  if (!data.header_ok) {
-    // Nothing trustworthy on disk: degrade to a fresh sweep that rewrites
-    // the manifest, so the next interruption has a journal to resume from.
-    ManifestWriter* journal =
-        writer.open_fresh(manifest_path, header_for(config_, invariants_),
-                          config_.manifest_fsync_chunk)
-            ? &writer
-            : nullptr;
-    return execute_sweep(config_, invariants_, run, nullptr, journal, &st);
-  }
-  if (data.header != header_for(config_, invariants_)) {
-    throw std::invalid_argument(
-        "campaign manifest does not match this campaign "
-        "(runs/base_seed/trace/invariants differ): " +
-        manifest_path);
-  }
-  // Valid manifest for this exact campaign: append re-executed runs to it
-  // (a rerun's line supersedes by position — the reader keeps the last
-  // valid record per index). The validated overload re-checks the header
-  // at open time, so a file replaced since read_manifest() is refused
-  // rather than appended to.
-  ManifestWriter* journal =
-      writer.open_append(manifest_path, header_for(config_, invariants_),
-                         config_.manifest_fsync_chunk)
-          ? &writer
-          : nullptr;
-  return execute_sweep(config_, invariants_, run, &data.outcomes, journal,
-                       &st);
+CampaignReport Campaign::resume(const CtxRunFn& run,
+                                const std::string& manifest_path,
+                                ResumeStats* stats) const {
+  RunAdapter adapter;
+  adapter.with_ctx = &run;
+  return resume_impl(config_, invariants_, adapter, manifest_path, stats);
 }
 
 }  // namespace avsec::fault

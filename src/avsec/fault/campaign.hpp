@@ -8,13 +8,17 @@
 // a fresh world, arms a FaultPlan, runs the scheduler and returns named
 // metrics), and evaluates every invariant against those metrics.
 //
-// Sweeps fan out across a core::ThreadPool when `workers > 1`. The runs
-// are independent worlds by construction (fresh scheduler, fresh RNG
-// stream, seed derived per run index), so the parallel sweep produces a
-// report byte-identical to the serial one: outcomes are stored by run
-// index and all aggregation folds in run order on the calling thread.
-// The scenario function must therefore be safe to call concurrently —
-// it must not touch shared mutable state.
+// Sweeps fan out across a core::ThreadPool when `workers > 1`: workers
+// claim contiguous chunks of run indices, and each worker can keep a warm
+// SimContext (arena-backed scheduler, persistent trace recorder) that is
+// reset between seeds instead of rebuilt. The runs are independent worlds
+// by construction (reset scheduler, fresh RNG stream, seed derived per
+// run index), so the parallel sweep produces a report byte-identical to
+// the serial one: outcomes are stored by run index, and aggregation folds
+// through a fixed merge tree over run-order blocks whose boundaries
+// depend only on the run count — never on workers or chunking (see
+// DESIGN.md §8). The scenario function must be safe to call concurrently;
+// it must not touch shared mutable state outside its own context.
 //
 // With `config.supervision.enabled`, each run executes under a
 // fault::RunGuard: a throwing run becomes a structured RunOutcome
@@ -34,6 +38,7 @@
 #include <vector>
 
 #include "avsec/core/stats.hpp"
+#include "avsec/fault/context.hpp"
 #include "avsec/fault/resilience.hpp"
 #include "avsec/obs/trace.hpp"
 
@@ -71,6 +76,17 @@ struct CampaignConfig {
   std::string manifest_path;
   /// Runs appended between fsyncs of the manifest; 1 = fsync every run.
   std::size_t manifest_fsync_chunk = 8;
+  /// Opt-in context pooling for plain RunFn scenarios: each worker keeps a
+  /// warm SimContext (arena, scheduler, persistent trace recorder) that is
+  /// reset between seeds instead of reconstructed. Off by default so
+  /// existing scenarios behave exactly as before; the report is
+  /// byte-identical either way. Scenarios written against CtxRunFn always
+  /// get pooled contexts — taking the context parameter *is* the opt-in.
+  bool reuse_contexts = false;
+  /// Runs per contiguous chunk a worker claims from the sweep (amortizes
+  /// dispatch and keeps neighboring outcome slots on one worker). 0 =
+  /// auto-size from runs/workers. Never affects report bytes.
+  std::size_t chunk = 0;
 };
 
 struct RunOutcome {
@@ -125,6 +141,12 @@ bool identical(const CampaignReport& a, const CampaignReport& b);
 class Campaign {
  public:
   using RunFn = std::function<Metrics(std::uint64_t seed)>;
+  /// Context-aware scenario: runs inside a pooled per-worker SimContext.
+  /// The context arrives freshly reset() — use ctx.sim() instead of
+  /// constructing a Scheduler, and ctx.fixture<T>() for topology worth
+  /// building once per worker. Everything the run returns must still be a
+  /// pure function of the seed.
+  using CtxRunFn = std::function<Metrics(SimContext& ctx, std::uint64_t seed)>;
   using Check = std::function<bool(const Metrics&)>;
 
   explicit Campaign(CampaignConfig config = {}) : config_(config) {}
@@ -139,6 +161,11 @@ class Campaign {
   /// propagates; supervised, it becomes a structured outcome.
   CampaignReport sweep(const RunFn& run) const;
 
+  /// Context-aware sweep: identical semantics, but each run executes in a
+  /// pooled per-worker SimContext (reset between seeds). Byte-identity
+  /// across worker counts holds exactly as for the plain overload.
+  CampaignReport sweep(const CtxRunFn& run) const;
+
   /// Re-runs only the runs a previous sweep's manifest is missing (or
   /// quarantined), merging loaded and fresh outcomes into a report
   /// byte-identical to an uninterrupted sweep. Newly executed runs are
@@ -147,6 +174,10 @@ class Campaign {
   /// std::invalid_argument; a missing or headerless manifest degrades to
   /// a fresh sweep that rewrites it.
   CampaignReport resume(const RunFn& run, const std::string& manifest_path,
+                        ResumeStats* stats = nullptr) const;
+
+  /// Context-aware resume (see the CtxRunFn sweep overload).
+  CampaignReport resume(const CtxRunFn& run, const std::string& manifest_path,
                         ResumeStats* stats = nullptr) const;
 
   /// The seed the sweep uses for run `i` (exposed for replay tooling).

@@ -34,6 +34,14 @@ class MetricsRegistry {
     return counters_.empty() && gauges_.empty() && series_.empty();
   }
 
+  /// Drops every counter, gauge and series (pooled-recorder reuse between
+  /// campaign runs; the next run starts from an empty registry).
+  void clear() {
+    counters_.clear();
+    gauges_.clear();
+    series_.clear();
+  }
+
   /// Folds `other` into this registry: counters add, gauges overwrite,
   /// series merge through core::Accumulator (bit-stable).
   void merge(const MetricsRegistry& other);

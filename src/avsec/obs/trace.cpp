@@ -147,6 +147,13 @@ void TraceRecorder::clear() {
   std::fill(depth_.begin(), depth_.end(), 0);
 }
 
+void TraceRecorder::reset() {
+  recorded_ = 0;
+  tracks_.resize(1);  // keep the pre-registered "main" track only
+  depth_.assign(1, 0);
+  metrics_.clear();
+}
+
 namespace detail {
 thread_local TraceRecorder* tl_recorder = nullptr;
 }  // namespace detail

@@ -130,6 +130,16 @@ class TraceRecorder {
 
   void clear();
 
+  /// Full between-run reset for pooled reuse: event count and per-track
+  /// span depths rewind, registered tracks drop back to the pre-registered
+  /// "main", and metrics clear — the next run observes a recorder
+  /// indistinguishable from a freshly constructed one. The intern table is
+  /// retained: it is a content-addressed cache (equal content always maps
+  /// to one stable pointer), so keeping it cannot change emitted bytes,
+  /// and skipping the ring/intern reallocation is most of the point of
+  /// reusing a recorder across a campaign worker's runs.
+  void reset();
+
  private:
   void push(const TraceEvent& ev);
 

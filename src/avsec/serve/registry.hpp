@@ -45,6 +45,16 @@ struct Scenario {
   double cost_hint_ms_per_seed = 1.0;
   /// Default RunGuard sim-event budget per attempt (0 = unlimited).
   std::uint64_t default_max_events = 20'000'000;
+  /// Optional context-aware variant. When set, the server prefers it and
+  /// passes the worker's warm fault::SimContext (freshly reset): use
+  /// ctx.sim() instead of constructing a Scheduler, ctx.fixture<T>() for
+  /// per-worker topology. Must return metrics byte-identical to run()'s
+  /// for every (seed, scale) — the 1-vs-N-worker reply identity gate in
+  /// CI holds the server to that. Declared last so positional aggregate
+  /// initialization of the older fields stays valid.
+  std::function<fault::Metrics(fault::SimContext& ctx, std::uint64_t seed,
+                               Scale scale)>
+      run_ctx;
 };
 
 /// Ordered name -> Scenario map. Immutable once handed to a Server.

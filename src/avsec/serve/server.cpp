@@ -264,26 +264,38 @@ bool Server::try_wait(std::uint64_t ticket, Reply& out) {
   return true;
 }
 
-void Server::run_seed(const Job& job, std::int64_t remaining_ms,
-                      SeedOutcome& out, std::string* trace_dump) {
+void Server::run_seed(WorkerSlot& slot, const Job& job,
+                      std::int64_t remaining_ms, SeedOutcome& out,
+                      std::string* trace_dump) {
   fault::SupervisionConfig sup = config_.supervision;
   sup.enabled = true;
   sup.max_events = job.max_events;
   sup.wall_deadline_ms = remaining_ms > 0 ? remaining_ms : 0;
   const int max_attempts = std::max(sup.retry.max_retries, 0) + 1;
+  // Scenarios with a context-aware entry point run on the slot's warm
+  // arena-backed scheduler; either way, trace capture reuses the slot
+  // recorder (reset below) instead of constructing a ~1 MiB ring per
+  // traced seed.
+  fault::SimContext& ctx = slot.ctx;
+  const auto run_once = [&] {
+    ctx.reset();
+    if (job.scenario->run_ctx != nullptr) {
+      return job.scenario->run_ctx(ctx, out.seed, job.scale);
+    }
+    return job.scenario->run(out.seed, job.scale);
+  };
   for (int attempt = 0;; ++attempt) {
     try {
       fault::RunGuard guard(sup);
       fault::GuardScope scope(guard);
       if (trace_dump != nullptr) {
-        obs::TraceRecorder rec;
         {
-          obs::TraceScope ts(rec);
-          out.metrics = job.scenario->run(out.seed, job.scale);
+          obs::TraceScope ts(ctx.recorder());
+          out.metrics = run_once();
         }
-        *trace_dump = obs::text_dump(rec);
+        *trace_dump = obs::text_dump(ctx.recorder());
       } else {
-        out.metrics = job.scenario->run(out.seed, job.scale);
+        out.metrics = run_once();
       }
       out.status = fault::RunStatus::kPassed;
       out.error.clear();
@@ -366,7 +378,7 @@ void Server::execute_job(WorkerSlot& slot, Job& job) {
       const bool want_trace =
           si == 0 && (part.trace || config_.slow_trace_ms > 0);
       std::string dump;
-      run_seed(job, remaining_ms, out, want_trace ? &dump : nullptr);
+      run_seed(slot, job, remaining_ms, out, want_trace ? &dump : nullptr);
       if (out.attempts > 1) {
         counters_.runs_retried.fetch_add(1, std::memory_order_relaxed);
       }

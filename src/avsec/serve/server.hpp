@@ -172,14 +172,21 @@ class Server {
     /// Set by the supervisor when the watchdog expires: the worker exits
     /// after its current job instead of popping more work.
     std::atomic<bool> abandoned{false};
+    /// Warm per-worker simulation context: context-aware scenarios run on
+    /// its arena-backed scheduler, and trace capture reuses its recorder
+    /// (ring + intern table) instead of allocating one per traced seed.
+    /// Reset before every seed; confined to this slot's thread. A
+    /// replacement worker gets a fresh slot and a fresh context, so an
+    /// abandoned (possibly wedged) run never shares it.
+    fault::SimContext ctx;
   };
 
   void publish(std::uint64_t ticket, Reply reply);
   Reply make_reject(std::uint64_t ticket, const Request& req,
                     ReplyStatus status, std::string detail) const;
   void execute_job(WorkerSlot& slot, Job& job);
-  void run_seed(const Job& job, std::int64_t remaining_ms, SeedOutcome& out,
-                std::string* trace_dump);
+  void run_seed(WorkerSlot& slot, const Job& job, std::int64_t remaining_ms,
+                SeedOutcome& out, std::string* trace_dump);
   void worker_loop(WorkerSlot* slot);
   void supervisor_loop();
   void spawn_worker();

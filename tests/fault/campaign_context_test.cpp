@@ -1,0 +1,267 @@
+// Pooled per-worker SimContexts: a context-aware sweep (warm arena-backed
+// scheduler, persistent trace recorder, reset between seeds) must produce
+// a CampaignReport byte-identical to the fresh-world sweep — at any worker
+// count, under supervision, with trace capture on, and across resume.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "avsec/core/rng.hpp"
+#include "avsec/core/scheduler.hpp"
+#include "avsec/fault/campaign.hpp"
+#include "avsec/fault/context.hpp"
+#include "avsec/obs/trace.hpp"
+
+namespace avsec::fault {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "avsec_ctx_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  return raw.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// The workload, parameterized on the scheduler so the fresh-world and
+// pooled-context scenarios are literally the same code: seed-dependent
+// metrics, occasional invariant violations, trace instrumentation.
+Metrics run_workload(core::Scheduler& sim, std::uint64_t seed) {
+  supervise(sim);
+  core::Rng rng(seed);
+  double level = 0.0;
+  int spikes = 0;
+  std::function<void()> tick = [&] {
+    level += rng.normal(0.0, 1.0);
+    AVSEC_TRACE_COUNTER(obs::Category::kFault, "level", 0, sim.now(), level);
+    if (std::abs(level) > 3.0) {
+      ++spikes;
+      AVSEC_TRACE_INSTANT(obs::Category::kFault, "spike", 0, sim.now(),
+                          spikes);
+      level = 0.0;
+    }
+    if (sim.now() < core::milliseconds(1)) {
+      sim.schedule_in(core::microseconds(50), tick);
+    }
+  };
+  sim.schedule_at(0, tick);
+  sim.run();
+  Metrics m;
+  m["final_level"] = level;
+  m["spikes"] = static_cast<double>(spikes);
+  m["seed_parity"] = static_cast<double>(seed % 2);
+  return m;
+}
+
+Metrics scenario_plain(std::uint64_t seed) {
+  core::Scheduler sim;
+  return run_workload(sim, seed);
+}
+
+Metrics scenario_ctx(SimContext& ctx, std::uint64_t seed) {
+  return run_workload(ctx.sim(), seed);
+}
+
+Campaign make_campaign(CampaignConfig cfg) {
+  Campaign c(cfg);
+  c.require("few spikes",
+            [](const Metrics& m) { return m.at("spikes") <= 3.0; })
+      .require("even seed",
+               [](const Metrics& m) { return m.at("seed_parity") == 0.0; });
+  return c;
+}
+
+CampaignConfig base_config(std::size_t runs, std::size_t workers) {
+  CampaignConfig cfg;
+  cfg.runs = runs;
+  cfg.base_seed = 90210;
+  cfg.workers = workers;
+  return cfg;
+}
+
+TEST(CampaignContext, PooledSweepMatchesFreshSweepAtAnyWorkerCount) {
+  const auto fresh = make_campaign(base_config(24, 1)).sweep(scenario_plain);
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    const auto pooled = make_campaign(base_config(24, workers))
+                            .sweep(Campaign::CtxRunFn(scenario_ctx));
+    EXPECT_TRUE(identical(fresh, pooled)) << workers << " workers";
+  }
+}
+
+TEST(CampaignContext, ReuseContextsKnobKeepsPlainSweepIdentical) {
+  const auto cold = make_campaign(base_config(16, 2)).sweep(scenario_plain);
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    CampaignConfig cfg = base_config(16, workers);
+    cfg.reuse_contexts = true;
+    const auto warm = make_campaign(cfg).sweep(scenario_plain);
+    EXPECT_TRUE(identical(cold, warm)) << workers << " workers";
+  }
+}
+
+TEST(CampaignContext, ChunkSizeNeverChangesReportBytes) {
+  const auto reference =
+      make_campaign(base_config(30, 1)).sweep(Campaign::CtxRunFn(scenario_ctx));
+  for (std::size_t chunk : {1u, 3u, 7u, 64u}) {
+    CampaignConfig cfg = base_config(30, 4);
+    cfg.chunk = chunk;
+    const auto chunked =
+        make_campaign(cfg).sweep(Campaign::CtxRunFn(scenario_ctx));
+    EXPECT_TRUE(identical(reference, chunked)) << "chunk " << chunk;
+  }
+}
+
+TEST(CampaignContext, SupervisedTracedPooledSweepIsByteIdentical) {
+  // The full stack at once: supervision (RunGuard + retry bookkeeping),
+  // kAllRuns trace capture (pooled runs reuse the context's recorder,
+  // fresh runs get a local one), and context pooling. Every combination
+  // must emit the same report bytes, traces included.
+  CampaignConfig cfg = base_config(12, 1);
+  cfg.supervision.enabled = true;
+  cfg.trace = TraceCapture::kAllRuns;
+  const auto fresh = make_campaign(cfg).sweep(scenario_plain);
+  ASSERT_FALSE(fresh.outcomes.empty());
+  for (const auto& o : fresh.outcomes) {
+    EXPECT_FALSE(o.trace.empty());  // every run carries a dump
+  }
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    CampaignConfig pooled_cfg = cfg;
+    pooled_cfg.workers = workers;
+    const auto pooled =
+        make_campaign(pooled_cfg).sweep(Campaign::CtxRunFn(scenario_ctx));
+    EXPECT_TRUE(identical(fresh, pooled)) << workers << " workers";
+    ASSERT_EQ(pooled.outcomes.size(), fresh.outcomes.size());
+    for (std::size_t i = 0; i < fresh.outcomes.size(); ++i) {
+      EXPECT_EQ(pooled.outcomes[i].trace, fresh.outcomes[i].trace)
+          << "run " << i << ", " << workers << " workers";
+    }
+  }
+}
+
+TEST(CampaignContext, CrashingRunsQuarantineIdenticallyWhenPooled) {
+  CampaignConfig cfg = base_config(15, 1);
+  cfg.supervision.enabled = true;
+  cfg.supervision.retry.max_retries = 1;
+  cfg.supervision.retry.initial_timeout = 0;
+  const auto crashy_plain = [](std::uint64_t seed) -> Metrics {
+    if (seed % 4 == 0) throw std::runtime_error("flaky environment");
+    return scenario_plain(seed);
+  };
+  const auto crashy_ctx = [](SimContext& ctx, std::uint64_t seed) -> Metrics {
+    if (seed % 4 == 0) throw std::runtime_error("flaky environment");
+    return scenario_ctx(ctx, seed);
+  };
+  const auto fresh = make_campaign(cfg).sweep(Campaign::RunFn(crashy_plain));
+  ASSERT_GT(fresh.quarantined_runs, 0u);
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    CampaignConfig pooled_cfg = cfg;
+    pooled_cfg.workers = workers;
+    const auto pooled =
+        make_campaign(pooled_cfg).sweep(Campaign::CtxRunFn(crashy_ctx));
+    EXPECT_TRUE(identical(fresh, pooled)) << workers << " workers";
+  }
+}
+
+TEST(CampaignContext, ResumeAfterTruncationMatchesUninterruptedSweep) {
+  CampaignConfig cfg = base_config(10, 1);
+  cfg.trace = TraceCapture::kAllRuns;
+  const auto reference =
+      make_campaign(cfg).sweep(Campaign::CtxRunFn(scenario_ctx));
+
+  // Journal a full pooled sweep, then truncate the manifest at several
+  // offsets (a process killed mid-sweep) and resume with the CtxRunFn at
+  // 1, 2 and 8 workers.
+  const std::string full_path = temp_path("ctx_full.jsonl");
+  CampaignConfig journal_cfg = cfg;
+  journal_cfg.manifest_path = full_path;
+  make_campaign(journal_cfg).sweep(Campaign::CtxRunFn(scenario_ctx));
+  const std::string full = read_file(full_path);
+  ASSERT_GT(full.size(), 100u);
+
+  const std::string cut_path = temp_path("ctx_cut.jsonl");
+  std::size_t workers_rotation[] = {1, 2, 8};
+  std::size_t rotation = 0;
+  for (std::size_t cut : {std::size_t{0}, full.size() / 3,
+                          2 * full.size() / 3, full.size() - 1}) {
+    write_file(cut_path, full.substr(0, cut));
+    const std::size_t workers = workers_rotation[rotation++ % 3];
+    CampaignConfig resume_cfg = cfg;  // same trace policy as the manifest
+    resume_cfg.workers = workers;
+    ResumeStats stats;
+    const auto resumed =
+        make_campaign(resume_cfg)
+            .resume(Campaign::CtxRunFn(scenario_ctx), cut_path, &stats);
+    EXPECT_TRUE(identical(reference, resumed))
+        << "cut at byte " << cut << ", " << workers << " workers";
+    EXPECT_EQ(stats.loaded + stats.reran, 10u) << "cut at byte " << cut;
+  }
+}
+
+TEST(CampaignContext, FixturePersistsAcrossRunsAndResetsAreCounted) {
+  // Serial pooled sweep: one context serves every run, so a fixture is
+  // built exactly once and the reset counter sees every run.
+  std::atomic<int> built{0};
+  std::atomic<std::uint64_t> max_resets{0};
+  Campaign c(base_config(8, 1));
+  c.sweep(Campaign::CtxRunFn([&](SimContext& ctx, std::uint64_t seed) {
+    int& fixture = ctx.fixture<int>([&] {
+      built.fetch_add(1);
+      return 7;
+    });
+    EXPECT_EQ(fixture, 7);
+    std::uint64_t seen = max_resets.load();
+    while (ctx.resets() > seen &&
+           !max_resets.compare_exchange_weak(seen, ctx.resets())) {
+    }
+    core::Scheduler& sim = ctx.sim();
+    sim.schedule_at(1, [] {});
+    sim.run();
+    return Metrics{{"seed_low", static_cast<double>(seed & 0xff)}};
+  }));
+  EXPECT_EQ(built.load(), 1);
+  // reset() runs before every attempt: 8 runs -> at least 8 resets seen.
+  EXPECT_GE(max_resets.load(), 8u);
+}
+
+TEST(CampaignContext, FixtureIsTypeCheckedAndClearable) {
+  SimContext ctx;
+  int& a = ctx.fixture<int>([] { return 1; });
+  EXPECT_EQ(a, 1);
+  EXPECT_TRUE(ctx.has_fixture());
+  // Requesting a different type rebuilds the slot.
+  double& b = ctx.fixture<double>([] { return 2.5; });
+  EXPECT_EQ(b, 2.5);
+  // Same type again: cached, the maker must not run.
+  ctx.fixture<double>([]() -> double {
+    ADD_FAILURE() << "fixture must be cached";
+    return 0.0;
+  });
+  ctx.clear_fixture();
+  EXPECT_FALSE(ctx.has_fixture());
+}
+
+TEST(CampaignContext, ResetRestoresAFreshSimulation) {
+  SimContext ctx;
+  const auto first = run_workload(ctx.sim(), 5);
+  ctx.reset();
+  const auto second = run_workload(ctx.sim(), 5);
+  EXPECT_EQ(first, second);  // map<string,double> equality on same bits
+  EXPECT_EQ(ctx.resets(), 1u);
+  EXPECT_GT(ctx.arena().allocations(), 0u);
+}
+
+}  // namespace
+}  // namespace avsec::fault

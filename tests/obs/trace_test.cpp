@@ -203,5 +203,60 @@ TEST(MetricsRegistry, MergeAndIdentical) {
   EXPECT_EQ(a.text_dump(), c.text_dump());
 }
 
+// One representative recording session: tracks, nested spans, instants,
+// counters, metrics, interned details.
+void record_session(TraceRecorder& rec) {
+  const TrackId bus = rec.register_track("bus0");
+  rec.begin(Category::kCan, "arbitrate", bus, 10, 1, 2, "frame 0x1A");
+  rec.instant(Category::kIds, "alert", 0, 15, 3);
+  rec.counter(Category::kHealth, "load", bus, 20, 0.75);
+  rec.end(Category::kCan, "arbitrate", bus, 25);
+  rec.metrics().inc("frames", 4);
+  rec.metrics().observe("latency", 1.5);
+}
+
+TEST(TraceRecorder, ResetMakesAReusedRecorderIndistinguishableFromFresh) {
+  // The pooled-context contract (DESIGN.md §8): after reset(), a reused
+  // recorder must reproduce a fresh recorder's dump byte for byte — the
+  // trace strings land in CampaignReport outcomes, so any drift breaks
+  // report identity between pooled and fresh sweeps.
+  TraceRecorder fresh(256);
+  record_session(fresh);
+  const std::string expected = text_dump(fresh);
+
+  TraceRecorder reused(256);
+  // Pollute with a different session first (extra tracks, deeper spans,
+  // different metrics), then reset and replay.
+  const TrackId junk = reused.register_track("junk");
+  reused.begin(Category::kApp, "noise", junk, 1);
+  reused.begin(Category::kApp, "noise2", junk, 2);
+  reused.metrics().inc("garbage", 99);
+  reused.intern("frame 0x1A");  // pre-warm the intern cache on purpose
+  reused.reset();
+
+  EXPECT_EQ(reused.recorded(), 0u);
+  EXPECT_EQ(reused.size(), 0u);
+  EXPECT_EQ(reused.track_names(), std::vector<std::string>{"main"});
+  EXPECT_EQ(reused.depth(0), 0);
+
+  record_session(reused);
+  EXPECT_EQ(text_dump(reused), expected);
+
+  // And again: reset is idempotent across many rounds.
+  for (int round = 0; round < 3; ++round) {
+    reused.reset();
+    record_session(reused);
+    EXPECT_EQ(text_dump(reused), expected) << "round " << round;
+  }
+}
+
+TEST(TraceRecorder, ResetReassignsTrackIdsDeterministically) {
+  TraceRecorder rec(64);
+  const TrackId first = rec.register_track("nodeA");
+  rec.reset();
+  // Same registration order after reset -> same ids.
+  EXPECT_EQ(rec.register_track("nodeA"), first);
+}
+
 }  // namespace
 }  // namespace avsec::obs

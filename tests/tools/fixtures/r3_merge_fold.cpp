@@ -1,0 +1,30 @@
+// Merge-tree fold gone wrong: pairwise block reduction that folds float
+// aggregates with raw '+=' instead of core::Accumulator block-merge —
+// the drift R3 exists to keep out of the campaign fold.
+struct FoldBlock {
+  double sum;
+  int runs;
+};
+
+inline double fold_tree(FoldBlock* blocks, int nblocks) {
+  double total = 0.0;
+  for (int span = 1; span < nblocks; span *= 2) {
+    for (int i = 0; i + span < nblocks; i += 2 * span) {
+      blocks[i].sum += blocks[i + span].sum;  // member fold: not R3's call
+    }
+  }
+  for (int i = 0; i < nblocks; ++i) {
+    total += blocks[i].sum;
+  }
+  return total;
+}
+
+inline double running_mean(const FoldBlock* blocks, int nblocks) {
+  double mean = 0.0;
+  int n = 0;
+  while (n < nblocks) {
+    mean += (blocks[n].sum - mean) / (n + 1);
+    ++n;
+  }
+  return mean;
+}

@@ -1,0 +1,13 @@
+// Arena header fixture: opens with a classic include guard instead of
+// '#pragma once' — the header-hygiene violation R4 flags.
+#ifndef AVSEC_CORE_ARENA_FIXTURE_HPP_
+#define AVSEC_CORE_ARENA_FIXTURE_HPP_
+
+namespace avsec::core {
+struct ArenaFixture {
+  unsigned char* cur;
+  unsigned long used;
+};
+}  // namespace avsec::core
+
+#endif  // AVSEC_CORE_ARENA_FIXTURE_HPP_

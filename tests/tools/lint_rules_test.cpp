@@ -184,6 +184,35 @@ TEST(LintResilience, ResumeMergeReductionExemptInAccumulatorHome) {
                   .empty());
 }
 
+TEST(LintPerf, MergeTreeFoldRawReductionIsFlagged) {
+  // The campaign fold (DESIGN.md §8) merges per-block aggregates through
+  // core::Accumulator's block-merge; a raw '+=' over block sums inside the
+  // pairwise reduction is exactly the drift R3 exists to stop. Member
+  // folds (blocks[i].sum += ...) stay out of scope — only the raw local
+  // reductions at lines 17 and 26 fire.
+  const auto findings = lint_source("src/avsec/fault/campaign.cpp",
+                                    read_fixture("r3_merge_fold.cpp"));
+  const std::vector<std::pair<std::string, int>> expected = {{"R3", 17},
+                                                             {"R3", 26}};
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
+TEST(LintPerf, MergeTreeFoldExemptInAccumulatorHomeAndBenches) {
+  const std::string src = read_fixture("r3_merge_fold.cpp");
+  EXPECT_TRUE(lint_source("src/avsec/core/stats.cpp", src).empty());
+  EXPECT_TRUE(lint_source("bench/bench_campaign_parallel.cpp", src).empty());
+}
+
+TEST(LintPerf, ArenaHeaderWithIncludeGuardIsFlagged) {
+  // core/arena.hpp is on the campaign hot path and under the same header
+  // hygiene contract as everything else: an include-guard spelling (or a
+  // late pragma) is flagged at the first code line.
+  const auto findings = lint_source("src/avsec/core/arena.hpp",
+                                    read_fixture("r4_arena_guard.hpp"));
+  const std::vector<std::pair<std::string, int>> expected = {{"R4", 3}};
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
 TEST(LintR4, IncludeGuardHeaderIsFlagged) {
   const auto findings = lint_source("src/avsec/x/guard.hpp",
                                     read_fixture("r4_include_guard.hpp"));
