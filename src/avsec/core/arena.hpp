@@ -89,7 +89,7 @@ class EventArena {
   /// Advances to (or allocates) a block that can hold `need` bytes.
   void grow(std::size_t need);
 
-  std::vector<Block> blocks_;
+  std::vector<Block> blocks_;  // AVSEC-LINT-ALLOW(R6): blocks stay mapped across reset() by design — reuse of warm blocks is the arena's point; reset() rewinds cur_/used_ so no prior contents are reachable
   /// Direct-indexed free lists for small chunks: head for size s lives at
   /// small_[s / kGranule]. One cache line of pointers covers the
   /// tombstone-node and heap-node sizes that account for nearly every
@@ -99,10 +99,10 @@ class EventArena {
   std::vector<std::pair<std::size_t, FreeNode*>> free_lists_;
   std::size_t cur_ = 0;        // index of the block being bumped
   std::size_t used_ = 0;       // bytes consumed in blocks_[cur_]
-  std::size_t reserved_ = 0;   // sum of block sizes
-  std::size_t next_block_ = 0; // size for the next fresh block
-  std::uint64_t allocations_ = 0;
-  std::uint64_t pool_hits_ = 0;
+  std::size_t reserved_ = 0;   // sum of block sizes  AVSEC-LINT-ALLOW(R6): describes the retained block mapping, which persists across reset() by design
+  std::size_t next_block_ = 0; // size for the next fresh block  AVSEC-LINT-ALLOW(R6): growth schedule continues across reset() so pooled reuse keeps its warmed footprint
+  std::uint64_t allocations_ = 0;  // AVSEC-LINT-ALLOW(R6): lifetime telemetry counter, monotone by design and never part of scenario state
+  std::uint64_t pool_hits_ = 0;    // AVSEC-LINT-ALLOW(R6): lifetime telemetry counter, monotone by design and never part of scenario state
 };
 
 /// Standard-allocator adapter over an EventArena. A default-constructed

@@ -9,6 +9,7 @@ namespace {
 // The wall-clock deadline is the one supervision feature that cannot be
 // simulated: it exists to catch runs that wedge without pumping sim
 // events, so it must read the host clock.
+// AVSEC-LINT-ALLOW(R5): the wedge deadline is deliberately wall-clock; it times out stuck runs and never feeds sim state or reports
 std::int64_t wall_now_ns() {
   using wall_clock = std::chrono::steady_clock;  // AVSEC-LINT-ALLOW(R1): wall-clock run deadline must read the host clock
   return std::chrono::duration_cast<std::chrono::nanoseconds>(

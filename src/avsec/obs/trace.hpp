@@ -143,13 +143,13 @@ class TraceRecorder {
  private:
   void push(const TraceEvent& ev);
 
-  bool enabled_ = true;
-  std::vector<TraceEvent> ring_;
+  bool enabled_ = true;  // AVSEC-LINT-ALLOW(R6): operator policy, not scenario state — benches disable tracing once and expect it to stick across pooled reuse
+  std::vector<TraceEvent> ring_;  // AVSEC-LINT-ALLOW(R6): fixed-capacity storage; recorded_ is the watermark reset() rewinds, so stale slots are unreachable
   std::uint64_t recorded_ = 0;
   std::vector<std::string> tracks_;
   std::vector<int> depth_;
-  std::map<std::string, const char*, std::less<>> intern_index_;
-  std::deque<std::string> intern_storage_;
+  std::map<std::string, const char*, std::less<>> intern_index_;  // AVSEC-LINT-ALLOW(R6): content-addressed intern table; pointers must stay stable across reset() (interning contract above)
+  std::deque<std::string> intern_storage_;  // AVSEC-LINT-ALLOW(R6): backing storage for the intern table; shrinking it would dangle interned pointers
   MetricsRegistry metrics_;
 };
 

@@ -19,6 +19,7 @@ namespace {
 // scenario's private Scheduler.
 using wall_clock = std::chrono::steady_clock;  // AVSEC-LINT-ALLOW(R1): serving deadlines and watchdogs are wall-clock by design
 
+// AVSEC-LINT-ALLOW(R5): serving deadlines, EWMA admission, and watchdogs are wall-clock by design; scenario results stay seeded-deterministic
 std::int64_t wall_now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              wall_clock::now().time_since_epoch())

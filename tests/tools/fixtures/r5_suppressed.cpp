@@ -1,0 +1,15 @@
+// Fixture: a source-side ALLOW(R5) waives the whole wall-clock island —
+// callers stop being flagged — and the trailing ALLOW(R1) covers the
+// direct read. Expect zero findings.
+#include <chrono>
+
+namespace sim {
+
+// AVSEC-LINT-ALLOW(R5): this wall-clock island is by design; it never feeds sim state
+long read_clock_ns() { return std::chrono::steady_clock::now().time_since_epoch().count(); }  // AVSEC-LINT-ALLOW(R1): fixture wall-clock island
+
+long jitter_ns() { return read_clock_ns() % 1000; }
+
+long step_delay() { return jitter_ns() + 5; }
+
+}  // namespace sim

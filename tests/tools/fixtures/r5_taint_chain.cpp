@@ -1,0 +1,14 @@
+// Fixture: R5 transitive taint. read_clock_ns() reads the wall clock
+// directly (R1 at line 8); jitter_ns() reaches it one call away and
+// step_delay() two calls away (R5 at lines 10 and 12).
+#include <chrono>
+
+namespace sim {
+
+long read_clock_ns() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+
+long jitter_ns() { return read_clock_ns() % 1000; }
+
+long step_delay() { return jitter_ns() + 5; }
+
+}  // namespace sim

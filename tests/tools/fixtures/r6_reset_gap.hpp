@@ -1,0 +1,14 @@
+// Fixture: pooled class with an incomplete reset() — cursor_ is rewound
+// but stale_ survives pooled reuse. Expect R6 at line 13.
+#pragma once
+
+class ReusableCtx {
+ public:
+  void reset() {
+    cursor_ = 0;
+  }
+
+ private:
+  int cursor_ = 0;
+  int stale_ = 0;
+};

@@ -1,0 +1,14 @@
+// Fixture: the same reset() gap as r6_reset_gap.hpp, waived at the
+// member declaration with a reason. Expect zero findings.
+#pragma once
+
+class ReusableCtx {
+ public:
+  void reset() {
+    cursor_ = 0;
+  }
+
+ private:
+  int cursor_ = 0;
+  int stale_ = 0;  // AVSEC-LINT-ALLOW(R6): scratch watermark; persisting across reuse is intentional in this fixture
+};

@@ -1,0 +1,20 @@
+// Fixture: the same bare read as r7_unguarded_touch.cpp, waived at the
+// touch with a reason. Expect zero findings.
+
+class JobQueue {
+ public:
+  void enqueue(int j) {
+    MutexLock lock(mu_);
+    depth_ = depth_ + j;
+  }
+
+  void drain() AVSEC_REQUIRES(mu_) {
+    depth_ = 0;
+  }
+
+  int peek_racy() const { return depth_; }  // AVSEC-LINT-ALLOW(R7): monitoring read; staleness is acceptable in this fixture
+
+ private:
+  Mutex mu_;
+  int depth_ AVSEC_GUARDED_BY(mu_) = 0;
+};

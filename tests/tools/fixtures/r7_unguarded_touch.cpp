@@ -1,0 +1,21 @@
+// Fixture: AVSEC_GUARDED_BY discipline. enqueue() locks mu_ before
+// touching depth_ and drain() declares AVSEC_REQUIRES(mu_);
+// peek_racy() reads depth_ bare. Expect R7 at line 16.
+
+class JobQueue {
+ public:
+  void enqueue(int j) {
+    MutexLock lock(mu_);
+    depth_ = depth_ + j;
+  }
+
+  void drain() AVSEC_REQUIRES(mu_) {
+    depth_ = 0;
+  }
+
+  int peek_racy() const { return depth_; }
+
+ private:
+  Mutex mu_;
+  int depth_ AVSEC_GUARDED_BY(mu_) = 0;
+};

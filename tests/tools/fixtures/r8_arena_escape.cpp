@@ -1,0 +1,14 @@
+// Fixture: arena-backed state escaping its owner. capture() stores an
+// allocate() result into a member (R8 at line 8) and hot_ holds an
+// ArenaAllocator container in a non-owner class (R8 at line 12).
+
+class ReplayCache {
+ public:
+  void capture(EventArena& arena) {
+    last_ = arena.allocate(64, 8);
+  }
+
+ private:
+  std::vector<int, ArenaAllocator<int>> hot_;
+  void* last_ = nullptr;
+};

@@ -1,23 +1,30 @@
-// avsec-lint rule-engine tests: every rule R1-R4 is demonstrated by a
+// avsec-lint rule-engine tests: every rule R1-R8 is demonstrated by a
 // fixture file that fails with the exact rule id and line number, plus a
 // suppression fixture that lints clean and a negatives fixture that must
 // never fire. Fixtures live in tests/tools/fixtures/ (excluded from the
 // whole-tree avsec_lint_tree scan precisely because they violate on
-// purpose).
+// purpose). The whole-program rules R5-R8 go through lint_sources — the
+// same pass-1 + pass-2 pipeline the scan driver runs — and the driver
+// itself is exercised for cache cold/warm report identity.
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "avsec-lint/driver.hpp"
+#include "avsec-lint/project.hpp"
 #include "avsec-lint/rules.hpp"
 
 namespace {
 
 using avsec::lint::Finding;
 using avsec::lint::lint_source;
+using avsec::lint::lint_sources;
 
 std::string read_fixture(const std::string& name) {
   const std::string path = std::string(AVSEC_LINT_FIXTURE_DIR) + "/" + name;
@@ -282,6 +289,173 @@ TEST(LintFindings, OrderedByFileLineRule) {
   EXPECT_EQ(v[0].line, 2);
   EXPECT_EQ(v[1].line, 9);
   EXPECT_EQ(v[2].file, "b.cpp");
+}
+
+// ---------------------------------------------------------------------------
+// Whole-program rules (pass 2) — exercised through lint_sources, the same
+// index-then-analyze pipeline the scan driver runs.
+// ---------------------------------------------------------------------------
+
+TEST(LintR5, FlagsTransitiveTaintAtEveryCallEdge) {
+  const auto findings = lint_sources(
+      {{"src/avsec/sim/step_delay.cpp", read_fixture("r5_taint_chain.cpp")}});
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"R1", 8},   // the direct steady_clock read
+      {"R5", 10},  // jitter_ns() -> read_clock_ns()
+      {"R5", 12},  // step_delay() -> jitter_ns() (transitive)
+  };
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
+TEST(LintR5, SourceSideWaiverSilencesTheWholeIsland) {
+  const auto findings = lint_sources(
+      {{"src/avsec/sim/step_delay.cpp", read_fixture("r5_suppressed.cpp")}});
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? "" : format(findings[0]));
+}
+
+TEST(LintR5, BenchFilesAreBarriersNotSeeds) {
+  // The same chain under bench/ is R1-exempt and a taint barrier: timing
+  // harness code may read the wall clock without poisoning callers.
+  const auto findings = lint_sources(
+      {{"bench/bench_step_delay.cpp", read_fixture("r5_taint_chain.cpp")}});
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? "" : format(findings[0]));
+}
+
+TEST(LintR5, TaintCrossesFileBoundaries) {
+  // The clock read lives in one file (R1 waived there), the caller in
+  // another: only pass 2 over the merged index can connect them.
+  const std::string clock_util =
+      "#include <chrono>\n"
+      "// AVSEC-LINT-ALLOW(R1): fixture source file\n"
+      "long raw_ns() { return std::chrono::steady_clock::now()"
+      ".time_since_epoch().count(); }\n";
+  const std::string caller =
+      "long raw_ns();\n"
+      "long step() { return raw_ns() + 1; }\n";
+  const auto findings = lint_sources(
+      {{"src/avsec/sim/clock_util.cpp", clock_util},
+       {"src/avsec/sim/step.cpp", caller}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/avsec/sim/step.cpp");
+  EXPECT_EQ(findings[0].rule, "R5");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintR6, FlagsMemberMissedByReset) {
+  const auto findings = lint_sources(
+      {{"src/avsec/fault/context_pool.hpp", read_fixture("r6_reset_gap.hpp")}});
+  const std::vector<std::pair<std::string, int>> expected = {{"R6", 13}};
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
+TEST(LintR6, WaiverAtMemberDeclarationLintsClean) {
+  const auto findings = lint_sources(
+      {{"src/avsec/fault/context_pool.hpp", read_fixture("r6_suppressed.hpp")}});
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? "" : format(findings[0]));
+}
+
+TEST(LintR6, OnlyPooledPathsAreHeldToResetCompleteness) {
+  // The same gap outside the pooled-class path set is not a finding: R6
+  // is a contract for reused objects, not every class.
+  const auto findings = lint_sources(
+      {{"src/avsec/health/context_pool.hpp", read_fixture("r6_reset_gap.hpp")}});
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? "" : format(findings[0]));
+}
+
+TEST(LintR7, FlagsBareTouchOfGuardedMember) {
+  const auto findings = lint_sources(
+      {{"src/avsec/serve/job_queue.cpp",
+        read_fixture("r7_unguarded_touch.cpp")}});
+  const std::vector<std::pair<std::string, int>> expected = {{"R7", 16}};
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
+TEST(LintR7, WaiverAtTouchLintsClean) {
+  const auto findings = lint_sources(
+      {{"src/avsec/serve/job_queue.cpp", read_fixture("r7_suppressed.cpp")}});
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? "" : format(findings[0]));
+}
+
+TEST(LintR8, FlagsArenaStateEscapingItsOwner) {
+  const auto findings = lint_sources(
+      {{"src/avsec/health/replay_cache.cpp",
+        read_fixture("r8_arena_escape.cpp")}});
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"R8", 8},   // allocate() result stored into a member
+      {"R8", 12},  // ArenaAllocator-backed member in a non-owner class
+  };
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
+TEST(LintR8, WaiversLintClean) {
+  const auto findings = lint_sources(
+      {{"src/avsec/health/replay_cache.cpp",
+        read_fixture("r8_suppressed.cpp")}});
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? "" : format(findings[0]));
+}
+
+TEST(LintR8, OwningContextsMayHoldArenaState) {
+  // The identical code under an owner path (core/scheduler) is fine.
+  const auto findings = lint_sources(
+      {{"src/avsec/core/scheduler_cache.cpp",
+        read_fixture("r8_arena_escape.cpp")}});
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? "" : format(findings[0]));
+}
+
+// ---------------------------------------------------------------------------
+// Scan driver: cold/warm cache identity and SARIF shape.
+// ---------------------------------------------------------------------------
+
+TEST(LintDriver, WarmCacheReproducesColdReportByteForByte) {
+  avsec::lint::ScanOptions opts;
+  opts.root = AVSEC_LINT_FIXTURE_DIR;
+  opts.inputs = {"r5_taint_chain.cpp", "r7_unguarded_touch.cpp"};
+  opts.cache_path =
+      ::testing::TempDir() + "/avsec_lint_cache_roundtrip.tsv";
+  std::remove(opts.cache_path.c_str());
+
+  const avsec::lint::ScanResult cold = avsec::lint::scan_tree(opts);
+  ASSERT_FALSE(cold.io_error) << cold.io_error_path;
+  EXPECT_EQ(cold.files_scanned, 2u);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_FALSE(cold.findings.empty());
+
+  const avsec::lint::ScanResult warm = avsec::lint::scan_tree(opts);
+  ASSERT_FALSE(warm.io_error) << warm.io_error_path;
+  EXPECT_EQ(warm.cache_hits, 2u);
+  EXPECT_EQ(avsec::lint::render_report(warm),
+            avsec::lint::render_report(cold));
+
+  std::remove(opts.cache_path.c_str());
+}
+
+TEST(LintDriver, SarifNamesEveryFiredRule) {
+  Finding f;
+  f.file = "src/avsec/x/y.cpp";
+  f.line = 7;
+  f.rule = "R5";
+  f.message = "reaches a nondeterminism source";
+  f.excerpt = "jitter_ns();";
+  const std::string doc = avsec::lint::render_sarif({f});
+  EXPECT_NE(doc.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ruleId\": \"R5\""), std::string::npos);
+  EXPECT_NE(doc.find("src/avsec/x/y.cpp"), std::string::npos);
+  EXPECT_NE(doc.find("\"startLine\": 7"), std::string::npos);
+}
+
+TEST(LintDriver, ContentHashIsStableAndContentSensitive) {
+  const auto h1 = avsec::lint::content_hash("int x = 1;\n");
+  const auto h2 = avsec::lint::content_hash("int x = 1;\n");
+  const auto h3 = avsec::lint::content_hash("int x = 2;\n");
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, h3);
 }
 
 }  // namespace

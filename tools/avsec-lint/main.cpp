@@ -1,78 +1,60 @@
 // avsec-lint CLI: scans the given files/directories (default: src tests
-// bench examples under --root) and prints findings in a diff-friendly
-// `file:line: [Rn] message` format. Exit status 0 = clean, 1 = findings,
-// 2 = usage/IO error.
+// bench examples tools under --root) and prints findings in a
+// diff-friendly `file:line: [Rn] message` format. Exit status 0 = clean,
+// 1 = findings, 2 = usage/IO error.
 //
 // Typical invocations:
-//   avsec-lint --root . src tests bench examples
+//   avsec-lint --root . src tests bench examples tools
+//   avsec-lint --root . --jobs 8 --cache build/lint.cache --sarif lint.sarif
 //   avsec-lint src/avsec/fault/campaign.cpp
 //   avsec-lint --list-rules
-#include <algorithm>
+//
+// The report on stdout is byte-identical across --jobs values and cache
+// states; timing goes to stderr so CI can diff stdout directly.
+#include <chrono>
 #include <cstdio>
-#include <cstring>
-#include <filesystem>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
-#include "avsec-lint/rules.hpp"
-
-namespace fs = std::filesystem;
-using avsec::lint::Finding;
+#include "avsec-lint/driver.hpp"
 
 namespace {
 
 constexpr const char* kUsage =
-    "usage: avsec-lint [--root DIR] [--list-rules] [path...]\n"
-    "  Scans C++ sources for determinism/hygiene violations (R1-R4).\n"
+    "usage: avsec-lint [--root DIR] [--jobs N] [--cache FILE]\n"
+    "                  [--sarif FILE] [--list-rules] [path...]\n"
+    "  Scans C++ sources for determinism/hygiene violations (R1-R8).\n"
     "  Paths are files or directories (recursed); default: src tests\n"
-    "  bench examples. Fixture trees (tests/tools/fixtures) and build\n"
-    "  directories are skipped.\n";
+    "  bench examples tools. Fixture trees (tests/tools/fixtures) and\n"
+    "  build directories are skipped.\n"
+    "  --jobs N    scan files on N worker threads (report is identical)\n"
+    "  --cache F   reuse per-file results for unchanged content hashes\n"
+    "  --sarif F   also write findings as SARIF 2.1.0 to F\n";
 
 constexpr const char* kRules =
     "R1  nondeterminism source (std::rand, random_device, wall clocks,\n"
     "    __DATE__/__TIME__) outside core/rng and bench/\n"
     "R2  iteration over unordered_{map,set} in aggregation/reporting\n"
     "    paths (fault/, core/stats, health/, ids/correlation)\n"
-    "R3  raw floating-point '+=' reduction loop in src/ outside\n"
-    "    core/stats (use core::Accumulator)\n"
+    "R3  raw floating-point '+=' reduction loop in src/ and tools/\n"
+    "    outside core/stats (use core::Accumulator)\n"
     "R4  header does not open with '#pragma once'\n"
+    "R5  call graph transitively reaches a nondeterminism source outside\n"
+    "    core/rng and bench/ (whole-program taint)\n"
+    "R6  pooled-class data member not reassigned by reset()\n"
+    "    (reset-determinism contract, DESIGN.md section 8)\n"
+    "R7  AVSEC_GUARDED_BY member touched in a method that neither locks\n"
+    "    nor AVSEC_REQUIRES its mutex\n"
+    "R8  arena-backed state stored outside the arena-owning contexts\n"
+    "    (core/arena, core/scheduler, fault/context)\n"
     "\n"
     "Suppress with: // AVSEC-LINT-ALLOW(<rule>): <reason>\n";
-
-bool has_lintable_extension(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".hpp" || ext == ".h" || ext == ".hh" || ext == ".hxx" ||
-         ext == ".cpp" || ext == ".cc" || ext == ".cxx";
-}
-
-// Fixture files contain violations on purpose; build trees contain
-// generated and third-party code.
-bool is_skipped_path(const std::string& label) {
-  if (label.find("tests/tools/fixtures") != std::string::npos) return true;
-  if (label.find(".git/") != std::string::npos) return true;
-  for (const char* dir : {"build", "build-asan", "build-release"}) {
-    if (label.rfind(std::string(dir) + "/", 0) == 0 ||
-        label.find("/" + std::string(dir) + "/") != std::string::npos) {
-      return true;
-    }
-  }
-  return false;
-}
-
-std::string label_for(const fs::path& p, const fs::path& root) {
-  std::error_code ec;
-  fs::path rel = fs::relative(p, root, ec);
-  std::string label = (ec || rel.empty()) ? p.string() : rel.string();
-  std::replace(label.begin(), label.end(), '\\', '/');
-  return label;
-}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  fs::path root = fs::current_path();
-  std::vector<std::string> inputs;
-
+  avsec::lint::ScanOptions opts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -83,12 +65,28 @@ int main(int argc, char** argv) {
       std::fputs(kRules, stdout);
       return 0;
     }
-    if (arg == "--root") {
+    auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        std::fputs("avsec-lint: --root needs an argument\n", stderr);
-        return 2;
+        std::fprintf(stderr, "avsec-lint: %s needs an argument\n", flag);
+        std::exit(2);
       }
-      root = argv[++i];
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      opts.root = next("--root");
+      continue;
+    }
+    if (arg == "--jobs") {
+      opts.jobs = static_cast<std::size_t>(
+          std::strtoul(next("--jobs"), nullptr, 10));
+      continue;
+    }
+    if (arg == "--cache") {
+      opts.cache_path = next("--cache");
+      continue;
+    }
+    if (arg == "--sarif") {
+      opts.sarif_path = next("--sarif");
       continue;
     }
     if (!arg.empty() && arg[0] == '-') {
@@ -96,53 +94,32 @@ int main(int argc, char** argv) {
                    kUsage);
       return 2;
     }
-    inputs.push_back(arg);
+    opts.inputs.push_back(arg);
   }
-  if (inputs.empty()) inputs = {"src", "tests", "bench", "examples"};
-
-  // Expand inputs into a sorted, de-duplicated file list so the report is
-  // byte-stable regardless of directory enumeration order.
-  std::vector<fs::path> files;
-  for (const std::string& in : inputs) {
-    fs::path p = fs::path(in).is_absolute() ? fs::path(in) : root / in;
-    std::error_code ec;
-    if (fs::is_directory(p, ec)) {
-      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
-           it.increment(ec)) {
-        if (ec) break;
-        if (it->is_regular_file(ec) && has_lintable_extension(it->path())) {
-          files.push_back(it->path());
-        }
-      }
-    } else if (fs::is_regular_file(p, ec)) {
-      files.push_back(p);
-    } else {
-      std::fprintf(stderr, "avsec-lint: cannot read '%s'\n", p.c_str());
-      return 2;
-    }
-  }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
-
-  std::vector<Finding> findings;
-  std::size_t scanned = 0;
-  for (const fs::path& f : files) {
-    const std::string label = label_for(f, root);
-    if (is_skipped_path(label)) continue;
-    if (!avsec::lint::lint_file(f.string(), label, findings)) {
-      std::fprintf(stderr, "avsec-lint: cannot read '%s'\n",
-                   f.string().c_str());
-      return 2;
-    }
-    ++scanned;
+  if (opts.inputs.empty()) {
+    opts.inputs = {"src", "tests", "bench", "examples", "tools"};
   }
 
-  std::sort(findings.begin(), findings.end());
-  for (const Finding& f : findings) {
-    std::printf("%s\n", avsec::lint::format(f).c_str());
+  // Wall-clock timing is stderr-only operator feedback; the stdout report
+  // stays a pure function of the tree.
+  // AVSEC-LINT-ALLOW(R1): scan timing is operator feedback on stderr, never part of the deterministic report
+  const auto t0 = std::chrono::steady_clock::now();
+  const avsec::lint::ScanResult res = avsec::lint::scan_tree(opts);
+  // AVSEC-LINT-ALLOW(R1): scan timing is operator feedback on stderr, never part of the deterministic report
+  const auto t1 = std::chrono::steady_clock::now();
+  if (res.io_error) {
+    std::fprintf(stderr, "avsec-lint: cannot read '%s'\n",
+                 res.io_error_path.c_str());
+    return 2;
   }
-  std::printf("avsec-lint: %zu finding%s in %zu file%s scanned\n",
-              findings.size(), findings.size() == 1 ? "" : "s", scanned,
-              scanned == 1 ? "" : "s");
-  return findings.empty() ? 0 : 1;
+  std::fputs(avsec::lint::render_report(res).c_str(), stdout);
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0).count();
+  std::fprintf(stderr,
+               "avsec-lint: %zu file%s, %zu cache hit%s, %lld ms "
+               "(jobs=%zu)\n",
+               res.files_scanned, res.files_scanned == 1 ? "" : "s",
+               res.cache_hits, res.cache_hits == 1 ? "" : "s",
+               static_cast<long long>(ms), opts.jobs == 0 ? 1 : opts.jobs);
+  return res.findings.empty() ? 0 : 1;
 }

@@ -49,15 +49,6 @@ const std::set<std::string_view>& keywords() {
   return kw;
 }
 
-// One suppression parsed out of a comment: rule id plus the line range it
-// covers (the comment's own lines and the line immediately below).
-struct Suppression {
-  std::string rule;
-  int first_line = 0;
-  int last_line = 0;
-  mutable bool used = false;
-};
-
 // ---------------------------------------------------------------------------
 // Per-file analysis context
 
@@ -78,7 +69,7 @@ class FileLint {
   }
 
   std::vector<Finding> run() {
-    collect_suppressions();
+    collect();
     if (!pc_.r1_exempt) rule_r1();
     if (pc_.r2_applies) rule_r2();
     if (pc_.r3_applies) rule_r3();
@@ -86,6 +77,11 @@ class FileLint {
     apply_suppressions();
     std::sort(findings_.begin(), findings_.end());
     return std::move(findings_);
+  }
+
+  /// Pass-1 index over the same token stream; call after run().
+  FileIndex take_index() {
+    return build_index(label_, toks_, std::move(suppressions_));
   }
 
  private:
@@ -144,81 +140,21 @@ class FileLint {
   }
 
   // ---- suppression comments -------------------------------------------
-  void collect_suppressions() {
-    for (std::size_t ti = 0; ti < toks_.size(); ++ti) {
-      const Token& t = toks_[ti];
-      if (t.kind != TokKind::kComment) continue;
-      // A standalone ALLOW comment (possibly wrapped over several comment
-      // lines) covers the next code line; a trailing comment covers only
-      // the statement it sits on.
-      bool trailing = false;
-      for (std::size_t p = ti; p-- > 0;) {
-        if (toks_[p].kind == TokKind::kComment) continue;
-        trailing = toks_[p].end_line == t.line;
-        break;
-      }
-      int covered_to = t.end_line;
-      if (!trailing) {
-        for (std::size_t nx = ti + 1; nx < toks_.size(); ++nx) {
-          if (toks_[nx].kind == TokKind::kComment) continue;
-          covered_to = toks_[nx].line;
-          break;
-        }
-      }
-      std::size_t pos = 0;
-      while ((pos = t.text.find("AVSEC-LINT-ALLOW", pos)) !=
-             std::string::npos) {
-        pos += 16;  // length of the marker
-        std::string rule;
-        bool ok = false;
-        std::size_t p = pos;
-        if (p < t.text.size() && t.text[p] == '(') {
-          ++p;
-          while (p < t.text.size() && t.text[p] != ')') rule.push_back(t.text[p++]);
-          if (p < t.text.size() && t.text[p] == ')') {
-            ++p;
-            while (p < t.text.size() && (t.text[p] == ' ' || t.text[p] == '\t')) ++p;
-            if (p < t.text.size() && t.text[p] == ':') {
-              ++p;
-              // Reason must have substance, not just punctuation.
-              std::string reason = trim(t.text.substr(p));
-              // Block comments may close on the same line.
-              if (ends_with(reason, "*/")) {
-                reason = trim(reason.substr(0, reason.size() - 2));
-              }
-              ok = !rule.empty() && rule[0] == 'R' && reason.size() >= 3;
-            }
-          }
-        }
-        if (ok) {
-          Suppression s;
-          s.rule = rule;
-          s.first_line = t.line;
-          s.last_line = covered_to;
-          suppressions_.push_back(std::move(s));
-        } else {
-          add(t.line, "R0",
-              "malformed suppression: expected "
-              "'AVSEC-LINT-ALLOW(<rule>): <reason>' with a non-empty reason");
-        }
-      }
+  void collect() {
+    std::vector<int> malformed;
+    suppressions_ = collect_suppressions(toks_, malformed);
+    for (int line : malformed) {
+      add(line, "R0",
+          "malformed suppression: expected "
+          "'AVSEC-LINT-ALLOW(<rule>): <reason>' with a non-empty reason");
     }
   }
 
   void apply_suppressions() {
     std::vector<Finding> kept;
     for (Finding& f : findings_) {
-      bool suppressed = false;
-      if (f.rule != "R0") {
-        for (const Suppression& s : suppressions_) {
-          if (s.rule == f.rule && f.line >= s.first_line &&
-              f.line <= s.last_line) {
-            suppressed = true;
-            s.used = true;
-            break;
-          }
-        }
-      }
+      const bool suppressed =
+          f.rule != "R0" && is_suppressed(suppressions_, f.rule, f.line);
       if (!suppressed) kept.push_back(std::move(f));
     }
     findings_ = std::move(kept);
@@ -226,18 +162,12 @@ class FileLint {
 
   // ---- R1: nondeterminism sources -------------------------------------
   void rule_r1() {
-    // Flagged wherever they appear (member access excluded).
-    static const std::set<std::string_view> kBannedAlways = {
-        "srand",        "rand_r",        "random_device",
-        "system_clock", "steady_clock",  "high_resolution_clock",
-        "gettimeofday", "clock_gettime", "localtime",
-        "gmtime",       "mktime",        "__DATE__",
-        "__TIME__",     "__TIMESTAMP__",
-    };
-    // Flagged only as a call of the global / std name, so identifiers like
-    // `transmission_time` or members named `time` stay legal.
-    static const std::set<std::string_view> kBannedCalls = {"rand", "time",
-                                                            "clock"};
+    // Names flagged wherever they appear (member access excluded) and
+    // names flagged only as calls are shared with the pass-1 index's
+    // taint-seed detection (index.hpp), so R1 and R5 can never disagree
+    // about what counts as a source.
+    const std::set<std::string_view>& kBannedAlways = banned_always_names();
+    const std::set<std::string_view>& kBannedCalls = banned_call_names();
     for (int ci = 0; ci < ncode(); ++ci) {
       if (!is_ident(ci)) continue;
       const std::string_view name = text(ci);
@@ -478,16 +408,39 @@ PathClass classify_path(std::string_view label) {
                   contains(norm, "health/") ||
                   contains(norm, "ids/correlation") || contains(norm, "obs/") ||
                   contains(norm, "serve/");
-  pc.r3_applies = (starts_with(norm, "src/") || contains(norm, "/src/")) &&
+  pc.r3_applies = (starts_with(norm, "src/") || contains(norm, "/src/") ||
+                   starts_with(norm, "tools/") || contains(norm, "/tools/")) &&
                   !contains(norm, "core/stats");
   pc.header = ends_with(norm, ".hpp") || ends_with(norm, ".h") ||
               ends_with(norm, ".hh") || ends_with(norm, ".hxx");
+  pc.wpa = (starts_with(norm, "src/") || contains(norm, "/src/"));
+  pc.barrier = pc.r1_exempt;
+  static const char* kPoolPaths[] = {"fault/context", "core/scheduler",
+                                     "core/arena",    "obs/trace",
+                                     "obs/metrics",   "serve/server"};
+  for (const char* p : kPoolPaths) {
+    if (contains(norm, p)) pc.r6_pool = true;
+  }
+  static const char* kOwnerPaths[] = {"core/arena", "core/scheduler",
+                                      "fault/context"};
+  for (const char* p : kOwnerPaths) {
+    if (contains(norm, p)) pc.r8_owner = true;
+  }
   return pc;
 }
 
 std::vector<Finding> lint_source(const std::string& label,
                                  std::string_view source) {
   return FileLint(label, source).run();
+}
+
+AnalyzedFile analyze_source(const std::string& label,
+                            std::string_view source) {
+  FileLint fl(label, source);
+  AnalyzedFile out;
+  out.findings = fl.run();
+  out.index = fl.take_index();
+  return out;
 }
 
 bool lint_file(const std::string& path, const std::string& label,

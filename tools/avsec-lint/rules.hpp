@@ -33,12 +33,14 @@
 #include <string_view>
 #include <vector>
 
+#include "avsec-lint/index.hpp"
+
 namespace avsec::lint {
 
 struct Finding {
   std::string file;  // root-relative label, forward slashes
   int line = 0;
-  std::string rule;     // "R0".."R4"
+  std::string rule;     // "R0".."R8"
   std::string message;  // human explanation, one line
   std::string excerpt;  // trimmed source line
 };
@@ -55,8 +57,13 @@ std::string format(const Finding& f);
 struct PathClass {
   bool r1_exempt = false;      // core/rng.* and bench/ may read clocks
   bool r2_applies = false;     // aggregation/reporting paths only
-  bool r3_applies = false;     // src/ outside core/stats
+  bool r3_applies = false;     // src/ and tools/ outside core/stats
   bool header = false;         // R4 target
+  // Whole-program (R5-R8) scopes, all derived from the label too:
+  bool wpa = false;            // R5 call-graph scope: sim/reporting src/
+  bool barrier = false;        // taint barrier: core/rng.* and bench/
+  bool r6_pool = false;        // pooled-reuse classes live here (reset law)
+  bool r8_owner = false;       // arena-owning contexts (may hold arena state)
 };
 PathClass classify_path(std::string_view label);
 
@@ -64,6 +71,15 @@ PathClass classify_path(std::string_view label);
 /// both classification and the findings' `file` field.
 std::vector<Finding> lint_source(const std::string& label,
                                  std::string_view source);
+
+/// Per-line findings plus the pass-1 index, from a single lex. This is the
+/// unit of work the parallel driver runs per file and the unit the
+/// content-hash cache stores.
+struct AnalyzedFile {
+  std::vector<Finding> findings;  // R0-R4, suppressions already applied
+  FileIndex index;
+};
+AnalyzedFile analyze_source(const std::string& label, std::string_view source);
 
 /// Reads `path` and lints it under `label`. Returns false (and leaves
 /// `out` untouched) if the file cannot be read.
