@@ -21,15 +21,18 @@
 #include <string>
 #include <vector>
 
+#include "avsec/scenario/corpus.hpp"
 #include "avsec/serve/serve.hpp"
 
 namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--workers N] [--queue N] [--stream] [--list]\n"
+               "usage: %s [--workers N] [--queue N] [--corpus DIR] "
+               "[--stream] [--list]\n"
                "  --workers N  worker threads (default 2)\n"
                "  --queue N    bounded job-queue capacity (default 32)\n"
+               "  --corpus DIR also serve every .avsc scenario under DIR\n"
                "  --stream     answer each line before reading the next\n"
                "               (default: batch all of stdin, coalescing\n"
                "               same-scenario requests into one sweep)\n"
@@ -51,29 +54,48 @@ std::string render_parse_error(const std::string& error) {
 int main(int argc, char** argv) {
   avsec::serve::ServerConfig config;
   bool stream = false;
+  bool list = false;
+  std::string corpus_dir;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--workers") == 0 && i + 1 < argc) {
       config.workers = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(arg, "--queue") == 0 && i + 1 < argc) {
       config.queue_capacity = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(arg, "--corpus") == 0 && i + 1 < argc) {
+      corpus_dir = argv[++i];
     } else if (std::strcmp(arg, "--stream") == 0) {
       stream = true;
     } else if (std::strcmp(arg, "--list") == 0) {
-      const auto registry = avsec::serve::ScenarioRegistry::builtin();
-      for (const std::string& name : registry.names()) {
-        const avsec::serve::Scenario* s = registry.find(name);
-        std::printf("%-14s %s\n", name.c_str(), s->description.c_str());
-      }
-      return 0;
+      list = true;
     } else {
       usage(argv[0]);
       return std::strcmp(arg, "--help") == 0 ? 0 : 2;
     }
   }
 
-  avsec::serve::Server server(avsec::serve::ScenarioRegistry::builtin(),
-                              config);
+  auto registry = avsec::serve::ScenarioRegistry::builtin();
+  if (!corpus_dir.empty()) {
+    // Corpus scenarios join the catalog by spec name: any load error is
+    // fatal up front, not a kRejected surprise at request time.
+    const avsec::scenario::Corpus corpus =
+        avsec::scenario::load_corpus(corpus_dir);
+    for (const std::string& err : corpus.errors) {
+      std::fprintf(stderr, "avsec-serve: corpus: %s\n", err.c_str());
+    }
+    if (!corpus.ok()) return 2;
+    avsec::scenario::register_corpus(corpus, registry);
+  }
+
+  if (list) {
+    for (const std::string& name : registry.names()) {
+      const avsec::serve::Scenario* s = registry.find(name);
+      std::printf("%-32s %s\n", name.c_str(), s->description.c_str());
+    }
+    return 0;
+  }
+
+  avsec::serve::Server server(std::move(registry), config);
 
   std::string line;
   if (stream) {

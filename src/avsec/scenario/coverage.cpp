@@ -1,0 +1,82 @@
+#include "avsec/scenario/coverage.hpp"
+
+#include <set>
+
+namespace avsec::scenario {
+
+void CoverageMap::record(const ScenarioSpec& spec) {
+  ++scenarios_;
+  std::set<std::string> hit;
+  for (const AttackEntry& a : spec.attacks) {
+    hit.insert(
+        cell_name(CoverageCell{spec.topology, spec.protocol, a.kind,
+                               spec.defense}));
+  }
+  for (const RandomInject& inj : spec.injects) {
+    for (AttackKind k : inj.kinds) {
+      hit.insert(cell_name(
+          CoverageCell{spec.topology, spec.protocol, k, spec.defense}));
+    }
+  }
+  for (const std::string& name : hit) ++counts_[name];
+}
+
+std::size_t CoverageMap::covered() const {
+  std::size_t n = 0;
+  for (const CoverageCell& cell : cell_universe()) {
+    if (count(cell) > 0) ++n;
+  }
+  return n;
+}
+
+std::size_t CoverageMap::universe() const { return cell_universe().size(); }
+
+std::size_t CoverageMap::count(const CoverageCell& cell) const {
+  const auto it = counts_.find(cell_name(cell));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::string CoverageMap::report_text() const {
+  const std::vector<CoverageCell> universe_cells = cell_universe();
+  std::string out = "avsec scenario coverage\n";
+  out += "scenarios " + std::to_string(scenarios_) + "\n";
+  out += "cells " + std::to_string(covered()) + "/" +
+         std::to_string(universe_cells.size()) + "\n\n";
+  for (const CoverageCell& cell : universe_cells) {
+    const std::size_t n = count(cell);
+    if (n > 0) {
+      out += "cell " + cell_name(cell) + " " + std::to_string(n) + "\n";
+    }
+  }
+  out += "\n";
+  for (const CoverageCell& cell : universe_cells) {
+    if (count(cell) == 0) out += "uncovered " + cell_name(cell) + "\n";
+  }
+  return out;
+}
+
+std::string CoverageMap::report_json() const {
+  const std::vector<CoverageCell> universe_cells = cell_universe();
+  std::string out = "{\n";
+  out += "  \"scenarios\": " + std::to_string(scenarios_) + ",\n";
+  out += "  \"covered\": " + std::to_string(covered()) + ",\n";
+  out += "  \"universe\": " + std::to_string(universe_cells.size()) + ",\n";
+  out += "  \"cells\": [\n";
+  for (std::size_t i = 0; i < universe_cells.size(); ++i) {
+    const CoverageCell& cell = universe_cells[i];
+    out += "    {\"topology\": \"";
+    out += topology_name(cell.topology);
+    out += "\", \"protocol\": \"";
+    out += protocol_name(cell.protocol);
+    out += "\", \"attack\": \"";
+    out += attack_kind_name(cell.attack);
+    out += "\", \"posture\": \"";
+    out += posture_name(cell.posture);
+    out += "\", \"count\": " + std::to_string(count(cell)) + "}";
+    out += (i + 1 < universe_cells.size()) ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace avsec::scenario

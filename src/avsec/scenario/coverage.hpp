@@ -1,0 +1,49 @@
+// Coverage tracking over the scenario cross-product.
+//
+// A coverage cell is one (topology, protocol, attack kind, posture) tuple
+// from the validity matrix — the same universe the generator samples
+// (generate.hpp's cell_universe()). A scenario covers the cells of every
+// attack it schedules and every kind its random injects can draw, each at
+// its own defense posture. The map renders sorted, diff-friendly text and
+// JSON reports; the committed scenarios/COVERAGE.txt is the text form and
+// CI regenerates it byte-for-byte to catch silent corpus regressions.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "avsec/scenario/generate.hpp"
+#include "avsec/scenario/spec.hpp"
+
+namespace avsec::scenario {
+
+class CoverageMap {
+ public:
+  /// Records the cells `spec` exercises (each cell once per spec, so a
+  /// cell's count reads "how many scenarios hit this").
+  void record(const ScenarioSpec& spec);
+
+  std::size_t scenarios() const { return scenarios_; }
+  /// Distinct universe cells hit by at least one recorded scenario.
+  std::size_t covered() const;
+  /// Total valid cells in the cross-product.
+  std::size_t universe() const;
+  /// Scenario count for one cell (0 when uncovered / unknown).
+  std::size_t count(const CoverageCell& cell) const;
+
+  /// Diff-friendly text: header, one "cell <name> <count>" line per
+  /// covered cell, then one "uncovered <name>" line per hole, all in the
+  /// fixed universe enumeration order.
+  std::string report_text() const;
+
+  /// Same content as JSON: every universe cell with its count.
+  std::string report_json() const;
+
+ private:
+  // std::map, not unordered: report iteration order must be stable (R2).
+  std::map<std::string, std::size_t> counts_;
+  std::size_t scenarios_ = 0;
+};
+
+}  // namespace avsec::scenario

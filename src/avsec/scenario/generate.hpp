@@ -1,0 +1,56 @@
+// Seeded scenario generator: samples the attack × layer × defense ×
+// topology cross-product into valid ScenarioSpecs.
+//
+// The generator walks a seed-derived permutation of the validity matrix's
+// cell universe (the same universe the CoverageMap reports against), so a
+// generated batch spreads across cells before it repeats any, and every
+// spec it emits (a) compiles, by construction, and (b) carries only
+// oracles its world is guaranteed to satisfy — which is what lets the
+// corpus runner treat generated scenarios exactly like hand-written ones.
+// All randomness comes from core::Rng streams: the same (seed, count)
+// yields a byte-identical spec set on every platform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "avsec/core/rng.hpp"
+#include "avsec/scenario/spec.hpp"
+
+namespace avsec::scenario {
+
+/// One coverage cell of the validity matrix: the unit both the generator
+/// samples and the CoverageMap counts.
+struct CoverageCell {
+  Topology topology = Topology::kCan;
+  Protocol protocol = Protocol::kNone;
+  AttackKind attack = AttackKind::kNodeCrash;
+  DefenseConfig posture;
+};
+
+/// Every valid (topology, protocol, attack, posture) cell, in the fixed
+/// enumeration order (topology-major) the coverage report also uses.
+std::vector<CoverageCell> cell_universe();
+
+/// Sorted, diff-friendly one-line form: "can secoc replay defended".
+std::string cell_name(const CoverageCell& cell);
+
+struct GeneratorConfig {
+  std::size_t count = 10;
+  std::uint64_t seed = 1;
+  /// Generated names are "<prefix>-NNN-<topology>-<protocol>-<attack>-
+  /// <posture>"; NNN keeps a batch lexicographically ordered.
+  std::string name_prefix = "gen";
+};
+
+/// Generates one valid spec for `cell`, drawing parameters from `rng`.
+ScenarioSpec generate_for_cell(const CoverageCell& cell, core::Rng& rng,
+                               std::size_t index,
+                               const std::string& name_prefix);
+
+/// Generates `config.count` specs across a seed-derived permutation of the
+/// cell universe. Deterministic: same config, same byte-identical specs.
+std::vector<ScenarioSpec> generate(const GeneratorConfig& config);
+
+}  // namespace avsec::scenario

@@ -1,0 +1,47 @@
+// Recursive-descent parser for the compact newline-oriented .avsc
+// scenario format (grammar table in DESIGN.md §15).
+//
+// Shape of the format: top-level section headers start in column 0
+// (`scenario`, `topology`, `protocol`, `defense`, `attack`, `fault`,
+// `inject`, `oracle`), properties of a section are indented lines below
+// it, `#` starts a comment, blank lines separate sections. The parser
+// descends file -> section -> property, never throws across the API
+// boundary, and reports the first error with its file:line and an exact
+// message — strict by design, so a typo'd scenario fails loudly instead
+// of silently running a different experiment.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "avsec/scenario/spec.hpp"
+
+namespace avsec::scenario {
+
+/// First error of a failed parse, with its source position.
+struct ParseError {
+  std::string file;
+  int line = 0;  // 1-based; 0 = file-level error (e.g. unreadable)
+  std::string message;
+
+  /// "file:line: message" — the diff-friendly diagnostic form.
+  std::string to_string() const;
+};
+
+/// Outcome of a parse; `spec` is meaningful only when `ok`.
+struct ParseResult {
+  bool ok = false;
+  ScenarioSpec spec;
+  ParseError error;
+};
+
+/// Parses scenario text. `file_label` is used in diagnostics and stored
+/// as spec.source_file.
+ParseResult parse_scenario_text(std::string_view text,
+                                const std::string& file_label);
+
+/// Reads and parses a .avsc file; an unreadable file yields a line-0
+/// error instead of an exception.
+ParseResult parse_scenario_file(const std::string& path);
+
+}  // namespace avsec::scenario

@@ -1,0 +1,218 @@
+#include "avsec/scenario/spec.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace avsec::scenario {
+
+const char* topology_name(Topology t) {
+  switch (t) {
+    case Topology::kCan: return "can";
+    case Topology::kT1s: return "t1s";
+    case Topology::kLink: return "link";
+    case Topology::kHeartbeat: return "heartbeat";
+  }
+  return "?";
+}
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kNone: return "none";
+    case Protocol::kSecOc: return "secoc";
+    case Protocol::kCansec: return "cansec";
+    case Protocol::kMacsec: return "macsec";
+    case Protocol::kTls: return "tls";
+  }
+  return "?";
+}
+
+const char* attack_kind_name(AttackKind k) {
+  switch (k) {
+    case AttackKind::kNodeCrash: return "node-crash";
+    case AttackKind::kBabblingIdiot: return "babbling-idiot";
+    case AttackKind::kBusOff: return "bus-off";
+    case AttackKind::kLinkDrop: return "link-drop";
+    case AttackKind::kLinkCorrupt: return "link-corrupt";
+    case AttackKind::kLinkDelay: return "link-delay";
+    case AttackKind::kLinkPartition: return "link-partition";
+    case AttackKind::kReplay: return "replay";
+    case AttackKind::kTamper: return "tamper";
+    case AttackKind::kForge: return "forge";
+    case AttackKind::kMute: return "mute";
+  }
+  return "?";
+}
+
+const char* oracle_op_name(OracleOp op) {
+  switch (op) {
+    case OracleOp::kEq: return "==";
+    case OracleOp::kNe: return "!=";
+    case OracleOp::kLe: return "<=";
+    case OracleOp::kGe: return ">=";
+    case OracleOp::kLt: return "<";
+    case OracleOp::kGt: return ">";
+  }
+  return "?";
+}
+
+const char* posture_name(const DefenseConfig& d) {
+  if (d.monitor && d.recovery) return "defended";
+  if (d.monitor) return "monitored";
+  if (d.recovery) return "recovering";
+  return "open";
+}
+
+namespace {
+
+template <class E, std::size_t N>
+bool parse_enum(std::string_view s, const E (&values)[N],
+                const char* (*name)(E), E& out) {
+  for (const E v : values) {
+    if (s == name(v)) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool parse_topology(std::string_view s, Topology& out) {
+  static constexpr Topology kAll[] = {Topology::kCan, Topology::kT1s,
+                                      Topology::kLink, Topology::kHeartbeat};
+  return parse_enum(s, kAll, topology_name, out);
+}
+
+bool parse_protocol(std::string_view s, Protocol& out) {
+  static constexpr Protocol kAll[] = {Protocol::kNone, Protocol::kSecOc,
+                                      Protocol::kCansec, Protocol::kMacsec,
+                                      Protocol::kTls};
+  return parse_enum(s, kAll, protocol_name, out);
+}
+
+bool parse_attack_kind(std::string_view s, AttackKind& out) {
+  static constexpr AttackKind kAll[] = {
+      AttackKind::kNodeCrash, AttackKind::kBabblingIdiot, AttackKind::kBusOff,
+      AttackKind::kLinkDrop,  AttackKind::kLinkCorrupt,   AttackKind::kLinkDelay,
+      AttackKind::kLinkPartition, AttackKind::kReplay,    AttackKind::kTamper,
+      AttackKind::kForge,     AttackKind::kMute};
+  return parse_enum(s, kAll, attack_kind_name, out);
+}
+
+bool parse_oracle_op(std::string_view s, OracleOp& out) {
+  static constexpr OracleOp kAll[] = {OracleOp::kEq, OracleOp::kNe,
+                                      OracleOp::kLe, OracleOp::kGe,
+                                      OracleOp::kLt, OracleOp::kGt};
+  return parse_enum(s, kAll, oracle_op_name, out);
+}
+
+std::string time_literal(core::SimTime t) {
+  struct Unit {
+    core::SimTime scale;
+    const char* suffix;
+  };
+  static constexpr Unit kUnits[] = {{core::kSecond, "s"},
+                                    {core::kMillisecond, "ms"},
+                                    {core::kMicrosecond, "us"},
+                                    {core::kNanosecond, "ns"},
+                                    {core::kPicosecond, "ps"}};
+  for (const Unit& u : kUnits) {
+    if (t % u.scale == 0) {
+      return std::to_string(t / u.scale) + u.suffix;
+    }
+  }
+  return std::to_string(t) + "ps";
+}
+
+std::string double_literal(double v) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "0";  // unreachable for finite doubles
+  return std::string(buf, end);
+}
+
+bool oracle_holds(OracleOp op, double metric, double value) {
+  switch (op) {
+    case OracleOp::kEq: return metric == value;
+    case OracleOp::kNe: return metric != value;
+    case OracleOp::kLe: return metric <= value;
+    case OracleOp::kGe: return metric >= value;
+    case OracleOp::kLt: return metric < value;
+    case OracleOp::kGt: return metric > value;
+  }
+  return false;
+}
+
+std::string canonical_text(const ScenarioSpec& spec) {
+  std::string out;
+  out.reserve(512);
+  const auto line = [&out](const std::string& s) {
+    out += s;
+    out += '\n';
+  };
+
+  line("scenario " + spec.name);
+  if (!spec.description.empty()) {
+    line("  describe \"" + spec.description + "\"");
+  }
+  line("  runs " + std::to_string(spec.runs));
+  line("  seed " + std::to_string(spec.seed));
+  line("  horizon " + time_literal(spec.horizon));
+  line("");
+
+  line(std::string("topology ") + topology_name(spec.topology));
+  line("  nodes " + std::to_string(spec.nodes));
+  line("  period " + time_literal(spec.period));
+  line("  payload " + std::to_string(spec.payload));
+  line("");
+
+  line(std::string("protocol ") + protocol_name(spec.protocol));
+  line("");
+
+  line("defense");
+  line(std::string("  monitor ") + (spec.defense.monitor ? "on" : "off"));
+  line(std::string("  recovery ") + (spec.defense.recovery ? "on" : "off"));
+
+  for (const AttackEntry& a : spec.attacks) {
+    line("");
+    line(std::string(a.provenance == Provenance::kAttack ? "attack "
+                                                         : "fault ") +
+         attack_kind_name(a.kind));
+    line("  target " + std::to_string(a.target));
+    line("  at " + time_literal(a.at));
+    line("  duration " + time_literal(a.duration));
+    line("  magnitude " + double_literal(a.magnitude));
+    line("  delta " + time_literal(a.delta));
+    line("  count " + std::to_string(a.count));
+  }
+
+  for (const RandomInject& r : spec.injects) {
+    line("");
+    line("inject random");
+    line("  count " + std::to_string(r.count));
+    line("  window " + time_literal(r.window_start) + " " +
+         time_literal(r.window_end));
+    line("  durations " + time_literal(r.min_duration) + " " +
+         time_literal(r.max_duration));
+    std::string kinds = "  kinds";
+    for (const AttackKind k : r.kinds) {
+      kinds += ' ';
+      kinds += attack_kind_name(k);
+    }
+    line(kinds);
+  }
+
+  if (!spec.oracles.empty()) line("");
+  for (const Oracle& o : spec.oracles) {
+    line("oracle " + o.metric + " " + oracle_op_name(o.op) + " " +
+         double_literal(o.value));
+  }
+  return out;
+}
+
+bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) {
+  return canonical_text(a) == canonical_text(b);
+}
+
+}  // namespace avsec::scenario

@@ -1,0 +1,145 @@
+// Generator + coverage contract: the cell universe matches the validity
+// matrix, generation is byte-deterministic per seed, every generated spec
+// compiles and passes its own oracles, and coverage reports are stable.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "avsec/core/scheduler.hpp"
+#include "avsec/scenario/compile.hpp"
+#include "avsec/scenario/coverage.hpp"
+#include "avsec/scenario/generate.hpp"
+#include "avsec/scenario/parser.hpp"
+
+namespace avsec::scenario {
+namespace {
+
+TEST(ScenarioGenerate, UniverseHas122UniqueCells) {
+  const std::vector<CoverageCell> cells = cell_universe();
+  EXPECT_EQ(cells.size(), 122u);
+  std::set<std::string> names;
+  for (const CoverageCell& c : cells) names.insert(cell_name(c));
+  EXPECT_EQ(names.size(), cells.size());
+}
+
+TEST(ScenarioGenerate, SameSeedIsByteIdentical) {
+  GeneratorConfig cfg;
+  cfg.count = 30;
+  cfg.seed = 77;
+  const std::vector<ScenarioSpec> a = generate(cfg);
+  const std::vector<ScenarioSpec> b = generate(cfg);
+  ASSERT_EQ(a.size(), 30u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(canonical_text(a[i]), canonical_text(b[i])) << i;
+  }
+}
+
+TEST(ScenarioGenerate, DifferentSeedDiffers) {
+  GeneratorConfig a, b;
+  a.count = b.count = 10;
+  a.seed = 1;
+  b.seed = 2;
+  const std::vector<ScenarioSpec> sa = generate(a);
+  const std::vector<ScenarioSpec> sb = generate(b);
+  bool any_different = false;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    any_different |= canonical_text(sa[i]) != canonical_text(sb[i]);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(ScenarioGenerate, FullUniverseBatchCompiles) {
+  GeneratorConfig cfg;
+  cfg.count = 122;  // one pass over every cell of the permutation
+  cfg.seed = 9;
+  std::set<std::string> names;
+  std::set<std::string> cells_hit;
+  for (const ScenarioSpec& spec : generate(cfg)) {
+    const CompileResult r = compile(spec);
+    EXPECT_TRUE(r.ok) << spec.name << ": " << r.error.to_string();
+    EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
+    ASSERT_FALSE(spec.attacks.empty());
+    cells_hit.insert(cell_name(CoverageCell{spec.topology, spec.protocol,
+                                            spec.attacks[0].kind,
+                                            spec.defense}));
+  }
+  // The batch walks a permutation: 122 specs cover all 122 cells.
+  EXPECT_EQ(cells_hit.size(), 122u);
+}
+
+TEST(ScenarioGenerate, GeneratedSpecsRoundTripAndPassOracles) {
+  GeneratorConfig cfg;
+  cfg.count = 8;
+  cfg.seed = 123;
+  for (const ScenarioSpec& spec : generate(cfg)) {
+    // Round-trip through the canonical text.
+    const ParseResult p = parse_scenario_text(canonical_text(spec), "gen");
+    ASSERT_TRUE(p.ok) << p.error.to_string();
+    EXPECT_EQ(spec, p.spec);
+    // Guaranteed-pass oracles hold on the spec's own first seed.
+    const CompileResult r = compile(spec);
+    ASSERT_TRUE(r.ok);
+    core::Scheduler sim;
+    const fault::Metrics m = r.compiled.run(sim, spec.seed);
+    EXPECT_TRUE(r.compiled.oracle_failures(m).empty()) << spec.name;
+  }
+}
+
+TEST(ScenarioCoverage, RecordCountsCellsOncePerSpec) {
+  GeneratorConfig cfg;
+  cfg.count = 1;
+  cfg.seed = 4;
+  const ScenarioSpec spec = generate(cfg)[0];
+  CoverageMap map;
+  EXPECT_EQ(map.covered(), 0u);
+  EXPECT_EQ(map.universe(), 122u);
+  map.record(spec);
+  map.record(spec);
+  EXPECT_EQ(map.scenarios(), 2u);
+  const CoverageCell cell{spec.topology, spec.protocol, spec.attacks[0].kind,
+                          spec.defense};
+  EXPECT_EQ(map.count(cell), 2u);
+  EXPECT_GE(map.covered(), 1u);
+}
+
+TEST(ScenarioCoverage, TextReportIsStableAndComplete) {
+  GeneratorConfig cfg;
+  cfg.count = 5;
+  cfg.seed = 6;
+  CoverageMap map;
+  for (const ScenarioSpec& s : generate(cfg)) map.record(s);
+  const std::string text = map.report_text();
+  EXPECT_EQ(text, map.report_text());  // byte-stable
+  EXPECT_NE(text.find("avsec scenario coverage\n"), std::string::npos);
+  EXPECT_NE(text.find("scenarios 5\n"), std::string::npos);
+  EXPECT_NE(text.find("/122\n"), std::string::npos);
+  // Every universe cell appears exactly once, as covered or uncovered.
+  std::size_t mentions = 0;
+  for (const CoverageCell& cell : cell_universe()) {
+    const std::string name = cell_name(cell);
+    const bool covered = text.find("cell " + name + " ") != std::string::npos;
+    const bool uncovered =
+        text.find("uncovered " + name + "\n") != std::string::npos;
+    EXPECT_TRUE(covered != uncovered) << name;
+    mentions += covered || uncovered;
+  }
+  EXPECT_EQ(mentions, 122u);
+}
+
+TEST(ScenarioCoverage, JsonReportListsWholeUniverse) {
+  CoverageMap map;
+  const std::string json = map.report_json();
+  EXPECT_NE(json.find("\"universe\": 122"), std::string::npos);
+  EXPECT_NE(json.find("\"covered\": 0"), std::string::npos);
+  // One object per cell.
+  std::size_t count = 0;
+  for (std::size_t at = json.find("\"topology\""); at != std::string::npos;
+       at = json.find("\"topology\"", at + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 122u);
+}
+
+}  // namespace
+}  // namespace avsec::scenario

@@ -1,0 +1,15 @@
+// Fixture: R2 unordered-container iteration in a scenario coverage-report
+// path (linted under a scenario/ label). Expected findings:
+//   line 10: range-for over the per-cell unordered_map
+//   line 12: iterator walk via .begin()
+#include <string>
+#include <unordered_map>
+std::string render_coverage(
+    const std::unordered_map<std::string, int>& cells) {
+  std::string out;
+  for (const auto& kv : cells) out += kv.first + "\n";
+  std::string names;
+  for (auto it = cells.begin(); it != cells.end(); ++it)
+    names += it->first;
+  return out + names;
+}

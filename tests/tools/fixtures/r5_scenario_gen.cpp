@@ -1,0 +1,15 @@
+// Fixture: R5 transitive nondeterminism in a scenario-generator path.
+// draw_entropy() reads std::random_device directly (R1 at line 9);
+// sample_cell() reaches it one call away and generate_spec() two calls
+// away (R5 at lines 11 and 13).
+#include <random>
+
+namespace scenario {
+
+unsigned draw_entropy() { std::random_device rd; return rd(); }
+
+unsigned sample_cell() { return draw_entropy() % 122; }
+
+unsigned generate_spec() { return sample_cell() + 1; }
+
+}  // namespace scenario

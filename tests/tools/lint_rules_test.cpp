@@ -147,6 +147,38 @@ TEST(LintServe, ServeScopeCoversTestPathsAndSparesOtherModules) {
   EXPECT_TRUE(lint_source("src/avsec/netsim/render.cpp", src).empty());
 }
 
+TEST(LintScenario, CoverageReportUnorderedIterationIsFlagged) {
+  // Coverage reports are committed and byte-diffed in CI (DESIGN.md §15):
+  // hash order reaching a report line would churn the diff on every run,
+  // so scenario/ is an R2 aggregation path.
+  const auto findings = lint_source("src/avsec/scenario/coverage.cpp",
+                                    read_fixture("r2_scenario_report.cpp"));
+  const std::vector<std::pair<std::string, int>> expected = {{"R2", 10},
+                                                             {"R2", 12}};
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
+TEST(LintScenario, ScopeCoversTestPathsAndSparesOtherModules) {
+  const std::string src = read_fixture("r2_scenario_report.cpp");
+  // Scenario tests byte-compare the committed coverage report — in scope.
+  EXPECT_FALSE(lint_source("tests/scenario/corpus_test.cpp", src).empty());
+  // The same shape under a non-aggregation module stays legal.
+  EXPECT_TRUE(lint_source("src/avsec/netsim/coverage.cpp", src).empty());
+}
+
+TEST(LintScenario, GeneratorEntropyTaintIsFlaggedAtEveryCallEdge) {
+  // Generation must draw only from core::Rng: a random_device seed would
+  // make `generate` irreproducible, so R5 walks the whole call chain.
+  const auto findings = lint_sources({{"src/avsec/scenario/generate.cpp",
+                                       read_fixture("r5_scenario_gen.cpp")}});
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"R1", 9},   // the direct random_device read
+      {"R5", 11},  // sample_cell() -> draw_entropy()
+      {"R5", 13},  // generate_spec() -> sample_cell() (transitive)
+  };
+  EXPECT_EQ(rule_lines(findings), expected);
+}
+
 TEST(LintServe, AggregateFoldRawReductionIsFlagged) {
   // Reply aggregates must fold through core::Accumulator so they stay
   // bit-stable at any worker count; a raw += fold is flagged by R3.

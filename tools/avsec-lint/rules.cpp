@@ -407,7 +407,7 @@ PathClass classify_path(std::string_view label) {
   pc.r2_applies = contains(norm, "fault/") || contains(norm, "core/stats") ||
                   contains(norm, "health/") ||
                   contains(norm, "ids/correlation") || contains(norm, "obs/") ||
-                  contains(norm, "serve/");
+                  contains(norm, "serve/") || contains(norm, "scenario/");
   pc.r3_applies = (starts_with(norm, "src/") || contains(norm, "/src/") ||
                    starts_with(norm, "tools/") || contains(norm, "/tools/")) &&
                   !contains(norm, "core/stats");
